@@ -1,0 +1,157 @@
+// Extension studies built on the reproduction substrate — each one
+// substantiates a remark the paper makes but does not evaluate:
+//   A. Decoder cost (Conclusions: reads could adopt DBI "without
+//      changing existing memories" — because decode is a XOR rank).
+//   B. Stuck-at fault robustness of the OPT (Fixed) netlist
+//      (Section II: wrong analog decisions are "unlikely to cause
+//      application errors").
+//   C. Decision-noise energy loss (same remark, quantified at the
+//      behavioural level).
+//   D. DBI granularity (Section II, Narayanan et al.: more invert
+//      wires buy finer control — at the cost of more lines).
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "hw/fault_study.hpp"
+#include "hw/hw_encoder.hpp"
+#include "hw/synthesis.hpp"
+#include "netlist/export.hpp"
+#include "netlist/report.hpp"
+#include "netlist/tech.hpp"
+#include "power/interface_energy.hpp"
+#include "sim/experiments.hpp"
+#include "sim/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace dbi;
+
+void decoder_study(const workload::BurstTrace& trace) {
+  std::cout << "--- A. Receiver-side decoder cost ---\n\n";
+  hw::HwEncoder encoder(hw::build_dbi_opt_fixed());
+  const BusState boundary = BusState::all_ones(trace.config());
+
+  // Decoder activity: replay the encoder outputs through the decoder.
+  const hw::HwDesign decoder = hw::build_dbi_decoder();
+  netlist::Simulator dec_sim(decoder.net);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const EncodedBurst e = encoder.encode(trace[i], boundary);
+    for (int b = 0; b < e.length(); ++b) {
+      dec_sim.set_input_bus(decoder.byte_in[static_cast<std::size_t>(b)],
+                            e.beat(b).dq);
+      dec_sim.set_input(decoder.dbi_out[static_cast<std::size_t>(b)],
+                        e.beat(b).dbi);
+    }
+    dec_sim.eval();
+    dec_sim.accumulate();
+  }
+  const auto tech = netlist::TechnologyModel::generic_32nm();
+  const auto enc_report = netlist::synthesize(
+      "DBI OPT (Fixed) encoder", encoder.design().net, tech,
+      encoder.simulator(), encoder.design().pipeline);
+  const auto dec_report = netlist::synthesize(
+      "DBI decoder", decoder.net, tech, dec_sim, decoder.pipeline);
+
+  sim::Table table({"block", "cells", "area [um2]", "E/burst @1.5GHz [pJ]"});
+  for (const auto& r : {enc_report, dec_report})
+    table.add_row({r.design, std::to_string(r.cells),
+                   sim::fmt(r.area_um2, 0),
+                   sim::fmt(r.energy_per_burst_at(1.5e9) * 1e12, 3)});
+  std::cout << table;
+  std::cout << "decoder/encoder area ratio: "
+            << sim::fmt(dec_report.area_um2 / enc_report.area_um2, 3)
+            << "  (decode is one XOR rank — the asymmetry behind the "
+               "paper's read-path remark)\n\n";
+}
+
+void fault_study(const workload::BurstTrace& trace) {
+  std::cout << "--- B. Stuck-at faults in the OPT (Fixed) netlist ---\n\n";
+  hw::FaultStudyOptions options;
+  options.max_sites = 300;
+  options.bursts_per_fault = 30;
+  const hw::FaultStudyResult r = hw::run_fault_study(trace, options);
+  sim::Table table({"effect", "sites", "share"});
+  const auto share = [&](int n) {
+    return sim::fmt(100.0 * n / r.sites_tested, 1) + " %";
+  };
+  table.add_row({"benign (outputs unchanged)", std::to_string(r.benign),
+                 share(r.benign)});
+  table.add_row({"suboptimal (decodable, costlier)",
+                 std::to_string(r.suboptimal), share(r.suboptimal)});
+  table.add_row({"corrupting (data loss)", std::to_string(r.corrupting),
+                 share(r.corrupting)});
+  std::cout << table;
+  std::cout << "worst mean cost increase among suboptimal faults: "
+            << sim::fmt(100.0 * r.worst_cost_increase, 1) << " %\n";
+  std::cout << "PAPER (Section II): wrong encoding decisions only waste "
+               "energy; data corruption\nrequires a fault in the thin "
+               "output/DBI stage — the sites classified corrupting.\n\n";
+}
+
+void noise_study(const workload::BurstTrace& trace) {
+  std::cout << "--- C. Analog decision noise (behavioural) ---\n\n";
+  const power::PodParams pod = power::PodParams::pod135(3e-12, 14e9);
+  const CostWeights w = power::weights_from_pod(pod);
+  const std::vector<double> rates = {0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1};
+  const auto sweep = sim::noise_sweep(trace, w, rates, 7);
+  sim::Table table({"decision error rate", "mean cost [pJ]",
+                    "loss vs clean"});
+  for (const auto& p : sweep)
+    table.add_row({sim::fmt(p.error_rate, 4),
+                   sim::fmt(p.mean_cost * 1e12, 4),
+                   sim::fmt(100.0 * p.loss_vs_clean, 3) + " %"});
+  std::cout << table;
+  std::cout << "(every output remains decodable by construction; a 1e-3 "
+               "comparator error rate\ncosts well under a percent of "
+               "energy — the analog-implementation argument.)\n\n";
+}
+
+void granularity_study(const workload::BurstTrace& trace) {
+  std::cout << "--- D. DBI granularity (invert wires per 8-bit lane) "
+               "---\n\n";
+  const CostWeights w{0.5, 0.5};
+  const std::vector<int> groups = {1, 2, 4, 8};
+  const auto sweep = sim::granularity_sweep(trace, w, groups);
+  sim::Table table({"DBI wires", "total lines", "mean cost",
+                    "vs 1-wire DBI"});
+  for (const auto& p : sweep)
+    table.add_row({std::to_string(p.groups), std::to_string(p.total_lines),
+                   sim::fmt(p.mean_cost, 3), sim::fmt(p.vs_single_dbi, 3)});
+  std::cout << table;
+  std::cout << "(finer inversion control must carry the extra wires' own "
+               "zeros/edges: the\nclassic enhanced-bus-invert trade-off "
+               "the paper cites via Narayanan et al.)\n\n";
+}
+
+void verilog_demo() {
+  std::cout << "--- E. Structural Verilog export (first lines of the DBI "
+               "DC encoder) ---\n\n";
+  std::ostringstream os;
+  netlist::write_verilog(os, hw::build_dbi_dc().net, "dbi_dc_encoder");
+  const std::string v = os.str();
+  std::istringstream lines(v);
+  std::string line;
+  for (int i = 0; i < 12 && std::getline(lines, line); ++i)
+    std::cout << "  " << line << '\n';
+  std::cout << "  ...\n  (" << v.size()
+            << " bytes total; every Table I design exports the same way "
+               "for reuse in a real flow)\n";
+}
+
+}  // namespace
+
+int main() {
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_uniform_source(cfg, 20180319);
+  const auto trace = workload::BurstTrace::collect(*src, 2000);
+
+  std::cout << "=== Extension studies ===\n\n";
+  decoder_study(trace);
+  fault_study(trace);
+  noise_study(trace);
+  granularity_study(trace);
+  verilog_demo();
+  return 0;
+}

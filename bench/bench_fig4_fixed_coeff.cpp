@@ -1,0 +1,45 @@
+// Fig. 4 reproduction: the alpha sweep of Fig. 3 with DBI OPT (Fixed)
+// added — the paper's hardware-friendly variant that always encodes
+// with alpha = beta = 1 regardless of the true energy ratio.
+//
+// PAPER: OPT (Fixed) beats the best conventional scheme for AC cost in
+// ~[0.23, 0.79]; its maximum energy reduction (~6.58%) is nearly the
+// full OPT's 6.75%; the shaded area (loss vs true-coefficient OPT) is
+// small.
+#include <iostream>
+
+#include "sim/experiments.hpp"
+#include "sim/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace dbi;
+
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_uniform_source(cfg, 20180319);
+  const auto trace = workload::BurstTrace::collect(*src, 10000);
+  std::cout << "=== Fig. 4: fixed coefficients (alpha = beta = 1) vs exact "
+               "coefficients ===\n\n";
+
+  const auto sweep = sim::alpha_sweep(trace, 21);
+  sim::Table table({"AC cost", "DBI DC", "DBI AC", "DBI OPT", "OPT (Fixed)",
+                    "fixed loss vs OPT"});
+  for (const auto& p : sweep)
+    table.add_row({sim::fmt(p.ac_cost, 2), sim::fmt(p.dc, 2),
+                   sim::fmt(p.ac, 2), sim::fmt(p.opt, 2),
+                   sim::fmt(p.opt_fixed, 2),
+                   sim::fmt(100.0 * (p.opt_fixed - p.opt) / p.opt, 2) +
+                       " %"});
+  std::cout << table;
+
+  const auto dense = sim::alpha_sweep(trace, 101);
+  const auto s = sim::summarize_alpha_sweep(dense);
+  std::cout << "\nOPT (Fixed) beats best conventional for alpha in ["
+            << sim::fmt(s.fixed_win_lo, 2) << ", "
+            << sim::fmt(s.fixed_win_hi, 2) << "]   PAPER: [0.23, 0.79]\n";
+  std::cout << "Peak OPT (Fixed) gain = " << sim::fmt(100.0 * s.max_gain_fixed, 2)
+            << " %   PAPER: 6.58 %\n";
+  std::cout << "Peak exact-OPT gain   = " << sim::fmt(100.0 * s.max_gain_opt, 2)
+            << " %   PAPER: 6.75 %\n";
+  return 0;
+}

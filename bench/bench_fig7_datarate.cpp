@@ -1,0 +1,63 @@
+// Fig. 7 reproduction: interface energy per burst, normalised to
+// unencoded (RAW) transmission, as the per-pin data rate sweeps from
+// 0.5 to 20 Gbps. POD135 (GDDR5X) with 3 pF total load; DBI OPT is
+// re-optimised at every rate with the true (alpha, beta) energy
+// coefficients of Eqs. (1)-(3).
+//
+// PAPER: DBI DC is best below ~3.8 Gbps; OPT (Fixed) overtakes it
+// there and peaks around 14 Gbps; DBI AC needs far more than 20 Gbps
+// to beat OPT (Fixed); POD12 (DDR4) results are almost identical.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "sim/experiments.hpp"
+#include "sim/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace dbi;
+
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_uniform_source(cfg, 20180319);
+  const auto trace = workload::BurstTrace::collect(*src, 10000);
+
+  std::vector<double> rates;
+  for (double g = 0.5; g <= 20.0 + 1e-9; g += 0.5) rates.push_back(g);
+
+  for (const char* preset : {"POD135", "POD12"}) {
+    const power::PodParams pod = (std::string_view(preset) == "POD135")
+                                     ? power::PodParams::pod135(3e-12, 12e9)
+                                     : power::PodParams::pod12(3e-12, 12e9);
+    std::cout << "=== Fig. 7: normalised interface energy vs data rate ("
+              << preset << ", 3 pF) ===\n\n";
+    const auto sweep = sim::datarate_sweep(pod, trace, rates);
+    sim::Table table({"rate [Gbps]", "RAW [pJ]", "DC", "AC", "OPT",
+                      "OPT (Fixed)"});
+    for (const auto& p : sweep)
+      table.add_row({sim::fmt(p.gbps, 1), sim::fmt(p.raw_pj, 1),
+                     sim::fmt(p.dc, 4), sim::fmt(p.ac, 4),
+                     sim::fmt(p.opt, 4), sim::fmt(p.opt_fixed, 4)});
+    std::cout << table;
+
+    double crossover = 0.0, best_rate = 0.0, best_gain = -1e9;
+    for (const auto& p : sweep) {
+      if (crossover == 0.0 && p.opt_fixed < p.dc) crossover = p.gbps;
+      // Gain of OPT (Fixed) over the best conventional scheme — the
+      // quantity whose peak the paper locates around 14 Gbps.
+      const double best_conv = std::min(p.dc, p.ac);
+      const double gain = (best_conv - p.opt_fixed) / best_conv;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_rate = p.gbps;
+      }
+    }
+    std::cout << "\nOPT (Fixed) overtakes DC at " << sim::fmt(crossover, 1)
+              << " Gbps   PAPER: ~3.8 Gbps\n";
+    std::cout << "OPT (Fixed) peak gain vs best conventional: "
+              << sim::fmt(100.0 * best_gain, 2) << " % at "
+              << sim::fmt(best_rate, 1)
+              << " Gbps   PAPER: peak gain around 14 Gbps\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Encoder throughput microbenchmarks (google-benchmark).
+//
+// Context (paper Section IV-B): a 12 Gbps GDDR5X pin needs 1.5e9
+// bursts/s per byte lane from the hardware encoder. The software
+// encoders here are the behavioural models — the numbers show the
+// relative algorithmic cost (DC < AC < trellis OPT << exhaustive) and
+// that even the trellis solver runs millions of bursts per second in
+// software, which is what makes the 10000x101-point sweeps of
+// Figs. 3/4 cheap to regenerate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "hw/hw_encoder.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace dbi;
+
+const std::vector<Burst>& bursts() {
+  static const std::vector<Burst> data = [] {
+    auto src = workload::make_uniform_source(BusConfig{8, 8}, 11);
+    std::vector<Burst> out;
+    out.reserve(1024);
+    for (int i = 0; i < 1024; ++i) out.push_back(src->next());
+    return out;
+  }();
+  return data;
+}
+
+void run_encoder(benchmark::State& state, const Encoder& encoder) {
+  const BusState boundary = BusState::all_ones(BusConfig{8, 8});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EncodedBurst e =
+        encoder.encode(bursts()[i++ & 1023], boundary);
+    benchmark::DoNotOptimize(e.beat(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 8);
+}
+
+void BM_Raw(benchmark::State& state) {
+  run_encoder(state, *make_raw_encoder());
+}
+void BM_DbiDc(benchmark::State& state) {
+  run_encoder(state, *make_dc_encoder());
+}
+void BM_DbiAc(benchmark::State& state) {
+  run_encoder(state, *make_ac_encoder());
+}
+void BM_DbiAcDc(benchmark::State& state) {
+  run_encoder(state, *make_acdc_encoder());
+}
+void BM_DbiOpt(benchmark::State& state) {
+  run_encoder(state, *make_opt_encoder(CostWeights{0.56, 0.44}));
+}
+void BM_DbiOptFixed(benchmark::State& state) {
+  run_encoder(state, *make_opt_fixed_encoder());
+}
+void BM_Exhaustive(benchmark::State& state) {
+  run_encoder(state, *make_exhaustive_encoder(CostWeights{0.5, 0.5}));
+}
+void BM_GateLevelOptFixed(benchmark::State& state) {
+  // The netlist simulation of the Fig. 5 datapath — the "RTL sim" cost,
+  // orders of magnitude slower than the behavioural model, included to
+  // show what the equivalence tests pay.
+  const hw::HwEncoder encoder(hw::build_dbi_opt_fixed());
+  run_encoder(state, encoder);
+}
+
+BENCHMARK(BM_Raw);
+BENCHMARK(BM_DbiDc);
+BENCHMARK(BM_DbiAc);
+BENCHMARK(BM_DbiAcDc);
+BENCHMARK(BM_DbiOpt);
+BENCHMARK(BM_DbiOptFixed);
+BENCHMARK(BM_Exhaustive);
+BENCHMARK(BM_GateLevelOptFixed);
+
+void BM_TrellisByBurstLength(benchmark::State& state) {
+  const int bl = static_cast<int>(state.range(0));
+  const BusConfig cfg{8, bl};
+  auto src = workload::make_uniform_source(cfg, 13);
+  std::vector<Burst> data;
+  for (int i = 0; i < 256; ++i) data.push_back(src->next());
+  const auto encoder = make_opt_fixed_encoder();
+  const BusState boundary = BusState::all_ones(cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EncodedBurst e = encoder->encode(data[i++ & 255], boundary);
+    benchmark::DoNotOptimize(e.beat(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrellisByBurstLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

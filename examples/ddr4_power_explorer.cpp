@@ -1,0 +1,78 @@
+// DDR4 (POD12) operating-point explorer: for a grid of data rates and
+// load capacitances, report which DBI scheme minimises total energy
+// (interface + encoder) and what it saves against RAW transmission.
+// The kind of table a memory-controller architect would want before
+// committing to an encoder block.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "power/system_energy.hpp"
+#include "sim/experiments.hpp"
+#include "sim/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace dbi;
+
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_uniform_source(cfg, 7);
+  const auto trace = workload::BurstTrace::collect(*src, 4000);
+
+  const auto hw_dc = power::table1_hardware(Scheme::kDc);
+  const auto hw_ac = power::table1_hardware(Scheme::kAc);
+  const auto hw_fx = power::table1_hardware(Scheme::kOptFixed);
+
+  const sim::MeanStats dc = sim::mean_stats(trace, *make_dc_encoder());
+  const sim::MeanStats ac = sim::mean_stats(trace, *make_ac_encoder());
+  const sim::MeanStats fx = sim::mean_stats(trace, *make_opt_fixed_encoder());
+  const sim::MeanStats raw = sim::mean_stats(trace, *make_raw_encoder());
+
+  std::cout << "DDR4 / POD12 scheme explorer (uniform random writes, "
+            << trace.size() << " bursts)\n"
+            << "total = interface energy (Eqs. 1-4) + encoder energy "
+               "(Table I model)\n\n";
+
+  sim::Table table({"rate [Gbps]", "c_load [pF]", "RAW [pJ]", "DC [pJ]",
+                    "AC [pJ]", "OPT(Fixed) [pJ]", "winner", "vs RAW"});
+
+  for (double c_load_pf : {1.0, 2.0, 4.0}) {
+    for (double gbps : {1.6, 3.2, 6.4, 12.8}) {
+      const power::PodParams pod =
+          power::PodParams::pod12(c_load_pf * 1e-12, gbps * 1e9);
+      const double rate = power::burst_rate(pod, cfg);
+
+      auto total = [&](const sim::MeanStats& m,
+                       const power::EncoderHardware& hw) {
+        return m.zeros * power::energy_zero(pod) +
+               m.transitions * power::energy_transition(pod) +
+               hw.energy_per_burst(rate);
+      };
+
+      const double e_raw = raw.zeros * power::energy_zero(pod) +
+                           raw.transitions * power::energy_transition(pod);
+      const double e_dc = total(dc, hw_dc);
+      const double e_ac = total(ac, hw_ac);
+      const double e_fx = total(fx, hw_fx);
+
+      const double best = std::min({e_dc, e_ac, e_fx, e_raw});
+      std::string winner = "RAW";
+      if (best == e_dc) winner = "DBI DC";
+      if (best == e_ac) winner = "DBI AC";
+      if (best == e_fx) winner = "DBI OPT (Fixed)";
+
+      table.add_row({sim::fmt(gbps, 1), sim::fmt(c_load_pf, 0),
+                     sim::fmt(e_raw * 1e12, 2), sim::fmt(e_dc * 1e12, 2),
+                     sim::fmt(e_ac * 1e12, 2), sim::fmt(e_fx * 1e12, 2),
+                     winner,
+                     sim::fmt(100.0 * (1.0 - best / e_raw), 1) + " %"});
+    }
+  }
+  std::cout << table
+            << "\nReading guide: at low rates zeros dominate (DC wins); as "
+               "the rate or load grows,\ntransitions dominate and the "
+               "joint DC/AC optimum pulls ahead — the Fig. 7/8 story\n"
+               "on a DDR4 electrical point.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Hardware designer walkthrough: builds the four gate-level encoder
+// designs of Table I, verifies each against its behavioural
+// specification on live data, and prints the synthesis-style report
+// (cells, area, leakage, timing) from the netlist substrate.
+#include <iostream>
+#include <string>
+
+#include "core/encoder.hpp"
+#include "hw/hw_encoder.hpp"
+#include "hw/synthesis.hpp"
+#include "netlist/tech.hpp"
+#include "netlist/timing.hpp"
+#include "sim/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace dbi;
+
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_uniform_source(cfg, 99);
+  const auto trace = workload::BurstTrace::collect(*src, 300);
+  const BusState boundary = BusState::all_ones(cfg);
+
+  std::cout << "Building the Fig. 5 trellis datapath and friends as gate "
+               "netlists...\n\n";
+
+  struct Case {
+    hw::HwDesign design;
+    std::unique_ptr<Encoder> reference;
+    int alpha = 1, beta = 1;
+  };
+  Case cases[] = {
+      {hw::build_dbi_dc(), make_dc_encoder(), 1, 1},
+      {hw::build_dbi_ac(), make_ac_encoder(), 1, 1},
+      {hw::build_dbi_opt_fixed(), make_opt_fixed_encoder(), 1, 1},
+      {hw::build_dbi_opt_3bit(),
+       make_opt_int_encoder(IntCostWeights{3, 2}), 3, 2},
+  };
+
+  sim::Table equiv({"design", "gates", "inputs", "outputs",
+                    "bursts checked", "mismatches"});
+  for (Case& c : cases) {
+    const auto gates = c.design.net.physical_gates();
+    const auto ins = c.design.net.inputs().size();
+    const auto outs = c.design.net.outputs().size();
+    const std::string name = c.design.name;
+    hw::HwEncoder encoder(std::move(c.design), c.alpha, c.beta);
+    int mismatches = 0;
+    for (const Burst& b : trace.bursts())
+      if (encoder.encode(b, boundary).inversion_mask() !=
+          c.reference->encode(b, boundary).inversion_mask())
+        ++mismatches;
+    equiv.add_row({name, std::to_string(gates), std::to_string(ins),
+                   std::to_string(outs),
+                   std::to_string(trace.size()),
+                   std::to_string(mismatches)});
+  }
+  std::cout << "Gate-level vs behavioural equivalence:\n" << equiv << "\n";
+
+  std::cout << "Synthesis report (generic 32 nm model, retimed "
+               "pipelines as in the paper):\n\n";
+  hw::Table1Options options;
+  options.max_activity_bursts = 300;
+  const auto rows = hw::table1_synthesis(trace, options);
+  sim::Table synth({"design", "cells", "area [um2]", "static [uW]",
+                    "dynamic [uW]", "fmax [GHz]", "E/burst [pJ]",
+                    "comb path [ns]"});
+  for (const auto& r : rows)
+    synth.add_row({r.scheme, std::to_string(r.cells), sim::fmt(r.area_um2, 0),
+                   sim::fmt(r.static_uw, 0), sim::fmt(r.dynamic_uw, 0),
+                   sim::fmt(r.fmax_ghz, 2),
+                   sim::fmt(r.energy_per_burst_pj, 3),
+                   sim::fmt(r.critical_path_ns, 2)});
+  std::cout << synth
+            << "\n(12 Gbps GDDR5X needs a 1.5 GHz burst rate: the fixed-"
+               "coefficient trellis design\nholds it, the 3-bit "
+               "configurable one needs parallel instances — Table I's "
+               "story.)\n";
+  return 0;
+}

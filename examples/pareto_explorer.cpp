@@ -1,0 +1,88 @@
+// Pareto explorer: for a burst (the paper's Fig. 2 example by default,
+// or 8 hex bytes from the command line) enumerate every achievable
+// (zeros, transitions) trade-off, mark which encodings DC / AC / OPT
+// pick, and show how the optimal pick walks the frontier as the
+// alpha/beta ratio changes.
+//
+// Usage: pareto_explorer [byte0 byte1 ... byte7]   (hex, e.g. 8e 86 ...)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/pareto.hpp"
+#include "sim/experiments.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dbi;
+
+  const BusConfig cfg{8, 8};
+  Burst data = sim::paper_example_burst();
+  if (argc == 9) {
+    std::vector<Word> words;
+    for (int i = 1; i < 9; ++i) {
+      const long v = std::strtol(argv[i], nullptr, 16);
+      if (v < 0 || v > 0xFF) {
+        std::cerr << "bytes must be 00..ff\n";
+        return 1;
+      }
+      words.push_back(static_cast<Word>(v));
+    }
+    data = Burst(cfg, words);
+  } else if (argc != 1) {
+    std::cerr << "usage: pareto_explorer [b0 b1 b2 b3 b4 b5 b6 b7]\n";
+    return 1;
+  }
+
+  const BusState boundary = BusState::all_ones(cfg);
+  std::cout << "Burst:";
+  for (int i = 0; i < data.length(); ++i)
+    std::printf(" %02X", data.word(i));
+  std::cout << "\n\nPareto frontier over all 256 inversion patterns "
+               "(zeros vs transitions):\n\n";
+
+  const auto frontier = pareto_frontier(data, boundary);
+  const auto dc = make_dc_encoder()->encode(data, boundary);
+  const auto ac = make_ac_encoder()->encode(data, boundary);
+
+  sim::Table table({"zeros", "transitions", "mask", "found by"});
+  for (const ParetoPoint& p : frontier) {
+    std::string found;
+    if (p.zeros == dc.zeros() && p.transitions == dc.transitions(boundary))
+      found += "DC ";
+    if (p.zeros == ac.zeros() && p.transitions == ac.transitions(boundary))
+      found += "AC ";
+    // Which alpha/beta ratios make OPT choose this point?
+    std::string alphas;
+    for (int i = 0; i <= 20; ++i) {
+      const double a = i / 20.0;
+      const auto e = make_opt_encoder(CostWeights::ac_dc_tradeoff(a))
+                         ->encode(data, boundary);
+      if (e.zeros() == p.zeros && e.transitions(boundary) == p.transitions) {
+        if (alphas.empty()) alphas = "OPT a=" + sim::fmt(a, 2);
+      }
+    }
+    if (!alphas.empty()) found += alphas;
+    if (found.empty()) found = "-";
+    char mask[8];
+    std::snprintf(mask, sizeof mask, "0x%02X",
+                  static_cast<unsigned>(p.invert_mask));
+    table.add_row({std::to_string(p.zeros), std::to_string(p.transitions),
+                   mask, found});
+  }
+  std::cout << table;
+
+  std::cout << "\nCost of each scheme at alpha = beta = 1 (the paper's "
+               "Section III numbers for\nthe default burst: DC 68, AC 65, "
+               "OPT 52):\n";
+  for (Scheme s : {Scheme::kDc, Scheme::kAc, Scheme::kOpt}) {
+    const auto e =
+        make_encoder(s, CostWeights{1, 1})->encode(data, boundary);
+    std::cout << "  " << scheme_name(s) << ": "
+              << encoded_cost(e, boundary, CostWeights{1, 1}) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "core/burst.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/byte_utils.hpp"
+
+namespace dbi {
+
+Burst::Burst(const BusConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  words_.assign(static_cast<std::size_t>(cfg_.burst_length), Word{0});
+}
+
+Burst::Burst(const BusConfig& cfg, std::span<const Word> words) : cfg_(cfg) {
+  cfg_.validate();
+  if (words.size() != static_cast<std::size_t>(cfg_.burst_length))
+    throw std::invalid_argument(
+        "Burst: expected " + std::to_string(cfg_.burst_length) +
+        " words, got " + std::to_string(words.size()));
+  words_.assign(words.begin(), words.end());
+  for (Word w : words_)
+    if ((w & ~cfg_.dq_mask()) != 0)
+      throw std::invalid_argument("Burst: word does not fit bus width");
+}
+
+Burst Burst::from_bytes(const BusConfig& cfg,
+                        std::span<const std::uint8_t> bytes) {
+  if (cfg.width != 8)
+    throw std::invalid_argument("Burst::from_bytes requires width == 8");
+  std::vector<Word> words(bytes.begin(), bytes.end());
+  return Burst(cfg, words);
+}
+
+Burst Burst::from_bit_strings(const BusConfig& cfg,
+                              std::span<const std::string_view> beats) {
+  std::vector<Word> words;
+  words.reserve(beats.size());
+  for (std::string_view s : beats) {
+    if (s.size() != static_cast<std::size_t>(cfg.width))
+      throw std::invalid_argument("Burst::from_bit_strings: beat \"" +
+                                  std::string(s) + "\" length != width");
+    Word w = 0;
+    for (char c : s) {
+      if (c != '0' && c != '1')
+        throw std::invalid_argument(
+            "Burst::from_bit_strings: invalid character");
+      w = (w << 1) | static_cast<Word>(c == '1');
+    }
+    words.push_back(w);
+  }
+  return Burst(cfg, words);
+}
+
+Word Burst::word(int i) const {
+  return words_.at(static_cast<std::size_t>(i));
+}
+
+void Burst::set_word(int i, Word value) {
+  if ((value & ~cfg_.dq_mask()) != 0)
+    throw std::invalid_argument("Burst::set_word: value does not fit width");
+  words_.at(static_cast<std::size_t>(i)) = value;
+}
+
+int Burst::payload_zeros() const {
+  int zeros = 0;
+  for (Word w : words_) zeros += count_zeros(w, cfg_);
+  return zeros;
+}
+
+}  // namespace dbi

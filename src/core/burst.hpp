@@ -1,0 +1,52 @@
+// Burst: the payload of one DBI group over one burst — `burst_length`
+// words of `width` bits each, before any DBI encoding is applied.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dbi {
+
+class Burst {
+ public:
+  /// An all-zero burst with the given geometry.
+  explicit Burst(const BusConfig& cfg);
+
+  /// A burst holding `words` (each must fit in cfg.dq_mask()).
+  /// Throws std::invalid_argument on size or range violations.
+  Burst(const BusConfig& cfg, std::span<const Word> words);
+
+  /// Convenience: burst from raw bytes for the default 8-bit-lane layout.
+  /// `bytes.size()` must equal cfg.burst_length and cfg.width must be 8.
+  [[nodiscard]] static Burst from_bytes(const BusConfig& cfg,
+                                        std::span<const std::uint8_t> bytes);
+
+  /// Parses beats written as binary strings, MSB first, e.g.
+  /// {"10001110", ...} — the format used in Fig. 2 of the paper.
+  [[nodiscard]] static Burst from_bit_strings(
+      const BusConfig& cfg, std::span<const std::string_view> beats);
+
+  [[nodiscard]] const BusConfig& config() const { return cfg_; }
+  [[nodiscard]] int length() const { return cfg_.burst_length; }
+
+  /// Payload word of beat `i` (bounds-checked).
+  [[nodiscard]] Word word(int i) const;
+  void set_word(int i, Word value);
+
+  [[nodiscard]] std::span<const Word> words() const { return words_; }
+
+  /// Zeros over all payload words (no DBI line — raw data property).
+  [[nodiscard]] int payload_zeros() const;
+
+  friend bool operator==(const Burst&, const Burst&) = default;
+
+ private:
+  BusConfig cfg_;
+  std::vector<Word> words_;
+};
+
+}  // namespace dbi

@@ -1,0 +1,43 @@
+// Small constexpr bit helpers shared by every encoder.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dbi {
+
+/// Number of set bits in `w` restricted to the `width` low lines.
+[[nodiscard]] constexpr int count_ones(Word w, const BusConfig& cfg) {
+  return std::popcount(w & cfg.dq_mask());
+}
+
+/// Number of zero bits among the `width` low lines of `w`.
+[[nodiscard]] constexpr int count_zeros(Word w, const BusConfig& cfg) {
+  return cfg.width - count_ones(w, cfg);
+}
+
+/// Bitwise inversion restricted to the DQ lines of the group.
+[[nodiscard]] constexpr Word invert(Word w, const BusConfig& cfg) {
+  return ~w & cfg.dq_mask();
+}
+
+/// Hamming distance between two words over the DQ lines of the group.
+[[nodiscard]] constexpr int hamming(Word a, Word b, const BusConfig& cfg) {
+  return std::popcount((a ^ b) & cfg.dq_mask());
+}
+
+/// Transitions caused by driving beat `now` after beat `prev`
+/// (DQ lines and the DBI line).
+[[nodiscard]] constexpr int beat_transitions(const Beat& prev, const Beat& now,
+                                             const BusConfig& cfg) {
+  return hamming(prev.dq, now.dq, cfg) + (prev.dbi != now.dbi ? 1 : 0);
+}
+
+/// Zeros driven by beat `b` (DQ lines and the DBI line).
+[[nodiscard]] constexpr int beat_zeros(const Beat& b, const BusConfig& cfg) {
+  return count_zeros(b.dq, cfg) + (b.dbi ? 0 : 1);
+}
+
+}  // namespace dbi

@@ -1,0 +1,26 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbi {
+
+IntCostWeights quantize_weights(const CostWeights& w, int bits) {
+  w.validate();
+  if (bits < 1 || bits > 16)
+    throw std::invalid_argument("quantize_weights: bits must be in [1,16]");
+  const int max_coeff = (1 << bits) - 1;
+  const double largest = std::max(w.alpha, w.beta);
+  if (largest <= 0.0) return IntCostWeights{0, 0};
+  // Scale so the larger coefficient uses the full integer range, then
+  // round; keep at least 1 for any strictly positive coefficient so a
+  // nonzero cost never silently becomes free.
+  const double scale = max_coeff / largest;
+  auto q = [&](double v) {
+    if (v <= 0.0) return 0;
+    return std::max(1, static_cast<int>(std::lround(v * scale)));
+  };
+  return IntCostWeights{q(w.alpha), q(w.beta)};
+}
+
+}  // namespace dbi

@@ -1,0 +1,75 @@
+// Cost model for DBI encodings: cost = alpha * transitions + beta * zeros.
+//
+// alpha is the energy per signal transition, beta the energy per
+// transmitted zero (paper, Section III). Only the ratio alpha/beta
+// matters for which encoding is optimal, so the paper also studies an
+// integer-coefficient variant (alpha = beta = 1) that the hardware of
+// Fig. 5 implements without multipliers.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/encoding.hpp"
+
+namespace dbi {
+
+/// Real-valued cost coefficients (units: energy, typically pJ, or the
+/// dimensionless convex sweep alpha + beta = 1 used by Figs. 3/4).
+struct CostWeights {
+  double alpha = 1.0;  ///< cost per signal transition
+  double beta = 1.0;   ///< cost per transmitted zero
+
+  void validate() const {
+    if (alpha < 0 || beta < 0)
+      throw std::invalid_argument("CostWeights must be non-negative");
+  }
+
+  /// Convex pair (alpha, 1 - alpha) as used on the Fig. 3/4 x-axis.
+  [[nodiscard]] static CostWeights ac_dc_tradeoff(double ac_cost) {
+    if (ac_cost < 0.0 || ac_cost > 1.0)
+      throw std::invalid_argument("ac_cost must be in [0,1]");
+    return CostWeights{ac_cost, 1.0 - ac_cost};
+  }
+
+  friend constexpr bool operator==(const CostWeights&, const CostWeights&) =
+      default;
+};
+
+/// Integer coefficients as implemented by the hardware datapath
+/// (Fig. 5: fixed alpha = beta = 1, or configurable 3-bit coefficients).
+struct IntCostWeights {
+  int alpha = 1;
+  int beta = 1;
+
+  void validate() const {
+    if (alpha < 0 || beta < 0)
+      throw std::invalid_argument("IntCostWeights must be non-negative");
+  }
+
+  friend constexpr bool operator==(const IntCostWeights&,
+                                   const IntCostWeights&) = default;
+};
+
+/// Quantises real weights to `bits`-wide integers preserving the ratio
+/// as well as the grid allows (used by the coefficient ablation bench).
+[[nodiscard]] IntCostWeights quantize_weights(const CostWeights& w, int bits);
+
+[[nodiscard]] inline double burst_cost(const BurstStats& s,
+                                       const CostWeights& w) {
+  return w.alpha * s.transitions + w.beta * s.zeros;
+}
+
+[[nodiscard]] inline std::int64_t burst_cost(const BurstStats& s,
+                                             const IntCostWeights& w) {
+  return std::int64_t{w.alpha} * s.transitions + std::int64_t{w.beta} * s.zeros;
+}
+
+/// Cost of an encoded burst transmitted after `prev`.
+[[nodiscard]] inline double encoded_cost(const EncodedBurst& e,
+                                         const BusState& prev,
+                                         const CostWeights& w) {
+  return burst_cost(e.stats(prev), w);
+}
+
+}  // namespace dbi

@@ -1,0 +1,47 @@
+#include "core/encoder.hpp"
+
+#include <stdexcept>
+
+namespace dbi {
+
+std::string_view scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kRaw:
+      return "RAW";
+    case Scheme::kDc:
+      return "DBI DC";
+    case Scheme::kAc:
+      return "DBI AC";
+    case Scheme::kAcDc:
+      return "DBI ACDC";
+    case Scheme::kOpt:
+      return "DBI OPT";
+    case Scheme::kOptFixed:
+      return "DBI OPT (Fixed)";
+    case Scheme::kExhaustive:
+      return "EXHAUSTIVE";
+  }
+  throw std::invalid_argument("scheme_name: unknown scheme");
+}
+
+std::unique_ptr<Encoder> make_encoder(Scheme s, const CostWeights& w) {
+  switch (s) {
+    case Scheme::kRaw:
+      return make_raw_encoder();
+    case Scheme::kDc:
+      return make_dc_encoder();
+    case Scheme::kAc:
+      return make_ac_encoder();
+    case Scheme::kAcDc:
+      return make_acdc_encoder();
+    case Scheme::kOpt:
+      return make_opt_encoder(w);
+    case Scheme::kOptFixed:
+      return make_opt_fixed_encoder();
+    case Scheme::kExhaustive:
+      return make_exhaustive_encoder(w);
+  }
+  throw std::invalid_argument("make_encoder: unknown scheme");
+}
+
+}  // namespace dbi

@@ -1,0 +1,60 @@
+// Noisy decision wrapper: flips each per-beat inversion decision of an
+// inner encoder with probability `error_rate`.
+//
+// Models the analog encoder implementations the paper points to (Ihm
+// et al., ISSCC 2007; paper Section II): an analog comparator
+// occasionally decides wrongly, but a wrong DBI decision still
+// transmits a perfectly decodable beat — it only costs energy. The
+// noise study quantifies exactly how little (bench_extensions).
+//
+// Determinism: the wrapper carries its own seeded PRNG; a given
+// (seed, call sequence) always produces the same decisions. encode()
+// stays const towards callers while the PRNG advances (mutable), like
+// a hardware block whose internal noise state is invisible to the bus.
+#include <string>
+
+#include "core/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace dbi {
+namespace {
+
+class NoisyEncoder final : public Encoder {
+ public:
+  NoisyEncoder(std::unique_ptr<Encoder> inner, double error_rate,
+               std::uint64_t seed)
+      : inner_(std::move(inner)), error_rate_(error_rate), rng_(seed) {
+    if (!inner_)
+      throw std::invalid_argument("NoisyEncoder: null inner encoder");
+    if (error_rate < 0.0 || error_rate > 1.0)
+      throw std::invalid_argument("NoisyEncoder: error_rate not in [0,1]");
+    name_ = "NOISY(" + std::string(inner_->name()) + ")";
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] EncodedBurst encode(const Burst& data,
+                                    const BusState& prev) const override {
+    const EncodedBurst clean = inner_->encode(data, prev);
+    std::uint64_t mask = clean.inversion_mask();
+    for (int i = 0; i < data.length(); ++i)
+      if (rng_.next_bool(error_rate_)) mask ^= std::uint64_t{1} << i;
+    return EncodedBurst::from_inversion_mask(data, mask);
+  }
+
+ private:
+  std::unique_ptr<Encoder> inner_;
+  double error_rate_;
+  mutable util::Xoshiro256 rng_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<Encoder> make_noisy_encoder(std::unique_ptr<Encoder> inner,
+                                            double error_rate,
+                                            std::uint64_t seed) {
+  return std::make_unique<NoisyEncoder>(std::move(inner), error_rate, seed);
+}
+
+}  // namespace dbi

@@ -1,0 +1,92 @@
+#include "core/encoding.hpp"
+
+#include <stdexcept>
+
+#include "core/byte_utils.hpp"
+
+namespace dbi {
+
+EncodedBurst::EncodedBurst(const BusConfig& cfg, std::vector<Beat> beats,
+                           bool uses_dbi_line)
+    : cfg_(cfg), beats_(std::move(beats)), uses_dbi_line_(uses_dbi_line) {
+  cfg_.validate();
+  if (beats_.size() != static_cast<std::size_t>(cfg_.burst_length))
+    throw std::invalid_argument("EncodedBurst: beat count != burst_length");
+  for (const Beat& b : beats_)
+    if ((b.dq & ~cfg_.dq_mask()) != 0)
+      throw std::invalid_argument("EncodedBurst: beat does not fit width");
+}
+
+EncodedBurst EncodedBurst::from_inversion_mask(const Burst& data,
+                                               std::uint64_t invert_mask) {
+  const BusConfig& cfg = data.config();
+  if (cfg.burst_length < 64 && (invert_mask >> cfg.burst_length) != 0)
+    throw std::invalid_argument(
+        "EncodedBurst: inversion mask has bits beyond burst length");
+  std::vector<Beat> beats;
+  beats.reserve(static_cast<std::size_t>(cfg.burst_length));
+  for (int i = 0; i < cfg.burst_length; ++i) {
+    const bool inv = (invert_mask >> i) & 1U;
+    const Word w = data.word(i);
+    beats.push_back(Beat{inv ? invert(w, cfg) : w, !inv});
+  }
+  return EncodedBurst(cfg, std::move(beats));
+}
+
+const Beat& EncodedBurst::beat(int i) const {
+  return beats_.at(static_cast<std::size_t>(i));
+}
+
+std::uint64_t EncodedBurst::inversion_mask() const {
+  std::uint64_t mask = 0;
+  for (int i = 0; i < length(); ++i)
+    if (inverted(i)) mask |= std::uint64_t{1} << i;
+  return mask;
+}
+
+int EncodedBurst::zeros() const {
+  int zeros = 0;
+  for (const Beat& b : beats_) {
+    zeros += count_zeros(b.dq, cfg_);
+    if (uses_dbi_line_ && !b.dbi) ++zeros;
+  }
+  return zeros;
+}
+
+int EncodedBurst::transitions(const BusState& prev) const {
+  int transitions = 0;
+  Beat last = prev.last;
+  for (const Beat& b : beats_) {
+    transitions += hamming(last.dq, b.dq, cfg_);
+    if (uses_dbi_line_ && last.dbi != b.dbi) ++transitions;
+    last = b;
+  }
+  return transitions;
+}
+
+BusState EncodedBurst::final_state() const {
+  return BusState{beats_.back()};
+}
+
+Burst EncodedBurst::decode() const {
+  Burst out(cfg_);
+  for (int i = 0; i < length(); ++i) {
+    const Beat& b = beat(i);
+    out.set_word(i, b.dbi ? b.dq : invert(b.dq, cfg_));
+  }
+  return out;
+}
+
+std::string EncodedBurst::to_string() const {
+  std::string out;
+  for (const Beat& b : beats_) {
+    for (int bit = cfg_.width - 1; bit >= 0; --bit)
+      out += ((b.dq >> bit) & 1U) ? '1' : '0';
+    out += " dbi=";
+    out += b.dbi ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dbi

@@ -1,0 +1,89 @@
+// EncodedBurst: the physical signal produced by a DBI encoder, plus the
+// zero/transition metrics the interface energy model consumes (Eq. 4 of
+// the paper: E_burst = n_zeros * E_zero + n_transitions * E_transition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/burst.hpp"
+#include "core/types.hpp"
+
+namespace dbi {
+
+/// Zero / transition counts of one encoded burst over all lines of the
+/// group (DQ lines + DBI line for encoded schemes; DQ only for RAW).
+struct BurstStats {
+  int zeros = 0;        ///< n_zeros of Eq. (4)
+  int transitions = 0;  ///< n_transitions of Eq. (4)
+
+  friend constexpr bool operator==(const BurstStats&, const BurstStats&) =
+      default;
+  constexpr BurstStats& operator+=(const BurstStats& o) {
+    zeros += o.zeros;
+    transitions += o.transitions;
+    return *this;
+  }
+  friend constexpr BurstStats operator+(BurstStats a, const BurstStats& b) {
+    return a += b;
+  }
+};
+
+/// A DBI-encoded burst: one Beat (DQ values + DBI value) per beat.
+///
+/// `uses_dbi_line()` distinguishes encoded bursts from RAW transmission:
+/// RAW drives no DBI wire, so the DBI line contributes neither zeros nor
+/// transitions (it idles high in every Beat for uniformity).
+class EncodedBurst {
+ public:
+  EncodedBurst(const BusConfig& cfg, std::vector<Beat> beats,
+               bool uses_dbi_line = true);
+
+  /// Builds the encoded burst for `data` given a per-beat inversion mask
+  /// (bit i of `invert_mask` set => beat i transmitted inverted, DBI=0).
+  [[nodiscard]] static EncodedBurst from_inversion_mask(
+      const Burst& data, std::uint64_t invert_mask);
+
+  [[nodiscard]] const BusConfig& config() const { return cfg_; }
+  [[nodiscard]] int length() const { return cfg_.burst_length; }
+  [[nodiscard]] const Beat& beat(int i) const;
+  [[nodiscard]] std::span<const Beat> beats() const { return beats_; }
+  [[nodiscard]] bool uses_dbi_line() const { return uses_dbi_line_; }
+
+  /// True when beat i is transmitted inverted (DBI line low).
+  [[nodiscard]] bool inverted(int i) const { return !beat(i).dbi; }
+
+  /// Inversion decisions as a bit mask (bit i == beat i inverted).
+  [[nodiscard]] std::uint64_t inversion_mask() const;
+
+  /// Zeros driven on the lines of this burst (DBI line included iff
+  /// uses_dbi_line()).
+  [[nodiscard]] int zeros() const;
+
+  /// Line transitions relative to `prev`, including beat-to-beat
+  /// transitions inside the burst (DBI line included iff uses_dbi_line()).
+  [[nodiscard]] int transitions(const BusState& prev) const;
+
+  [[nodiscard]] BurstStats stats(const BusState& prev) const {
+    return BurstStats{zeros(), transitions(prev)};
+  }
+
+  /// Bus state after this burst (for chaining bursts on one lane).
+  [[nodiscard]] BusState final_state() const;
+
+  /// Recovers the original payload (inverts beats whose DBI bit is 0).
+  [[nodiscard]] Burst decode() const;
+
+  /// Beats as MSB-first bit strings plus the DBI bit, for debugging and
+  /// the Fig. 2 example printer. Format: "10001110 dbi=1".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  BusConfig cfg_;
+  std::vector<Beat> beats_;
+  bool uses_dbi_line_;
+};
+
+}  // namespace dbi

@@ -1,0 +1,56 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/encoding.hpp"
+
+namespace dbi {
+
+std::vector<ParetoPoint> pareto_frontier(const Burst& data,
+                                         const BusState& prev) {
+  const int n = data.length();
+  if (n > 20)
+    throw std::invalid_argument("pareto_frontier: burst too long");
+
+  std::vector<ParetoPoint> all;
+  all.reserve(std::size_t{1} << n);
+  const std::uint64_t end = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < end; ++mask) {
+    const EncodedBurst e = EncodedBurst::from_inversion_mask(data, mask);
+    all.push_back(ParetoPoint{e.zeros(), e.transitions(prev), mask});
+  }
+
+  // Sort by zeros ascending, transitions ascending; sweep keeping points
+  // whose transition count strictly improves on everything seen before.
+  std::sort(all.begin(), all.end(), [](const ParetoPoint& a,
+                                       const ParetoPoint& b) {
+    if (a.zeros != b.zeros) return a.zeros < b.zeros;
+    if (a.transitions != b.transitions) return a.transitions < b.transitions;
+    return a.invert_mask < b.invert_mask;
+  });
+
+  std::vector<ParetoPoint> frontier;
+  int best_transitions = std::numeric_limits<int>::max();
+  int last_zeros = -1;
+  for (const ParetoPoint& p : all) {
+    if (p.zeros == last_zeros) continue;  // keep cheapest per zero count
+    if (p.transitions < best_transitions) {
+      frontier.push_back(p);
+      best_transitions = p.transitions;
+    }
+    last_zeros = p.zeros;
+  }
+  return frontier;
+}
+
+bool on_frontier(const std::vector<ParetoPoint>& frontier, int zeros,
+                 int transitions) {
+  return std::any_of(frontier.begin(), frontier.end(),
+                     [&](const ParetoPoint& p) {
+                       return p.zeros == zeros && p.transitions == transitions;
+                     });
+}
+
+}  // namespace dbi

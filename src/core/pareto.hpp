@@ -1,0 +1,37 @@
+// Pareto frontier of (zeros, transitions) over all inversion patterns
+// of one burst. Reproduces the Fig. 2 observation that beyond the DBI
+// DC and DBI AC endpoints there exist balanced encodings neither scheme
+// can find — exactly the points DBI OPT selects as alpha/beta varies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/burst.hpp"
+#include "core/types.hpp"
+
+namespace dbi {
+
+struct ParetoPoint {
+  int zeros = 0;
+  int transitions = 0;
+  std::uint64_t invert_mask = 0;  ///< one representative pattern
+
+  friend constexpr bool operator==(const ParetoPoint&, const ParetoPoint&) =
+      default;
+};
+
+/// All non-dominated (zeros, transitions) pairs of `data` transmitted
+/// after `prev`, sorted by ascending zeros (thus descending
+/// transitions). Exhaustive over 2^burst_length patterns; refuses
+/// bursts longer than 20 beats.
+[[nodiscard]] std::vector<ParetoPoint> pareto_frontier(const Burst& data,
+                                                       const BusState& prev);
+
+/// True when some frontier point strictly dominates (z, t) — used by
+/// tests to show DC/AC picks can be off-frontier... (they never are;
+/// they are endpoints) and that OPT picks always lie on the frontier.
+[[nodiscard]] bool on_frontier(const std::vector<ParetoPoint>& frontier,
+                               int zeros, int transitions);
+
+}  // namespace dbi

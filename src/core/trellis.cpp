@@ -1,0 +1,103 @@
+#include "core/trellis.hpp"
+
+#include "core/byte_utils.hpp"
+
+namespace dbi {
+namespace {
+
+// Shared DP skeleton for double / int64 cost types. CostT must be an
+// arithmetic type; WeightsT provides .alpha / .beta.
+template <typename CostT, typename WeightsT>
+TrellisResult<CostT> solve(const Burst& data, const BusState& prev,
+                           const WeightsT& w) {
+  const BusConfig& cfg = data.config();
+  const int n = cfg.burst_length;
+
+  TrellisResult<CostT> r;
+  r.node_costs.resize(static_cast<std::size_t>(n));
+  r.pred.resize(static_cast<std::size_t>(n));
+
+  // Transmitted word / DBI value of beat i in state s.
+  auto tx_word = [&](int i, int s) -> Word {
+    const Word word = data.word(i);
+    return s ? invert(word, cfg) : word;
+  };
+  auto tx_dbi = [](int s) -> bool { return s == 0; };
+
+  std::array<CostT, 2> cur{};
+  for (int i = 0; i < n; ++i) {
+    std::array<CostT, 2> next{};
+    for (int s = 0; s < 2; ++s) {
+      const Word xs = tx_word(i, s);
+      const CostT dc = static_cast<CostT>(w.beta) *
+                       static_cast<CostT>(count_zeros(xs, cfg) + s);
+      if (i == 0) {
+        // Single start node: the bus history is the fixed previous beat.
+        const int trans = hamming(prev.last.dq, xs, cfg) +
+                          (prev.last.dbi != tx_dbi(s) ? 1 : 0);
+        next[static_cast<std::size_t>(s)] =
+            dc + static_cast<CostT>(w.alpha) * static_cast<CostT>(trans);
+        r.pred[0][static_cast<std::size_t>(s)] = 0;
+        continue;
+      }
+      CostT best{};
+      std::uint8_t best_pred = 0;
+      for (int p = 0; p < 2; ++p) {
+        const int trans = hamming(tx_word(i - 1, p), xs, cfg) +
+                          (tx_dbi(p) != tx_dbi(s) ? 1 : 0);
+        const CostT cand =
+            cur[static_cast<std::size_t>(p)] + dc +
+            static_cast<CostT>(w.alpha) * static_cast<CostT>(trans);
+        // Strict '<' so the non-inverted predecessor (p == 0) wins ties,
+        // matching the hardware compare-select units.
+        if (p == 0 || cand < best) {
+          best = cand;
+          best_pred = static_cast<std::uint8_t>(p);
+        }
+      }
+      next[static_cast<std::size_t>(s)] = best;
+      r.pred[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)] =
+          best_pred;
+    }
+    cur = next;
+    r.node_costs[static_cast<std::size_t>(i)] = next;
+  }
+
+  // End node: the cheaper of the two final states; ties go to state 0.
+  int s = (cur[1] < cur[0]) ? 1 : 0;
+  r.cost = cur[static_cast<std::size_t>(s)];
+  for (int i = n - 1; i >= 0; --i) {
+    if (s) r.invert_mask |= std::uint64_t{1} << i;
+    s = r.pred[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)];
+  }
+  return r;
+}
+
+}  // namespace
+
+TrellisResult<double> solve_trellis(const Burst& data, const BusState& prev,
+                                    const CostWeights& w) {
+  w.validate();
+  return solve<double>(data, prev, w);
+}
+
+TrellisResult<std::int64_t> solve_trellis(const Burst& data,
+                                          const BusState& prev,
+                                          const IntCostWeights& w) {
+  w.validate();
+  return solve<std::int64_t>(data, prev, w);
+}
+
+EdgeCosts edge_costs(Word prev_noninv_word, Word cur_word,
+                     const BusConfig& cfg, const IntCostWeights& w) {
+  const int x = hamming(prev_noninv_word, cur_word, cfg);
+  const int ones = count_ones(cur_word, cfg);
+  EdgeCosts e;
+  e.ac0 = std::int64_t{w.alpha} * x;
+  e.ac1 = std::int64_t{w.alpha} * (cfg.lines() - x);
+  e.dc0 = std::int64_t{w.beta} * (cfg.width - ones);
+  e.dc1 = std::int64_t{w.beta} * (ones + 1);
+  return e;
+}
+
+}  // namespace dbi

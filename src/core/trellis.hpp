@@ -1,0 +1,73 @@
+// Shortest-path (Viterbi) solver for optimal DBI encoding.
+//
+// The paper's key insight (Section III, Figs. 2 and 6): choosing the
+// minimum-energy inversion pattern for a burst is a shortest-path
+// problem on a trellis with two nodes per beat — "transmitted
+// non-inverted" (state 0) and "transmitted inverted" (state 1). The
+// weight of the edge from state p of beat i-1 to state s of beat i is
+//
+//   beta  * ( zeros(x_s) + s )                        // DC part
+// + alpha * ( hamming(x_p(i-1), x_s) + (dbi_s != dbi_p) )  // AC part
+//
+// where x_s = s ? ~w_i : w_i and dbi_s = !s. The DP keeps two path
+// metrics per beat — exactly the cost(i) / cost_inv(i) signals of the
+// hardware architecture in Fig. 5 — and backtracks the decision bits to
+// recover the optimal inversion mask.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/burst.hpp"
+#include "core/cost.hpp"
+#include "core/types.hpp"
+
+namespace dbi {
+
+/// Full DP state of one solved burst. Exposed (rather than just the
+/// mask) so tests and the gate-level model can check every intermediate
+/// path metric against the hardware datapath.
+template <typename CostT>
+struct TrellisResult {
+  /// bit i set => transmit beat i inverted (DBI = 0).
+  std::uint64_t invert_mask = 0;
+  /// Total cost of the optimal encoding (== shortest path length).
+  CostT cost{};
+  /// node_costs[i][s]: minimum cost of transmitting beats 0..i with
+  /// beat i in state s. node_costs[i][0] corresponds to the hardware
+  /// signal cost(i+1), node_costs[i][1] to cost_inv(i+1) (Fig. 5).
+  std::vector<std::array<CostT, 2>> node_costs;
+  /// pred[i][s]: state of beat i-1 on the cheapest path into (i, s);
+  /// these are the m0/m1 decision bits stored by each processing block.
+  /// pred[0][*] is always 0 (the single start node).
+  std::vector<std::array<std::uint8_t, 2>> pred;
+};
+
+/// Ties are broken exactly like the hardware comparators of Fig. 5:
+/// on equal path metrics the non-inverted predecessor (state 0) wins,
+/// and on equal end-node metrics the non-inverted end state wins.
+[[nodiscard]] TrellisResult<double> solve_trellis(const Burst& data,
+                                                  const BusState& prev,
+                                                  const CostWeights& w);
+
+/// Integer-coefficient variant: the datapath of the synthesised encoder
+/// (alpha = beta = 1 for DBI OPT (Fixed), 3-bit coefficients for the
+/// configurable design).
+[[nodiscard]] TrellisResult<std::int64_t> solve_trellis(
+    const Burst& data, const BusState& prev, const IntCostWeights& w);
+
+/// Per-beat edge-cost quartet of the hardware architecture (Fig. 5),
+/// exposed for unit tests and the netlist equivalence checks:
+///   ac0 = alpha * popcount(w_prev ^ w_cur)   (DBI unchanged)
+///   ac1 = alpha * (lines - popcount(..))     (DBI toggled)
+///   dc0 = beta * zeros(w_cur)                (non-inverted)
+///   dc1 = beta * (ones(w_cur) + 1)           (inverted, +1 = DBI zero)
+struct EdgeCosts {
+  std::int64_t ac0 = 0, ac1 = 0, dc0 = 0, dc1 = 0;
+};
+[[nodiscard]] EdgeCosts edge_costs(Word prev_noninv_word, Word cur_word,
+                                   const BusConfig& cfg,
+                                   const IntCostWeights& w);
+
+}  // namespace dbi

@@ -1,0 +1,84 @@
+// Core value types for DBI coding: bus configuration, physical line state
+// and transmitted beats.
+//
+// Conventions (fixed by the worked example of Fig. 2 of the paper and
+// enforced by the unit tests):
+//   * A DBI group is `width` DQ lines plus one DBI line.
+//   * DBI = 0 signals an inverted beat, DBI = 1 a non-inverted beat.
+//   * Before a burst, every line (DQ and DBI) is assumed to transmit 1
+//     unless an explicit BusState is given (paper, Section II).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dbi {
+
+/// Payload word of one beat. Supports bus groups up to 32 DQ lines.
+using Word = std::uint32_t;
+
+/// Geometry of one DBI group.
+///
+/// The JEDEC configuration used throughout the paper is width = 8 DQ
+/// lines per DBI line and burst_length = 8 beats, but both are
+/// configurable for the burst-length / bus-width ablation experiments.
+struct BusConfig {
+  int width = 8;         ///< DQ lines per DBI group (1..32)
+  int burst_length = 8;  ///< beats per burst (1..64)
+
+  /// Mask with `width` low bits set; every payload word must fit in it.
+  [[nodiscard]] constexpr Word dq_mask() const {
+    return width >= 32 ? ~Word{0} : ((Word{1} << width) - 1U);
+  }
+
+  /// Total lines driven by an encoded beat (DQ lines + DBI line).
+  [[nodiscard]] constexpr int lines() const { return width + 1; }
+
+  /// Total line-beats of one encoded burst (used by energy models).
+  [[nodiscard]] constexpr int line_beats() const {
+    return lines() * burst_length;
+  }
+
+  /// Throws std::invalid_argument when the geometry is unusable.
+  void validate() const {
+    if (width < 1 || width > 32)
+      throw std::invalid_argument("BusConfig: width must be in [1,32], got " +
+                                  std::to_string(width));
+    if (burst_length < 1 || burst_length > 64)
+      throw std::invalid_argument(
+          "BusConfig: burst_length must be in [1,64], got " +
+          std::to_string(burst_length));
+  }
+
+  friend constexpr bool operator==(const BusConfig&, const BusConfig&) =
+      default;
+};
+
+/// One transmitted beat: the physical values of the DQ lines plus the
+/// DBI line. Also used as the bus history (the last transmitted beat).
+struct Beat {
+  Word dq = 0;      ///< physical DQ line values (bit i = line i)
+  bool dbi = true;  ///< physical DBI line value (true = line high)
+
+  friend constexpr bool operator==(const Beat&, const Beat&) = default;
+};
+
+/// State of the bus lines before a burst starts.
+///
+/// The paper assumes all lines transmitted ones prior to the evaluated
+/// burst (Section II); all_ones() encodes that boundary condition.
+struct BusState {
+  Beat last;  ///< line values during the preceding bit time
+
+  [[nodiscard]] static constexpr BusState all_ones(const BusConfig& cfg) {
+    return BusState{Beat{cfg.dq_mask(), true}};
+  }
+  [[nodiscard]] static constexpr BusState all_zeros() {
+    return BusState{Beat{0, false}};
+  }
+
+  friend constexpr bool operator==(const BusState&, const BusState&) = default;
+};
+
+}  // namespace dbi

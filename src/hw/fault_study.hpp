@@ -1,0 +1,52 @@
+// Stuck-at fault robustness study on the DBI OPT (Fixed) netlist.
+//
+// Motivated by the paper's Section II remark on analog implementations:
+// "rare inaccurate encoding decision are unlikely to cause application
+// errors" — because a wrong *decision* merely transmits a legal but
+// suboptimal encoding, which the receiver still decodes correctly. A
+// fault is only dangerous when it corrupts the data/DBI coherence.
+// This study makes that argument quantitative: every stuck-at fault
+// site in the encoder is classified by its worst observed effect.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.hpp"
+
+namespace dbi::hw {
+
+enum class FaultEffect {
+  kBenign,      ///< outputs identical to the fault-free encoder
+  kSuboptimal,  ///< decodable, but costlier than optimal on some burst
+  kCorrupting,  ///< decode(output) != payload on some burst
+};
+
+struct FaultStudyResult {
+  int sites_tested = 0;
+  int benign = 0;
+  int suboptimal = 0;
+  int corrupting = 0;
+  /// Largest relative cost increase (alpha = beta = 1) any suboptimal
+  /// fault caused, averaged over the evaluation bursts.
+  double worst_cost_increase = 0.0;
+
+  [[nodiscard]] double corrupting_fraction() const {
+    return sites_tested ? static_cast<double>(corrupting) / sites_tested
+                        : 0.0;
+  }
+};
+
+struct FaultStudyOptions {
+  int bytes = 8;
+  /// Fault sites sampled (both stuck-at-0 and stuck-at-1 are tried per
+  /// site); <= 0 means every physical gate.
+  int max_sites = 400;
+  /// Bursts evaluated per fault.
+  int bursts_per_fault = 40;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] FaultStudyResult run_fault_study(
+    const workload::BurstTrace& trace, const FaultStudyOptions& options);
+
+}  // namespace dbi::hw

@@ -1,0 +1,59 @@
+// Gate-level DBI AC encoder (Table I row 2). Per byte the hardware
+// counts x = popcount(Byte(i-1) ^ Byte(i)) on the *raw* (non-inverted)
+// data; with p = "previous byte was inverted", the transition-optimal
+// decision reduces to the closed form
+//
+//   invert(i) = (x >= 5) XOR p(i-1)
+//
+// because the 9 lines (8 DQ + DBI) toggle either t or 9 - t wires, and
+// inverting both neighbours cancels on the DQ lines. Byte(-1) is the
+// all-ones constant of the paper's boundary condition, making the first
+// decision identical to DBI DC (x = number of zeros).
+#include "hw/hw_design.hpp"
+
+#include <stdexcept>
+
+namespace dbi::hw {
+
+using netlist::Bus;
+using netlist::NetId;
+
+HwDesign build_dbi_ac(int bytes) {
+  if (bytes < 1 || bytes > 16)
+    throw std::invalid_argument("build_dbi_ac: bytes out of range");
+
+  HwDesign d;
+  d.name = "DBI AC";
+  d.pipeline = netlist::PipelineSpec{1, 0, 0.6};
+  auto& nl = d.net;
+
+  for (int i = 0; i < bytes; ++i)
+    d.byte_in.push_back(
+        netlist::make_input_bus(nl, "byte" + std::to_string(i), 8));
+
+  Bus prev_byte = netlist::make_const_bus(nl, 0xFF, 8);  // Byte(-1)
+  NetId prev_inverted = nl.add_const(false);
+  for (int i = 0; i < bytes; ++i) {
+    const Bus& byte = d.byte_in[static_cast<std::size_t>(i)];
+    const Bus diff = netlist::xor_bus(nl, prev_byte, byte);
+    const Bus x = netlist::popcount(nl, diff);
+    // x >= 5  <=>  !(x < 5)
+    const NetId ge5 =
+        netlist::inv_fold(nl, netlist::less_than_const(nl, x, 5));
+    const NetId invert = netlist::xor_fold(nl, ge5, prev_inverted);
+
+    const NetId dbi = netlist::inv_fold(nl, invert);
+    nl.mark_output(dbi, "dbi" + std::to_string(i));
+    d.dbi_out.push_back(dbi);
+
+    const Bus out = netlist::xor_with(nl, byte, invert);
+    netlist::mark_output_bus(nl, out, "data" + std::to_string(i));
+    d.data_out.push_back(out);
+
+    prev_byte = byte;
+    prev_inverted = invert;
+  }
+  return d;
+}
+
+}  // namespace dbi::hw

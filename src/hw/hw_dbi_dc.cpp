@@ -1,0 +1,42 @@
+// Gate-level DBI DC encoder (Table I row 1): eight independent byte
+// blocks, each a popcount and a threshold — invert when the byte holds
+// more than 4 zeros, i.e. fewer than 4 ones.
+#include "hw/hw_design.hpp"
+
+#include <stdexcept>
+
+namespace dbi::hw {
+
+using netlist::Bus;
+using netlist::NetId;
+
+HwDesign build_dbi_dc(int bytes) {
+  if (bytes < 1 || bytes > 16)
+    throw std::invalid_argument("build_dbi_dc: bytes out of range");
+
+  HwDesign d;
+  d.name = "DBI DC";
+  d.pipeline = netlist::PipelineSpec{1, 0, 0.6};
+  auto& nl = d.net;
+
+  for (int i = 0; i < bytes; ++i) {
+    const Bus byte =
+        netlist::make_input_bus(nl, "byte" + std::to_string(i), 8);
+    d.byte_in.push_back(byte);
+
+    // zeros > 4  <=>  ones < 4.
+    const Bus ones = netlist::popcount(nl, byte);
+    const NetId invert = netlist::less_than_const(nl, ones, 4);
+
+    const NetId dbi = netlist::inv_fold(nl, invert);
+    nl.mark_output(dbi, "dbi" + std::to_string(i));
+    d.dbi_out.push_back(dbi);
+
+    const Bus out = netlist::xor_with(nl, byte, invert);
+    netlist::mark_output_bus(nl, out, "data" + std::to_string(i));
+    d.data_out.push_back(out);
+  }
+  return d;
+}
+
+}  // namespace dbi::hw

@@ -1,0 +1,39 @@
+// Gate-level DBI decoder: the receiver side every scheme shares. One
+// inverter + eight XORs per byte (out = data XOR ~DBI) — the paper's
+// conclusion leans on this asymmetry: encoding needs a trellis, but
+// decoding is almost free, so memories can adopt the scheme for reads
+// without meaningful die cost.
+#include "hw/hw_design.hpp"
+
+#include <stdexcept>
+
+namespace dbi::hw {
+
+using netlist::Bus;
+using netlist::NetId;
+
+HwDesign build_dbi_decoder(int bytes) {
+  if (bytes < 1 || bytes > 16)
+    throw std::invalid_argument("build_dbi_decoder: bytes out of range");
+
+  HwDesign d;
+  d.name = "DBI decoder";
+  d.pipeline = netlist::PipelineSpec{1, 0, 0.6};
+  auto& nl = d.net;
+
+  for (int i = 0; i < bytes; ++i) {
+    const Bus data =
+        netlist::make_input_bus(nl, "data" + std::to_string(i), 8);
+    const NetId dbi = nl.add_input("dbi" + std::to_string(i));
+    d.byte_in.push_back(data);
+    d.dbi_out.push_back(dbi);  // decoder consumes the DBI line
+
+    const NetId inverted = netlist::inv_fold(nl, dbi);  // dbi==0 -> invert
+    const Bus out = netlist::xor_with(nl, data, inverted);
+    netlist::mark_output_bus(nl, out, "byte" + std::to_string(i));
+    d.data_out.push_back(out);
+  }
+  return d;
+}
+
+}  // namespace dbi::hw

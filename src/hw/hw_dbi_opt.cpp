@@ -1,0 +1,172 @@
+// Gate-level DBI OPT encoder — the hardware architecture of Fig. 5.
+//
+// One processing block per byte. Block i receives the running path
+// metrics cost(i) ("bytes 0..i-1 transmitted, last one non-inverted")
+// and cost_inv(i) (last one inverted), computes the four edge costs
+//
+//   ac0 = alpha * x          x = popcount(Byte(i-1) ^ Byte(i))
+//   ac1 = alpha * (9 - x)    (DBI wire toggles too)
+//   dc0 = beta  * (8 - y)    y = popcount(Byte(i))
+//   dc1 = beta  * (y + 1)    (+1: the DBI wire adds a zero)
+//
+// forms the four candidate path costs, and two compare-select units
+// produce the next metrics plus the decision bits m0/m1. After the
+// last block a final comparator picks the cheaper end node and a mux
+// chain backtracks the decisions into the per-byte DBI pattern —
+// Dijkstra's predecessor walk in combinational logic.
+//
+// Boundary handling is the paper's: Byte(-1) = 0xFF, cost(0) = 0,
+// cost_inv(0) = "infinity" (a constant large enough never to win but
+// small enough that block 0's adders cannot wrap).
+#include "hw/hw_design.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace dbi::hw {
+
+using netlist::Bus;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+/// a + b truncated to `width` bits (caller guarantees no overflow).
+Bus add_trunc(Netlist& nl, const Bus& a, const Bus& b, int width) {
+  Bus sum = netlist::ripple_add(nl, a, b);
+  if (sum.size() > static_cast<std::size_t>(width))
+    sum.resize(static_cast<std::size_t>(width));
+  return netlist::zero_extend(nl, std::move(sum), width);
+}
+
+struct OptConfig {
+  bool configurable = false;  ///< 3-bit coefficient inputs + multipliers
+  int metric_bits = 9;        ///< path metric width
+  int max_edge = 18;          ///< largest possible edge weight
+};
+
+HwDesign build_opt(int bytes, const OptConfig& cfg, std::string name) {
+  if (bytes < 1 || bytes > 16)
+    throw std::invalid_argument("build_opt: bytes out of range");
+
+  HwDesign d;
+  d.name = std::move(name);
+  d.pipeline = netlist::PipelineSpec{8, 0, 0.6};
+  auto& nl = d.net;
+
+  if (cfg.configurable) {
+    d.alpha_in = netlist::make_input_bus(nl, "alpha", 3);
+    d.beta_in = netlist::make_input_bus(nl, "beta", 3);
+  }
+  for (int i = 0; i < bytes; ++i)
+    d.byte_in.push_back(
+        netlist::make_input_bus(nl, "byte" + std::to_string(i), 8));
+
+  const int w = cfg.metric_bits;
+  // "Infinity": loses every comparison yet block 0 cannot overflow.
+  const std::uint64_t inf = (std::uint64_t{1} << w) - 1 -
+                            static_cast<std::uint64_t>(cfg.max_edge);
+
+  Bus cost = netlist::make_const_bus(nl, 0, w);
+  Bus cost_inv = netlist::make_const_bus(nl, inf, w);
+  Bus prev_byte = netlist::make_const_bus(nl, 0xFF, 8);  // Byte(-1)
+  Bus m0;  // m0[i]: predecessor of beat i when beat i is non-inverted
+  Bus m1;  // m1[i]: predecessor of beat i when beat i is inverted
+
+  for (int i = 0; i < bytes; ++i) {
+    const Bus& byte = d.byte_in[static_cast<std::size_t>(i)];
+
+    // Edge costs (top of Fig. 5).
+    const Bus x = netlist::popcount(
+        nl, netlist::xor_bus(nl, prev_byte, byte));        // transitions
+    const Bus y = netlist::popcount(nl, byte);             // ones
+    Bus ac0_raw = x;                                       // x
+    Bus ac1_raw = netlist::const_minus(nl, 9, x, 4);       // 9 - x
+    Bus dc0_raw = netlist::const_minus(nl, 8, y, 4);       // 8 - y
+    Bus dc1_raw = netlist::add_const(nl, y, 1);            // y + 1
+    dc1_raw.resize(4);
+
+    Bus ac0, ac1, dc0, dc1;
+    if (cfg.configurable) {
+      ac0 = netlist::multiply(nl, ac0_raw, d.alpha_in);
+      ac1 = netlist::multiply(nl, ac1_raw, d.alpha_in);
+      dc0 = netlist::multiply(nl, dc0_raw, d.beta_in);
+      dc1 = netlist::multiply(nl, dc1_raw, d.beta_in);
+    } else {
+      ac0 = ac0_raw;
+      ac1 = ac1_raw;
+      dc0 = dc0_raw;
+      dc1 = dc1_raw;
+    }
+
+    // Four candidate path costs (middle of Fig. 5, top to bottom):
+    //   same inversion state as predecessor -> ac0, changed -> ac1.
+    const Bus cand_keep_keep =
+        add_trunc(nl, add_trunc(nl, ac0, dc0, w), cost, w);
+    const Bus cand_inv_keep =
+        add_trunc(nl, add_trunc(nl, ac1, dc0, w), cost_inv, w);
+    const Bus cand_keep_inv =
+        add_trunc(nl, add_trunc(nl, ac1, dc1, w), cost, w);
+    const Bus cand_inv_inv =
+        add_trunc(nl, add_trunc(nl, ac0, dc1, w), cost_inv, w);
+
+    // Compare-select units. Strict less-than: on a tie the path through
+    // the non-inverted predecessor wins (same rule as core/trellis).
+    const NetId sel0 = netlist::less_than(nl, cand_inv_keep, cand_keep_keep);
+    const NetId sel1 = netlist::less_than(nl, cand_inv_inv, cand_keep_inv);
+    cost = netlist::mux_bus(nl, cand_keep_keep, cand_inv_keep, sel0);
+    cost_inv = netlist::mux_bus(nl, cand_keep_inv, cand_inv_inv, sel1);
+    m0.push_back(sel0);
+    m1.push_back(sel1);
+
+    prev_byte = byte;
+  }
+
+  // End-node comparator, then the backtracking mux chain (bottom of
+  // Fig. 5): invert(last) = cheaper end node; invert(i-1) follows the
+  // stored decision of block i on the chosen path.
+  Bus invert(static_cast<std::size_t>(bytes), netlist::kNoNet);
+  invert[static_cast<std::size_t>(bytes - 1)] =
+      netlist::less_than(nl, cost_inv, cost);
+  for (int i = bytes - 1; i > 0; --i)
+    invert[static_cast<std::size_t>(i - 1)] = netlist::mux_fold(
+        nl, m0[static_cast<std::size_t>(i)], m1[static_cast<std::size_t>(i)],
+        invert[static_cast<std::size_t>(i)]);
+
+  for (int i = 0; i < bytes; ++i) {
+    const NetId dbi =
+        netlist::inv_fold(nl, invert[static_cast<std::size_t>(i)]);
+    nl.mark_output(dbi, "dbi" + std::to_string(i));
+    d.dbi_out.push_back(dbi);
+    const Bus out = netlist::xor_with(nl, d.byte_in[static_cast<std::size_t>(i)],
+                                      invert[static_cast<std::size_t>(i)]);
+    netlist::mark_output_bus(nl, out, "data" + std::to_string(i));
+    d.data_out.push_back(out);
+  }
+  return d;
+}
+
+}  // namespace
+
+HwDesign build_dbi_opt_fixed(int bytes) {
+  // alpha = beta = 1: edge weight <= 18 per byte, path <= 18 * bytes.
+  OptConfig cfg;
+  cfg.configurable = false;
+  cfg.max_edge = 18;
+  cfg.metric_bits = std::bit_width(
+      static_cast<unsigned>(18 * bytes + 2 * cfg.max_edge));
+  return build_opt(bytes, cfg, "DBI OPT (Fixed Coeff.)");
+}
+
+HwDesign build_dbi_opt_3bit(int bytes) {
+  // Coefficients <= 7: edge weight <= 7*9 + 7*9 = 126 per byte.
+  OptConfig cfg;
+  cfg.configurable = true;
+  cfg.max_edge = 126;
+  cfg.metric_bits = std::bit_width(
+      static_cast<unsigned>(126 * bytes + 2 * cfg.max_edge));
+  return build_opt(bytes, cfg, "DBI OPT (3-Bit Coeff.)");
+}
+
+}  // namespace dbi::hw

@@ -1,0 +1,53 @@
+// A DBI encoder design: gate-level netlist plus its port map and the
+// pipeline arrangement the paper synthesised it with. All designs
+// process one full burst (8 bytes) per cycle, like the implementation
+// in Section IV-B, and assume the paper's all-ones bus boundary (the
+// previous-burst byte is the 0xFF constant of Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/blocks.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/report.hpp"
+
+namespace dbi::hw {
+
+struct HwDesign {
+  std::string name;
+  netlist::Netlist net;
+  /// byte_in[i] = 8-bit payload bus of beat i.
+  std::vector<netlist::Bus> byte_in;
+  /// dbi_out[i] = DBI line value of beat i (0 = inverted).
+  netlist::Bus dbi_out;
+  /// data_out[i] = transmitted (possibly inverted) byte of beat i.
+  std::vector<netlist::Bus> data_out;
+  /// 3-bit coefficient inputs; empty for fixed-coefficient designs.
+  netlist::Bus alpha_in;
+  netlist::Bus beta_in;
+  /// Pipeline arrangement used for timing / register modelling.
+  netlist::PipelineSpec pipeline;
+};
+
+/// DBI DC: per-byte popcount + threshold (invert when > 4 zeros).
+[[nodiscard]] HwDesign build_dbi_dc(int bytes = 8);
+
+/// DBI AC: per-byte transition count against the previously transmitted
+/// byte; serial decision chain across the burst.
+[[nodiscard]] HwDesign build_dbi_ac(int bytes = 8);
+
+/// DBI OPT (Fixed): the Fig. 5 shortest-path datapath with
+/// alpha = beta = 1 (no multipliers, 9-bit path metrics).
+[[nodiscard]] HwDesign build_dbi_opt_fixed(int bytes = 8);
+
+/// DBI OPT with configurable 3-bit coefficients (multipliers, 11-bit
+/// path metrics) — Table I row 4.
+[[nodiscard]] HwDesign build_dbi_opt_3bit(int bytes = 8);
+
+/// Receiver-side DBI decoder (shared by every scheme): out = data XOR
+/// ~DBI. For this design, byte_in are the received data buses, dbi_out
+/// holds the DBI *inputs*, and data_out the decoded payload buses.
+[[nodiscard]] HwDesign build_dbi_decoder(int bytes = 8);
+
+}  // namespace dbi::hw

@@ -1,0 +1,63 @@
+#include "hw/hw_encoder.hpp"
+
+#include <stdexcept>
+
+namespace dbi::hw {
+
+HwEncoder::HwEncoder(HwDesign design, int alpha, int beta)
+    : design_(std::move(design)), alpha_(alpha), beta_(beta) {
+  if (design_.alpha_in.empty()) {
+    if (alpha != 1 || beta != 1)
+      throw std::invalid_argument(
+          "HwEncoder: fixed-coefficient design requires alpha == beta == 1");
+  } else {
+    const int limit = 1 << static_cast<int>(design_.alpha_in.size());
+    if (alpha < 0 || beta < 0 || alpha >= limit || beta >= limit)
+      throw std::invalid_argument(
+          "HwEncoder: coefficient does not fit the coefficient port");
+  }
+  sim_ = std::make_unique<netlist::Simulator>(design_.net);
+}
+
+std::string_view HwEncoder::name() const { return design_.name; }
+
+dbi::EncodedBurst HwEncoder::encode(const dbi::Burst& data,
+                                    const dbi::BusState& prev) const {
+  const dbi::BusConfig& cfg = data.config();
+  if (cfg.width != 8 ||
+      cfg.burst_length != static_cast<int>(design_.byte_in.size()))
+    throw std::invalid_argument("HwEncoder: burst geometry mismatch");
+  if (!(prev == dbi::BusState::all_ones(cfg)))
+    throw std::invalid_argument(
+        "HwEncoder: the netlist hard-wires the all-ones bus boundary");
+
+  for (int i = 0; i < cfg.burst_length; ++i)
+    sim_->set_input_bus(design_.byte_in[static_cast<std::size_t>(i)],
+                        data.word(i));
+  if (!design_.alpha_in.empty()) {
+    sim_->set_input_bus(design_.alpha_in,
+                        static_cast<std::uint64_t>(alpha_));
+    sim_->set_input_bus(design_.beta_in, static_cast<std::uint64_t>(beta_));
+  }
+  sim_->eval();
+  sim_->accumulate();
+
+  std::uint64_t mask = 0;
+  for (int i = 0; i < cfg.burst_length; ++i)
+    if (!sim_->value(design_.dbi_out[static_cast<std::size_t>(i)]))
+      mask |= std::uint64_t{1} << i;
+
+  dbi::EncodedBurst encoded = dbi::EncodedBurst::from_inversion_mask(data,
+                                                                     mask);
+  // Cross-check the datapath's inverted bytes against the mask-derived
+  // beats — any disagreement is a netlist bug, fail loudly.
+  for (int i = 0; i < cfg.burst_length; ++i) {
+    const auto out =
+        sim_->bus(design_.data_out[static_cast<std::size_t>(i)]);
+    if (out != encoded.beat(i).dq)
+      throw std::logic_error("HwEncoder: datapath/DBI mask mismatch");
+  }
+  return encoded;
+}
+
+}  // namespace dbi::hw

@@ -1,0 +1,44 @@
+// Runs a gate-level encoder design on bursts and adapts it to the
+// behavioural dbi::Encoder interface, so the netlists can be verified
+// bit-for-bit against the reference encoders and used to measure
+// realistic switching activity for the Table I power numbers.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/encoder.hpp"
+#include "hw/hw_design.hpp"
+#include "netlist/sim.hpp"
+
+namespace dbi::hw {
+
+class HwEncoder final : public dbi::Encoder {
+ public:
+  /// Takes ownership of the design. For configurable designs the
+  /// coefficient inputs are driven with `alpha` / `beta` (must fit the
+  /// coefficient ports; fixed designs require alpha == beta == 1).
+  explicit HwEncoder(HwDesign design, int alpha = 1, int beta = 1);
+
+  [[nodiscard]] std::string_view name() const override;
+
+  /// Encodes one burst through the netlist. The designs hard-wire the
+  /// paper's all-ones boundary, so `prev` must be BusState::all_ones.
+  /// Burst geometry must be 8-bit lanes with burst_length equal to the
+  /// design's byte count.
+  [[nodiscard]] dbi::EncodedBurst encode(const dbi::Burst& data,
+                                         const dbi::BusState& prev)
+      const override;
+
+  [[nodiscard]] const HwDesign& design() const { return design_; }
+  /// Switching activity accumulated across every encode() call.
+  [[nodiscard]] const netlist::Simulator& simulator() const { return *sim_; }
+
+ private:
+  HwDesign design_;
+  int alpha_;
+  int beta_;
+  std::unique_ptr<netlist::Simulator> sim_;
+};
+
+}  // namespace dbi::hw

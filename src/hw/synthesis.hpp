@@ -1,0 +1,52 @@
+// Table I generator: synthesises (area / power / timing via the
+// netlist substrate) the four encoder designs and reports them in the
+// paper's format. Also exports netlist-derived EncoderHardware models
+// as an alternative provenance for the Fig. 8 study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/encoder_energy.hpp"
+#include "workload/trace.hpp"
+
+namespace dbi::hw {
+
+struct Table1Row {
+  std::string scheme;
+  std::size_t cells = 0;
+  double area_um2 = 0.0;
+  double static_uw = 0.0;
+  /// Dynamic power at the reported burst rate (like the paper, which
+  /// measured each design at the rate it closes timing at, capped by
+  /// the 1.5 GHz channel requirement).
+  double dynamic_uw = 0.0;
+  double burst_rate_ghz = 0.0;    ///< operating rate = min(fmax, target)
+  double fmax_ghz = 0.0;          ///< raw timing limit of the pipeline
+  double total_uw = 0.0;
+  double energy_per_burst_pj = 0.0;
+  double critical_path_ns = 0.0;  ///< pre-retiming combinational depth
+  int units_for_target = 1;       ///< parallel instances to hit target
+};
+
+struct Table1Options {
+  int bytes = 8;
+  /// Coefficients driven into the configurable design while measuring
+  /// switching activity (any legal pair; activity barely depends on it).
+  int alpha = 3;
+  int beta = 2;
+  /// Bursts of `activity_trace` replayed through each netlist.
+  std::int64_t max_activity_bursts = 2000;
+  /// Channel requirement: 12 Gbps GDDR5X = 1.5e9 bursts/s (Section IV-B).
+  double target_burst_rate_hz = 1.5e9;
+};
+
+/// Synthesises DBI DC / DBI AC / DBI OPT (Fixed) / DBI OPT (3-bit).
+[[nodiscard]] std::vector<Table1Row> table1_synthesis(
+    const workload::BurstTrace& activity_trace, const Table1Options& options);
+
+/// Converts a synthesis row into the Fig. 8 encoder-energy model
+/// (netlist-derived alternative to power::table1_hardware()).
+[[nodiscard]] power::EncoderHardware to_encoder_hardware(const Table1Row& row);
+
+}  // namespace dbi::hw

@@ -1,0 +1,236 @@
+#include "netlist/blocks.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace dbi::netlist {
+
+Bus make_input_bus(Netlist& nl, const std::string& prefix, int bits) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i)
+    bus.push_back(nl.add_input(prefix + "[" + std::to_string(i) + "]"));
+  return bus;
+}
+
+Bus make_const_bus(Netlist& nl, std::uint64_t value, int bits) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) bus.push_back(nl.add_const((value >> i) & 1));
+  return bus;
+}
+
+void mark_output_bus(Netlist& nl, const Bus& bus, const std::string& prefix) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    nl.mark_output(bus[i], prefix + "[" + std::to_string(i) + "]");
+}
+
+bool net_is_const(const Netlist& nl, NetId net, bool& value) {
+  const GateKind k = nl.gate(net).kind;
+  if (k == GateKind::kConst0) {
+    value = false;
+    return true;
+  }
+  if (k == GateKind::kConst1) {
+    value = true;
+    return true;
+  }
+  return false;
+}
+
+NetId inv_fold(Netlist& nl, NetId a) {
+  bool va = false;
+  if (net_is_const(nl, a, va)) return nl.add_const(!va);
+  return nl.inv(a);
+}
+
+NetId and_fold(Netlist& nl, NetId a, NetId b) {
+  bool v = false;
+  if (net_is_const(nl, a, v)) return v ? b : nl.add_const(false);
+  if (net_is_const(nl, b, v)) return v ? a : nl.add_const(false);
+  if (a == b) return a;
+  return nl.and2(a, b);
+}
+
+NetId or_fold(Netlist& nl, NetId a, NetId b) {
+  bool v = false;
+  if (net_is_const(nl, a, v)) return v ? nl.add_const(true) : b;
+  if (net_is_const(nl, b, v)) return v ? nl.add_const(true) : a;
+  if (a == b) return a;
+  return nl.or2(a, b);
+}
+
+NetId xor_fold(Netlist& nl, NetId a, NetId b) {
+  bool v = false;
+  if (net_is_const(nl, a, v)) return v ? inv_fold(nl, b) : b;
+  if (net_is_const(nl, b, v)) return v ? inv_fold(nl, a) : a;
+  if (a == b) return nl.add_const(false);
+  return nl.xor2(a, b);
+}
+
+NetId mux_fold(Netlist& nl, NetId a, NetId b, NetId sel) {
+  bool v = false;
+  if (net_is_const(nl, sel, v)) return v ? b : a;
+  if (a == b) return a;
+  if (net_is_const(nl, a, v) && !v) return and_fold(nl, b, sel);
+  if (net_is_const(nl, b, v) && v) return or_fold(nl, a, sel);
+  return nl.mux2(a, b, sel);
+}
+
+std::pair<NetId, NetId> half_adder(Netlist& nl, NetId a, NetId b) {
+  return {xor_fold(nl, a, b), and_fold(nl, a, b)};
+}
+
+std::pair<NetId, NetId> full_adder(Netlist& nl, NetId a, NetId b, NetId cin) {
+  bool v = false;
+  if (net_is_const(nl, cin, v) && !v) return half_adder(nl, a, b);
+  if (net_is_const(nl, a, v) && !v) return half_adder(nl, b, cin);
+  if (net_is_const(nl, b, v) && !v) return half_adder(nl, a, cin);
+  const NetId axb = xor_fold(nl, a, b);
+  const NetId sum = xor_fold(nl, axb, cin);
+  const NetId carry =
+      or_fold(nl, and_fold(nl, a, b), and_fold(nl, axb, cin));
+  return {sum, carry};
+}
+
+Bus ripple_add(Netlist& nl, const Bus& a, const Bus& b) {
+  const std::size_t width = std::max(a.size(), b.size());
+  const NetId zero = nl.add_const(false);
+  Bus sum;
+  sum.reserve(width + 1);
+  NetId carry = zero;
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId ai = i < a.size() ? a[i] : zero;
+    const NetId bi = i < b.size() ? b[i] : zero;
+    auto [s, c] = full_adder(nl, ai, bi, carry);
+    sum.push_back(s);
+    carry = c;
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+Bus add_const(Netlist& nl, const Bus& a, std::uint64_t k) {
+  const int kbits = k == 0 ? 1 : std::bit_width(k);
+  return ripple_add(nl, a, make_const_bus(nl, k, kbits));
+}
+
+Bus const_minus(Netlist& nl, std::uint64_t k, const Bus& a, int result_bits) {
+  // k - a == k + ~a + 1 (two's complement over result_bits).
+  Bus inverted;
+  inverted.reserve(a.size());
+  for (NetId bit : a) inverted.push_back(inv_fold(nl, bit));
+  Bus sum = ripple_add(nl, zero_extend(nl, inverted, result_bits),
+                       make_const_bus(nl, k + 1, result_bits));
+  sum.resize(static_cast<std::size_t>(result_bits));  // drop carry-out
+  return sum;
+}
+
+Bus popcount(Netlist& nl, const Bus& bits) {
+  if (bits.empty()) throw std::invalid_argument("popcount: empty bus");
+  if (bits.size() == 1) return Bus{bits[0]};
+  if (bits.size() == 2) {
+    auto [s, c] = half_adder(nl, bits[0], bits[1]);
+    return Bus{s, c};
+  }
+  if (bits.size() == 3) {
+    auto [s, c] = full_adder(nl, bits[0], bits[1], bits[2]);
+    return Bus{s, c};
+  }
+  // Divide and conquer, then ripple-add the partial counts; trim to the
+  // exact achievable width so downstream comparators stay narrow.
+  const std::size_t half = bits.size() / 2;
+  const Bus lo = popcount(nl, Bus(bits.begin(),
+                                  bits.begin() + static_cast<long>(half)));
+  const Bus hi = popcount(nl, Bus(bits.begin() + static_cast<long>(half),
+                                  bits.end()));
+  Bus sum = ripple_add(nl, lo, hi);
+  const int needed = std::bit_width(bits.size());
+  if (sum.size() > static_cast<std::size_t>(needed))
+    sum.resize(static_cast<std::size_t>(needed));
+  return sum;
+}
+
+NetId less_than(Netlist& nl, const Bus& a, const Bus& b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("less_than: empty bus");
+  // Borrow chain of a - b, LSB first:
+  //   borrow' = (!a & b) | ((!a | b) & borrow)
+  const std::size_t width = std::max(a.size(), b.size());
+  const NetId zero = nl.add_const(false);
+  NetId borrow = zero;
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId ai = i < a.size() ? a[i] : zero;
+    const NetId bi = i < b.size() ? b[i] : zero;
+    const NetId na = inv_fold(nl, ai);
+    borrow = or_fold(nl, and_fold(nl, na, bi),
+                     and_fold(nl, or_fold(nl, na, bi), borrow));
+  }
+  return borrow;
+}
+
+NetId less_than_const(Netlist& nl, const Bus& a, std::uint64_t k) {
+  const int kbits = k == 0 ? 1 : std::bit_width(k);
+  return less_than(nl, a, make_const_bus(nl, k, kbits));
+}
+
+Bus mux_bus(Netlist& nl, const Bus& a, const Bus& b, NetId sel) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("mux_bus: width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(mux_fold(nl, a[i], b[i], sel));
+  return out;
+}
+
+Bus xor_bus(Netlist& nl, const Bus& a, const Bus& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("xor_bus: width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(xor_fold(nl, a[i], b[i]));
+  return out;
+}
+
+Bus xor_with(Netlist& nl, const Bus& a, NetId control) {
+  Bus out;
+  out.reserve(a.size());
+  for (NetId bit : a) out.push_back(xor_fold(nl, bit, control));
+  return out;
+}
+
+Bus zero_extend(Netlist& nl, Bus bus, int bits) {
+  if (bus.size() > static_cast<std::size_t>(bits))
+    throw std::invalid_argument("zero_extend: bus wider than target");
+  while (bus.size() < static_cast<std::size_t>(bits))
+    bus.push_back(nl.add_const(false));
+  return bus;
+}
+
+Bus multiply(Netlist& nl, const Bus& value, const Bus& coeff) {
+  if (value.empty() || coeff.empty())
+    throw std::invalid_argument("multiply: empty bus");
+  const int out_bits = static_cast<int>(value.size() + coeff.size());
+  Bus acc = make_const_bus(nl, 0, out_bits);
+  for (std::size_t j = 0; j < coeff.size(); ++j) {
+    // Partial product: (value AND coeff[j]) << j.
+    Bus partial = make_const_bus(nl, 0, out_bits);
+    for (std::size_t i = 0; i < value.size() && i + j < partial.size(); ++i)
+      partial[i + j] = and_fold(nl, value[i], coeff[j]);
+    acc = ripple_add(nl, acc, partial);
+    acc.resize(static_cast<std::size_t>(out_bits));
+  }
+  return acc;
+}
+
+Bus register_bus(Netlist& nl, const Bus& bus) {
+  Bus out;
+  out.reserve(bus.size());
+  for (NetId bit : bus) out.push_back(nl.add_dff(bit));
+  return out;
+}
+
+}  // namespace dbi::netlist

@@ -1,0 +1,99 @@
+// Combinational macro blocks: the arithmetic building blocks the
+// encoder architectures of Fig. 5 are assembled from. All factories
+// perform constant folding (a XOR with a tied-low input emits no gate,
+// a full adder with a constant operand degenerates to a half adder,
+// ...) so the produced netlists stay close to what a synthesis tool
+// would map — which keeps the Table I area/power comparison honest.
+//
+// Buses are little-endian vectors of nets: bus[0] is the LSB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dbi::netlist {
+
+using Bus = std::vector<NetId>;
+
+/// `bits` fresh primary inputs named prefix[0..bits).
+[[nodiscard]] Bus make_input_bus(Netlist& nl, const std::string& prefix,
+                                 int bits);
+
+/// Constant bus holding `value` (LSB first).
+[[nodiscard]] Bus make_const_bus(Netlist& nl, std::uint64_t value, int bits);
+
+void mark_output_bus(Netlist& nl, const Bus& bus, const std::string& prefix);
+
+/// True (and sets `value`) when `net` is driven by a constant cell.
+[[nodiscard]] bool net_is_const(const Netlist& nl, NetId net, bool& value);
+
+// Constant-folding gate factories: return an existing net where the
+// boolean function degenerates (e.g. xor_fold(a, const0) == a).
+[[nodiscard]] NetId inv_fold(Netlist& nl, NetId a);
+[[nodiscard]] NetId and_fold(Netlist& nl, NetId a, NetId b);
+[[nodiscard]] NetId or_fold(Netlist& nl, NetId a, NetId b);
+[[nodiscard]] NetId xor_fold(Netlist& nl, NetId a, NetId b);
+[[nodiscard]] NetId mux_fold(Netlist& nl, NetId a, NetId b, NetId sel);
+
+/// {sum, carry} = a + b.
+[[nodiscard]] std::pair<NetId, NetId> half_adder(Netlist& nl, NetId a,
+                                                 NetId b);
+/// {sum, carry} = a + b + cin.
+[[nodiscard]] std::pair<NetId, NetId> full_adder(Netlist& nl, NetId a,
+                                                 NetId b, NetId cin);
+
+/// Ripple-carry a + b; result is max(|a|, |b|) + 1 bits wide (carry
+/// out kept). Operands of different widths are zero-extended.
+[[nodiscard]] Bus ripple_add(Netlist& nl, const Bus& a, const Bus& b);
+
+/// a + k (constant folded through the carry chain).
+[[nodiscard]] Bus add_const(Netlist& nl, const Bus& a, std::uint64_t k);
+
+/// k - a for a <= k guaranteed by construction (e.g. 9 - popcount).
+/// Result width = width of k. Computed as k + ~a + 1 with folding.
+[[nodiscard]] Bus const_minus(Netlist& nl, std::uint64_t k, const Bus& a,
+                              int result_bits);
+
+/// Population count of `bits` as a ceil(log2(n+1))-bit bus.
+[[nodiscard]] Bus popcount(Netlist& nl, const Bus& bits);
+
+/// Unsigned a < b (borrow out of a - b). Widths may differ.
+[[nodiscard]] NetId less_than(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Unsigned a < k.
+[[nodiscard]] NetId less_than_const(Netlist& nl, const Bus& a,
+                                    std::uint64_t k);
+
+/// Bit-wise select: sel ? b : a (widths must match).
+[[nodiscard]] Bus mux_bus(Netlist& nl, const Bus& a, const Bus& b, NetId sel);
+
+/// Bit-wise XOR (widths must match).
+[[nodiscard]] Bus xor_bus(Netlist& nl, const Bus& a, const Bus& b);
+
+/// XOR every bit with one control net (conditional inversion stage).
+[[nodiscard]] Bus xor_with(Netlist& nl, const Bus& a, NetId control);
+
+[[nodiscard]] Bus zero_extend(Netlist& nl, Bus bus, int bits);
+
+/// value * coeff as shift-add partial products
+/// (|value| + |coeff| bits wide).
+[[nodiscard]] Bus multiply(Netlist& nl, const Bus& value, const Bus& coeff);
+
+/// One rank of D flip-flops capturing `bus`.
+[[nodiscard]] Bus register_bus(Netlist& nl, const Bus& bus);
+
+/// Reads a bus value from a simulator-style bit getter in tests and the
+/// hardware wrapper: bit i of the result is get(bus[i]).
+template <typename GetBit>
+[[nodiscard]] std::uint64_t bus_value(const Bus& bus, GetBit&& get) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if (get(bus[i])) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+}  // namespace dbi::netlist

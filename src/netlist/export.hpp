@@ -1,0 +1,30 @@
+// Netlist exporters: structural Verilog (so the encoder designs can be
+// taken into a real synthesis flow, replacing the paper's unpublished
+// VHDL) and Graphviz DOT (for inspecting small blocks).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace dbi::netlist {
+
+/// Emits a synthesizable structural Verilog-2001 module. Primitive
+/// cells map to Verilog operators via continuous assignments; DFFs
+/// become an always @(posedge clk) block (a clk port is added when the
+/// design has registers). Port names are sanitised ("byte0[3]" ->
+/// "byte0_3").
+void write_verilog(std::ostream& os, const Netlist& nl,
+                   const std::string& module_name);
+
+/// Emits a Graphviz DOT digraph (one node per gate, one edge per
+/// fanin). Intended for small blocks; refuses netlists with more than
+/// `max_gates` cells to keep the output viewable.
+void write_dot(std::ostream& os, const Netlist& nl,
+               const std::string& graph_name, std::size_t max_gates = 4000);
+
+/// Verilog-safe identifier: alphanumerics kept, everything else '_'.
+[[nodiscard]] std::string sanitize_identifier(const std::string& name);
+
+}  // namespace dbi::netlist

@@ -1,0 +1,92 @@
+// Primitive cell set of the gate-level substrate. Deliberately small:
+// the cells a generic standard-cell library exposes and a synthesis
+// tool would map the paper's VHDL onto.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dbi::netlist {
+
+enum class GateKind : std::uint8_t {
+  kInput,   ///< primary input (no fanin)
+  kConst0,  ///< tied-low net
+  kConst1,  ///< tied-high net
+  kBuf,
+  kInv,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,  ///< fanin {a, b, sel}: sel ? b : a
+  kDff,   ///< fanin {d}; output is Q, updated on clock()
+};
+
+inline constexpr int kGateKindCount = 13;
+
+/// Number of fanin nets each kind consumes.
+[[nodiscard]] constexpr int fanin_count(GateKind k) {
+  switch (k) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kInv:
+    case GateKind::kDff:
+      return 1;
+    case GateKind::kAnd2:
+    case GateKind::kNand2:
+    case GateKind::kOr2:
+    case GateKind::kNor2:
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      return 2;
+    case GateKind::kMux2:
+      return 3;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::string_view gate_name(GateKind k) {
+  switch (k) {
+    case GateKind::kInput:
+      return "INPUT";
+    case GateKind::kConst0:
+      return "CONST0";
+    case GateKind::kConst1:
+      return "CONST1";
+    case GateKind::kBuf:
+      return "BUF";
+    case GateKind::kInv:
+      return "INV";
+    case GateKind::kAnd2:
+      return "AND2";
+    case GateKind::kNand2:
+      return "NAND2";
+    case GateKind::kOr2:
+      return "OR2";
+    case GateKind::kNor2:
+      return "NOR2";
+    case GateKind::kXor2:
+      return "XOR2";
+    case GateKind::kXnor2:
+      return "XNOR2";
+    case GateKind::kMux2:
+      return "MUX2";
+    case GateKind::kDff:
+      return "DFF";
+  }
+  return "?";
+}
+
+/// True for cells that occupy area / leak power (everything except the
+/// virtual input/constant markers).
+[[nodiscard]] constexpr bool is_physical(GateKind k) {
+  return k != GateKind::kInput && k != GateKind::kConst0 &&
+         k != GateKind::kConst1;
+}
+
+}  // namespace dbi::netlist

@@ -1,0 +1,120 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace dbi::netlist {
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = add_gate_unchecked(GateKind::kInput,
+                                      {kNoNet, kNoNet, kNoNet});
+  inputs_.push_back(Port{std::move(name), id});
+  return id;
+}
+
+NetId Netlist::add_const(bool value) {
+  return add_gate_unchecked(value ? GateKind::kConst1 : GateKind::kConst0,
+                            {kNoNet, kNoNet, kNoNet});
+}
+
+NetId Netlist::add_gate(GateKind kind, NetId a, NetId b, NetId c) {
+  if (kind == GateKind::kInput || kind == GateKind::kConst0 ||
+      kind == GateKind::kConst1 || kind == GateKind::kDff)
+    throw std::invalid_argument(
+        "Netlist::add_gate: use the dedicated factory for this kind");
+  const std::array<NetId, 3> in = {a, b, c};
+  for (int i = 0; i < fanin_count(kind); ++i) {
+    if (in.at(static_cast<std::size_t>(i)) >= gates_.size())
+      throw std::invalid_argument("Netlist::add_gate: undefined fanin");
+  }
+  return add_gate_unchecked(kind, in);
+}
+
+NetId Netlist::add_dff(NetId d) {
+  if (d != kNoNet && d >= gates_.size())
+    throw std::invalid_argument("Netlist::add_dff: undefined fanin");
+  const NetId id = add_gate_unchecked(GateKind::kDff, {d, kNoNet, kNoNet});
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_input(NetId dff, NetId d) {
+  if (dff >= gates_.size() || gates_[dff].kind != GateKind::kDff)
+    throw std::invalid_argument("Netlist::set_dff_input: not a DFF");
+  if (d >= gates_.size())
+    throw std::invalid_argument("Netlist::set_dff_input: undefined fanin");
+  gates_[dff].in[0] = d;
+  topo_.clear();
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  if (net >= gates_.size())
+    throw std::invalid_argument("Netlist::mark_output: undefined net");
+  outputs_.push_back(Port{std::move(name), net});
+}
+
+NetId Netlist::add_gate_unchecked(GateKind kind, std::array<NetId, 3> in) {
+  gates_.push_back(Gate{kind, in});
+  topo_.clear();
+  return static_cast<NetId>(gates_.size() - 1);
+}
+
+std::array<std::size_t, kGateKindCount> Netlist::kind_histogram() const {
+  std::array<std::size_t, kGateKindCount> histogram{};
+  for (const Gate& g : gates_)
+    ++histogram[static_cast<std::size_t>(g.kind)];
+  return histogram;
+}
+
+std::size_t Netlist::physical_gates() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_)
+    if (is_physical(g.kind)) ++n;
+  return n;
+}
+
+const std::vector<NetId>& Netlist::levelize() const {
+  if (!topo_.empty() || gates_.empty()) return topo_;
+
+  // Kahn's algorithm over the combinational dependency graph. DFF
+  // outputs are sources (their value is register state, not a
+  // combinational function); DFF D-inputs are sinks and impose no
+  // ordering constraint.
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<std::vector<NetId>> fanout(gates_.size());
+  for (NetId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kDff) {
+      if (g.in[0] == kNoNet)
+        throw std::logic_error("Netlist::levelize: unconnected DFF input");
+      continue;
+    }
+    const int fanins = fanin_count(g.kind);
+    pending[id] = fanins;
+    for (int i = 0; i < fanins; ++i) {
+      const NetId src = g.in[static_cast<std::size_t>(i)];
+      if (src == kNoNet)
+        throw std::logic_error("Netlist::levelize: unconnected fanin");
+      fanout[src].push_back(id);
+    }
+  }
+
+  topo_.reserve(gates_.size());
+  std::vector<NetId> ready;
+  for (NetId id = 0; id < gates_.size(); ++id)
+    if (pending[id] == 0) ready.push_back(id);
+
+  while (!ready.empty()) {
+    const NetId id = ready.back();
+    ready.pop_back();
+    topo_.push_back(id);
+    for (NetId sink : fanout[id])
+      if (--pending[sink] == 0) ready.push_back(sink);
+  }
+  if (topo_.size() != gates_.size()) {
+    topo_.clear();
+    throw std::logic_error("Netlist::levelize: combinational cycle");
+  }
+  return topo_;
+}
+
+}  // namespace dbi::netlist

@@ -1,0 +1,92 @@
+// Structural netlist: a DAG of single-output gates, identified by the
+// index of their driving gate (NetId). This substitutes for the
+// paper's VHDL + Synopsys flow: designs are built programmatically
+// (see blocks.hpp and src/hw), then simulated, timed and "synthesised"
+// into area/power reports.
+//
+// Sequential elements: kDff gates latch their D input on clock(); their
+// feedback fanin may be connected after creation via set_dff_input, so
+// state machines with cycles through registers are expressible while
+// the combinational part must stay acyclic (checked by levelize()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace dbi::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = ~NetId{0};
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::array<NetId, 3> in = {kNoNet, kNoNet, kNoNet};
+};
+
+/// A named port (primary input or output) of the design.
+struct Port {
+  std::string name;
+  NetId net = kNoNet;
+};
+
+class Netlist {
+ public:
+  // ------------------------------------------------------- construction
+  NetId add_input(std::string name);
+  NetId add_const(bool value);
+  /// Adds a gate; fanins must already exist (except DFF feedback).
+  NetId add_gate(GateKind kind, NetId a = kNoNet, NetId b = kNoNet,
+                 NetId c = kNoNet);
+  /// Adds a D flip-flop; `d` may be kNoNet and connected later.
+  NetId add_dff(NetId d = kNoNet);
+  void set_dff_input(NetId dff, NetId d);
+  void mark_output(NetId net, std::string name);
+
+  // shorthand combinators used heavily by blocks.cpp
+  NetId buf(NetId a) { return add_gate(GateKind::kBuf, a); }
+  NetId inv(NetId a) { return add_gate(GateKind::kInv, a); }
+  NetId and2(NetId a, NetId b) { return add_gate(GateKind::kAnd2, a, b); }
+  NetId nand2(NetId a, NetId b) { return add_gate(GateKind::kNand2, a, b); }
+  NetId or2(NetId a, NetId b) { return add_gate(GateKind::kOr2, a, b); }
+  NetId nor2(NetId a, NetId b) { return add_gate(GateKind::kNor2, a, b); }
+  NetId xor2(NetId a, NetId b) { return add_gate(GateKind::kXor2, a, b); }
+  NetId xnor2(NetId a, NetId b) { return add_gate(GateKind::kXnor2, a, b); }
+  /// sel ? b : a
+  NetId mux2(NetId a, NetId b, NetId sel) {
+    return add_gate(GateKind::kMux2, a, b, sel);
+  }
+
+  // ------------------------------------------------------------- access
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(NetId id) const { return gates_.at(id); }
+  [[nodiscard]] const std::vector<Port>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Port>& outputs() const { return outputs_; }
+  [[nodiscard]] const std::vector<NetId>& dffs() const { return dffs_; }
+
+  /// Gate count per kind (physical cells only have meaning for area).
+  [[nodiscard]] std::array<std::size_t, kGateKindCount> kind_histogram()
+      const;
+  /// Number of area-occupying cells.
+  [[nodiscard]] std::size_t physical_gates() const;
+
+  /// Topological order of all gates: inputs/constants/DFFs first (their
+  /// outputs are sources), then combinational gates in dependency
+  /// order. Throws std::logic_error on a combinational cycle or a
+  /// dangling fanin. The order is cached until the netlist changes.
+  [[nodiscard]] const std::vector<NetId>& levelize() const;
+
+ private:
+  NetId add_gate_unchecked(GateKind kind, std::array<NetId, 3> in);
+
+  std::vector<Gate> gates_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  std::vector<NetId> dffs_;
+  mutable std::vector<NetId> topo_;  // cache; cleared on mutation
+};
+
+}  // namespace dbi::netlist

@@ -1,0 +1,69 @@
+#include "netlist/report.hpp"
+
+#include <stdexcept>
+
+namespace dbi::netlist {
+
+SynthesisReport synthesize(const std::string& design_name, const Netlist& nl,
+                           const TechnologyModel& tech,
+                           const Simulator& activity,
+                           const PipelineSpec& pipeline) {
+  if (pipeline.stages < 1)
+    throw std::invalid_argument("synthesize: pipeline stages < 1");
+  if (pipeline.merge_factor <= 0.0 || pipeline.merge_factor > 1.0)
+    throw std::invalid_argument("synthesize: merge_factor not in (0,1]");
+
+  SynthesisReport r;
+  r.design = design_name;
+  r.cells = nl.physical_gates();
+
+  // Combinational cells.
+  const auto histogram = nl.kind_histogram();
+  for (std::size_t k = 0; k < histogram.size(); ++k) {
+    const auto kind = static_cast<GateKind>(k);
+    if (!is_physical(kind)) continue;
+    const CellParams& cell = tech.cell(kind);
+    const auto n = static_cast<double>(histogram[k]);
+    r.area_um2 += n * cell.area_um2;
+    r.static_power_w += n * cell.leakage_w;
+  }
+
+  // Dynamic energy from simulated switching activity.
+  const std::int64_t cycles = activity.cycles();
+  if (cycles > 1) {
+    const auto& toggles = activity.toggle_counts();
+    double energy = 0.0;
+    for (std::size_t k = 0; k < toggles.size(); ++k) {
+      const auto kind = static_cast<GateKind>(k);
+      if (!is_physical(kind)) continue;
+      energy += static_cast<double>(toggles[k]) *
+                tech.cell(kind).toggle_energy_j;
+    }
+    r.dyn_energy_per_cycle_j = energy / static_cast<double>(cycles - 1);
+  }
+
+  // Retimed pipeline registers: (stages - 1) internal ranks of
+  // merge_factor * cut_bits flip-flops. Modelled registers are assumed
+  // to toggle with ~0.5 activity (typical for data paths) and pay clock
+  // energy every cycle.
+  const int cut =
+      pipeline.cut_bits > 0 ? pipeline.cut_bits
+                            : static_cast<int>(nl.outputs().size());
+  const double internal_ranks = static_cast<double>(pipeline.stages - 1);
+  const double reg_bits =
+      internal_ranks * pipeline.merge_factor * static_cast<double>(cut);
+  r.register_bits = static_cast<std::size_t>(reg_bits);
+  const CellParams& dff = tech.cell(GateKind::kDff);
+  r.area_um2 += reg_bits * dff.area_um2;
+  r.static_power_w += reg_bits * dff.leakage_w;
+  r.cells += r.register_bits;
+  r.dyn_energy_per_cycle_j +=
+      reg_bits * (tech.dff_clock_energy_j() + 0.5 * dff.toggle_energy_j);
+
+  const TimingReport timing = analyze_timing(nl, tech);
+  r.critical_path_s = timing.critical_path_s;
+  r.fmax_hz = pipelined_fmax_hz(timing, tech, pipeline.stages);
+  return r;
+}
+
+}  // namespace dbi::netlist

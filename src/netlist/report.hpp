@@ -1,0 +1,63 @@
+// "Synthesis" report: turns a netlist + technology model + simulated
+// switching activity into the quantities of the paper's Table I —
+// area, static power, dynamic power, achievable burst rate and energy
+// per encoded burst.
+//
+// Pipelining model: the architecture netlists are combinational (the
+// Fig. 5 datapath); the paper's implementation adds N pipeline stages
+// and lets the synthesis tool retime them into the cloud. We model the
+// retimed registers explicitly as (stages - 1) internal register ranks
+// of cut_bits flip-flops each, derated by a register-merging factor
+// (retiming and register sharing make internal cuts narrower than the
+// nominal width on average). The PHY's own input/output flops exist
+// for every scheme including RAW and are therefore not charged to any
+// design — matching how Table I compares encoders against each other.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+#include "netlist/tech.hpp"
+#include "netlist/timing.hpp"
+
+namespace dbi::netlist {
+
+struct PipelineSpec {
+  int stages = 1;      ///< total pipeline stages (1 = combinational)
+  int cut_bits = 0;    ///< register bits per internal cut (0: use outputs)
+  double merge_factor = 0.6;  ///< effective fraction of cut_bits per rank
+};
+
+struct SynthesisReport {
+  std::string design;
+  std::size_t cells = 0;            ///< physical cells incl. registers
+  std::size_t register_bits = 0;    ///< modelled pipeline registers
+  double area_um2 = 0.0;
+  double static_power_w = 0.0;
+  double critical_path_s = 0.0;     ///< before retiming
+  double fmax_hz = 0.0;             ///< with the pipeline spec applied
+  double dyn_energy_per_cycle_j = 0.0;
+
+  [[nodiscard]] double dynamic_power_at(double f_hz) const {
+    return dyn_energy_per_cycle_j * f_hz;
+  }
+  [[nodiscard]] double total_power_at(double f_hz) const {
+    return static_power_w + dynamic_power_at(f_hz);
+  }
+  /// Energy per processed burst when clocked at f (one burst/cycle).
+  [[nodiscard]] double energy_per_burst_at(double f_hz) const {
+    return dyn_energy_per_cycle_j + (f_hz > 0.0 ? static_power_w / f_hz : 0.0);
+  }
+};
+
+/// Builds the report. `activity` must have accumulated a representative
+/// workload on `nl` (its per-kind toggle counts provide the dynamic
+/// energy); pass the simulator after running the workload.
+[[nodiscard]] SynthesisReport synthesize(const std::string& design_name,
+                                         const Netlist& nl,
+                                         const TechnologyModel& tech,
+                                         const Simulator& activity,
+                                         const PipelineSpec& pipeline);
+
+}  // namespace dbi::netlist

@@ -1,0 +1,130 @@
+#include "netlist/sim.hpp"
+
+#include <stdexcept>
+
+namespace dbi::netlist {
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl) {
+  values_.assign(nl_.size(), 0);
+  dff_state_.assign(nl_.size(), 0);
+  snapshot_.assign(nl_.size(), 0);
+  faults_.assign(nl_.size(), -1);
+  (void)nl_.levelize();  // validate acyclicity up front
+}
+
+void Simulator::set_input(NetId input, bool value) {
+  if (input >= nl_.size() || nl_.gate(input).kind != GateKind::kInput)
+    throw std::invalid_argument("Simulator::set_input: not an input");
+  values_[input] = value ? 1 : 0;
+}
+
+void Simulator::set_input_bus(const Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set_input(bus[i], (value >> i) & 1);
+}
+
+void Simulator::eval() {
+  for (NetId id : nl_.levelize()) {
+    const Gate& g = nl_.gate(id);
+    const auto in = [&](int i) -> bool {
+      return values_[g.in[static_cast<std::size_t>(i)]] != 0;
+    };
+    bool v = false;
+    switch (g.kind) {
+      case GateKind::kInput:
+        continue;  // externally driven
+      case GateKind::kConst0:
+        v = false;
+        break;
+      case GateKind::kConst1:
+        v = true;
+        break;
+      case GateKind::kBuf:
+        v = in(0);
+        break;
+      case GateKind::kInv:
+        v = !in(0);
+        break;
+      case GateKind::kAnd2:
+        v = in(0) && in(1);
+        break;
+      case GateKind::kNand2:
+        v = !(in(0) && in(1));
+        break;
+      case GateKind::kOr2:
+        v = in(0) || in(1);
+        break;
+      case GateKind::kNor2:
+        v = !(in(0) || in(1));
+        break;
+      case GateKind::kXor2:
+        v = in(0) != in(1);
+        break;
+      case GateKind::kXnor2:
+        v = in(0) == in(1);
+        break;
+      case GateKind::kMux2:
+        v = in(2) ? in(1) : in(0);
+        break;
+      case GateKind::kDff:
+        v = dff_state_[id] != 0;
+        break;
+    }
+    if (faults_[id] >= 0) v = faults_[id] != 0;
+    values_[id] = v ? 1 : 0;
+  }
+}
+
+void Simulator::inject_stuck_at(NetId gate, bool value) {
+  if (gate >= nl_.size())
+    throw std::invalid_argument("Simulator::inject_stuck_at: bad net");
+  faults_[gate] = value ? 1 : 0;
+}
+
+void Simulator::clear_faults() { faults_.assign(nl_.size(), -1); }
+
+void Simulator::clock() {
+  for (NetId id : nl_.dffs())
+    dff_state_[id] = values_[nl_.gate(id).in[0]];
+  eval();
+}
+
+void Simulator::accumulate() {
+  if (has_snapshot_) {
+    for (NetId id = 0; id < nl_.size(); ++id) {
+      if (values_[id] != snapshot_[id])
+        ++toggles_[static_cast<std::size_t>(nl_.gate(id).kind)];
+    }
+  }
+  snapshot_ = values_;
+  has_snapshot_ = true;
+  ++cycles_;
+}
+
+bool Simulator::value(NetId net) const {
+  if (net >= nl_.size())
+    throw std::invalid_argument("Simulator::value: bad net");
+  return values_[net] != 0;
+}
+
+std::uint64_t Simulator::bus(const Bus& b) const {
+  return bus_value(b, [&](NetId id) { return value(id); });
+}
+
+double Simulator::mean_toggles_per_cycle() const {
+  if (cycles_ <= 1) return 0.0;
+  std::int64_t total = 0;
+  for (std::size_t k = 0; k < toggles_.size(); ++k) {
+    const auto kind = static_cast<GateKind>(k);
+    if (is_physical(kind)) total += toggles_[k];
+  }
+  return static_cast<double>(total) / static_cast<double>(cycles_ - 1);
+}
+
+void Simulator::reset_activity() {
+  toggles_.fill(0);
+  cycles_ = 0;
+  has_snapshot_ = false;
+}
+
+}  // namespace dbi::netlist

@@ -1,0 +1,70 @@
+// Levelised two-value netlist simulator with switching-activity
+// accounting. Zero-delay semantics: each eval() settles the
+// combinational logic in topological order; accumulate() then compares
+// the settled state against the previous cycle's snapshot and charges
+// one toggle per changed gate output (glitches are not modelled — the
+// technology model's per-toggle energy is calibrated as an average
+// including typical glitching, as CACTI-style estimators do).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/blocks.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dbi::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// Drives a primary input (must be a kInput gate).
+  void set_input(NetId input, bool value);
+  /// Drives a whole input bus, bit i = (value >> i) & 1.
+  void set_input_bus(const Bus& bus, std::uint64_t value);
+
+  /// Settles all combinational logic. DFFs output their stored state.
+  void eval();
+
+  /// Latches every DFF from its settled D input, then re-settles.
+  void clock();
+
+  /// Ends one activity cycle: counts per-kind output toggles relative
+  /// to the previous accumulate() snapshot.
+  void accumulate();
+
+  /// Settled value of a net (valid after eval()).
+  [[nodiscard]] bool value(NetId net) const;
+  [[nodiscard]] std::uint64_t bus(const Bus& b) const;
+
+  // ---------------------------------------------------- fault injection
+  /// Forces the output of `gate` to `value` during eval() — a stuck-at
+  /// fault. Used by the robustness study behind the paper's remark
+  /// that rare wrong encoding decisions are harmless (Section II).
+  void inject_stuck_at(NetId gate, bool value);
+  void clear_faults();
+
+  // ------------------------------------------------ switching activity
+  [[nodiscard]] std::int64_t cycles() const { return cycles_; }
+  [[nodiscard]] const std::array<std::int64_t, kGateKindCount>&
+  toggle_counts() const {
+    return toggles_;
+  }
+  /// Mean output toggles per cycle across all physical gates.
+  [[nodiscard]] double mean_toggles_per_cycle() const;
+  void reset_activity();
+
+ private:
+  const Netlist& nl_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> dff_state_;   // indexed like values_
+  std::vector<std::uint8_t> snapshot_;
+  std::vector<std::int8_t> faults_;       // -1 none, else stuck value
+  std::array<std::int64_t, kGateKindCount> toggles_{};
+  std::int64_t cycles_ = 0;
+  bool has_snapshot_ = false;
+};
+
+}  // namespace dbi::netlist

@@ -1,0 +1,33 @@
+#include "netlist/tech.hpp"
+
+namespace dbi::netlist {
+
+TechnologyModel TechnologyModel::generic_32nm() {
+  TechnologyModel t;
+  // {area um^2, leakage W, toggle energy J, delay s}
+  // Calibrated against the magnitude of the Synopsys 32 nm generic
+  // library the paper used (Table I implies ~0.4 uW/um^2 leakage at
+  // the synthesis corner); relative cell sizing follows public 32/28 nm
+  // educational libraries: XOR-class cells ~2x a NAND, a DFF ~6x,
+  // delays in the 10-30 ps range.
+  t.set_cell(GateKind::kInput, {0.0, 0.0, 0.0, 0.0});
+  t.set_cell(GateKind::kConst0, {0.0, 0.0, 0.0, 0.0});
+  t.set_cell(GateKind::kConst1, {0.0, 0.0, 0.0, 0.0});
+  t.set_cell(GateKind::kBuf, {1.06, 300e-9, 0.6e-15, 21e-12});
+  t.set_cell(GateKind::kInv, {0.81, 250e-9, 0.4e-15, 11e-12});
+  t.set_cell(GateKind::kAnd2, {1.32, 400e-9, 0.7e-15, 22e-12});
+  t.set_cell(GateKind::kNand2, {1.06, 350e-9, 0.55e-15, 14e-12});
+  t.set_cell(GateKind::kNor2, {1.06, 350e-9, 0.55e-15, 17e-12});
+  t.set_cell(GateKind::kOr2, {1.32, 400e-9, 0.7e-15, 24e-12});
+  t.set_cell(GateKind::kXor2, {2.11, 600e-9, 1.2e-15, 29e-12});
+  t.set_cell(GateKind::kXnor2, {2.11, 600e-9, 1.2e-15, 29e-12});
+  t.set_cell(GateKind::kMux2, {2.37, 550e-9, 1.1e-15, 27e-12});
+  // DFF delay field = clk-to-q (the STA uses dff_clk_to_q_s()).
+  t.set_cell(GateKind::kDff, {6.61, 1500e-9, 1.2e-15, 56e-12});
+  t.dff_clk_to_q_s_ = 56e-12;
+  t.dff_setup_s_ = 28e-12;
+  t.dff_clock_energy_j_ = 1.8e-15;
+  return t;
+}
+
+}  // namespace dbi::netlist

@@ -1,0 +1,49 @@
+// Technology model: per-cell area / leakage / switching energy / delay
+// in the range of a generic 32 nm standard-cell library (the paper used
+// the Synopsys 32 nm educational library). The absolute values are
+// order-of-magnitude calibrated; the Table I reproduction relies on the
+// *relative* composition of the four encoder netlists, not on matching
+// Synopsys numbers digit-for-digit (see DESIGN.md, substitutions).
+#pragma once
+
+#include <array>
+
+#include "netlist/gate.hpp"
+
+namespace dbi::netlist {
+
+struct CellParams {
+  double area_um2 = 0.0;
+  double leakage_w = 0.0;        ///< static power per cell [W]
+  double toggle_energy_j = 0.0;  ///< energy per output toggle [J]
+  double delay_s = 0.0;          ///< pin-to-pin propagation delay [s]
+};
+
+class TechnologyModel {
+ public:
+  /// Generic 32 nm-class library (0.9 V, typical corner).
+  [[nodiscard]] static TechnologyModel generic_32nm();
+
+  [[nodiscard]] const CellParams& cell(GateKind k) const {
+    return cells_[static_cast<std::size_t>(k)];
+  }
+  void set_cell(GateKind k, const CellParams& p) {
+    cells_[static_cast<std::size_t>(k)] = p;
+  }
+
+  /// Flip-flop sequencing overhead bounding the clock period:
+  /// period >= comb_delay / stages + clk_to_q + setup.
+  [[nodiscard]] double dff_clk_to_q_s() const { return dff_clk_to_q_s_; }
+  [[nodiscard]] double dff_setup_s() const { return dff_setup_s_; }
+  /// Clock-tree / internal clocking energy per flip-flop per cycle,
+  /// paid whether or not the output toggles.
+  [[nodiscard]] double dff_clock_energy_j() const { return dff_clock_energy_j_; }
+
+ private:
+  std::array<CellParams, kGateKindCount> cells_{};
+  double dff_clk_to_q_s_ = 0.0;
+  double dff_setup_s_ = 0.0;
+  double dff_clock_energy_j_ = 0.0;
+};
+
+}  // namespace dbi::netlist

@@ -1,0 +1,79 @@
+#include "netlist/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dbi::netlist {
+
+TimingReport analyze_timing(const Netlist& nl, const TechnologyModel& tech) {
+  TimingReport report;
+  if (nl.size() == 0) return report;
+
+  // arrival[g]: time the output of g settles. Sources settle at 0
+  // (inputs/constants) or clk-to-q (registers). The DFF D pin is a
+  // sink; its fanin arrival is examined directly below.
+  std::vector<double> arrival(nl.size(), 0.0);
+  std::vector<NetId> from(nl.size(), kNoNet);
+  for (NetId id : nl.levelize()) {
+    const Gate& g = nl.gate(id);
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        arrival[id] = 0.0;
+        continue;
+      case GateKind::kDff:
+        arrival[id] = tech.dff_clk_to_q_s();
+        continue;
+      default:
+        break;
+    }
+    double latest = 0.0;
+    NetId latest_src = kNoNet;
+    for (int i = 0; i < fanin_count(g.kind); ++i) {
+      const NetId src = g.in[static_cast<std::size_t>(i)];
+      if (arrival[src] >= latest) {
+        latest = arrival[src];
+        latest_src = src;
+      }
+    }
+    arrival[id] = latest + tech.cell(g.kind).delay_s;
+    from[id] = latest_src;
+  }
+
+  // Sinks: primary outputs and register D inputs (plus setup).
+  double worst = 0.0;
+  NetId worst_end = kNoNet;
+  for (const Port& out : nl.outputs()) {
+    if (arrival[out.net] >= worst) {
+      worst = arrival[out.net];
+      worst_end = out.net;
+    }
+  }
+  for (NetId dff : nl.dffs()) {
+    const NetId d = nl.gate(dff).in[0];
+    const double t = arrival[d] + tech.dff_setup_s();
+    if (t >= worst) {
+      worst = t;
+      worst_end = d;
+    }
+  }
+
+  report.critical_path_s = worst;
+  for (NetId id = worst_end; id != kNoNet; id = from[id])
+    report.critical_path.push_back(id);
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+double pipelined_fmax_hz(const TimingReport& timing,
+                         const TechnologyModel& tech, int pipeline_stages) {
+  if (pipeline_stages < 1)
+    throw std::invalid_argument("pipelined_fmax_hz: stages < 1");
+  const double period =
+      timing.critical_path_s / pipeline_stages + tech.dff_clk_to_q_s() +
+      tech.dff_setup_s();
+  return period > 0.0 ? 1.0 / period : 0.0;
+}
+
+}  // namespace dbi::netlist

@@ -1,0 +1,35 @@
+// Static timing analysis over the levelised netlist: longest
+// combinational path from any source (primary input or register
+// output) to any sink (primary output or register D input).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/tech.hpp"
+
+namespace dbi::netlist {
+
+struct TimingReport {
+  /// Longest source-to-sink combinational delay [s].
+  double critical_path_s = 0.0;
+  /// Gate chain realising the critical path, source first.
+  std::vector<NetId> critical_path;
+  /// Combinational logic depth (gates) along the critical path.
+  [[nodiscard]] int depth() const {
+    return static_cast<int>(critical_path.size());
+  }
+};
+
+[[nodiscard]] TimingReport analyze_timing(const Netlist& nl,
+                                          const TechnologyModel& tech);
+
+/// Achievable clock frequency when the combinational cloud is retimed
+/// into `pipeline_stages` balanced stages (the paper: "added 8 pipeline
+/// stages ... and used the retime option"):
+///   f = 1 / (critical_path / stages + clk_to_q + setup).
+[[nodiscard]] double pipelined_fmax_hz(const TimingReport& timing,
+                                       const TechnologyModel& tech,
+                                       int pipeline_stages);
+
+}  // namespace dbi::netlist

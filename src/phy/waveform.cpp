@@ -1,0 +1,100 @@
+#include "phy/waveform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "power/interface_energy.hpp"
+
+namespace dbi::phy {
+
+GroupWaveform::GroupWaveform(const dbi::BusConfig& cfg)
+    : GroupWaveform(cfg, dbi::Beat{cfg.dq_mask(), true}) {}
+
+GroupWaveform::GroupWaveform(const dbi::BusConfig& cfg,
+                             const dbi::Beat& initial)
+    : cfg_(cfg), initial_(initial) {
+  cfg_.validate();
+  if ((initial_.dq & ~cfg_.dq_mask()) != 0)
+    throw std::invalid_argument("GroupWaveform: initial state too wide");
+}
+
+void GroupWaveform::append(const dbi::EncodedBurst& burst) {
+  if (!(burst.config() == cfg_))
+    throw std::invalid_argument("GroupWaveform: geometry mismatch");
+  const bool drives_dbi = burst.uses_dbi_line();
+  for (int i = 0; i < burst.length(); ++i) {
+    dbi::Beat beat = burst.beat(i);
+    if (!drives_dbi) {
+      // RAW transmission: the DBI wire is not driven; it parks at its
+      // previous level instead of following the nominal idle-high.
+      beat.dbi = history_.empty() ? initial_.dbi : history_.back().dbi;
+    }
+    history_.push_back(beat);
+  }
+}
+
+bool GroupWaveform::beat_level(const dbi::Beat& beat, int line) const {
+  if (line == cfg_.width) return beat.dbi;
+  return ((beat.dq >> line) & 1U) != 0;
+}
+
+void GroupWaveform::check_line(int line) const {
+  if (line < 0 || line >= lines())
+    throw std::invalid_argument("GroupWaveform: line out of range");
+}
+
+bool GroupWaveform::level(int line, int t) const {
+  check_line(line);
+  if (t < 0 || t >= bit_times())
+    throw std::invalid_argument("GroupWaveform: bit time out of range");
+  return beat_level(history_[static_cast<std::size_t>(t)], line);
+}
+
+std::int64_t GroupWaveform::zero_level_time() const {
+  std::int64_t total = 0;
+  for (int line = 0; line < lines(); ++line) total += line_zero_time(line);
+  return total;
+}
+
+std::int64_t GroupWaveform::edges() const {
+  std::int64_t total = 0;
+  for (int line = 0; line < lines(); ++line) total += line_edges(line);
+  return total;
+}
+
+double GroupWaveform::energy(const power::PodParams& pod) const {
+  return static_cast<double>(zero_level_time()) * power::energy_zero(pod) +
+         static_cast<double>(edges()) * power::energy_transition(pod);
+}
+
+std::int64_t GroupWaveform::line_zero_time(int line) const {
+  check_line(line);
+  std::int64_t zeros = 0;
+  for (const dbi::Beat& beat : history_)
+    if (!beat_level(beat, line)) ++zeros;
+  return zeros;
+}
+
+std::int64_t GroupWaveform::line_edges(int line) const {
+  check_line(line);
+  std::int64_t edges = 0;
+  bool last = beat_level(initial_, line);
+  for (const dbi::Beat& beat : history_) {
+    const bool now = beat_level(beat, line);
+    if (now != last) ++edges;
+    last = now;
+  }
+  return edges;
+}
+
+int GroupWaveform::line_longest_zero_run(int line) const {
+  check_line(line);
+  int longest = 0, current = 0;
+  for (const dbi::Beat& beat : history_) {
+    current = beat_level(beat, line) ? 0 : current + 1;
+    longest = std::max(longest, current);
+  }
+  return longest;
+}
+
+}  // namespace dbi::phy

@@ -1,0 +1,69 @@
+// Physical-layer waveform model of one DBI group: the level of every
+// line (width DQ wires + the DBI wire) at every bit time.
+//
+// This reconstructs what the POD drivers of Fig. 1 actually put on the
+// wires and re-derives zeros (DC termination time) and edges (CV^2
+// events) from the waveform itself — an accounting path independent of
+// EncodedBurst's beat-wise counters, used to cross-check them, plus
+// PHY-level metrics the beat view cannot express (per-line zero runs,
+// worst-case toggle lines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/types.hpp"
+#include "power/pod_params.hpp"
+
+namespace dbi::phy {
+
+class GroupWaveform {
+ public:
+  /// Starts from `initial` line levels (default: the paper's all-ones).
+  explicit GroupWaveform(const dbi::BusConfig& cfg);
+  GroupWaveform(const dbi::BusConfig& cfg, const dbi::Beat& initial);
+
+  /// Appends one encoded burst (burst_length bit times). RAW bursts
+  /// (uses_dbi_line() == false) leave the DBI wire parked at its
+  /// current level.
+  void append(const dbi::EncodedBurst& burst);
+
+  [[nodiscard]] const dbi::BusConfig& config() const { return cfg_; }
+  /// Total recorded bit times (excluding the initial state).
+  [[nodiscard]] int bit_times() const {
+    return static_cast<int>(history_.size());
+  }
+  /// Lines in the group: 0..width-1 are DQ, line `width` is DBI.
+  [[nodiscard]] int lines() const { return cfg_.lines(); }
+
+  /// Level of `line` at bit time `t` (bounds-checked).
+  [[nodiscard]] bool level(int line, int t) const;
+
+  // ------------------------------------------------ global accounting
+  /// Line-bit-times spent at 0 — the quantity E_zero multiplies.
+  [[nodiscard]] std::int64_t zero_level_time() const;
+  /// Level changes across all lines, including the change from the
+  /// initial state into bit time 0 — the quantity E_transition
+  /// multiplies.
+  [[nodiscard]] std::int64_t edges() const;
+  /// Eq. (4) evaluated on the waveform.
+  [[nodiscard]] double energy(const power::PodParams& pod) const;
+
+  // ------------------------------------------------ per-line metrics
+  [[nodiscard]] std::int64_t line_zero_time(int line) const;
+  [[nodiscard]] std::int64_t line_edges(int line) const;
+  /// Longest consecutive run of 0 on a line — worst-case continuous
+  /// DC termination current (thermal hot spot indicator).
+  [[nodiscard]] int line_longest_zero_run(int line) const;
+
+ private:
+  [[nodiscard]] bool beat_level(const dbi::Beat& beat, int line) const;
+  void check_line(int line) const;
+
+  dbi::BusConfig cfg_;
+  dbi::Beat initial_;
+  std::vector<dbi::Beat> history_;  // one Beat per bit time
+};
+
+}  // namespace dbi::phy

@@ -1,0 +1,76 @@
+#include "power/encoder_energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dbi::power {
+
+namespace {
+
+// Table I measured the dynamic power at each design's own maximum
+// burst rate; dynamic energy per burst is rate-independent.
+EncoderHardware from_table_row(std::string name, double area_um2,
+                               double static_uw, double dynamic_uw,
+                               double rate_ghz) {
+  EncoderHardware hw;
+  hw.name = std::move(name);
+  hw.area_um2 = area_um2;
+  hw.static_power_w = static_uw * 1e-6;
+  hw.dyn_energy_per_burst_j = dynamic_uw * 1e-6 / (rate_ghz * 1e9);
+  hw.max_burst_rate_hz = rate_ghz * 1e9;
+  return hw;
+}
+
+}  // namespace
+
+int EncoderHardware::units_needed(double burst_rate) const {
+  if (burst_rate <= 0)
+    throw std::invalid_argument("EncoderHardware: burst_rate <= 0");
+  if (max_burst_rate_hz <= 0) return 0;  // free encoder (RAW)
+  return static_cast<int>(std::ceil(burst_rate / max_burst_rate_hz - 1e-9));
+}
+
+double EncoderHardware::total_area(double burst_rate) const {
+  return area_um2 * units_needed(burst_rate);
+}
+
+double EncoderHardware::energy_per_burst(double burst_rate) const {
+  const int units = units_needed(burst_rate);
+  if (units == 0) return 0.0;
+  return dyn_energy_per_burst_j + units * static_power_w / burst_rate;
+}
+
+double EncoderHardware::total_power(double burst_rate) const {
+  return energy_per_burst(burst_rate) * burst_rate;
+}
+
+EncoderHardware table1_hardware(dbi::Scheme scheme) {
+  using dbi::Scheme;
+  switch (scheme) {
+    case Scheme::kDc:
+      return from_table_row("DBI DC", 275, 105, 111, 1.5);
+    case Scheme::kAc:
+      return from_table_row("DBI AC", 578, 170, 250, 1.5);
+    case Scheme::kAcDc:
+      // Hollis ACDC is an AC datapath with a first-beat DC rule; the
+      // paper gives no row, the AC row is the closest measured cost.
+      return from_table_row("DBI ACDC", 578, 170, 250, 1.5);
+    case Scheme::kOptFixed:
+      return from_table_row("DBI OPT (Fixed Coeff.)", 3807, 257, 2233, 1.5);
+    case Scheme::kOpt:
+      // The real-coefficient trellis corresponds in hardware to the
+      // configurable-coefficient design.
+      return table1_opt_3bit();
+    case Scheme::kRaw:
+    case Scheme::kExhaustive:
+      return EncoderHardware{std::string(dbi::scheme_name(scheme)), 0, 0, 0,
+                             0};
+  }
+  throw std::invalid_argument("table1_hardware: unknown scheme");
+}
+
+EncoderHardware table1_opt_3bit() {
+  return from_table_row("DBI OPT (3-Bit Coeff.)", 16584, 5200, 3600, 0.5);
+}
+
+}  // namespace dbi::power

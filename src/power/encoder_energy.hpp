@@ -1,0 +1,57 @@
+// Energy cost of the DBI encoder hardware itself (paper Table I and
+// Fig. 8). An EncoderHardware describes one synthesised encoder unit:
+// silicon area, leakage, dynamic energy per encoded burst and the
+// maximum burst rate one unit sustains. When the channel needs a higher
+// burst rate than one unit can deliver, parallel units are instantiated
+// (the paper: three 0.5 GHz 3-bit-coefficient units for a 1.5 GHz
+// channel), multiplying area and leakage.
+#pragma once
+
+#include <string>
+
+#include "core/encoder.hpp"
+
+namespace dbi::power {
+
+struct EncoderHardware {
+  std::string name;
+  double area_um2 = 0.0;         ///< one encoder unit
+  double static_power_w = 0.0;   ///< leakage of one unit
+  double dyn_energy_per_burst_j = 0.0;  ///< CV^2-type switching energy
+  double max_burst_rate_hz = 0.0;       ///< timing limit of one unit
+
+  /// Parallel units needed to sustain `burst_rate` (>= 1).
+  [[nodiscard]] int units_needed(double burst_rate) const;
+
+  /// Total silicon area at the given channel burst rate [um^2].
+  [[nodiscard]] double total_area(double burst_rate) const;
+
+  /// Encoding energy per burst at the given channel burst rate [J]:
+  /// switching energy plus the leakage of every instantiated unit
+  /// integrated over one burst period.
+  [[nodiscard]] double energy_per_burst(double burst_rate) const;
+
+  /// Total encoder power at the given channel burst rate [W].
+  [[nodiscard]] double total_power(double burst_rate) const;
+};
+
+/// Table-driven model reproducing the paper's Table I synthesis numbers
+/// (Synopsys 32 nm generic library, 8-byte burst per cycle):
+///
+///   scheme            area     static   dynamic@rate  burst rate
+///   DBI DC            275 um2  105 uW   111 uW        1.5 GHz
+///   DBI AC            578 um2  170 uW   250 uW        1.5 GHz
+///   DBI OPT (Fixed)   3807 um2 257 uW   2233 uW       1.5 GHz
+///   DBI OPT (3-bit)   16584um2 5200 uW  3600 uW       0.5 GHz
+///
+/// RAW and schemes without a paper row map to a zero-cost encoder.
+/// The gate-level alternative derived from our own netlists lives in
+/// hw::synthesis (same struct, different provenance).
+[[nodiscard]] EncoderHardware table1_hardware(dbi::Scheme scheme);
+
+/// The configurable-coefficient design (Table I row 4), which is not a
+/// dbi::Scheme of its own: behaviourally it is kOpt with quantised
+/// coefficients.
+[[nodiscard]] EncoderHardware table1_opt_3bit();
+
+}  // namespace dbi::power

@@ -1,0 +1,27 @@
+#include "power/interface_energy.hpp"
+
+namespace dbi::power {
+
+double v_swing(const PodParams& p) {
+  p.validate();
+  return p.vddq * p.r_pullup / (p.r_pullup + p.r_pulldown);
+}
+
+double energy_zero(const PodParams& p) {
+  p.validate();
+  return p.vddq * p.vddq / (p.r_pullup + p.r_pulldown) / p.data_rate;
+}
+
+double energy_transition(const PodParams& p) {
+  return 0.5 * p.vddq * v_swing(p) * p.c_load;
+}
+
+double burst_energy(const PodParams& p, const BurstStats& s) {
+  return s.zeros * energy_zero(p) + s.transitions * energy_transition(p);
+}
+
+dbi::CostWeights weights_from_pod(const PodParams& p) {
+  return dbi::CostWeights{energy_transition(p), energy_zero(p)};
+}
+
+}  // namespace dbi::power

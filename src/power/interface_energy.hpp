@@ -1,0 +1,39 @@
+// The CACTI-IO-derived interface energy model of the paper
+// (Section IV-A, Eqs. 1-4):
+//
+//   E_zero       = VDDQ^2 / (Rpullup + Rpulldown) * 1/f            (1)
+//   E_transition = 1/2 * VDDQ * Vswing * c_load                    (2)
+//   Vswing       = VDDQ * Rpullup / (Rpullup + Rpulldown)          (3)
+//   E_burst      = n_zeros * E_zero + n_transitions * E_transition (4)
+//
+// E_zero falls with the data rate (a zero occupies one bit time of DC
+// current), E_transition does not — which is exactly why the optimal
+// alpha/beta trade-off moves from DC-like to AC-like as the data rate
+// grows (Fig. 7).
+#pragma once
+
+#include "core/cost.hpp"
+#include "core/encoding.hpp"
+#include "power/pod_params.hpp"
+
+namespace dbi::power {
+
+/// Eq. (3): receiver-side signal swing [V].
+[[nodiscard]] double v_swing(const PodParams& p);
+
+/// Eq. (1): energy of transmitting a single zero for one bit time [J].
+[[nodiscard]] double energy_zero(const PodParams& p);
+
+/// Eq. (2): energy of one 0->1 or 1->0 line transition [J].
+[[nodiscard]] double energy_transition(const PodParams& p);
+
+/// Eq. (4): interface energy of one encoded burst [J].
+[[nodiscard]] double burst_energy(const PodParams& p, const BurstStats& s);
+
+/// The (alpha, beta) cost coefficients this interface induces:
+/// alpha = E_transition, beta = E_zero. Feeding them to the trellis
+/// encoder yields the minimum-interface-energy encoding at this
+/// operating point (what "DBI OPT" means in Figs. 7/8).
+[[nodiscard]] dbi::CostWeights weights_from_pod(const PodParams& p);
+
+}  // namespace dbi::power

@@ -1,0 +1,39 @@
+#include "power/pod_params.hpp"
+
+#include <stdexcept>
+
+namespace dbi::power {
+
+void PodParams::validate() const {
+  if (vddq <= 0) throw std::invalid_argument("PodParams: vddq <= 0");
+  if (r_pullup <= 0 || r_pulldown <= 0)
+    throw std::invalid_argument("PodParams: resistances must be > 0");
+  if (c_load < 0) throw std::invalid_argument("PodParams: c_load < 0");
+  if (data_rate <= 0) throw std::invalid_argument("PodParams: data_rate <= 0");
+}
+
+PodParams PodParams::pod135(double c_load, double data_rate) {
+  return PodParams{"POD135", 1.35, 60.0, 40.0, c_load, data_rate};
+}
+
+PodParams PodParams::pod12(double c_load, double data_rate) {
+  return PodParams{"POD12", 1.2, 60.0, 34.0, c_load, data_rate};
+}
+
+PodParams PodParams::pod15(double c_load, double data_rate) {
+  return PodParams{"POD15", 1.5, 60.0, 40.0, c_load, data_rate};
+}
+
+PodParams PodParams::at_rate(double rate) const {
+  PodParams p = *this;
+  p.data_rate = rate;
+  return p;
+}
+
+PodParams PodParams::with_load(double load) const {
+  PodParams p = *this;
+  p.c_load = load;
+  return p;
+}
+
+}  // namespace dbi::power

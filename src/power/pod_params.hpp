@@ -1,0 +1,47 @@
+// Electrical parameters of a pseudo-open-drain (POD) memory interface
+// (paper Fig. 1 and Section IV-A).
+//
+// In POD signalling the line is terminated to VDDQ through Rpullup
+// (the on-die termination) and driven low through Rpulldown (the
+// driver): DC current only flows while a 0 is on the wire, and every
+// 0<->1 transition (dis)charges the load capacitance c_load.
+#pragma once
+
+#include <string>
+
+namespace dbi::power {
+
+struct PodParams {
+  std::string name = "POD";
+  double vddq = 1.35;        ///< supply / termination voltage [V]
+  double r_pullup = 60.0;    ///< on-die termination to VDDQ [ohm]
+  double r_pulldown = 40.0;  ///< driver pull-down impedance [ohm]
+  double c_load = 3e-12;     ///< total line load capacitance [F]
+  double data_rate = 12e9;   ///< per-pin data rate f [bit/s]
+
+  /// Throws std::invalid_argument when electrically meaningless.
+  void validate() const;
+
+  /// POD135 (1.35 V) as used by GDDR5/GDDR5X — the headline
+  /// configuration of Figs. 7 and 8. Driver 40 ohm, ODT 60 ohm are
+  /// JEDEC-typical values (JESD212C / JESD232A operating points).
+  [[nodiscard]] static PodParams pod135(double c_load = 3e-12,
+                                        double data_rate = 12e9);
+
+  /// POD12 (1.2 V) as used by DDR4 (JESD79-4B); 34 ohm driver and
+  /// 60 ohm ODT are the common DDR4 output/termination settings.
+  [[nodiscard]] static PodParams pod12(double c_load = 3e-12,
+                                       double data_rate = 3.2e9);
+
+  /// POD15 (1.5 V, JESD8-20A) as used by GDDR5 on older nodes.
+  [[nodiscard]] static PodParams pod15(double c_load = 3e-12,
+                                       double data_rate = 6e9);
+
+  /// Same interface at a different data rate (used by rate sweeps).
+  [[nodiscard]] PodParams at_rate(double rate) const;
+
+  /// Same interface with a different load (used by the Fig. 8 sweep).
+  [[nodiscard]] PodParams with_load(double load) const;
+};
+
+}  // namespace dbi::power

@@ -1,0 +1,20 @@
+#include "power/system_energy.hpp"
+
+namespace dbi::power {
+
+double burst_rate(const PodParams& p, const dbi::BusConfig& cfg) {
+  p.validate();
+  cfg.validate();
+  return p.data_rate / cfg.burst_length;
+}
+
+BurstEnergy system_burst_energy(const PodParams& p, const dbi::BusConfig& cfg,
+                                const dbi::BurstStats& stats,
+                                const EncoderHardware& hw) {
+  BurstEnergy e;
+  e.interface = burst_energy(p, stats);
+  e.encoder = hw.energy_per_burst(burst_rate(p, cfg));
+  return e;
+}
+
+}  // namespace dbi::power

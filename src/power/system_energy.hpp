@@ -1,0 +1,31 @@
+// Interface energy + encoder energy = the system-level per-burst cost
+// the paper evaluates in Figs. 7 (interface only) and 8 (totals).
+#pragma once
+
+#include "core/encoding.hpp"
+#include "power/encoder_energy.hpp"
+#include "power/interface_energy.hpp"
+#include "power/pod_params.hpp"
+
+namespace dbi::power {
+
+/// Energy breakdown for one burst of one DBI group [J].
+struct BurstEnergy {
+  double interface = 0.0;  ///< Eq. (4) over the group's lines
+  double encoder = 0.0;    ///< encoding overhead (Table I model)
+
+  [[nodiscard]] double total() const { return interface + encoder; }
+};
+
+/// Burst rate implied by an interface: one burst occupies burst_length
+/// bit times on every line, so burst_rate = data_rate / burst_length.
+[[nodiscard]] double burst_rate(const PodParams& p, const dbi::BusConfig& cfg);
+
+/// Energy of one encoded burst including the encoder hardware running
+/// at the interface's burst rate.
+[[nodiscard]] BurstEnergy system_burst_energy(const PodParams& p,
+                                              const dbi::BusConfig& cfg,
+                                              const dbi::BurstStats& stats,
+                                              const EncoderHardware& hw);
+
+}  // namespace dbi::power

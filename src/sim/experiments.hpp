@@ -1,0 +1,149 @@
+// Experiment engines for every figure of the paper's evaluation.
+// Shared by the bench binaries (which print the series), the tests
+// (which assert the paper's claims as properties with tolerances) and
+// EXPERIMENTS.md.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/burst.hpp"
+#include "core/encoder.hpp"
+#include "power/encoder_energy.hpp"
+#include "power/pod_params.hpp"
+#include "workload/trace.hpp"
+
+namespace dbi::sim {
+
+/// The 8-byte burst of the paper's Fig. 2 worked example.
+[[nodiscard]] dbi::Burst paper_example_burst();
+
+/// Mean zeros / transitions per burst of a scheme over a trace, using
+/// the paper's per-burst all-ones boundary condition.
+struct MeanStats {
+  double zeros = 0.0;
+  double transitions = 0.0;
+};
+[[nodiscard]] MeanStats mean_stats(const workload::BurstTrace& trace,
+                                   const dbi::Encoder& encoder);
+
+/// Like mean_stats, but threading the true line state from burst to
+/// burst (real memory-controller behaviour) instead of resetting to
+/// the paper's all-ones boundary before every burst. Quantifies how
+/// much the paper's per-burst boundary assumption matters.
+[[nodiscard]] MeanStats mean_stats_chained(const workload::BurstTrace& trace,
+                                           const dbi::Encoder& encoder);
+
+// ---------------------------------------------------------------- Fig. 3/4
+
+/// One x-axis point of the Fig. 3/4 sweep: cost weights
+/// (alpha, beta) = (ac_cost, 1 - ac_cost), column values are the mean
+/// abstract energy (alpha * transitions + beta * zeros) per burst.
+struct AlphaSweepPoint {
+  double ac_cost = 0.0;
+  double raw = 0.0;
+  double dc = 0.0;
+  double ac = 0.0;
+  double acdc = 0.0;
+  double opt = 0.0;        ///< DBI OPT with exact (alpha, beta)
+  double opt_fixed = 0.0;  ///< DBI OPT (Fixed): encoded with alpha=beta=1
+};
+
+/// Sweeps ac_cost over `steps` evenly spaced points in [0, 1].
+[[nodiscard]] std::vector<AlphaSweepPoint> alpha_sweep(
+    const workload::BurstTrace& trace, int steps);
+
+/// Scalar findings the paper reports in the Fig. 3/4 prose.
+struct AlphaSweepSummary {
+  double ac_dc_crossover = 0.0;   ///< alpha where AC becomes < DC (paper 0.56)
+  double max_gain_opt = 0.0;      ///< peak (best_conv-opt)/best_conv (6.75 %)
+  double max_gain_opt_alpha = 0.0;
+  double max_gain_fixed = 0.0;    ///< same for OPT (Fixed) (paper 6.58 %)
+  double fixed_win_lo = 1.0;      ///< alpha range where fixed beats best
+  double fixed_win_hi = 0.0;      ///<   conventional scheme (paper 0.23-0.79)
+};
+[[nodiscard]] AlphaSweepSummary summarize_alpha_sweep(
+    std::span<const AlphaSweepPoint> sweep);
+
+// ------------------------------------------------------------------ Fig. 7
+
+/// One data-rate point: interface energy per burst of each scheme
+/// normalised to RAW transmission (the Fig. 7 y-axis).
+struct RateSweepPoint {
+  double gbps = 0.0;
+  double raw_pj = 0.0;  ///< absolute RAW interface energy per burst [pJ]
+  double dc = 0.0;
+  double ac = 0.0;
+  double opt = 0.0;        ///< re-encoded with this rate's true weights
+  double opt_fixed = 0.0;
+};
+[[nodiscard]] std::vector<RateSweepPoint> datarate_sweep(
+    const power::PodParams& interface, const workload::BurstTrace& trace,
+    std::span<const double> rates_gbps);
+
+// ------------------------------------------------------------------ Fig. 8
+
+/// One data-rate point of the Fig. 8 study: total energy (interface +
+/// encoder) of OPT (Fixed) normalised to the better of DC and AC.
+struct TotalEnergyPoint {
+  double gbps = 0.0;
+  double opt_fixed_total_pj = 0.0;
+  double best_conventional_total_pj = 0.0;
+  double ratio = 0.0;  ///< the Fig. 8 y-axis
+};
+[[nodiscard]] std::vector<TotalEnergyPoint> total_energy_sweep(
+    const power::PodParams& interface, const workload::BurstTrace& trace,
+    std::span<const double> rates_gbps,
+    const power::EncoderHardware& hw_dc, const power::EncoderHardware& hw_ac,
+    const power::EncoderHardware& hw_opt_fixed);
+
+// -------------------------------------------------------------- Ablations
+
+/// Coefficient quantisation: mean cost of OPT with `bits`-wide integer
+/// coefficients relative to exact-coefficient OPT, at given weights.
+struct QuantizationPoint {
+  int bits = 0;
+  double mean_cost = 0.0;
+  double loss_vs_exact = 0.0;  ///< (quantised - exact) / exact
+};
+[[nodiscard]] std::vector<QuantizationPoint> quantization_sweep(
+    const workload::BurstTrace& trace, const dbi::CostWeights& weights,
+    int max_bits);
+
+/// Lookahead ablation: mean cost of windowed OPT for each window size.
+struct WindowPoint {
+  int window = 0;
+  double mean_cost = 0.0;
+  double loss_vs_full = 0.0;
+};
+[[nodiscard]] std::vector<WindowPoint> window_sweep(
+    const workload::BurstTrace& trace, const dbi::CostWeights& weights,
+    std::span<const int> windows);
+
+/// DBI granularity study (Narayanan-style enhanced bus invert,
+/// paper Section II): split every lane into `groups` equal sub-groups,
+/// each with its own DBI wire, and OPT-encode each sub-group. More
+/// wires buy finer inversion control; this quantifies the trade.
+struct GranularityPoint {
+  int groups = 1;       ///< DBI wires per 8-bit lane
+  int total_lines = 9;  ///< DQ + DBI wires per lane
+  double mean_cost = 0.0;
+  double vs_single_dbi = 0.0;  ///< cost relative to the 1-wire scheme
+};
+[[nodiscard]] std::vector<GranularityPoint> granularity_sweep(
+    const workload::BurstTrace& trace, const dbi::CostWeights& weights,
+    std::span<const int> group_counts);
+
+/// Decision-noise study (analog implementations, paper Section II):
+/// mean cost of a noisy OPT encoder vs its clean version. The encoding
+/// stays decodable for every error rate — only energy degrades.
+struct NoisePoint {
+  double error_rate = 0.0;
+  double mean_cost = 0.0;
+  double loss_vs_clean = 0.0;
+};
+[[nodiscard]] std::vector<NoisePoint> noise_sweep(
+    const workload::BurstTrace& trace, const dbi::CostWeights& weights,
+    std::span<const double> error_rates, std::uint64_t seed);
+
+}  // namespace dbi::sim

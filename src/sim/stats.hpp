@@ -1,0 +1,34 @@
+// Streaming statistics accumulator (Welford) used by every experiment.
+#pragma once
+
+#include <cstdint>
+
+namespace dbi::sim {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Mean of the added samples; 0 when empty.
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  Accumulator& operator+=(const Accumulator& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dbi::sim

@@ -1,0 +1,42 @@
+// Minimal aligned-text / CSV table printer for the benchmark harnesses:
+// every bench binary prints the rows/series of its paper figure through
+// this class, so outputs are uniform and machine-extractable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbi::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Right-aligned fixed-width text rendering (numeric-table style).
+  [[nodiscard]] std::string to_text() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.*f") for table cells.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Engineering formatting with a unit suffix, e.g. fmt_eng(1.66e-12,"J")
+/// == "1.660 pJ".
+[[nodiscard]] std::string fmt_eng(double value, const std::string& unit,
+                                  int precision = 3);
+
+}  // namespace dbi::sim

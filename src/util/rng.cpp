@@ -1,0 +1,53 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dbi::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  // 53 top bits -> [0,1) with full double resolution.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: bound == 0");
+  // Plain modulo: the bias is < bound / 2^64, irrelevant for workload
+  // generation, and keeps the generator branch-free and portable.
+  return next() % bound;
+}
+
+bool Xoshiro256::next_bool(double p) { return next_double() < p; }
+
+std::uint32_t Xoshiro256::next_biased_bits(int bits, double p_one) {
+  std::uint32_t w = 0;
+  for (int i = 0; i < bits; ++i)
+    if (next_bool(p_one)) w |= std::uint32_t{1} << i;
+  return w;
+}
+
+}  // namespace dbi::util

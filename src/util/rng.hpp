@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64 — fast,
+// high quality, and fully reproducible across platforms, so every
+// experiment in the repository is re-runnable bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dbi::util {
+
+/// splitmix64 step; used to expand a single seed into a full state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) (bound > 0; rejection-free Lemire).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p);
+
+  /// Word with each of the `bits` low bits set with probability p_one.
+  std::uint32_t next_biased_bits(int bits, double p_one);
+
+  // UniformRandomBitGenerator interface (usable with <random> adaptors).
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace dbi::util

@@ -1,0 +1,89 @@
+// A multi-lane memory write channel: `lanes` independent DBI groups
+// side by side, as in a x32 GDDR5/GDDR5X device (4 byte lanes, each
+// with its own DBI wire) or a x64 DDR4 DIMM (8 lanes).
+//
+// The channel owns one encoder and one persistent bus state per lane,
+// so consecutive writes see the true line history instead of the paper's
+// per-burst all-ones boundary — which is exactly what a memory
+// controller integration would experience.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/encoding.hpp"
+#include "core/types.hpp"
+
+namespace dbi::workload {
+
+struct ChannelConfig {
+  int lanes = 4;                 ///< DBI groups side by side (x32: 4)
+  dbi::BusConfig lane{8, 8};     ///< geometry of each group
+  bool reset_state_per_write = false;  ///< paper boundary vs persistent
+
+  void validate() const;
+
+  /// Bytes carried by one full-channel burst (e.g. 32 for x32 BL8 —
+  /// one GPU cache sector / half a CPU cache line).
+  [[nodiscard]] int bytes_per_write() const {
+    return lanes * lane.burst_length;
+  }
+};
+
+/// Aggregate counters over everything a channel transmitted.
+struct ChannelStats {
+  std::int64_t writes = 0;
+  std::int64_t zeros = 0;
+  std::int64_t transitions = 0;
+
+  ChannelStats& operator+=(const ChannelStats& o) {
+    writes += o.writes;
+    zeros += o.zeros;
+    transitions += o.transitions;
+    return *this;
+  }
+  [[nodiscard]] double zeros_per_write() const {
+    return writes ? static_cast<double>(zeros) / static_cast<double>(writes)
+                  : 0.0;
+  }
+  [[nodiscard]] double transitions_per_write() const {
+    return writes
+               ? static_cast<double>(transitions) / static_cast<double>(writes)
+               : 0.0;
+  }
+};
+
+class Channel {
+ public:
+  /// The channel takes ownership of the encoder (shared across lanes;
+  /// encoders are stateless, the channel threads per-lane state).
+  Channel(const ChannelConfig& cfg, std::unique_ptr<dbi::Encoder> encoder);
+
+  [[nodiscard]] const ChannelConfig& config() const { return cfg_; }
+  [[nodiscard]] const dbi::Encoder& encoder() const { return *encoder_; }
+
+  /// Writes one full-channel burst. `data.size()` must equal
+  /// config().bytes_per_write(); byte b of beat t of lane l is
+  /// data[t * lanes + l] (beat-major interleaving, like the physical
+  /// wire assignment of a x32 device). Requires lane.width == 8.
+  /// Returns the per-lane encodings (lane-indexed) and updates the
+  /// running statistics.
+  std::vector<dbi::EncodedBurst> write(std::span<const std::uint8_t> data);
+
+  /// Statistics of everything written so far.
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+
+  /// Restores the all-ones line state and clears statistics.
+  void reset();
+
+ private:
+  ChannelConfig cfg_;
+  std::unique_ptr<dbi::Encoder> encoder_;
+  std::vector<dbi::BusState> lane_state_;
+  ChannelStats stats_;
+};
+
+}  // namespace dbi::workload

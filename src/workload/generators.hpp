@@ -1,0 +1,99 @@
+// Burst sources: streams of payload bursts with different statistics.
+//
+// The paper evaluates uniform random bursts (Figs. 3/4/7/8). The other
+// sources model traffic classes that real memory channels carry —
+// pointer/counter-like data, ASCII text, floating-point arrays, sparse
+// (zero-dominated) pages, bit-correlated sensor streams — and drive the
+// extension experiments and the realistic-workload examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/burst.hpp"
+#include "core/types.hpp"
+
+namespace dbi::workload {
+
+/// An infinite stream of bursts with fixed geometry.
+class BurstSource {
+ public:
+  virtual ~BurstSource() = default;
+  BurstSource(const BurstSource&) = delete;
+  BurstSource& operator=(const BurstSource&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] const dbi::BusConfig& config() const { return cfg_; }
+
+  /// Next burst in the stream.
+  [[nodiscard]] virtual dbi::Burst next() = 0;
+
+ protected:
+  explicit BurstSource(const dbi::BusConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+  }
+
+ private:
+  dbi::BusConfig cfg_;
+};
+
+/// Every payload bit i.i.d. uniform — the distribution of the paper's
+/// 10 000-burst experiments.
+[[nodiscard]] std::unique_ptr<BurstSource> make_uniform_source(
+    const dbi::BusConfig& cfg, std::uint64_t seed);
+
+/// Every payload bit i.i.d. Bernoulli(p_one).
+[[nodiscard]] std::unique_ptr<BurstSource> make_biased_source(
+    const dbi::BusConfig& cfg, double p_one, std::uint64_t seed);
+
+/// Each word is all-zero with probability p_zero_word, otherwise
+/// uniform — models sparse / zero-initialised pages.
+[[nodiscard]] std::unique_ptr<BurstSource> make_sparse_source(
+    const dbi::BusConfig& cfg, double p_zero_word, std::uint64_t seed);
+
+/// Consecutive words follow an incrementing counter (addresses,
+/// indices, loop iterators). Low bits toggle often, high bits rarely.
+[[nodiscard]] std::unique_ptr<BurstSource> make_counter_source(
+    const dbi::BusConfig& cfg, std::uint64_t start = 0,
+    std::uint64_t stride = 1);
+
+/// Gray-coded counter: exactly one payload bit flips per beat.
+[[nodiscard]] std::unique_ptr<BurstSource> make_gray_counter_source(
+    const dbi::BusConfig& cfg, std::uint64_t start = 0);
+
+/// Walking-ones pattern (classic interface stress pattern).
+[[nodiscard]] std::unique_ptr<BurstSource> make_walking_ones_source(
+    const dbi::BusConfig& cfg);
+
+/// English-like ASCII bytes (letter-frequency sampled, word lengths
+/// geometric). Requires width == 8.
+[[nodiscard]] std::unique_ptr<BurstSource> make_text_source(
+    const dbi::BusConfig& cfg, std::uint64_t seed);
+
+/// IEEE-754 float32 samples of a slowly drifting random walk, streamed
+/// byte-wise (little endian). Requires width == 8. Models numeric
+/// arrays written by compute kernels (the paper's GPU motivation).
+[[nodiscard]] std::unique_ptr<BurstSource> make_float_source(
+    const dbi::BusConfig& cfg, std::uint64_t seed);
+
+/// Per-line first-order Markov bits: each line keeps its previous value
+/// with probability p_stay (temporal correlation knob).
+[[nodiscard]] std::unique_ptr<BurstSource> make_markov_source(
+    const dbi::BusConfig& cfg, double p_stay, std::uint64_t seed);
+
+/// Framebuffer-style traffic (the paper's GPU motivation): a stream of
+/// ARGB8888 pixels along a shaded scanline — smooth per-channel
+/// gradients plus dithering noise, alpha saturated at 0xFF. Requires
+/// width == 8.
+[[nodiscard]] std::unique_ptr<BurstSource> make_framebuffer_source(
+    const dbi::BusConfig& cfg, std::uint64_t seed);
+
+/// Neural-network weight traffic: float32 values ~N(0, 0.05) streamed
+/// byte-wise — tiny magnitudes mean near-constant exponent bytes and
+/// noisy mantissas, a structure DBI exploits very differently per
+/// byte lane. Requires width == 8.
+[[nodiscard]] std::unique_ptr<BurstSource> make_tensor_source(
+    const dbi::BusConfig& cfg, std::uint64_t seed);
+
+}  // namespace dbi::workload

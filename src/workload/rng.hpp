@@ -1,0 +1,13 @@
+// Compatibility alias: the PRNG moved to util/rng.hpp so that core can
+// use it (noisy encoder) without a core <-> workload cycle. Workload
+// call sites keep their dbi::workload::Xoshiro256 spelling.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace dbi::workload {
+
+using util::splitmix64;
+using util::Xoshiro256;
+
+}  // namespace dbi::workload

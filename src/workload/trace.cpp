@@ -1,0 +1,81 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/byte_utils.hpp"
+
+namespace dbi::workload {
+
+BurstTrace::BurstTrace(const dbi::BusConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+BurstTrace BurstTrace::collect(BurstSource& source, std::int64_t count) {
+  if (count < 0) throw std::invalid_argument("BurstTrace: negative count");
+  BurstTrace trace(source.config());
+  trace.bursts_.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) trace.push(source.next());
+  return trace;
+}
+
+void BurstTrace::push(dbi::Burst burst) {
+  if (!(burst.config() == cfg_))
+    throw std::invalid_argument("BurstTrace: burst geometry mismatch");
+  bursts_.push_back(std::move(burst));
+}
+
+TraceStats BurstTrace::stats() const {
+  TraceStats s;
+  s.bursts = static_cast<std::int64_t>(bursts_.size());
+  for (const dbi::Burst& b : bursts_) {
+    s.payload_bits += cfg_.width * cfg_.burst_length;
+    s.payload_zeros += b.payload_zeros();
+    dbi::Word last = cfg_.dq_mask();  // all-ones boundary
+    for (int i = 0; i < b.length(); ++i) {
+      s.raw_transitions += dbi::hamming(last, b.word(i), cfg_);
+      last = b.word(i);
+    }
+  }
+  return s;
+}
+
+void BurstTrace::save(std::ostream& os) const {
+  os << "dbi-trace v1 " << cfg_.width << ' ' << cfg_.burst_length << '\n';
+  os << std::hex;
+  for (const dbi::Burst& b : bursts_) {
+    for (int i = 0; i < b.length(); ++i) {
+      if (i) os << ' ';
+      os << b.word(i);
+    }
+    os << '\n';
+  }
+  os << std::dec;
+}
+
+BurstTrace BurstTrace::load(std::istream& is) {
+  std::string magic, version;
+  dbi::BusConfig cfg;
+  if (!(is >> magic >> version >> cfg.width >> cfg.burst_length) ||
+      magic != "dbi-trace" || version != "v1")
+    throw std::runtime_error("BurstTrace::load: bad header");
+  BurstTrace trace(cfg);
+  std::string line;
+  std::getline(is, line);  // consume rest of header line
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    ls >> std::hex;
+    std::vector<dbi::Word> words;
+    dbi::Word w = 0;
+    while (ls >> w) words.push_back(w);
+    if (ls.fail() && !ls.eof())
+      throw std::runtime_error("BurstTrace::load: bad word");
+    trace.push(dbi::Burst(cfg, words));
+  }
+  return trace;
+}
+
+}  // namespace dbi::workload

@@ -1,0 +1,64 @@
+// Burst traces: materialised streams of bursts, with summary statistics
+// and a simple line-oriented text format for saving / replaying
+// workloads across runs and tools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/burst.hpp"
+#include "workload/generators.hpp"
+
+namespace dbi::workload {
+
+/// Payload statistics of a trace (before any DBI encoding).
+struct TraceStats {
+  std::int64_t bursts = 0;
+  std::int64_t payload_bits = 0;
+  std::int64_t payload_zeros = 0;
+  /// Raw (unencoded) beat-to-beat payload transitions with the paper's
+  /// all-ones boundary per burst.
+  std::int64_t raw_transitions = 0;
+
+  [[nodiscard]] double zero_fraction() const {
+    return payload_bits > 0
+               ? static_cast<double>(payload_zeros) /
+                     static_cast<double>(payload_bits)
+               : 0.0;
+  }
+};
+
+class BurstTrace {
+ public:
+  explicit BurstTrace(const dbi::BusConfig& cfg);
+
+  /// Materialises `count` bursts from `source`.
+  [[nodiscard]] static BurstTrace collect(BurstSource& source,
+                                          std::int64_t count);
+
+  void push(dbi::Burst burst);
+
+  [[nodiscard]] const dbi::BusConfig& config() const { return cfg_; }
+  [[nodiscard]] std::span<const dbi::Burst> bursts() const { return bursts_; }
+  [[nodiscard]] std::size_t size() const { return bursts_.size(); }
+  [[nodiscard]] bool empty() const { return bursts_.empty(); }
+  [[nodiscard]] const dbi::Burst& operator[](std::size_t i) const {
+    return bursts_[i];
+  }
+
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Text format: header "dbi-trace v1 <width> <burst_length>", then
+  /// one burst per line as whitespace-separated hex words.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static BurstTrace load(std::istream& is);
+
+ private:
+  dbi::BusConfig cfg_;
+  std::vector<dbi::Burst> bursts_;
+};
+
+}  // namespace dbi::workload

@@ -1,0 +1,97 @@
+#include "core/burst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string_view>
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(Burst, DefaultConstructedIsAllZero) {
+  const Burst b(kCfg);
+  EXPECT_EQ(b.length(), 8);
+  for (int i = 0; i < b.length(); ++i) EXPECT_EQ(b.word(i), 0u);
+  EXPECT_EQ(b.payload_zeros(), 64);
+}
+
+TEST(Burst, ConstructFromWords) {
+  const std::array<Word, 8> words = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Burst b(kCfg, words);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(b.word(i), words[static_cast<std::size_t>(i)]);
+}
+
+TEST(Burst, RejectsWrongWordCount) {
+  const std::array<Word, 3> words = {1, 2, 3};
+  EXPECT_THROW(Burst(kCfg, words), std::invalid_argument);
+}
+
+TEST(Burst, RejectsOutOfRangeWord) {
+  std::array<Word, 8> words{};
+  words[5] = 0x100;  // does not fit 8 lanes
+  EXPECT_THROW(Burst(kCfg, words), std::invalid_argument);
+}
+
+TEST(Burst, RejectsInvalidConfig) {
+  EXPECT_THROW(Burst(BusConfig{0, 8}), std::invalid_argument);
+}
+
+TEST(Burst, SetWordValidates) {
+  Burst b(kCfg);
+  b.set_word(2, 0xAB);
+  EXPECT_EQ(b.word(2), 0xABu);
+  EXPECT_THROW(b.set_word(2, 0x1FF), std::invalid_argument);
+  EXPECT_THROW(b.set_word(8, 0x01), std::out_of_range);
+  EXPECT_THROW((void)b.word(-1), std::out_of_range);
+}
+
+TEST(Burst, FromBytes) {
+  const std::array<std::uint8_t, 8> bytes = {0x00, 0xFF, 0x55, 0xAA,
+                                             0x0F, 0xF0, 0x01, 0x80};
+  const Burst b = Burst::from_bytes(kCfg, bytes);
+  EXPECT_EQ(b.word(0), 0x00u);
+  EXPECT_EQ(b.word(1), 0xFFu);
+  EXPECT_EQ(b.word(7), 0x80u);
+}
+
+TEST(Burst, FromBytesRequiresByteWidth) {
+  const std::array<std::uint8_t, 8> bytes{};
+  EXPECT_THROW(Burst::from_bytes(BusConfig{16, 8}, bytes),
+               std::invalid_argument);
+}
+
+TEST(Burst, FromBitStringsMsbFirst) {
+  const std::array<std::string_view, 2> beats = {"10000001", "00000010"};
+  const Burst b = Burst::from_bit_strings(BusConfig{8, 2}, beats);
+  EXPECT_EQ(b.word(0), 0x81u);
+  EXPECT_EQ(b.word(1), 0x02u);
+}
+
+TEST(Burst, FromBitStringsRejectsBadInput) {
+  const std::array<std::string_view, 2> wrong_len = {"1010", "00000010"};
+  EXPECT_THROW(Burst::from_bit_strings(BusConfig{8, 2}, wrong_len),
+               std::invalid_argument);
+  const std::array<std::string_view, 2> bad_char = {"1000000x", "00000010"};
+  EXPECT_THROW(Burst::from_bit_strings(BusConfig{8, 2}, bad_char),
+               std::invalid_argument);
+}
+
+TEST(Burst, PayloadZeros) {
+  const std::array<Word, 4> words = {0xFF, 0x00, 0xF0, 0b10101010};
+  const Burst b(BusConfig{8, 4}, words);
+  EXPECT_EQ(b.payload_zeros(), 0 + 8 + 4 + 4);
+}
+
+TEST(Burst, EqualityComparesContentAndGeometry) {
+  const std::array<Word, 8> words = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(Burst(kCfg, words), Burst(kCfg, words));
+  Burst changed(kCfg, words);
+  changed.set_word(0, 9);
+  EXPECT_NE(Burst(kCfg, words), changed);
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,99 @@
+#include "core/byte_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kByte{8, 8};
+
+TEST(ByteUtils, CountOnesByteLane) {
+  EXPECT_EQ(count_ones(0x00, kByte), 0);
+  EXPECT_EQ(count_ones(0xFF, kByte), 8);
+  EXPECT_EQ(count_ones(0b10001110, kByte), 4);
+  EXPECT_EQ(count_ones(0b01010101, kByte), 4);
+}
+
+TEST(ByteUtils, CountOnesIgnoresBitsAboveWidth) {
+  // Word may carry garbage above the lane width; helpers must mask.
+  EXPECT_EQ(count_ones(0xFFFFFF00u, kByte), 0);
+  EXPECT_EQ(count_ones(0xFFFFFF0Fu, kByte), 4);
+}
+
+TEST(ByteUtils, CountZerosComplementsCountOnes) {
+  for (Word w = 0; w < 256; ++w)
+    EXPECT_EQ(count_zeros(w, kByte), 8 - count_ones(w, kByte)) << w;
+}
+
+TEST(ByteUtils, NarrowLaneCounts) {
+  constexpr BusConfig narrow{4, 8};
+  EXPECT_EQ(count_ones(0b1111, narrow), 4);
+  EXPECT_EQ(count_zeros(0b0101, narrow), 2);
+  EXPECT_EQ(count_ones(0xF0, narrow), 0);  // bits above width ignored
+}
+
+TEST(ByteUtils, InvertIsMaskedComplement) {
+  EXPECT_EQ(invert(0x00, kByte), 0xFFu);
+  EXPECT_EQ(invert(0xFF, kByte), 0x00u);
+  EXPECT_EQ(invert(0b10001110, kByte), 0b01110001u);
+  constexpr BusConfig narrow{5, 8};
+  EXPECT_EQ(invert(0b00011, narrow), 0b11100u);
+}
+
+TEST(ByteUtils, InvertIsInvolution) {
+  for (Word w = 0; w < 256; ++w)
+    EXPECT_EQ(invert(invert(w, kByte), kByte), w);
+}
+
+TEST(ByteUtils, HammingBasics) {
+  EXPECT_EQ(hamming(0x00, 0xFF, kByte), 8);
+  EXPECT_EQ(hamming(0xAA, 0xAA, kByte), 0);
+  EXPECT_EQ(hamming(0b10001110, 0b01111001, kByte), 7);  // Fig. 2 pair
+}
+
+TEST(ByteUtils, HammingSymmetricAndTriangle) {
+  const Word a = 0x3C, b = 0xC3, c = 0x5A;
+  EXPECT_EQ(hamming(a, b, kByte), hamming(b, a, kByte));
+  EXPECT_LE(hamming(a, c, kByte),
+            hamming(a, b, kByte) + hamming(b, c, kByte));
+}
+
+TEST(ByteUtils, HammingToInverseIsComplement) {
+  for (Word w = 0; w < 256; w += 7) {
+    const Word other = (w * 37 + 11) & 0xFF;
+    EXPECT_EQ(hamming(w, other, kByte) + hamming(w, invert(other, kByte),
+                                                 kByte),
+              8);
+  }
+}
+
+TEST(ByteUtils, BeatTransitionsCountsDbiLine) {
+  const Beat prev{0xFF, true};
+  EXPECT_EQ(beat_transitions(prev, Beat{0xFF, true}, kByte), 0);
+  EXPECT_EQ(beat_transitions(prev, Beat{0xFF, false}, kByte), 1);
+  EXPECT_EQ(beat_transitions(prev, Beat{0x00, false}, kByte), 9);
+  EXPECT_EQ(beat_transitions(prev, Beat{0xF0, true}, kByte), 4);
+}
+
+TEST(ByteUtils, BeatZerosCountsDbiLine) {
+  EXPECT_EQ(beat_zeros(Beat{0xFF, true}, kByte), 0);
+  EXPECT_EQ(beat_zeros(Beat{0xFF, false}, kByte), 1);
+  EXPECT_EQ(beat_zeros(Beat{0x00, true}, kByte), 8);
+  EXPECT_EQ(beat_zeros(Beat{0x0F, false}, kByte), 5);
+}
+
+TEST(ByteUtils, ComplementaryBeatOptionsCoverAllLines) {
+  // For any previous beat and any data word, transmitting the word
+  // non-inverted vs inverted toggles t and (width + 1) - t lines: the
+  // identity behind the DBI AC rule.
+  const Beat prev{0b1011001, true};
+  constexpr BusConfig cfg{7, 8};
+  for (Word w = 0; w < (1u << 7); ++w) {
+    const int keep = beat_transitions(prev, Beat{w, true}, cfg);
+    const int inv = beat_transitions(prev, Beat{invert(w, cfg), false}, cfg);
+    EXPECT_EQ(keep + inv, cfg.lines()) << w;
+  }
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,81 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi {
+namespace {
+
+TEST(CostWeights, BurstCostIsLinear) {
+  const BurstStats s{26, 42};
+  EXPECT_DOUBLE_EQ(burst_cost(s, CostWeights{1.0, 1.0}), 68.0);
+  EXPECT_DOUBLE_EQ(burst_cost(s, CostWeights{0.0, 1.0}), 26.0);
+  EXPECT_DOUBLE_EQ(burst_cost(s, CostWeights{1.0, 0.0}), 42.0);
+  EXPECT_DOUBLE_EQ(burst_cost(s, CostWeights{0.5, 0.25}), 21.0 + 6.5);
+}
+
+TEST(CostWeights, IntegerCostMatchesDouble) {
+  const BurstStats s{13, 7};
+  EXPECT_EQ(burst_cost(s, IntCostWeights{3, 2}), 3 * 7 + 2 * 13);
+  EXPECT_DOUBLE_EQ(burst_cost(s, CostWeights{3.0, 2.0}),
+                   static_cast<double>(burst_cost(s, IntCostWeights{3, 2})));
+}
+
+TEST(CostWeights, ValidateRejectsNegative) {
+  EXPECT_THROW((CostWeights{-0.1, 1.0}.validate()), std::invalid_argument);
+  EXPECT_THROW((CostWeights{1.0, -1.0}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((CostWeights{0.0, 0.0}.validate()));
+  EXPECT_THROW((IntCostWeights{-1, 1}.validate()), std::invalid_argument);
+}
+
+TEST(CostWeights, AcDcTradeoffIsConvex) {
+  const CostWeights w = CostWeights::ac_dc_tradeoff(0.3);
+  EXPECT_DOUBLE_EQ(w.alpha, 0.3);
+  EXPECT_DOUBLE_EQ(w.beta, 0.7);
+  EXPECT_THROW((void)CostWeights::ac_dc_tradeoff(-0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)CostWeights::ac_dc_tradeoff(1.01),
+               std::invalid_argument);
+}
+
+TEST(QuantizeWeights, EqualWeightsBecomeEqualIntegers) {
+  for (int bits = 1; bits <= 8; ++bits) {
+    const IntCostWeights q = quantize_weights(CostWeights{1.0, 1.0}, bits);
+    EXPECT_EQ(q.alpha, q.beta);
+    EXPECT_GT(q.alpha, 0);
+    EXPECT_LE(q.alpha, (1 << bits) - 1);
+  }
+}
+
+TEST(QuantizeWeights, PreservesRatioWithinGrid) {
+  const CostWeights w{0.3, 0.7};
+  const IntCostWeights q = quantize_weights(w, 8);
+  const double ratio = static_cast<double>(q.alpha) / q.beta;
+  EXPECT_NEAR(ratio, w.alpha / w.beta, 0.02);
+}
+
+TEST(QuantizeWeights, LargerCoefficientSaturatesRange) {
+  const IntCostWeights q = quantize_weights(CostWeights{0.1, 0.9}, 3);
+  EXPECT_EQ(q.beta, 7);  // 3-bit full scale
+  EXPECT_GE(q.alpha, 1);
+}
+
+TEST(QuantizeWeights, ZeroStaysZeroPositiveStaysPositive) {
+  const IntCostWeights q = quantize_weights(CostWeights{0.0, 1.0}, 3);
+  EXPECT_EQ(q.alpha, 0);
+  EXPECT_EQ(q.beta, 7);
+  // A tiny-but-positive weight must not be rounded to "free".
+  const IntCostWeights tiny = quantize_weights(CostWeights{1e-6, 1.0}, 3);
+  EXPECT_GE(tiny.alpha, 1);
+}
+
+TEST(QuantizeWeights, RejectsBadArguments) {
+  EXPECT_THROW((void)quantize_weights(CostWeights{1, 1}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantize_weights(CostWeights{1, 1}, 17),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantize_weights(CostWeights{-1, 1}, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi

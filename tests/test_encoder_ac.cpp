@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/byte_utils.hpp"
+#include "core/encoder.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(EncoderAc, NameAndFactory) {
+  EXPECT_EQ(make_ac_encoder()->name(), "DBI AC");
+  EXPECT_EQ(make_encoder(Scheme::kAc)->name(), "DBI AC");
+}
+
+TEST(EncoderAc, FirstBeatAgainstAllOnesActsLikeDc) {
+  // With the all-ones boundary the transition count of the first beat
+  // equals its zero count, so the first decision matches DBI DC.
+  const auto ac = make_ac_encoder();
+  const auto dc = make_dc_encoder();
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed);
+    const BusState prev = BusState::all_ones(kCfg);
+    EXPECT_EQ(ac->encode(data, prev).inverted(0),
+              dc->encode(data, prev).inverted(0));
+  }
+}
+
+TEST(EncoderAc, BeatWiseTransitionOptimality) {
+  // Greedy invariant: given the previously transmitted beat, no single
+  // beat decision can be improved.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 50);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto e = make_ac_encoder()->encode(data, prev);
+    Beat last = prev.last;
+    for (int i = 0; i < e.length(); ++i) {
+      const Beat chosen = e.beat(i);
+      const Beat other{invert(chosen.dq, kCfg), !chosen.dbi};
+      EXPECT_LE(beat_transitions(last, chosen, kCfg),
+                beat_transitions(last, other, kCfg));
+      last = chosen;
+    }
+  }
+}
+
+TEST(EncoderAc, AtMostFourTransitionsPerBeat) {
+  // 9 lines toggle either t or 9 - t; the chosen option is <= 4.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 150);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto e = make_ac_encoder()->encode(data, prev);
+    Beat last = prev.last;
+    for (int i = 0; i < e.length(); ++i) {
+      EXPECT_LE(beat_transitions(last, e.beat(i), kCfg), 4);
+      last = e.beat(i);
+    }
+  }
+}
+
+TEST(EncoderAc, ClosedFormDecisionMatches) {
+  // invert(i) = (ham(w_{i-1}, w_i) >= 5) XOR invert(i-1), with
+  // w_{-1} = 0xFF — the identity the gate-level design uses.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 250);
+    const auto e =
+        make_ac_encoder()->encode(data, BusState::all_ones(kCfg));
+    bool p = false;
+    Word prev = 0xFF;
+    for (int i = 0; i < e.length(); ++i) {
+      const bool expected = (hamming(prev, data.word(i), kCfg) >= 5) != p;
+      EXPECT_EQ(e.inverted(i), expected) << "seed=" << seed << " i=" << i;
+      p = expected;
+      prev = data.word(i);
+    }
+  }
+}
+
+TEST(EncoderAc, RepeatedBeatsCauseNoTransitions) {
+  const BusConfig cfg{8, 4};
+  const Burst data(cfg, std::array<Word, 4>{0xFF, 0xFF, 0xFF, 0xFF});
+  const auto e = make_ac_encoder()->encode(data, BusState::all_ones(cfg));
+  EXPECT_EQ(e.transitions(BusState::all_ones(cfg)), 0);
+  EXPECT_EQ(e.inversion_mask(), 0u);
+}
+
+TEST(EncoderAc, AlternatingPatternIsNeutralized) {
+  // 0x00 / 0xFF alternation: AC inverts every other beat so the DQ
+  // lines never toggle; only the DBI line flips once per beat.
+  const BusConfig cfg{8, 6};
+  const Burst data(cfg, std::array<Word, 6>{0x00, 0xFF, 0x00, 0xFF, 0x00,
+                                            0xFF});
+  const auto e = make_ac_encoder()->encode(data, BusState::all_ones(cfg));
+  const int raw_transitions =
+      make_raw_encoder()->encode(data, BusState::all_ones(cfg))
+          .transitions(BusState::all_ones(cfg));
+  EXPECT_EQ(raw_transitions, 48);
+  EXPECT_LE(e.transitions(BusState::all_ones(cfg)), 6);
+}
+
+TEST(EncoderAc, RespectsBusHistory) {
+  const BusConfig cfg{8, 1};
+  const Burst data(cfg, std::array<Word, 1>{0x0F});
+  // From all-ones: keep costs 4, invert costs 5 -> keep.
+  EXPECT_FALSE(make_ac_encoder()
+                   ->encode(data, BusState::all_ones(cfg))
+                   .inverted(0));
+  // From all-zeros (dbi low): keep costs ham(0,0F)=4 + dbi 1 = 5,
+  // invert costs ham(0,F0)=4 + 0 = 4 -> invert.
+  EXPECT_TRUE(make_ac_encoder()
+                  ->encode(data, BusState::all_zeros())
+                  .inverted(0));
+}
+
+TEST(EncoderAc, DecodeRecoversPayload) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 31);
+    EXPECT_EQ(
+        make_ac_encoder()->encode(data, BusState::all_ones(kCfg)).decode(),
+        data);
+  }
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/byte_utils.hpp"
+#include "core/encoder.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(EncoderDc, NameAndFactory) {
+  EXPECT_EQ(make_dc_encoder()->name(), "DBI DC");
+  EXPECT_EQ(make_encoder(Scheme::kDc)->name(), "DBI DC");
+}
+
+TEST(EncoderDc, FiveOrMoreZerosInverts) {
+  const BusConfig cfg{8, 4};
+  // zeros: 4, 5, 3, 8.
+  const Burst data(cfg, std::array<Word, 4>{0x0F, 0x07, 0x1F, 0x00});
+  const auto e = make_dc_encoder()->encode(data, BusState::all_ones(cfg));
+  EXPECT_FALSE(e.inverted(0));
+  EXPECT_TRUE(e.inverted(1));
+  EXPECT_FALSE(e.inverted(2));
+  EXPECT_TRUE(e.inverted(3));
+}
+
+TEST(EncoderDc, GuaranteesAtMostFourZerosPerBeat) {
+  // The JEDEC guarantee from the paper's Section I: never more than 4
+  // zeros per transmitted beat (DBI line included).
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed);
+    const auto e = make_dc_encoder()->encode(data, BusState::all_ones(kCfg));
+    for (int i = 0; i < e.length(); ++i)
+      EXPECT_LE(beat_zeros(e.beat(i), kCfg), 4) << "seed=" << seed;
+  }
+}
+
+TEST(EncoderDc, BeatWiseZeroOptimality) {
+  // No per-beat flip can reduce the zero count of a DC encoding.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 1000);
+    const auto e = make_dc_encoder()->encode(data, BusState::all_ones(kCfg));
+    for (int i = 0; i < e.length(); ++i) {
+      const Beat chosen = e.beat(i);
+      const Beat other{invert(chosen.dq, kCfg), !chosen.dbi};
+      EXPECT_LE(beat_zeros(chosen, kCfg), beat_zeros(other, kCfg));
+    }
+  }
+}
+
+TEST(EncoderDc, IgnoresBusHistory) {
+  const Burst data = test::random_burst(kCfg, 3);
+  const auto enc = make_dc_encoder();
+  EXPECT_EQ(enc->encode(data, BusState::all_ones(kCfg)).inversion_mask(),
+            enc->encode(data, BusState::all_zeros()).inversion_mask());
+}
+
+TEST(EncoderDc, ExactZeroThresholdOnOddWidth) {
+  // Width 7: inversion turns z zeros into (7 - z) + 1; profitable only
+  // for z > 4, i.e. 2z > width + 1.
+  const BusConfig cfg{7, 3};
+  // zeros: 4 (keep - tie), 5 (invert), 3 (keep)
+  const Burst data(cfg, std::array<Word, 3>{0b0000111, 0b0000011,
+                                            0b0001111});
+  const auto e = make_dc_encoder()->encode(data, BusState::all_ones(cfg));
+  EXPECT_FALSE(e.inverted(0));
+  EXPECT_TRUE(e.inverted(1));
+  EXPECT_FALSE(e.inverted(2));
+}
+
+TEST(EncoderDc, DecodeRecoversPayload) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 77);
+    EXPECT_EQ(
+        make_dc_encoder()->encode(data, BusState::all_ones(kCfg)).decode(),
+        data);
+  }
+}
+
+TEST(EncoderDc, MeanZerosOnRandomDataMatchesTheory) {
+  // E[zeros per byte] after DBI DC on uniform bytes is 837/256 ~ 3.27
+  // (Section I argument); over 8 bytes ~ 26.2 — the Fig. 3 left edge.
+  double zeros = 0;
+  const int n = 4000;
+  const auto enc = make_dc_encoder();
+  for (int seed = 0; seed < n; ++seed) {
+    const Burst data = test::random_burst(kCfg, static_cast<std::uint64_t>(seed));
+    zeros += enc->encode(data, BusState::all_ones(kCfg)).zeros();
+  }
+  EXPECT_NEAR(zeros / n, 8.0 * 837.0 / 256.0, 0.15);
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+const BusState kBoundary = BusState::all_ones(kCfg);
+
+TEST(NoisyEncoder, NameWrapsInner) {
+  const auto enc = make_noisy_encoder(make_dc_encoder(), 0.1, 1);
+  EXPECT_EQ(enc->name(), "NOISY(DBI DC)");
+}
+
+TEST(NoisyEncoder, RejectsBadArguments) {
+  EXPECT_THROW(make_noisy_encoder(nullptr, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(make_noisy_encoder(make_dc_encoder(), -0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_noisy_encoder(make_dc_encoder(), 1.1, 1),
+               std::invalid_argument);
+}
+
+TEST(NoisyEncoder, ZeroErrorRateIsTransparent) {
+  const auto noisy = make_noisy_encoder(make_opt_fixed_encoder(), 0.0, 1);
+  const auto clean = make_opt_fixed_encoder();
+  for (const Burst& b : test::random_bursts(kCfg, 50, 5))
+    EXPECT_EQ(noisy->encode(b, kBoundary).inversion_mask(),
+              clean->encode(b, kBoundary).inversion_mask());
+}
+
+TEST(NoisyEncoder, FullErrorRateFlipsEveryDecision) {
+  const auto noisy = make_noisy_encoder(make_dc_encoder(), 1.0, 1);
+  const auto clean = make_dc_encoder();
+  for (const Burst& b : test::random_bursts(kCfg, 50, 15))
+    EXPECT_EQ(noisy->encode(b, kBoundary).inversion_mask(),
+              clean->encode(b, kBoundary).inversion_mask() ^ 0xFFu);
+}
+
+TEST(NoisyEncoder, AlwaysDecodable) {
+  // The paper's analog-implementation argument: decision errors never
+  // corrupt data, because the DBI line travels with the beat.
+  const auto noisy = make_noisy_encoder(make_opt_fixed_encoder(), 0.3, 42);
+  for (const Burst& b : test::random_bursts(kCfg, 100, 25))
+    EXPECT_EQ(noisy->encode(b, kBoundary).decode(), b);
+}
+
+TEST(NoisyEncoder, DeterministicPerSeed) {
+  const Burst b = test::random_burst(kCfg, 3);
+  const auto a1 = make_noisy_encoder(make_dc_encoder(), 0.5, 7);
+  const auto a2 = make_noisy_encoder(make_dc_encoder(), 0.5, 7);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(a1->encode(b, kBoundary).inversion_mask(),
+              a2->encode(b, kBoundary).inversion_mask());
+}
+
+TEST(NoisyEncoder, ErrorRateMatchesFlipStatistics) {
+  const double rate = 0.1;
+  const auto noisy = make_noisy_encoder(make_dc_encoder(), rate, 11);
+  const auto clean = make_dc_encoder();
+  std::int64_t flips = 0, beats = 0;
+  for (const Burst& b : test::random_bursts(kCfg, 2000, 35)) {
+    const auto diff = noisy->encode(b, kBoundary).inversion_mask() ^
+                      clean->encode(b, kBoundary).inversion_mask();
+    flips += std::popcount(diff);
+    beats += 8;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / static_cast<double>(beats), rate,
+              0.01);
+}
+
+TEST(NoisyEncoder, CostDegradesGracefully) {
+  // A noisy OPT encoder can only be worse than clean OPT in
+  // expectation, and a flipped decision costs at most the full beat.
+  const CostWeights w{0.5, 0.5};
+  const auto noisy = make_noisy_encoder(make_opt_encoder(w), 0.01, 3);
+  const auto clean = make_opt_encoder(w);
+  double noisy_total = 0, clean_total = 0;
+  for (const Burst& b : test::random_bursts(kCfg, 2000, 45)) {
+    noisy_total += encoded_cost(noisy->encode(b, kBoundary), kBoundary, w);
+    clean_total += encoded_cost(clean->encode(b, kBoundary), kBoundary, w);
+  }
+  EXPECT_GE(noisy_total, clean_total);
+  EXPECT_LT(noisy_total, clean_total * 1.02);  // 1% errors ~ <2% energy
+}
+
+TEST(GreedyEncoder, IsTheOneBeatWindow) {
+  const CostWeights w{0.4, 0.6};
+  const auto greedy = make_greedy_encoder(w);
+  const auto window1 = make_windowed_opt_encoder(w, 1);
+  EXPECT_EQ(greedy->name(), window1->name());
+  for (const Burst& b : test::random_bursts(kCfg, 50, 55))
+    EXPECT_EQ(greedy->encode(b, kBoundary).inversion_mask(),
+              window1->encode(b, kBoundary).inversion_mask());
+}
+
+TEST(GreedyEncoder, BetweenConventionalAndOpt) {
+  // The Chang-style heuristic beats pure DC/AC at balanced weights but
+  // cannot beat the trellis.
+  const CostWeights w{0.5, 0.5};
+  const auto greedy = make_greedy_encoder(w);
+  const auto opt = make_opt_encoder(w);
+  double greedy_total = 0, opt_total = 0, dc_total = 0, ac_total = 0;
+  for (const Burst& b : test::random_bursts(kCfg, 1000, 65)) {
+    greedy_total += encoded_cost(greedy->encode(b, kBoundary), kBoundary, w);
+    opt_total += encoded_cost(opt->encode(b, kBoundary), kBoundary, w);
+    dc_total += encoded_cost(make_dc_encoder()->encode(b, kBoundary),
+                             kBoundary, w);
+    ac_total += encoded_cost(make_ac_encoder()->encode(b, kBoundary),
+                             kBoundary, w);
+  }
+  EXPECT_LE(opt_total, greedy_total);
+  EXPECT_LT(greedy_total, dc_total);
+  EXPECT_LT(greedy_total, ac_total);
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+constexpr CostWeights kW{0.5, 0.5};
+
+TEST(EncoderWindow, NameEncodesWindow) {
+  EXPECT_EQ(make_windowed_opt_encoder(kW, 4)->name(), "DBI OPT (window 4)");
+}
+
+TEST(EncoderWindow, RejectsBadWindow) {
+  EXPECT_THROW(make_windowed_opt_encoder(kW, 0), std::invalid_argument);
+  EXPECT_THROW(make_windowed_opt_encoder(CostWeights{-1, 1}, 4),
+               std::invalid_argument);
+}
+
+TEST(EncoderWindow, FullWindowEqualsOpt) {
+  const auto windowed = make_windowed_opt_encoder(kW, 8);
+  const auto opt = make_opt_encoder(kW);
+  const BusState prev = BusState::all_ones(kCfg);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed);
+    EXPECT_NEAR(encoded_cost(windowed->encode(data, prev), prev, kW),
+                encoded_cost(opt->encode(data, prev), prev, kW), 1e-9);
+  }
+}
+
+TEST(EncoderWindow, OversizedWindowAlsoEqualsOpt) {
+  const auto windowed = make_windowed_opt_encoder(kW, 13);
+  const auto opt = make_opt_encoder(kW);
+  const BusState prev = BusState::all_ones(kCfg);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 100);
+    EXPECT_NEAR(encoded_cost(windowed->encode(data, prev), prev, kW),
+                encoded_cost(opt->encode(data, prev), prev, kW), 1e-9);
+  }
+}
+
+TEST(EncoderWindow, NeverBeatsFullOpt) {
+  const BusState prev = BusState::all_ones(kCfg);
+  const auto opt = make_opt_encoder(kW);
+  for (int window : {1, 2, 3, 4, 5, 6, 7}) {
+    const auto windowed = make_windowed_opt_encoder(kW, window);
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      const Burst data = test::random_burst(kCfg, seed + 200);
+      EXPECT_GE(encoded_cost(windowed->encode(data, prev), prev, kW) + 1e-9,
+                encoded_cost(opt->encode(data, prev), prev, kW))
+          << "window=" << window;
+    }
+  }
+}
+
+TEST(EncoderWindow, WindowedBlocksAreLocallyOptimal) {
+  // Each committed block must be exactly the trellis optimum for the
+  // state it started from — replacing a block with any alternative
+  // cannot improve that block's own cost.
+  const int window = 4;
+  const auto windowed = make_windowed_opt_encoder(kW, window);
+  const auto block_opt = make_exhaustive_encoder(kW);
+  const BusState boundary = BusState::all_ones(kCfg);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 300);
+    const auto e = windowed->encode(data, boundary);
+    BusState state = boundary;
+    for (int start = 0; start < 8; start += window) {
+      BusConfig block_cfg = kCfg;
+      block_cfg.burst_length = window;
+      std::vector<Word> words;
+      std::vector<Beat> beats;
+      for (int i = 0; i < window; ++i) {
+        words.push_back(data.word(start + i));
+        beats.push_back(e.beat(start + i));
+      }
+      const Burst block(block_cfg, words);
+      const EncodedBurst chosen(block_cfg, beats);
+      const double best = encoded_cost(block_opt->encode(block, state),
+                                       state, kW);
+      EXPECT_NEAR(encoded_cost(chosen, state, kW), best, 1e-9);
+      state = chosen.final_state();
+    }
+  }
+}
+
+TEST(EncoderWindow, DecodeRecoversPayload) {
+  const auto windowed = make_windowed_opt_encoder(kW, 3);
+  const BusState prev = BusState::all_ones(kCfg);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 400);
+    EXPECT_EQ(windowed->encode(data, prev).decode(), data);
+  }
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,143 @@
+#include "core/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/byte_utils.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+Burst sample_burst() {
+  const std::array<Word, 8> words = {0x8E, 0x86, 0x96, 0xE9,
+                                     0x7D, 0xB7, 0x57, 0xC4};
+  return Burst(kCfg, words);
+}
+
+TEST(EncodedBurst, MaskZeroTransmitsVerbatim) {
+  const Burst data = sample_burst();
+  const EncodedBurst e = EncodedBurst::from_inversion_mask(data, 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(e.beat(i).dq, data.word(i));
+    EXPECT_TRUE(e.beat(i).dbi);
+    EXPECT_FALSE(e.inverted(i));
+  }
+  EXPECT_EQ(e.inversion_mask(), 0u);
+}
+
+TEST(EncodedBurst, MaskInvertsSelectedBeats) {
+  const Burst data = sample_burst();
+  const EncodedBurst e = EncodedBurst::from_inversion_mask(data, 0b00000101);
+  EXPECT_EQ(e.beat(0).dq, invert(data.word(0), kCfg));
+  EXPECT_FALSE(e.beat(0).dbi);
+  EXPECT_EQ(e.beat(1).dq, data.word(1));
+  EXPECT_TRUE(e.beat(1).dbi);
+  EXPECT_EQ(e.beat(2).dq, invert(data.word(2), kCfg));
+  EXPECT_EQ(e.inversion_mask(), 0b00000101u);
+}
+
+TEST(EncodedBurst, RejectsMaskBeyondBurstLength) {
+  EXPECT_THROW(EncodedBurst::from_inversion_mask(sample_burst(), 1u << 8),
+               std::invalid_argument);
+}
+
+TEST(EncodedBurst, ZerosCountsDbiLine) {
+  // 0x0F has 4 zeros; inverted beat adds the DBI-line zero.
+  const Burst data(BusConfig{8, 2}, std::array<Word, 2>{0x0F, 0x0F});
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 0b00).zeros(), 8);
+  // Inverting beat 0: its payload now has 4 zeros too (0xF0), +1 DBI.
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 0b01).zeros(), 9);
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 0b11).zeros(), 10);
+}
+
+TEST(EncodedBurst, TransitionsAgainstBoundary) {
+  const BusConfig cfg{8, 2};
+  const Burst data(cfg, std::array<Word, 2>{0xFF, 0x00});
+  const BusState prev = BusState::all_ones(cfg);
+  // Beat0 0xFF (no change), beat1 0x00: 8 DQ lines flip.
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 0b00).transitions(prev),
+            8);
+  // Inverting beat1 transmits 0xFF again but toggles the DBI line twice
+  // (1 -> 0 between beats, and the initial state was 1): beats are
+  // {0xFF,1},{0xFF,0} => only the DBI toggle remains.
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 0b10).transitions(prev),
+            1);
+}
+
+TEST(EncodedBurst, RawBurstIgnoresDbiLine) {
+  const BusConfig cfg{8, 2};
+  std::vector<Beat> beats = {{0x0F, true}, {0x0F, true}};
+  const EncodedBurst raw(cfg, beats, /*uses_dbi_line=*/false);
+  EXPECT_EQ(raw.zeros(), 8);
+  // DBI line excluded from transitions as well.
+  const EncodedBurst raw2(cfg, {{0x0F, false}, {0x0F, true}},
+                          /*uses_dbi_line=*/false);
+  EXPECT_EQ(raw2.transitions(BusState::all_ones(cfg)),
+            4);  // only the first-beat DQ flips
+}
+
+TEST(EncodedBurst, DecodeRoundTripsAnyMask) {
+  const Burst data = sample_burst();
+  for (std::uint64_t mask = 0; mask < 256; mask += 13) {
+    const EncodedBurst e = EncodedBurst::from_inversion_mask(data, mask);
+    EXPECT_EQ(e.decode(), data) << "mask=" << mask;
+  }
+}
+
+TEST(EncodedBurst, DecodeRoundTripsRandomBursts) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed);
+    const std::uint64_t mask = seed * 0x9E3779B9ull % 256;
+    EXPECT_EQ(EncodedBurst::from_inversion_mask(data, mask).decode(), data);
+  }
+}
+
+TEST(EncodedBurst, FinalStateIsLastBeat) {
+  const Burst data = sample_burst();
+  const EncodedBurst e = EncodedBurst::from_inversion_mask(data, 0b10000000);
+  EXPECT_EQ(e.final_state().last.dq, invert(data.word(7), kCfg));
+  EXPECT_FALSE(e.final_state().last.dbi);
+}
+
+TEST(EncodedBurst, StatsCombinesZerosAndTransitions) {
+  const Burst data = sample_burst();
+  const BusState prev = BusState::all_ones(kCfg);
+  const EncodedBurst e = EncodedBurst::from_inversion_mask(data, 0x5A);
+  const BurstStats s = e.stats(prev);
+  EXPECT_EQ(s.zeros, e.zeros());
+  EXPECT_EQ(s.transitions, e.transitions(prev));
+}
+
+TEST(BurstStats, Arithmetic) {
+  const BurstStats a{3, 4};
+  const BurstStats b{10, 20};
+  EXPECT_EQ((a + b).zeros, 13);
+  EXPECT_EQ((a + b).transitions, 24);
+  BurstStats c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(EncodedBurst, ToStringFormat) {
+  const BusConfig cfg{8, 1};
+  const Burst data(cfg, std::array<Word, 1>{0b10001110});
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 0).to_string(),
+            "10001110 dbi=1\n");
+  EXPECT_EQ(EncodedBurst::from_inversion_mask(data, 1).to_string(),
+            "01110001 dbi=0\n");
+}
+
+TEST(EncodedBurst, RejectsGeometryViolations) {
+  EXPECT_THROW(EncodedBurst(kCfg, std::vector<Beat>(3)),
+               std::invalid_argument);
+  std::vector<Beat> beats(8);
+  beats[0].dq = 0x1FF;  // wider than the lane
+  EXPECT_THROW(EncodedBurst(kCfg, beats), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi

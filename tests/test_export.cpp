@@ -1,0 +1,112 @@
+#include "netlist/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hw/hw_design.hpp"
+#include "netlist/blocks.hpp"
+
+namespace dbi::netlist {
+namespace {
+
+TEST(Export, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("byte0[3]"), "byte0_3_");
+  EXPECT_EQ(sanitize_identifier("plain"), "plain");
+  EXPECT_EQ(sanitize_identifier("3bad"), "_3bad");
+  EXPECT_EQ(sanitize_identifier(""), "_");
+}
+
+TEST(Export, VerilogCombinationalStructure) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.mark_output(nl.xor2(a, b), "y");
+  std::ostringstream os;
+  write_verilog(os, nl, "xor_gate");
+  const std::string v = os.str();
+  EXPECT_NE(v.find("module xor_gate ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire a,"), std::string::npos);
+  EXPECT_NE(v.find("output wire y"), std::string::npos);
+  EXPECT_NE(v.find("= (a ^ b);"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Purely combinational: no clock port, no always block.
+  EXPECT_EQ(v.find("clk"), std::string::npos);
+  EXPECT_EQ(v.find("always"), std::string::npos);
+}
+
+TEST(Export, VerilogEmitsAllGateFlavours) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId s = nl.add_input("s");
+  nl.mark_output(nl.nand2(a, b), "o_nand");
+  nl.mark_output(nl.nor2(a, b), "o_nor");
+  nl.mark_output(nl.xnor2(a, b), "o_xnor");
+  nl.mark_output(nl.mux2(a, b, s), "o_mux");
+  nl.mark_output(nl.inv(a), "o_inv");
+  nl.mark_output(nl.add_const(true), "o_one");
+  std::ostringstream os;
+  write_verilog(os, nl, "zoo");
+  const std::string v = os.str();
+  EXPECT_NE(v.find("~(a & b)"), std::string::npos);
+  EXPECT_NE(v.find("~(a | b)"), std::string::npos);
+  EXPECT_NE(v.find("~(a ^ b)"), std::string::npos);
+  EXPECT_NE(v.find("s ? b : a"), std::string::npos);
+  EXPECT_NE(v.find("= ~a;"), std::string::npos);
+  EXPECT_NE(v.find("1'b1"), std::string::npos);
+}
+
+TEST(Export, VerilogSequentialGetsClockAndAlways) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_dff(d);
+  nl.mark_output(q, "q");
+  std::ostringstream os;
+  write_verilog(os, nl, "flop");
+  const std::string v = os.str();
+  EXPECT_NE(v.find("input  wire clk,"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("<= d;"), std::string::npos);
+  EXPECT_NE(v.find("reg "), std::string::npos);
+}
+
+TEST(Export, VerilogOfRealDesignsIsWellFormed) {
+  for (const hw::HwDesign& design :
+       {hw::build_dbi_dc(), hw::build_dbi_ac(), hw::build_dbi_opt_fixed(),
+        hw::build_dbi_decoder()}) {
+    std::ostringstream os;
+    write_verilog(os, design.net, design.name);
+    const std::string v = os.str();
+    EXPECT_NE(v.find("module "), std::string::npos) << design.name;
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    // Every output port must be assigned exactly once.
+    for (const Port& out : design.net.outputs())
+      EXPECT_NE(v.find("assign " + sanitize_identifier(out.name) + " = "),
+                std::string::npos)
+          << design.name << " missing " << out.name;
+  }
+}
+
+TEST(Export, DotContainsNodesAndEdges) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.inv(a);
+  nl.mark_output(g, "y");
+  std::ostringstream os;
+  write_dot(os, nl, "tiny");
+  const std::string d = os.str();
+  EXPECT_NE(d.find("digraph tiny {"), std::string::npos);
+  EXPECT_NE(d.find("INV"), std::string::npos);
+  EXPECT_NE(d.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(d.find("out_y"), std::string::npos);
+}
+
+TEST(Export, DotRefusesHugeNetlists) {
+  const hw::HwDesign big = hw::build_dbi_opt_3bit();
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(os, big.net, "big", 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::netlist

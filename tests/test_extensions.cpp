@@ -1,0 +1,93 @@
+// Tests for the extension studies: granularity and decision-noise
+// sweeps of sim/experiments.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/experiments.hpp"
+#include "workload/generators.hpp"
+
+namespace dbi::sim {
+namespace {
+
+const workload::BurstTrace& trace() {
+  static const workload::BurstTrace t = [] {
+    auto src = workload::make_uniform_source(BusConfig{8, 8}, 314);
+    return workload::BurstTrace::collect(*src, 1500);
+  }();
+  return t;
+}
+
+TEST(Granularity, SingleGroupMatchesPlainOpt) {
+  const CostWeights w{0.5, 0.5};
+  const std::vector<int> groups = {1};
+  const auto sweep = granularity_sweep(trace(), w, groups);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0].total_lines, 9);
+  const auto direct = mean_stats(trace(), *make_opt_encoder(w));
+  EXPECT_NEAR(sweep[0].mean_cost,
+              0.5 * (direct.zeros + direct.transitions), 1e-9);
+}
+
+TEST(Granularity, LineCountGrowsWithGroups) {
+  const std::vector<int> groups = {1, 2, 4, 8};
+  const auto sweep = granularity_sweep(trace(), CostWeights{0.5, 0.5},
+                                       groups);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0].total_lines, 9);
+  EXPECT_EQ(sweep[1].total_lines, 10);
+  EXPECT_EQ(sweep[2].total_lines, 12);
+  EXPECT_EQ(sweep[3].total_lines, 16);
+}
+
+TEST(Granularity, NormalisationIsRelativeToSingleWire) {
+  const std::vector<int> groups = {1, 2};
+  const auto sweep = granularity_sweep(trace(), CostWeights{0.5, 0.5},
+                                       groups);
+  EXPECT_DOUBLE_EQ(sweep[0].vs_single_dbi, 1.0);
+  EXPECT_NEAR(sweep[1].vs_single_dbi,
+              sweep[1].mean_cost / sweep[0].mean_cost, 1e-12);
+}
+
+TEST(Granularity, ExtremeCaseOneWirePerLineIsCounterproductive) {
+  // With one DBI wire per data line, inverting never pays for random
+  // data (the control wire costs as much as it can save), so the cost
+  // exceeds the classic 8+1 arrangement.
+  const std::vector<int> groups = {1, 8};
+  const auto sweep = granularity_sweep(trace(), CostWeights{0.5, 0.5},
+                                       groups);
+  EXPECT_GT(sweep[1].mean_cost, sweep[0].mean_cost);
+}
+
+TEST(Granularity, RejectsNonDividingGroups) {
+  const std::vector<int> bad = {3};
+  EXPECT_THROW(
+      (void)granularity_sweep(trace(), CostWeights{1, 1}, bad),
+      std::invalid_argument);
+}
+
+TEST(Noise, CleanPointHasZeroLoss) {
+  const std::vector<double> rates = {0.0, 0.01};
+  const auto sweep = noise_sweep(trace(), CostWeights{0.5, 0.5}, rates, 9);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_NEAR(sweep[0].loss_vs_clean, 0.0, 1e-12);
+  EXPECT_GT(sweep[1].loss_vs_clean, 0.0);
+}
+
+TEST(Noise, LossGrowsWithErrorRate) {
+  const std::vector<double> rates = {0.001, 0.01, 0.1};
+  const auto sweep = noise_sweep(trace(), CostWeights{0.5, 0.5}, rates, 9);
+  EXPECT_LT(sweep[0].loss_vs_clean, sweep[1].loss_vs_clean);
+  EXPECT_LT(sweep[1].loss_vs_clean, sweep[2].loss_vs_clean);
+}
+
+TEST(Noise, SmallErrorRatesAreCheap) {
+  // The quantitative form of the paper's analog remark: 1e-3 decision
+  // errors cost well under 1% energy.
+  const std::vector<double> rates = {0.001};
+  const auto sweep = noise_sweep(trace(), CostWeights{0.5, 0.5}, rates, 9);
+  EXPECT_LT(sweep[0].loss_vs_clean, 0.01);
+}
+
+}  // namespace
+}  // namespace dbi::sim

@@ -1,0 +1,86 @@
+#include "hw/fault_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/sim.hpp"
+#include "workload/generators.hpp"
+
+namespace dbi {
+namespace {
+
+TEST(FaultInjection, StuckAtOverridesGateOutput) {
+  netlist::Netlist nl;
+  const netlist::NetId a = nl.add_input("a");
+  const netlist::NetId g = nl.inv(a);
+  const netlist::NetId h = nl.inv(g);
+  netlist::Simulator sim(nl);
+  sim.set_input(a, true);
+  sim.eval();
+  EXPECT_FALSE(sim.value(g));
+  EXPECT_TRUE(sim.value(h));
+
+  sim.inject_stuck_at(g, true);
+  sim.eval();
+  EXPECT_TRUE(sim.value(g));
+  EXPECT_FALSE(sim.value(h));  // fault propagates downstream
+
+  sim.clear_faults();
+  sim.eval();
+  EXPECT_FALSE(sim.value(g));
+  EXPECT_THROW(sim.inject_stuck_at(99, true), std::invalid_argument);
+}
+
+class FaultStudyFixture : public ::testing::Test {
+ protected:
+  static const hw::FaultStudyResult& result() {
+    static const hw::FaultStudyResult r = [] {
+      auto src = workload::make_uniform_source(BusConfig{8, 8}, 4);
+      const auto trace = workload::BurstTrace::collect(*src, 64);
+      hw::FaultStudyOptions options;
+      options.max_sites = 150;
+      options.bursts_per_fault = 16;
+      return hw::run_fault_study(trace, options);
+    }();
+    return r;
+  }
+};
+
+TEST_F(FaultStudyFixture, ClassifiesEverySampledSite) {
+  EXPECT_EQ(result().sites_tested, 150);
+  EXPECT_EQ(result().benign + result().suboptimal + result().corrupting,
+            result().sites_tested);
+}
+
+TEST_F(FaultStudyFixture, MostFaultsAreNotCorrupting) {
+  // The paper's analog argument: the decision logic dominates the
+  // encoder, and faults there only lose energy. Only the thin
+  // output-XOR / DBI stage can corrupt data.
+  EXPECT_LT(result().corrupting_fraction(), 0.35);
+  EXPECT_GT(result().suboptimal + result().benign, result().corrupting);
+}
+
+TEST_F(FaultStudyFixture, SuboptimalFaultsExistAndAreBounded) {
+  EXPECT_GT(result().suboptimal, 0);
+  EXPECT_GT(result().worst_cost_increase, 0.0);
+  // A single stuck decision cannot blow the cost up arbitrarily: even
+  // the worst fault stays within 2x of optimal on random data.
+  EXPECT_LT(result().worst_cost_increase, 1.0);
+}
+
+TEST(FaultStudy, RejectsBadInputs) {
+  const workload::BurstTrace empty(BusConfig{8, 8});
+  EXPECT_THROW((void)hw::run_fault_study(empty, hw::FaultStudyOptions{}),
+               std::invalid_argument);
+  auto src = workload::make_uniform_source(BusConfig{8, 4}, 1);
+  const auto wrong = workload::BurstTrace::collect(*src, 4);
+  EXPECT_THROW((void)hw::run_fault_study(wrong, hw::FaultStudyOptions{}),
+               std::invalid_argument);
+  auto src8 = workload::make_uniform_source(BusConfig{8, 8}, 1);
+  const auto ok = workload::BurstTrace::collect(*src8, 4);
+  hw::FaultStudyOptions bad;
+  bad.bursts_per_fault = 0;
+  EXPECT_THROW((void)hw::run_fault_study(ok, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi

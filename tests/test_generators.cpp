@@ -1,0 +1,251 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "core/byte_utils.hpp"
+
+namespace dbi::workload {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+double zero_fraction(BurstSource& src, int bursts) {
+  std::int64_t zeros = 0, bits = 0;
+  for (int i = 0; i < bursts; ++i) {
+    const Burst b = src.next();
+    zeros += b.payload_zeros();
+    bits += b.config().width * b.config().burst_length;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(bits);
+}
+
+TEST(Generators, UniformIsDeterministicPerSeed) {
+  auto a = make_uniform_source(kCfg, 42);
+  auto b = make_uniform_source(kCfg, 42);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a->next(), b->next());
+}
+
+TEST(Generators, UniformHasHalfZeros) {
+  auto src = make_uniform_source(kCfg, 1);
+  EXPECT_NEAR(zero_fraction(*src, 3000), 0.5, 0.01);
+}
+
+TEST(Generators, UniformRespectsGeometry) {
+  const BusConfig cfg{5, 3};
+  auto src = make_uniform_source(cfg, 7);
+  const Burst b = src->next();
+  EXPECT_EQ(b.config(), cfg);
+  for (int i = 0; i < b.length(); ++i)
+    EXPECT_EQ(b.word(i) & ~cfg.dq_mask(), 0u);
+}
+
+TEST(Generators, BiasedMatchesProbability) {
+  auto src = make_biased_source(kCfg, 0.8, 3);
+  EXPECT_NEAR(zero_fraction(*src, 3000), 0.2, 0.01);
+  EXPECT_THROW(make_biased_source(kCfg, 1.5, 3), std::invalid_argument);
+}
+
+TEST(Generators, SparseProducesZeroWords) {
+  auto src = make_sparse_source(kCfg, 0.75, 5);
+  std::int64_t zero_words = 0, words = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Burst b = src->next();
+    for (int j = 0; j < b.length(); ++j) {
+      ++words;
+      if (b.word(j) == 0) ++zero_words;
+    }
+  }
+  // 75% forced zero words plus ~0.4% random all-zero bytes.
+  EXPECT_NEAR(static_cast<double>(zero_words) / words, 0.751, 0.02);
+}
+
+TEST(Generators, CounterIncrements) {
+  auto src = make_counter_source(kCfg, 250, 1);
+  const Burst b = src->next();
+  EXPECT_EQ(b.word(0), 250u);
+  EXPECT_EQ(b.word(5), 255u);
+  EXPECT_EQ(b.word(6), 0u);  // wraps at the lane width
+  const Burst b2 = src->next();
+  EXPECT_EQ(b2.word(0), 2u);  // continues across bursts
+}
+
+TEST(Generators, CounterStride) {
+  auto src = make_counter_source(kCfg, 0, 4);
+  const Burst b = src->next();
+  EXPECT_EQ(b.word(1), 4u);
+  EXPECT_EQ(b.word(2), 8u);
+}
+
+TEST(Generators, GrayCounterFlipsOneBitPerBeat) {
+  auto src = make_gray_counter_source(kCfg, 0);
+  Word prev = 0;
+  bool first = true;
+  for (int burst = 0; burst < 30; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); ++i) {
+      if (!first) {
+        EXPECT_EQ(hamming(prev, b.word(i), kCfg), 1);
+      }
+      first = false;
+      prev = b.word(i);
+    }
+  }
+}
+
+TEST(Generators, WalkingOnesHasSingleBit) {
+  auto src = make_walking_ones_source(kCfg);
+  for (int burst = 0; burst < 5; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); ++i)
+      EXPECT_EQ(std::popcount(b.word(i)), 1);
+  }
+  // Position walks across all 8 lanes.
+  auto fresh = make_walking_ones_source(kCfg);
+  const Burst b = fresh->next();
+  EXPECT_EQ(b.word(0), 1u);
+  EXPECT_EQ(b.word(7), 128u);
+}
+
+TEST(Generators, TextIsPrintableAscii) {
+  auto src = make_text_source(kCfg, 11);
+  for (int burst = 0; burst < 200; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); ++i) {
+      const Word c = b.word(i);
+      EXPECT_TRUE(c == ' ' || (c >= 'A' && c <= 'Z') ||
+                  (c >= 'a' && c <= 'z'))
+          << c;
+    }
+  }
+}
+
+TEST(Generators, TextRequiresByteLanes) {
+  EXPECT_THROW(make_text_source(BusConfig{16, 8}, 1), std::invalid_argument);
+}
+
+TEST(Generators, TextTopBitIsAlwaysZero) {
+  // ASCII => MSB of every byte is 0: structured data DBI can exploit.
+  auto src = make_text_source(kCfg, 13);
+  for (int burst = 0; burst < 100; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); ++i) EXPECT_EQ(b.word(i) & 0x80u, 0u);
+  }
+}
+
+TEST(Generators, FloatStreamParsesBackToDriftingValues) {
+  auto src = make_float_source(kCfg, 17);
+  std::vector<std::uint8_t> bytes;
+  for (int burst = 0; burst < 4; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); ++i)
+      bytes.push_back(static_cast<std::uint8_t>(b.word(i)));
+  }
+  ASSERT_EQ(bytes.size() % 4, 0u);
+  float prev = 1.0f;
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    float f = 0;
+    std::memcpy(&f, bytes.data() + i, 4);
+    EXPECT_TRUE(std::isfinite(f));
+    EXPECT_NEAR(f, prev, 1.0f);  // slow random walk
+    prev = f;
+  }
+}
+
+TEST(Generators, MarkovHighStayProbabilityReducesTransitions) {
+  auto sticky = make_markov_source(kCfg, 0.95, 19);
+  auto jumpy = make_markov_source(kCfg, 0.5, 19);
+  auto raw_transitions = [](BurstSource& src) {
+    std::int64_t t = 0;
+    Word prev = src.config().dq_mask();
+    for (int i = 0; i < 500; ++i) {
+      const Burst b = src.next();
+      for (int j = 0; j < b.length(); ++j) {
+        t += hamming(prev, b.word(j), kCfg);
+        prev = b.word(j);
+      }
+    }
+    return t;
+  };
+  EXPECT_LT(raw_transitions(*sticky), raw_transitions(*jumpy) / 4);
+  EXPECT_THROW(make_markov_source(kCfg, -0.1, 1), std::invalid_argument);
+}
+
+TEST(Generators, SourcesReportNames) {
+  EXPECT_EQ(make_uniform_source(kCfg, 1)->name(), "uniform");
+  EXPECT_EQ(make_text_source(kCfg, 1)->name(), "text");
+  EXPECT_EQ(make_float_source(kCfg, 1)->name(), "float32");
+  EXPECT_EQ(make_markov_source(kCfg, 0.9, 1)->name(), "markov");
+  EXPECT_EQ(make_framebuffer_source(kCfg, 1)->name(), "framebuffer");
+  EXPECT_EQ(make_tensor_source(kCfg, 1)->name(), "tensor");
+}
+
+TEST(Generators, FramebufferAlphaBytesSaturate) {
+  // Every 4th byte is the alpha channel, pinned at (or dithered around)
+  // 0xFF — the structure that makes framebuffer traffic DBI-friendly.
+  auto src = make_framebuffer_source(kCfg, 3);
+  int alpha_high = 0, alpha_total = 0;
+  for (int burst = 0; burst < 200; ++burst) {
+    const Burst b = src->next();
+    for (int i = 3; i < b.length(); i += 4) {
+      ++alpha_total;
+      if (b.word(i) >= 0xFE) ++alpha_high;
+    }
+  }
+  EXPECT_GT(static_cast<double>(alpha_high) / alpha_total, 0.95);
+}
+
+TEST(Generators, FramebufferColourIsTemporallyCorrelated) {
+  // Adjacent pixels along a scanline differ by ~1 LSB of gradient plus
+  // dither, far below the 64 random-data average distance.
+  auto src = make_framebuffer_source(kCfg, 5);
+  double total_diff = 0;
+  int samples = 0;
+  Word prev_blue = 0;
+  bool have_prev = false;
+  for (int burst = 0; burst < 300; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); i += 4) {
+      if (have_prev) {
+        total_diff += std::abs(static_cast<int>(b.word(i)) -
+                               static_cast<int>(prev_blue));
+        ++samples;
+      }
+      prev_blue = b.word(i);
+      have_prev = true;
+    }
+  }
+  EXPECT_LT(total_diff / samples, 20.0);
+}
+
+TEST(Generators, TensorWeightsAreSmallFloats) {
+  auto src = make_tensor_source(kCfg, 7);
+  std::vector<std::uint8_t> bytes;
+  for (int burst = 0; burst < 100; ++burst) {
+    const Burst b = src->next();
+    for (int i = 0; i < b.length(); ++i)
+      bytes.push_back(static_cast<std::uint8_t>(b.word(i)));
+  }
+  int small = 0, total = 0;
+  for (std::size_t i = 0; i + 4 <= bytes.size(); i += 4) {
+    float w = 0;
+    std::memcpy(&w, bytes.data() + i, 4);
+    EXPECT_TRUE(std::isfinite(w));
+    ++total;
+    if (std::fabs(w) < 0.5f) ++small;
+  }
+  EXPECT_GT(static_cast<double>(small) / total, 0.99);
+}
+
+TEST(Generators, GraphicsSourcesRequireByteLanes) {
+  EXPECT_THROW(make_framebuffer_source(BusConfig{16, 8}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_tensor_source(BusConfig{4, 8}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::workload

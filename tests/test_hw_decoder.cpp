@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "hw/hw_design.hpp"
+#include "hw/hw_encoder.hpp"
+#include "netlist/report.hpp"
+#include "netlist/sim.hpp"
+#include "netlist/tech.hpp"
+#include "test_util.hpp"
+
+namespace dbi::hw {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+const BusState kBoundary = BusState::all_ones(kCfg);
+
+/// Pushes an encoded burst through the decoder netlist and returns the
+/// recovered payload words.
+std::vector<Word> decode_through_netlist(const HwDesign& decoder,
+                                         netlist::Simulator& sim,
+                                         const EncodedBurst& e) {
+  for (int i = 0; i < e.length(); ++i) {
+    sim.set_input_bus(decoder.byte_in[static_cast<std::size_t>(i)],
+                      e.beat(i).dq);
+    sim.set_input(decoder.dbi_out[static_cast<std::size_t>(i)],
+                  e.beat(i).dbi);
+  }
+  sim.eval();
+  std::vector<Word> out;
+  for (int i = 0; i < e.length(); ++i)
+    out.push_back(static_cast<Word>(
+        sim.bus(decoder.data_out[static_cast<std::size_t>(i)])));
+  return out;
+}
+
+TEST(HwDecoder, InvertsEncoderForEveryScheme) {
+  const HwDesign decoder = build_dbi_decoder();
+  netlist::Simulator sim(decoder.net);
+  for (auto build : {build_dbi_dc, build_dbi_ac, build_dbi_opt_fixed}) {
+    HwEncoder encoder(build(8));
+    for (const Burst& b : test::random_bursts(kCfg, 60, 99)) {
+      const EncodedBurst e = encoder.encode(b, kBoundary);
+      const std::vector<Word> decoded =
+          decode_through_netlist(decoder, sim, e);
+      for (int i = 0; i < b.length(); ++i)
+        EXPECT_EQ(decoded[static_cast<std::size_t>(i)], b.word(i));
+    }
+  }
+}
+
+TEST(HwDecoder, HandlesExplicitPatterns) {
+  const HwDesign decoder = build_dbi_decoder();
+  netlist::Simulator sim(decoder.net);
+  const Burst data(kCfg, std::array<Word, 8>{0x00, 0xFF, 0x55, 0xAA, 0x0F,
+                                             0xF0, 0x01, 0x80});
+  for (std::uint64_t mask : {0x00ull, 0xFFull, 0xA5ull, 0x01ull}) {
+    const EncodedBurst e = EncodedBurst::from_inversion_mask(data, mask);
+    const auto decoded = decode_through_netlist(decoder, sim, e);
+    for (int i = 0; i < 8; ++i)
+      EXPECT_EQ(decoded[static_cast<std::size_t>(i)], data.word(i))
+          << "mask=" << mask;
+  }
+}
+
+TEST(HwDecoder, IsTinyComparedToTheEncoder) {
+  // The asymmetry behind the paper's conclusion about read-path DBI:
+  // decoding needs ~1/30 of the optimal encoder's cells.
+  const HwDesign decoder = build_dbi_decoder();
+  const HwDesign encoder = build_dbi_opt_fixed();
+  EXPECT_LT(decoder.net.physical_gates() * 20,
+            encoder.net.physical_gates());
+  // And it is purely one XOR + one INV per byte.
+  EXPECT_EQ(decoder.net.physical_gates(), 8u * 9u);
+}
+
+TEST(HwDecoder, SynthesisReportIsCheap) {
+  const HwDesign decoder = build_dbi_decoder();
+  netlist::Simulator sim(decoder.net);
+  sim.eval();
+  sim.accumulate();
+  const auto report =
+      netlist::synthesize("decoder", decoder.net,
+                          netlist::TechnologyModel::generic_32nm(), sim,
+                          decoder.pipeline);
+  EXPECT_LT(report.area_um2, 300.0);
+  EXPECT_GT(report.fmax_hz, 3e9);  // single XOR level: far beyond 1.5 GHz
+}
+
+TEST(HwDecoder, RejectsSillySizes) {
+  EXPECT_THROW(build_dbi_decoder(0), std::invalid_argument);
+  EXPECT_THROW(build_dbi_decoder(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::hw

@@ -1,0 +1,143 @@
+// Integration tests: the gate-level encoder designs must reproduce the
+// behavioural encoders bit-for-bit — the netlists ARE the paper's
+// Fig. 5 hardware, the behavioural encoders ARE the specification.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/encoder.hpp"
+#include "hw/hw_encoder.hpp"
+#include "sim/experiments.hpp"
+#include "test_util.hpp"
+
+namespace dbi::hw {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+const BusState kBoundary = BusState::all_ones(kCfg);
+
+std::vector<Burst> interesting_bursts() {
+  std::vector<Burst> bursts = test::random_bursts(kCfg, 300, 12345);
+  // Corner patterns that stress carries, ties and the backtrack chain.
+  const std::array<std::array<Word, 8>, 6> corners = {{
+      {0, 0, 0, 0, 0, 0, 0, 0},
+      {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+      {0x00, 0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00, 0xFF},
+      {0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0},
+      {0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA},
+      {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80},
+  }};
+  for (const auto& words : corners) bursts.emplace_back(kCfg, words);
+  bursts.push_back(sim::paper_example_burst());
+  return bursts;
+}
+
+TEST(HwEquivalence, DcNetlistMatchesBehaviouralDc) {
+  HwEncoder hw(build_dbi_dc());
+  const auto ref = make_dc_encoder();
+  for (const Burst& b : interesting_bursts())
+    EXPECT_EQ(hw.encode(b, kBoundary).inversion_mask(),
+              ref->encode(b, kBoundary).inversion_mask());
+}
+
+TEST(HwEquivalence, AcNetlistMatchesBehaviouralAc) {
+  HwEncoder hw(build_dbi_ac());
+  const auto ref = make_ac_encoder();
+  for (const Burst& b : interesting_bursts())
+    EXPECT_EQ(hw.encode(b, kBoundary).inversion_mask(),
+              ref->encode(b, kBoundary).inversion_mask());
+}
+
+TEST(HwEquivalence, OptFixedNetlistMatchesTrellis) {
+  HwEncoder hw(build_dbi_opt_fixed());
+  const auto ref = make_opt_fixed_encoder();
+  for (const Burst& b : interesting_bursts())
+    EXPECT_EQ(hw.encode(b, kBoundary).inversion_mask(),
+              ref->encode(b, kBoundary).inversion_mask());
+}
+
+class Opt3BitCoefficients
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Opt3BitCoefficients, NetlistMatchesIntTrellis) {
+  const auto [alpha, beta] = GetParam();
+  HwEncoder hw(build_dbi_opt_3bit(), alpha, beta);
+  const auto ref = make_opt_int_encoder(IntCostWeights{alpha, beta});
+  for (const Burst& b : test::random_bursts(kCfg, 150, 999))
+    EXPECT_EQ(hw.encode(b, kBoundary).inversion_mask(),
+              ref->encode(b, kBoundary).inversion_mask())
+        << "alpha=" << alpha << " beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoefficientGrid, Opt3BitCoefficients,
+    ::testing::Values(std::pair{1, 1}, std::pair{0, 1}, std::pair{1, 0},
+                      std::pair{3, 2}, std::pair{7, 7}, std::pair{7, 1},
+                      std::pair{1, 7}, std::pair{5, 3}));
+
+TEST(HwEquivalence, OptFixedProducesOptimalCosts) {
+  // Beyond matching the reference implementation, the netlist output
+  // must be cost-optimal (alpha = beta = 1) — checked independently via
+  // exhaustive search.
+  HwEncoder hw(build_dbi_opt_fixed());
+  const auto brute = make_exhaustive_encoder(CostWeights{1, 1});
+  for (const Burst& b : test::random_bursts(kCfg, 50, 31415)) {
+    const double hw_cost =
+        encoded_cost(hw.encode(b, kBoundary), kBoundary, CostWeights{1, 1});
+    const double best =
+        encoded_cost(brute->encode(b, kBoundary), kBoundary,
+                     CostWeights{1, 1});
+    EXPECT_DOUBLE_EQ(hw_cost, best);
+  }
+}
+
+TEST(HwEquivalence, DecodabilityThroughTheNetlist) {
+  HwEncoder hw(build_dbi_opt_fixed());
+  for (const Burst& b : test::random_bursts(kCfg, 50, 777))
+    EXPECT_EQ(hw.encode(b, kBoundary).decode(), b);
+}
+
+TEST(HwEncoder, RejectsWrongBoundaryOrGeometry) {
+  HwEncoder hw(build_dbi_dc());
+  const Burst b = test::random_burst(kCfg, 1);
+  EXPECT_THROW((void)hw.encode(b, BusState::all_zeros()),
+               std::invalid_argument);
+  const Burst shorter(BusConfig{8, 4});
+  EXPECT_THROW((void)hw.encode(shorter, BusState::all_ones(BusConfig{8, 4})),
+               std::invalid_argument);
+}
+
+TEST(HwEncoder, RejectsIllegalCoefficients) {
+  EXPECT_THROW(HwEncoder(build_dbi_dc(), 2, 1), std::invalid_argument);
+  EXPECT_THROW(HwEncoder(build_dbi_opt_3bit(), 8, 1), std::invalid_argument);
+  EXPECT_THROW(HwEncoder(build_dbi_opt_3bit(), 1, -1), std::invalid_argument);
+  EXPECT_NO_THROW(HwEncoder(build_dbi_opt_3bit(), 7, 7));
+}
+
+TEST(HwEncoder, AccumulatesActivityAcrossEncodes) {
+  HwEncoder hw(build_dbi_dc());
+  for (const Burst& b : test::random_bursts(kCfg, 10, 5))
+    (void)hw.encode(b, kBoundary);
+  EXPECT_EQ(hw.simulator().cycles(), 10);
+  EXPECT_GT(hw.simulator().mean_toggles_per_cycle(), 0.0);
+}
+
+TEST(HwDesigns, SmallerBurstVariantsWork) {
+  // The builders are parameterised; a BL4 OPT encoder must also match.
+  const BusConfig cfg{8, 4};
+  const BusState boundary = BusState::all_ones(cfg);
+  HwEncoder hw(build_dbi_opt_fixed(4));
+  const auto ref = make_opt_fixed_encoder();
+  for (const Burst& b : test::random_bursts(cfg, 100, 2024))
+    EXPECT_EQ(hw.encode(b, boundary).inversion_mask(),
+              ref->encode(b, boundary).inversion_mask());
+}
+
+TEST(HwDesigns, BuildersRejectSillySizes) {
+  EXPECT_THROW(build_dbi_dc(0), std::invalid_argument);
+  EXPECT_THROW(build_dbi_ac(17), std::invalid_argument);
+  EXPECT_THROW(build_dbi_opt_fixed(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::hw

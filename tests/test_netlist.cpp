@@ -1,0 +1,104 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi::netlist {
+namespace {
+
+TEST(Netlist, BuildsSimpleGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.xor2(a, b);
+  nl.mark_output(x, "x");
+  EXPECT_EQ(nl.size(), 3u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.gate(x).kind, GateKind::kXor2);
+  EXPECT_EQ(nl.gate(x).in[0], a);
+  EXPECT_EQ(nl.gate(x).in[1], b);
+}
+
+TEST(Netlist, RejectsUndefinedFanin) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.and2(a, 42), std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(42, "x"), std::invalid_argument);
+  EXPECT_THROW(nl.add_dff(42), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsWrongFactory) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_gate(GateKind::kInput), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateKind::kDff), std::invalid_argument);
+}
+
+TEST(Netlist, KindHistogramAndPhysicalCount) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId c = nl.add_const(true);
+  const NetId n = nl.nand2(a, c);
+  nl.inv(n);
+  const auto h = nl.kind_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(GateKind::kInput)], 1u);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateKind::kConst1)], 1u);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateKind::kNand2)], 1u);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateKind::kInv)], 1u);
+  EXPECT_EQ(nl.physical_gates(), 2u);  // inputs/constants are virtual
+}
+
+TEST(Netlist, LevelizeIsTopological) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  const NetId y = nl.or2(x, a);
+  (void)y;
+  const auto& order = nl.levelize();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[x]);
+  EXPECT_LT(pos[b], pos[x]);
+  EXPECT_LT(pos[x], pos[y]);
+}
+
+TEST(Netlist, LevelizeDetectsUnconnectedDff) {
+  Netlist nl;
+  (void)nl.add_dff();
+  EXPECT_THROW((void)nl.levelize(), std::logic_error);
+}
+
+TEST(Netlist, DffFeedbackIsLegal) {
+  // Toggle flop: q feeds an inverter feeding d.
+  Netlist nl;
+  const NetId q = nl.add_dff();
+  const NetId d = nl.inv(q);
+  nl.set_dff_input(q, d);
+  EXPECT_NO_THROW((void)nl.levelize());
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(Netlist, SetDffInputValidates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.set_dff_input(a, a), std::invalid_argument);
+  const NetId q = nl.add_dff();
+  EXPECT_THROW(nl.set_dff_input(q, 99), std::invalid_argument);
+}
+
+TEST(Netlist, GateNamesAndArity) {
+  EXPECT_EQ(gate_name(GateKind::kNand2), "NAND2");
+  EXPECT_EQ(gate_name(GateKind::kDff), "DFF");
+  EXPECT_EQ(fanin_count(GateKind::kInput), 0);
+  EXPECT_EQ(fanin_count(GateKind::kInv), 1);
+  EXPECT_EQ(fanin_count(GateKind::kXor2), 2);
+  EXPECT_EQ(fanin_count(GateKind::kMux2), 3);
+  EXPECT_EQ(fanin_count(GateKind::kDff), 1);
+  EXPECT_FALSE(is_physical(GateKind::kInput));
+  EXPECT_FALSE(is_physical(GateKind::kConst0));
+  EXPECT_TRUE(is_physical(GateKind::kDff));
+}
+
+}  // namespace
+}  // namespace dbi::netlist

@@ -1,0 +1,122 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "core/encoder.hpp"
+#include "core/encoding.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(Pareto, FrontierPointsAreMutuallyNonDominated) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto frontier = pareto_frontier(data, prev);
+    ASSERT_FALSE(frontier.empty());
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      EXPECT_GT(frontier[i].zeros, frontier[i - 1].zeros);
+      EXPECT_LT(frontier[i].transitions, frontier[i - 1].transitions);
+    }
+  }
+}
+
+TEST(Pareto, FrontierMasksReproduceTheirMetrics) {
+  const Burst data = test::random_burst(kCfg, 3);
+  const BusState prev = BusState::all_ones(kCfg);
+  for (const ParetoPoint& p : pareto_frontier(data, prev)) {
+    const auto e = EncodedBurst::from_inversion_mask(data, p.invert_mask);
+    EXPECT_EQ(e.zeros(), p.zeros);
+    EXPECT_EQ(e.transitions(prev), p.transitions);
+  }
+}
+
+TEST(Pareto, DcAndAcResultsAreNeverBelowFrontier) {
+  // Every achievable (zeros, transitions) pair is dominated-or-equal by
+  // the frontier; in particular the DC and AC encodings.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 50);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto frontier = pareto_frontier(data, prev);
+    for (Scheme s : {Scheme::kDc, Scheme::kAc}) {
+      const auto e = make_encoder(s)->encode(data, prev);
+      const int z = e.zeros(), t = e.transitions(prev);
+      const bool dominated_or_on =
+          std::any_of(frontier.begin(), frontier.end(),
+                      [&](const ParetoPoint& p) {
+                        return p.zeros <= z && p.transitions <= t;
+                      });
+      EXPECT_TRUE(dominated_or_on);
+    }
+  }
+}
+
+TEST(Pareto, DcIsTheMinimalZerosEndpoint) {
+  // DBI DC minimises zeros, so the frontier's first point (fewest
+  // zeros) must have exactly DC's zero count.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 150);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto frontier = pareto_frontier(data, prev);
+    const auto dc = make_dc_encoder()->encode(data, prev);
+    EXPECT_EQ(frontier.front().zeros, dc.zeros());
+  }
+}
+
+TEST(Pareto, AcIsTheMinimalTransitionsEndpoint) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 250);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto frontier = pareto_frontier(data, prev);
+    const auto ac = make_ac_encoder()->encode(data, prev);
+    EXPECT_EQ(frontier.back().transitions, ac.transitions(prev));
+  }
+}
+
+TEST(Pareto, OptChoicesLieOnFrontierForEveryWeight) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Burst data = test::random_burst(kCfg, seed + 350);
+    const BusState prev = BusState::all_ones(kCfg);
+    const auto frontier = pareto_frontier(data, prev);
+    for (double ac_cost : {0.05, 0.2, 0.4, 0.5, 0.6, 0.8, 0.95}) {
+      const auto e = make_opt_encoder(CostWeights::ac_dc_tradeoff(ac_cost))
+                         ->encode(data, prev);
+      EXPECT_TRUE(on_frontier(frontier, e.zeros(), e.transitions(prev)))
+          << "seed=" << seed << " ac_cost=" << ac_cost;
+    }
+  }
+}
+
+TEST(Pareto, SingleBeatFrontier) {
+  const BusConfig cfg{8, 1};
+  const Burst data(cfg, std::array<Word, 1>{0x00});
+  const auto frontier = pareto_frontier(data, BusState::all_ones(cfg));
+  // Options: keep (8 zeros, 8 transitions) or invert (1 zero [DBI],
+  // 1 transition [DBI]); invert dominates keep.
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0].zeros, 1);
+  EXPECT_EQ(frontier[0].transitions, 1);
+  EXPECT_EQ(frontier[0].invert_mask, 1u);
+}
+
+TEST(Pareto, RefusesHugeBursts) {
+  const BusConfig cfg{8, 21};
+  EXPECT_THROW(pareto_frontier(Burst(cfg), BusState::all_ones(cfg)),
+               std::invalid_argument);
+}
+
+TEST(Pareto, OnFrontierHelper) {
+  const std::vector<ParetoPoint> f = {{3, 10, 0}, {5, 7, 1}};
+  EXPECT_TRUE(on_frontier(f, 3, 10));
+  EXPECT_TRUE(on_frontier(f, 5, 7));
+  EXPECT_FALSE(on_frontier(f, 4, 9));
+}
+
+}  // namespace
+}  // namespace dbi

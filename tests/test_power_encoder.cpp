@@ -1,0 +1,83 @@
+#include "power/encoder_energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi::power {
+namespace {
+
+TEST(EncoderEnergy, Table1RowsMatchThePaper) {
+  // Energy per burst at each design's own rate (Table I last column).
+  EXPECT_NEAR(table1_hardware(Scheme::kDc).energy_per_burst(1.5e9) * 1e12,
+              0.14, 0.01);
+  EXPECT_NEAR(table1_hardware(Scheme::kAc).energy_per_burst(1.5e9) * 1e12,
+              0.28, 0.01);
+  EXPECT_NEAR(
+      table1_hardware(Scheme::kOptFixed).energy_per_burst(1.5e9) * 1e12,
+      1.66, 0.01);
+  EXPECT_NEAR(table1_opt_3bit().energy_per_burst(0.5e9) * 1e12, 17.6, 0.1);
+}
+
+TEST(EncoderEnergy, Table1AreasMatchThePaper) {
+  EXPECT_DOUBLE_EQ(table1_hardware(Scheme::kDc).area_um2, 275);
+  EXPECT_DOUBLE_EQ(table1_hardware(Scheme::kAc).area_um2, 578);
+  EXPECT_DOUBLE_EQ(table1_hardware(Scheme::kOptFixed).area_um2, 3807);
+  EXPECT_DOUBLE_EQ(table1_opt_3bit().area_um2, 16584);
+}
+
+TEST(EncoderEnergy, TotalPowerMatchesTable1TotalColumn) {
+  EXPECT_NEAR(table1_hardware(Scheme::kDc).total_power(1.5e9) * 1e6, 216, 1);
+  EXPECT_NEAR(table1_hardware(Scheme::kAc).total_power(1.5e9) * 1e6, 420, 1);
+  EXPECT_NEAR(table1_hardware(Scheme::kOptFixed).total_power(1.5e9) * 1e6,
+              2490, 1);
+  EXPECT_NEAR(table1_opt_3bit().total_power(0.5e9) * 1e6, 8800, 1);
+}
+
+TEST(EncoderEnergy, RawSchemeIsFree) {
+  const EncoderHardware raw = table1_hardware(Scheme::kRaw);
+  EXPECT_EQ(raw.units_needed(1.5e9), 0);
+  EXPECT_DOUBLE_EQ(raw.energy_per_burst(1.5e9), 0.0);
+  EXPECT_DOUBLE_EQ(raw.total_area(1.5e9), 0.0);
+}
+
+TEST(EncoderEnergy, SlowDesignNeedsParallelUnits) {
+  // The paper: 3 units of the 0.5 GHz 3-bit design for a 1.5 GHz
+  // channel, tripling area.
+  const EncoderHardware hw = table1_opt_3bit();
+  EXPECT_EQ(hw.units_needed(0.5e9), 1);
+  EXPECT_EQ(hw.units_needed(1.0e9), 2);
+  EXPECT_EQ(hw.units_needed(1.5e9), 3);
+  EXPECT_DOUBLE_EQ(hw.total_area(1.5e9), 3 * 16584.0);
+}
+
+TEST(EncoderEnergy, EnergyPerBurstFallsThenLeakageAmortizes) {
+  // At lower burst rates leakage is integrated over a longer period, so
+  // energy per burst grows as the rate drops.
+  const EncoderHardware hw = table1_hardware(Scheme::kOptFixed);
+  EXPECT_GT(hw.energy_per_burst(0.1e9), hw.energy_per_burst(1.5e9));
+}
+
+TEST(EncoderEnergy, ParallelUnitsLeakTogether) {
+  const EncoderHardware hw = table1_opt_3bit();
+  // At 1.5 GHz, 3 units leak: E/burst = dyn + 3 * static / rate.
+  const double expected = hw.dyn_energy_per_burst_j +
+                          3.0 * hw.static_power_w / 1.5e9;
+  EXPECT_NEAR(hw.energy_per_burst(1.5e9), expected, 1e-18);
+}
+
+TEST(EncoderEnergy, RejectsNonPositiveRate) {
+  EXPECT_THROW((void)table1_hardware(Scheme::kDc).units_needed(0.0),
+               std::invalid_argument);
+}
+
+TEST(EncoderEnergy, AcdcMapsToAcCost) {
+  EXPECT_DOUBLE_EQ(table1_hardware(Scheme::kAcDc).area_um2,
+                   table1_hardware(Scheme::kAc).area_um2);
+}
+
+TEST(EncoderEnergy, OptMapsToConfigurableDesign) {
+  EXPECT_DOUBLE_EQ(table1_hardware(Scheme::kOpt).area_um2,
+                   table1_opt_3bit().area_um2);
+}
+
+}  // namespace
+}  // namespace dbi::power

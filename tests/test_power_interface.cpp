@@ -1,0 +1,95 @@
+#include "power/interface_energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi::power {
+namespace {
+
+TEST(PodParams, PresetsAreElectricallyValid) {
+  EXPECT_NO_THROW(PodParams::pod135().validate());
+  EXPECT_NO_THROW(PodParams::pod12().validate());
+  EXPECT_NO_THROW(PodParams::pod15().validate());
+  EXPECT_DOUBLE_EQ(PodParams::pod135().vddq, 1.35);
+  EXPECT_DOUBLE_EQ(PodParams::pod12().vddq, 1.2);
+  EXPECT_DOUBLE_EQ(PodParams::pod15().vddq, 1.5);
+}
+
+TEST(PodParams, ValidateRejectsNonsense) {
+  PodParams p = PodParams::pod135();
+  p.vddq = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = PodParams::pod135();
+  p.r_pullup = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = PodParams::pod135();
+  p.data_rate = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PodParams, AtRateAndWithLoadAreNonMutating) {
+  const PodParams base = PodParams::pod135(3e-12, 12e9);
+  const PodParams faster = base.at_rate(16e9);
+  const PodParams heavier = base.with_load(8e-12);
+  EXPECT_DOUBLE_EQ(base.data_rate, 12e9);
+  EXPECT_DOUBLE_EQ(base.c_load, 3e-12);
+  EXPECT_DOUBLE_EQ(faster.data_rate, 16e9);
+  EXPECT_DOUBLE_EQ(heavier.c_load, 8e-12);
+}
+
+TEST(InterfaceEnergy, VswingMatchesEq3) {
+  // POD135, 60/40 ohm: Vswing = 1.35 * 60 / 100 = 0.81 V.
+  EXPECT_NEAR(v_swing(PodParams::pod135()), 0.81, 1e-12);
+  // POD12, 60/34 ohm: 1.2 * 60 / 94.
+  EXPECT_NEAR(v_swing(PodParams::pod12()), 1.2 * 60.0 / 94.0, 1e-12);
+}
+
+TEST(InterfaceEnergy, EnergyZeroMatchesEq1) {
+  // POD135 at 12 Gbps: 1.35^2 / 100 / 12e9 = 1.51875e-12 J.
+  EXPECT_NEAR(energy_zero(PodParams::pod135(3e-12, 12e9)), 1.519e-12,
+              1e-15);
+}
+
+TEST(InterfaceEnergy, EnergyZeroScalesInverselyWithRate) {
+  const PodParams p = PodParams::pod135();
+  EXPECT_NEAR(energy_zero(p.at_rate(6e9)), 2.0 * energy_zero(p.at_rate(12e9)),
+              1e-18);
+}
+
+TEST(InterfaceEnergy, EnergyTransitionMatchesEq2) {
+  // 0.5 * 1.35 * 0.81 * 3e-12 = 1.640e-12 J; independent of rate.
+  const PodParams p = PodParams::pod135(3e-12, 12e9);
+  EXPECT_NEAR(energy_transition(p), 0.5 * 1.35 * 0.81 * 3e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(energy_transition(p), energy_transition(p.at_rate(1e9)));
+}
+
+TEST(InterfaceEnergy, EnergyTransitionScalesWithLoad) {
+  const PodParams p = PodParams::pod135(3e-12, 12e9);
+  EXPECT_NEAR(energy_transition(p.with_load(6e-12)),
+              2.0 * energy_transition(p), 1e-18);
+}
+
+TEST(InterfaceEnergy, BurstEnergyMatchesEq4) {
+  const PodParams p = PodParams::pod135(3e-12, 12e9);
+  const BurstStats s{26, 42};
+  EXPECT_NEAR(burst_energy(p, s),
+              26 * energy_zero(p) + 42 * energy_transition(p), 1e-18);
+}
+
+TEST(InterfaceEnergy, WeightsFromPodAreTheEnergyCoefficients) {
+  const PodParams p = PodParams::pod12(2e-12, 3.2e9);
+  const CostWeights w = weights_from_pod(p);
+  EXPECT_DOUBLE_EQ(w.alpha, energy_transition(p));
+  EXPECT_DOUBLE_EQ(w.beta, energy_zero(p));
+}
+
+TEST(InterfaceEnergy, ZeroCostDominatesAtLowRatesTransitionsAtHigh) {
+  // The physical driver of Fig. 7: beta/alpha falls as the rate grows.
+  const PodParams p = PodParams::pod135(3e-12, 12e9);
+  const CostWeights slow = weights_from_pod(p.at_rate(1e9));
+  const CostWeights fast = weights_from_pod(p.at_rate(20e9));
+  EXPECT_GT(slow.beta / slow.alpha, 1.0);
+  EXPECT_LT(fast.beta / fast.alpha, 1.0);
+}
+
+}  // namespace
+}  // namespace dbi::power

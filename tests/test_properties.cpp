@@ -1,0 +1,204 @@
+// Cross-geometry property tests: the library is generic in bus width
+// and burst length; these sweeps pin the core invariants everywhere,
+// not just at the paper's 8x8 point.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/byte_utils.hpp"
+#include "core/encoder.hpp"
+#include "core/pareto.hpp"
+#include "core/trellis.hpp"
+#include "test_util.hpp"
+
+namespace dbi {
+namespace {
+
+using Geometry = std::tuple<int, int>;  // width, burst_length
+
+class GeometryProperties : public ::testing::TestWithParam<Geometry> {
+ protected:
+  [[nodiscard]] BusConfig config() const {
+    const auto [width, bl] = GetParam();
+    return BusConfig{width, bl};
+  }
+};
+
+TEST_P(GeometryProperties, OptMatchesExhaustive) {
+  const BusConfig cfg = config();
+  const CostWeights w{0.37, 0.63};
+  const auto opt = make_opt_encoder(w);
+  const auto brute = make_exhaustive_encoder(w);
+  const BusState prev = BusState::all_ones(cfg);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Burst data = test::random_burst(cfg, seed * 7 + 1);
+    EXPECT_NEAR(encoded_cost(opt->encode(data, prev), prev, w),
+                encoded_cost(brute->encode(data, prev), prev, w), 1e-9);
+  }
+}
+
+TEST_P(GeometryProperties, DcBeatZeroBound) {
+  // General form of the JEDEC guarantee: a DC-encoded beat never
+  // transmits more than floor((width + 1) / 2) zeros.
+  const BusConfig cfg = config();
+  const int bound = (cfg.width + 1) / 2;
+  const auto dc = make_dc_encoder();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto e =
+        dc->encode(test::random_burst(cfg, seed + 50),
+                   BusState::all_ones(cfg));
+    for (int i = 0; i < e.length(); ++i)
+      EXPECT_LE(beat_zeros(e.beat(i), cfg), bound);
+  }
+}
+
+TEST_P(GeometryProperties, AcBeatTransitionBound) {
+  // Dual guarantee: an AC-encoded beat toggles at most
+  // floor((width + 1) / 2) of the width + 1 lines.
+  const BusConfig cfg = config();
+  const int bound = (cfg.width + 1) / 2;
+  const auto ac = make_ac_encoder();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const BusState prev = BusState::all_ones(cfg);
+    const auto e = ac->encode(test::random_burst(cfg, seed + 80), prev);
+    Beat last = prev.last;
+    for (int i = 0; i < e.length(); ++i) {
+      EXPECT_LE(beat_transitions(last, e.beat(i), cfg), bound);
+      last = e.beat(i);
+    }
+  }
+}
+
+TEST_P(GeometryProperties, AllSchemesDecode) {
+  const BusConfig cfg = config();
+  const BusState prev = BusState::all_ones(cfg);
+  for (Scheme s : {Scheme::kDc, Scheme::kAc, Scheme::kAcDc, Scheme::kOpt,
+                   Scheme::kOptFixed}) {
+    const auto enc = make_encoder(s, CostWeights{0.5, 0.5});
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const Burst data = test::random_burst(cfg, seed + 111);
+      EXPECT_EQ(enc->encode(data, prev).decode(), data)
+          << scheme_name(s) << " width=" << cfg.width;
+    }
+  }
+}
+
+TEST_P(GeometryProperties, OptNeverLosesToAnyScheme) {
+  const BusConfig cfg = config();
+  const CostWeights w{0.5, 0.5};
+  const auto opt = make_opt_encoder(w);
+  const BusState prev = BusState::all_ones(cfg);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Burst data = test::random_burst(cfg, seed + 222);
+    const double opt_cost = encoded_cost(opt->encode(data, prev), prev, w);
+    for (Scheme s : {Scheme::kRaw, Scheme::kDc, Scheme::kAc,
+                     Scheme::kAcDc}) {
+      EXPECT_LE(opt_cost,
+                encoded_cost(make_encoder(s, w)->encode(data, prev), prev,
+                             w) +
+                    1e-9);
+    }
+  }
+}
+
+TEST_P(GeometryProperties, TrellisIntDoubleAgreement) {
+  const BusConfig cfg = config();
+  const BusState prev = BusState::all_ones(cfg);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Burst data = test::random_burst(cfg, seed + 333);
+    const auto ri = solve_trellis(data, prev, IntCostWeights{3, 4});
+    const auto rd = solve_trellis(data, prev, CostWeights{3.0, 4.0});
+    EXPECT_EQ(ri.invert_mask, rd.invert_mask);
+    EXPECT_DOUBLE_EQ(static_cast<double>(ri.cost), rd.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryProperties,
+    ::testing::Values(Geometry{1, 8}, Geometry{4, 8}, Geometry{5, 6},
+                      Geometry{8, 4}, Geometry{8, 16}, Geometry{12, 8},
+                      Geometry{16, 8}, Geometry{24, 4}, Geometry{32, 8}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "bl" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Weight-grid property: for every rational weight pair, scaling to
+// integers preserves the trellis decision (the Section III argument
+// that only alpha/beta matters).
+class WeightScaling
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WeightScaling, IntegerScalingPreservesDecisions) {
+  const auto [a, b] = GetParam();
+  const BusConfig cfg{8, 8};
+  const BusState prev = BusState::all_ones(cfg);
+  const double scale = 0.001;
+  const CostWeights scaled{a * scale, b * scale};
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Burst data = test::random_burst(cfg, seed * 13 + 5);
+    const auto exact = solve_trellis(data, prev, scaled);
+    const auto integer = solve_trellis(data, prev, IntCostWeights{a, b});
+    // Costs must agree up to the scale factor; masks may differ only
+    // between cost-equal optima (floating rounding can flip a
+    // tie-break), so compare the masks through their costs.
+    EXPECT_NEAR(exact.cost, scale * static_cast<double>(integer.cost),
+                1e-9)
+        << "a=" << a << " b=" << b;
+    const auto from_int =
+        EncodedBurst::from_inversion_mask(data, integer.invert_mask);
+    EXPECT_NEAR(encoded_cost(from_int, prev, scaled), exact.cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WeightScaling,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 3},
+                                           std::pair{3, 1}, std::pair{2, 5},
+                                           std::pair{7, 2}, std::pair{5, 8},
+                                           std::pair{1, 10},
+                                           std::pair{10, 1}));
+
+// Chained-burst property: encoding a stream burst-by-burst with state
+// threading equals the per-burst stats summed — no accounting leaks at
+// burst boundaries (the channel relies on this).
+TEST(StreamProperties, ChainedStatsAreConsistent) {
+  const BusConfig cfg{8, 8};
+  const auto enc = make_opt_fixed_encoder();
+  BusState state = BusState::all_ones(cfg);
+  BurstStats total;
+  Beat last = state.last;
+  std::vector<Beat> all_beats;
+  for (const Burst& b : test::random_bursts(cfg, 30, 77)) {
+    const EncodedBurst e = enc->encode(b, state);
+    total += e.stats(state);
+    for (int i = 0; i < e.length(); ++i) all_beats.push_back(e.beat(i));
+    state = e.final_state();
+  }
+  // Recount from the flat beat sequence.
+  int zeros = 0, transitions = 0;
+  for (const Beat& beat : all_beats) {
+    zeros += beat_zeros(beat, cfg);
+    transitions += beat_transitions(last, beat, cfg);
+    last = beat;
+  }
+  EXPECT_EQ(total.zeros, zeros);
+  EXPECT_EQ(total.transitions, transitions);
+}
+
+// Pareto consistency at other geometries.
+TEST(StreamProperties, ParetoHoldsOffDefaultGeometry) {
+  const BusConfig cfg{6, 6};
+  const BusState prev = BusState::all_ones(cfg);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Burst data = test::random_burst(cfg, seed + 404);
+    const auto frontier = pareto_frontier(data, prev);
+    for (double ac_cost : {0.2, 0.5, 0.8}) {
+      const auto e = make_opt_encoder(CostWeights::ac_dc_tradeoff(ac_cost))
+                         ->encode(data, prev);
+      EXPECT_TRUE(on_frontier(frontier, e.zeros(), e.transitions(prev)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,119 @@
+// Table I reproduction checks. Absolute calibration to Synopsys
+// numbers is out of scope (see DESIGN.md); what must hold is the
+// paper's qualitative story: DC is tiny, AC is small, OPT (Fixed) is an
+// order of magnitude bigger, the 3-bit configurable design is bigger
+// and slower still, and DC/AC/OPT(Fixed) sustain GDDR5X-class rates.
+#include "hw/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace dbi::hw {
+namespace {
+
+const workload::BurstTrace& activity_trace() {
+  static const workload::BurstTrace trace = [] {
+    auto src = workload::make_uniform_source(BusConfig{8, 8}, 2718);
+    return workload::BurstTrace::collect(*src, 500);
+  }();
+  return trace;
+}
+
+const std::vector<Table1Row>& rows() {
+  static const std::vector<Table1Row> r = [] {
+    Table1Options opt;
+    opt.max_activity_bursts = 500;
+    return table1_synthesis(activity_trace(), opt);
+  }();
+  return r;
+}
+
+TEST(Table1, ReportsAllFourDesigns) {
+  ASSERT_EQ(rows().size(), 4u);
+  EXPECT_EQ(rows()[0].scheme, "DBI DC");
+  EXPECT_EQ(rows()[1].scheme, "DBI AC");
+  EXPECT_EQ(rows()[2].scheme, "DBI OPT (Fixed Coeff.)");
+  EXPECT_EQ(rows()[3].scheme, "DBI OPT (3-Bit Coeff.)");
+}
+
+TEST(Table1, AreaOrderingMatchesPaper) {
+  EXPECT_LT(rows()[0].area_um2, rows()[1].area_um2);
+  EXPECT_LT(rows()[1].area_um2, rows()[2].area_um2);
+  EXPECT_LT(rows()[2].area_um2, rows()[3].area_um2);
+  // Paper ratios: OPT(Fixed)/DC ~ 13.8x, 3-bit/fixed ~ 4.4x. Require
+  // the same magnitude class, not the exact Synopsys value.
+  EXPECT_GT(rows()[2].area_um2 / rows()[0].area_um2, 5.0);
+  EXPECT_GT(rows()[3].area_um2 / rows()[2].area_um2, 1.3);
+}
+
+TEST(Table1, AreasAreInThePapersOrderOfMagnitude) {
+  EXPECT_GT(rows()[0].area_um2, 100.0);
+  EXPECT_LT(rows()[0].area_um2, 1500.0);
+  EXPECT_GT(rows()[2].area_um2, 1500.0);
+  EXPECT_LT(rows()[2].area_um2, 30000.0);
+}
+
+TEST(Table1, PowerOrderingMatchesPaper) {
+  EXPECT_LT(rows()[0].total_uw, rows()[1].total_uw);
+  EXPECT_LT(rows()[1].total_uw, rows()[2].total_uw);
+  EXPECT_LT(rows()[2].energy_per_burst_pj, rows()[3].energy_per_burst_pj);
+  for (const Table1Row& r : rows()) {
+    EXPECT_GT(r.static_uw, 0.0);
+    EXPECT_GT(r.dynamic_uw, 0.0);
+    EXPECT_NEAR(r.total_uw, r.static_uw + r.dynamic_uw, 1e-6);
+  }
+}
+
+TEST(Table1, SimpleSchemesSustainGddr5xRates) {
+  // Paper: DC / AC / OPT(Fixed) close 1.5 GHz (12 Gbps); the 3-bit
+  // design cannot and needs parallel instances.
+  EXPECT_GT(rows()[0].fmax_ghz, 1.5);
+  EXPECT_GT(rows()[1].fmax_ghz, 1.5);
+  EXPECT_GT(rows()[2].fmax_ghz, 1.4);
+  EXPECT_LT(rows()[3].fmax_ghz, rows()[2].fmax_ghz);
+  // Operating rates are capped at the 1.5 GHz channel requirement.
+  EXPECT_NEAR(rows()[0].burst_rate_ghz, 1.5, 1e-9);
+  EXPECT_NEAR(rows()[1].burst_rate_ghz, 1.5, 1e-9);
+  EXPECT_LE(rows()[3].burst_rate_ghz, rows()[3].fmax_ghz + 1e-9);
+  // The slow configurable design needs more than one instance.
+  EXPECT_EQ(rows()[0].units_for_target, 1);
+  EXPECT_GE(rows()[3].units_for_target, 2);
+}
+
+TEST(Table1, ConfigurableDesignPaysForMultipliers) {
+  // Longer combinational path and more cells than the fixed design.
+  EXPECT_GT(rows()[3].critical_path_ns, rows()[2].critical_path_ns);
+  EXPECT_GT(rows()[3].cells, rows()[2].cells);
+}
+
+TEST(Table1, EnergyPerBurstIsConsistent) {
+  for (const Table1Row& r : rows()) {
+    const double expected =
+        (r.dynamic_uw + r.static_uw) / (r.burst_rate_ghz * 1e3);
+    EXPECT_NEAR(r.energy_per_burst_pj, expected, 1e-6) << r.scheme;
+  }
+}
+
+TEST(Table1, ToEncoderHardwareRoundTrips) {
+  const power::EncoderHardware hw = to_encoder_hardware(rows()[2]);
+  EXPECT_NEAR(hw.area_um2, rows()[2].area_um2, 1e-9);
+  EXPECT_NEAR(hw.max_burst_rate_hz, rows()[2].fmax_ghz * 1e9, 1.0);
+  // Energy per burst at the table's operating rate must reproduce the
+  // table value (one unit suffices there by construction).
+  EXPECT_NEAR(hw.energy_per_burst(rows()[2].burst_rate_ghz * 1e9) * 1e12,
+              rows()[2].energy_per_burst_pj, 1e-6);
+}
+
+TEST(Table1, RejectsBadInputs) {
+  const workload::BurstTrace empty(BusConfig{8, 8});
+  EXPECT_THROW(table1_synthesis(empty, Table1Options{}),
+               std::invalid_argument);
+  auto src = workload::make_uniform_source(BusConfig{8, 4}, 1);
+  const auto short_trace = workload::BurstTrace::collect(*src, 10);
+  EXPECT_THROW(table1_synthesis(short_trace, Table1Options{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::hw

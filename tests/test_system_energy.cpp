@@ -1,0 +1,41 @@
+#include "power/system_energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi::power {
+namespace {
+
+TEST(SystemEnergy, BurstRateIsDataRateOverBurstLength) {
+  // 12 Gbps / BL8 = 1.5 GHz — the paper's Section IV-B operating point.
+  EXPECT_DOUBLE_EQ(burst_rate(PodParams::pod135(3e-12, 12e9), BusConfig{8, 8}),
+                   1.5e9);
+  EXPECT_DOUBLE_EQ(burst_rate(PodParams::pod135(3e-12, 8e9), BusConfig{8, 4}),
+                   2e9);
+}
+
+TEST(SystemEnergy, TotalIsInterfacePlusEncoder) {
+  const PodParams pod = PodParams::pod135(3e-12, 12e9);
+  const BusConfig cfg{8, 8};
+  const BurstStats stats{30, 30};
+  const EncoderHardware hw = table1_hardware(dbi::Scheme::kOptFixed);
+  const BurstEnergy e = system_burst_energy(pod, cfg, stats, hw);
+  EXPECT_NEAR(e.interface, burst_energy(pod, stats), 1e-18);
+  EXPECT_NEAR(e.encoder, hw.energy_per_burst(1.5e9), 1e-18);
+  EXPECT_NEAR(e.total(), e.interface + e.encoder, 1e-18);
+}
+
+TEST(SystemEnergy, EncoderShareIsSmallAtTheHeadlinePoint) {
+  // Sanity anchor from the paper's Fig. 8 discussion: the fixed
+  // encoder's ~1.7 pJ must be a single-digit percentage of the ~100 pJ
+  // interface energy at 12 Gbps / 3 pF, otherwise the net gain story
+  // cannot work.
+  const PodParams pod = PodParams::pod135(3e-12, 12e9);
+  const BurstStats typical{30, 30};
+  const BurstEnergy e = system_burst_energy(
+      pod, BusConfig{8, 8}, typical, table1_hardware(dbi::Scheme::kOptFixed));
+  EXPECT_LT(e.encoder / e.interface, 0.05);
+  EXPECT_GT(e.encoder / e.interface, 0.005);
+}
+
+}  // namespace
+}  // namespace dbi::power

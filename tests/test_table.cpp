@@ -1,0 +1,72 @@
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dbi::sim {
+namespace {
+
+TEST(Table, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"x", "value"});
+  t.add_row({"1", "10"});
+  t.add_row({"200", "3"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("  x  value\n"), std::string::npos);
+  EXPECT_NE(text.find("  1     10\n"), std::string::npos);
+  EXPECT_NE(text.find("200      3\n"), std::string::npos);
+}
+
+TEST(Table, StreamOperatorMatchesToText) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_text());
+}
+
+TEST(Table, CsvBasics) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "name,note\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt(2.0), "2.000");
+}
+
+TEST(FmtEng, PicksEngineeringPrefix) {
+  EXPECT_EQ(fmt_eng(1.66e-12, "J"), "1.660 pJ");
+  EXPECT_EQ(fmt_eng(2.49e-3, "W", 0), "2 mW");
+  EXPECT_EQ(fmt_eng(1.5e9, "Hz", 1), "1.5 GHz");
+  EXPECT_EQ(fmt_eng(0.0, "J", 1), "0.0 J");
+  EXPECT_EQ(fmt_eng(42.0, "s", 0), "42 s");
+  EXPECT_EQ(fmt_eng(-3e-9, "s", 0), "-3 ns");
+}
+
+}  // namespace
+}  // namespace dbi::sim

@@ -1,0 +1,85 @@
+#include "netlist/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi::netlist {
+namespace {
+
+TEST(Timing, ChainDelayAccumulates) {
+  Netlist nl;
+  const TechnologyModel tech = TechnologyModel::generic_32nm();
+  const NetId a = nl.add_input("a");
+  NetId n = a;
+  for (int i = 0; i < 5; ++i) n = nl.inv(n);
+  nl.mark_output(n, "out");
+  const TimingReport r = analyze_timing(nl, tech);
+  EXPECT_NEAR(r.critical_path_s, 5 * tech.cell(GateKind::kInv).delay_s,
+              1e-15);
+  EXPECT_EQ(r.depth(), 6);  // input + 5 inverters on the recorded path
+}
+
+TEST(Timing, PicksTheLongerBranch) {
+  Netlist nl;
+  const TechnologyModel tech = TechnologyModel::generic_32nm();
+  const NetId a = nl.add_input("a");
+  const NetId short_path = nl.inv(a);
+  NetId long_path = a;
+  for (int i = 0; i < 4; ++i) long_path = nl.xor2(long_path, short_path);
+  const NetId out = nl.and2(short_path, long_path);
+  nl.mark_output(out, "out");
+  const TimingReport r = analyze_timing(nl, tech);
+  const double expected = tech.cell(GateKind::kInv).delay_s +
+                          4 * tech.cell(GateKind::kXor2).delay_s +
+                          tech.cell(GateKind::kAnd2).delay_s;
+  EXPECT_NEAR(r.critical_path_s, expected, 1e-15);
+}
+
+TEST(Timing, RegisterBoundedPathsIncludeSequencing) {
+  // in -> logic -> DFF: sink adds setup; DFF -> logic -> out starts at
+  // clk-to-q.
+  Netlist nl;
+  const TechnologyModel tech = TechnologyModel::generic_32nm();
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.xor2(a, a);
+  (void)nl.add_dff(g);
+  const TimingReport r = analyze_timing(nl, tech);
+  EXPECT_NEAR(r.critical_path_s,
+              tech.cell(GateKind::kXor2).delay_s + tech.dff_setup_s(),
+              1e-15);
+
+  Netlist nl2;
+  const NetId q = nl2.add_dff();
+  nl2.set_dff_input(q, nl2.add_const(false));
+  const NetId out = nl2.inv(q);
+  nl2.mark_output(out, "out");
+  const TimingReport r2 = analyze_timing(nl2, tech);
+  EXPECT_NEAR(r2.critical_path_s,
+              tech.dff_clk_to_q_s() + tech.cell(GateKind::kInv).delay_s,
+              1e-15);
+}
+
+TEST(Timing, EmptyNetlistHasZeroDelay) {
+  const Netlist nl;
+  const TimingReport r =
+      analyze_timing(nl, TechnologyModel::generic_32nm());
+  EXPECT_DOUBLE_EQ(r.critical_path_s, 0.0);
+}
+
+TEST(Timing, PipelineStagesRaiseFmax) {
+  const TechnologyModel tech = TechnologyModel::generic_32nm();
+  TimingReport r;
+  r.critical_path_s = 4e-9;
+  const double f1 = pipelined_fmax_hz(r, tech, 1);
+  const double f4 = pipelined_fmax_hz(r, tech, 4);
+  const double f8 = pipelined_fmax_hz(r, tech, 8);
+  EXPECT_LT(f1, f4);
+  EXPECT_LT(f4, f8);
+  // Sequencing overhead bounds the return: never a linear 8x speedup.
+  EXPECT_LT(f8, 8.0 * f1);
+  EXPECT_NEAR(f1, 1.0 / (4e-9 + tech.dff_clk_to_q_s() + tech.dff_setup_s()),
+              1.0);
+  EXPECT_THROW((void)pipelined_fmax_hz(r, tech, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::netlist

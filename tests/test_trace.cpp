@@ -1,0 +1,97 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+namespace dbi::workload {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(Trace, CollectGathersRequestedCount) {
+  auto src = make_uniform_source(kCfg, 5);
+  const BurstTrace trace = BurstTrace::collect(*src, 100);
+  EXPECT_EQ(trace.size(), 100u);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace.config(), kCfg);
+}
+
+TEST(Trace, CollectIsDeterministic) {
+  auto a = make_uniform_source(kCfg, 5);
+  auto b = make_uniform_source(kCfg, 5);
+  const BurstTrace ta = BurstTrace::collect(*a, 50);
+  const BurstTrace tb = BurstTrace::collect(*b, 50);
+  for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+TEST(Trace, PushRejectsGeometryMismatch) {
+  BurstTrace trace(kCfg);
+  EXPECT_THROW(trace.push(Burst(BusConfig{8, 4})), std::invalid_argument);
+  EXPECT_THROW(BurstTrace(kCfg).push(Burst(BusConfig{16, 8})),
+               std::invalid_argument);
+}
+
+TEST(Trace, StatsCountPayloadProperties) {
+  const BusConfig cfg{8, 2};
+  BurstTrace trace(cfg);
+  trace.push(Burst(cfg, std::array<Word, 2>{0xFF, 0x00}));
+  trace.push(Burst(cfg, std::array<Word, 2>{0x0F, 0x0F}));
+  const TraceStats s = trace.stats();
+  EXPECT_EQ(s.bursts, 2);
+  EXPECT_EQ(s.payload_bits, 32);
+  EXPECT_EQ(s.payload_zeros, 8 + 8);
+  // Burst 1: FF (0 flips from all-ones) then 00 (8 flips) = 8;
+  // burst 2: 0F (4 flips from boundary) then 0F (0) = 4.
+  EXPECT_EQ(s.raw_transitions, 12);
+  EXPECT_NEAR(s.zero_fraction(), 0.5, 1e-12);
+}
+
+TEST(Trace, EmptyStatsAreZero) {
+  const BurstTrace trace(kCfg);
+  const TraceStats s = trace.stats();
+  EXPECT_EQ(s.bursts, 0);
+  EXPECT_DOUBLE_EQ(s.zero_fraction(), 0.0);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  auto src = make_uniform_source(kCfg, 23);
+  const BurstTrace trace = BurstTrace::collect(*src, 64);
+  std::stringstream ss;
+  trace.save(ss);
+  const BurstTrace loaded = BurstTrace::load(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  EXPECT_EQ(loaded.config(), trace.config());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(loaded[i], trace[i]) << i;
+}
+
+TEST(Trace, SaveFormatIsStable) {
+  const BusConfig cfg{8, 2};
+  BurstTrace trace(cfg);
+  trace.push(Burst(cfg, std::array<Word, 2>{0xAB, 0x01}));
+  std::stringstream ss;
+  trace.save(ss);
+  EXPECT_EQ(ss.str(), "dbi-trace v1 8 2\nab 1\n");
+}
+
+TEST(Trace, LoadRejectsBadHeader) {
+  std::stringstream ss("not-a-trace v1 8 8\n");
+  EXPECT_THROW(BurstTrace::load(ss), std::runtime_error);
+  std::stringstream ss2("dbi-trace v2 8 8\n");
+  EXPECT_THROW(BurstTrace::load(ss2), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsOversizedWords) {
+  std::stringstream ss("dbi-trace v1 8 2\nab 1ff\n");
+  EXPECT_THROW(BurstTrace::load(ss), std::invalid_argument);
+}
+
+TEST(Trace, CollectRejectsNegativeCount) {
+  auto src = make_uniform_source(kCfg, 1);
+  EXPECT_THROW(BurstTrace::collect(*src, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::workload

@@ -1,0 +1,55 @@
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dbi {
+namespace {
+
+TEST(BusConfig, DefaultIsJedecByteLane) {
+  const BusConfig cfg;
+  EXPECT_EQ(cfg.width, 8);
+  EXPECT_EQ(cfg.burst_length, 8);
+  EXPECT_EQ(cfg.lines(), 9);
+  EXPECT_EQ(cfg.line_beats(), 72);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(BusConfig, DqMask) {
+  EXPECT_EQ((BusConfig{8, 8}.dq_mask()), 0xFFu);
+  EXPECT_EQ((BusConfig{1, 8}.dq_mask()), 0x1u);
+  EXPECT_EQ((BusConfig{16, 8}.dq_mask()), 0xFFFFu);
+  EXPECT_EQ((BusConfig{32, 8}.dq_mask()), 0xFFFFFFFFu);
+}
+
+TEST(BusConfig, ValidateRejectsBadGeometry) {
+  EXPECT_THROW((BusConfig{0, 8}.validate()), std::invalid_argument);
+  EXPECT_THROW((BusConfig{33, 8}.validate()), std::invalid_argument);
+  EXPECT_THROW((BusConfig{8, 0}.validate()), std::invalid_argument);
+  EXPECT_THROW((BusConfig{8, 65}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((BusConfig{32, 64}.validate()));
+}
+
+TEST(BusState, AllOnesMatchesConfigWidth) {
+  const BusConfig cfg{8, 8};
+  const BusState s = BusState::all_ones(cfg);
+  EXPECT_EQ(s.last.dq, 0xFFu);
+  EXPECT_TRUE(s.last.dbi);
+
+  const BusConfig narrow{3, 8};
+  EXPECT_EQ(BusState::all_ones(narrow).last.dq, 0b111u);
+}
+
+TEST(BusState, AllZeros) {
+  const BusState s = BusState::all_zeros();
+  EXPECT_EQ(s.last.dq, 0u);
+  EXPECT_FALSE(s.last.dbi);
+}
+
+TEST(BusState, Equality) {
+  const BusConfig cfg{8, 8};
+  EXPECT_EQ(BusState::all_ones(cfg), BusState::all_ones(cfg));
+  EXPECT_NE(BusState::all_ones(cfg), BusState::all_zeros());
+}
+
+}  // namespace
+}  // namespace dbi

@@ -1,0 +1,139 @@
+#include "phy/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/encoder.hpp"
+#include "power/interface_energy.hpp"
+#include "test_util.hpp"
+
+namespace dbi::phy {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(Waveform, GeometryAndBounds) {
+  GroupWaveform w(kCfg);
+  EXPECT_EQ(w.lines(), 9);
+  EXPECT_EQ(w.bit_times(), 0);
+  EXPECT_THROW((void)w.level(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)w.line_edges(9), std::invalid_argument);
+  EXPECT_THROW(GroupWaveform(kCfg, Beat{0x1FF, true}),
+               std::invalid_argument);
+}
+
+TEST(Waveform, RecordsLevelsPerLine) {
+  const BusConfig cfg{8, 2};
+  GroupWaveform w(cfg);
+  const Burst data(cfg, std::array<Word, 2>{0b00000001, 0b10000000});
+  w.append(EncodedBurst::from_inversion_mask(data, 0b10));
+  ASSERT_EQ(w.bit_times(), 2);
+  EXPECT_TRUE(w.level(0, 0));    // LSB of beat 0
+  EXPECT_FALSE(w.level(7, 0));   // MSB of beat 0
+  EXPECT_TRUE(w.level(8, 0));    // DBI high (non-inverted)
+  EXPECT_FALSE(w.level(7, 1));   // beat 1 inverted: MSB 1 -> 0
+  EXPECT_TRUE(w.level(0, 1));    // inverted LSB 0 -> 1
+  EXPECT_FALSE(w.level(8, 1));   // DBI low
+}
+
+// The headline property: waveform-level accounting reproduces the
+// beat-level counters for chained encoded bursts of any scheme.
+class WaveformCrossCheck : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(WaveformCrossCheck, MatchesBurstAccounting) {
+  const auto encoder = make_encoder(GetParam(), CostWeights{0.5, 0.5});
+  GroupWaveform wave(kCfg);
+  BusState state = BusState::all_ones(kCfg);
+  std::int64_t zeros = 0, transitions = 0;
+  for (const Burst& b : test::random_bursts(kCfg, 40, 7)) {
+    const EncodedBurst e = encoder->encode(b, state);
+    const BurstStats s = e.stats(state);
+    zeros += s.zeros;
+    transitions += s.transitions;
+    wave.append(e);
+    state = e.final_state();
+  }
+  EXPECT_EQ(wave.zero_level_time(), zeros);
+  EXPECT_EQ(wave.edges(), transitions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, WaveformCrossCheck,
+                         ::testing::Values(Scheme::kDc, Scheme::kAc,
+                                           Scheme::kAcDc, Scheme::kOpt,
+                                           Scheme::kOptFixed));
+
+TEST(Waveform, RawStreamMatchesBurstAccounting) {
+  // RAW parks the DBI wire high (its initial level), so the cross-check
+  // holds for pure RAW streams too.
+  const auto encoder = make_raw_encoder();
+  GroupWaveform wave(kCfg);
+  BusState state = BusState::all_ones(kCfg);
+  std::int64_t zeros = 0, transitions = 0;
+  for (const Burst& b : test::random_bursts(kCfg, 30, 17)) {
+    const EncodedBurst e = encoder->encode(b, state);
+    zeros += e.zeros();
+    transitions += e.transitions(state);
+    wave.append(e);
+    state = e.final_state();
+  }
+  EXPECT_EQ(wave.zero_level_time(), zeros);
+  EXPECT_EQ(wave.edges(), transitions);
+  EXPECT_EQ(wave.line_edges(8), 0);      // DBI wire never moved
+  EXPECT_EQ(wave.line_zero_time(8), 0);  // and idled high
+}
+
+TEST(Waveform, EnergyMatchesInterfaceModel) {
+  const power::PodParams pod = power::PodParams::pod135(3e-12, 12e9);
+  const auto encoder = make_opt_fixed_encoder();
+  GroupWaveform wave(kCfg);
+  BusState state = BusState::all_ones(kCfg);
+  double burst_energy_sum = 0.0;
+  for (const Burst& b : test::random_bursts(kCfg, 25, 27)) {
+    const EncodedBurst e = encoder->encode(b, state);
+    burst_energy_sum += power::burst_energy(pod, e.stats(state));
+    wave.append(e);
+    state = e.final_state();
+  }
+  EXPECT_NEAR(wave.energy(pod), burst_energy_sum, 1e-15);
+}
+
+TEST(Waveform, LongestZeroRunFindsWorstLine) {
+  const BusConfig cfg{8, 4};
+  GroupWaveform w(cfg);
+  // Bit 0 low for all four beats; bit 1 low for two, high, low.
+  const Burst data(cfg, std::array<Word, 4>{0b100, 0b100, 0b110, 0b100});
+  w.append(EncodedBurst::from_inversion_mask(data, 0));
+  EXPECT_EQ(w.line_longest_zero_run(0), 4);
+  EXPECT_EQ(w.line_longest_zero_run(1), 2);
+  EXPECT_EQ(w.line_longest_zero_run(2), 0);
+  EXPECT_EQ(w.line_longest_zero_run(8), 0);  // DBI stayed high
+}
+
+TEST(Waveform, DbiDcBoundsZeroTimeShare) {
+  // DBI DC guarantees <= 4 zeros per 9-line beat, so the waveform can
+  // never spend more than 4/9 of its line-time at zero level.
+  const auto encoder = make_dc_encoder();
+  GroupWaveform wave(kCfg);
+  BusState state = BusState::all_ones(kCfg);
+  for (const Burst& b : test::random_bursts(kCfg, 60, 37)) {
+    const EncodedBurst e = encoder->encode(b, state);
+    wave.append(e);
+    state = e.final_state();
+  }
+  const double share =
+      static_cast<double>(wave.zero_level_time()) /
+      (static_cast<double>(wave.bit_times()) * wave.lines());
+  EXPECT_LE(share, 4.0 / 9.0);
+}
+
+TEST(Waveform, RejectsGeometryMismatch) {
+  GroupWaveform w(kCfg);
+  const Burst wrong(BusConfig{8, 4});
+  EXPECT_THROW(
+      w.append(EncodedBurst::from_inversion_mask(wrong, 0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::phy

@@ -1,0 +1,377 @@
+// dbitool — command-line front end to the dbicodec library.
+//
+//   dbitool gen     --source uniform --bursts 1000 --seed 1 -o trace.txt
+//   dbitool stats   trace.txt
+//   dbitool encode  trace.txt --scheme opt --alpha 0.56 [--csv]
+//   dbitool sweep   trace.txt --steps 21 [--csv]
+//   dbitool rates   trace.txt --pod pod135 --cload-pf 3 [--csv]
+//   dbitool synth   [--bytes 8]
+//   dbitool verilog --design opt-fixed -o encoder.v
+//
+// Every subcommand prints an aligned table (or CSV with --csv) so the
+// tool slots into shell pipelines and plotting scripts.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/pareto.hpp"
+#include "hw/fault_study.hpp"
+#include "hw/hw_design.hpp"
+#include "hw/synthesis.hpp"
+#include "netlist/export.hpp"
+#include "power/interface_energy.hpp"
+#include "sim/experiments.hpp"
+#include "sim/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dbi;
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool csv = false;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options.find(key);
+    return it != options.end() ? std::stod(it->second) : fallback;
+  }
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto it = options.find(key);
+    return it != options.end() ? std::stol(it->second) : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--csv") {
+      args.csv = true;
+    } else if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + token);
+      args.options[key] = argv[++i];
+    } else if (token == "-o") {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for -o");
+      args.options["output"] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+void emit(const sim::Table& table, const Args& args) {
+  if (args.csv)
+    std::cout << table.to_csv();
+  else
+    std::cout << table;
+}
+
+workload::BurstTrace load_trace(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("expected a trace file argument");
+  std::ifstream in(args.positional[0]);
+  if (!in) throw std::runtime_error("cannot open " + args.positional[0]);
+  return workload::BurstTrace::load(in);
+}
+
+std::unique_ptr<workload::BurstSource> make_source(const std::string& kind,
+                                                   const BusConfig& cfg,
+                                                   std::uint64_t seed,
+                                                   const Args& args) {
+  if (kind == "uniform") return workload::make_uniform_source(cfg, seed);
+  if (kind == "biased")
+    return workload::make_biased_source(cfg, args.get_double("p-one", 0.75),
+                                        seed);
+  if (kind == "sparse")
+    return workload::make_sparse_source(cfg,
+                                        args.get_double("p-zero", 0.7), seed);
+  if (kind == "counter") return workload::make_counter_source(cfg, seed, 1);
+  if (kind == "gray") return workload::make_gray_counter_source(cfg, seed);
+  if (kind == "walking-ones") return workload::make_walking_ones_source(cfg);
+  if (kind == "text") return workload::make_text_source(cfg, seed);
+  if (kind == "float") return workload::make_float_source(cfg, seed);
+  if (kind == "markov")
+    return workload::make_markov_source(cfg,
+                                        args.get_double("p-stay", 0.9), seed);
+  if (kind == "framebuffer") return workload::make_framebuffer_source(cfg, seed);
+  if (kind == "tensor") return workload::make_tensor_source(cfg, seed);
+  throw std::runtime_error("unknown source: " + kind);
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "raw") return Scheme::kRaw;
+  if (name == "dc") return Scheme::kDc;
+  if (name == "ac") return Scheme::kAc;
+  if (name == "acdc") return Scheme::kAcDc;
+  if (name == "opt") return Scheme::kOpt;
+  if (name == "opt-fixed") return Scheme::kOptFixed;
+  throw std::runtime_error("unknown scheme: " + name +
+                           " (raw|dc|ac|acdc|opt|opt-fixed)");
+}
+
+power::PodParams parse_pod(const Args& args) {
+  const std::string pod = args.get("pod", "pod135");
+  const double cload = args.get_double("cload-pf", 3.0) * 1e-12;
+  const double rate = args.get_double("gbps", 12.0) * 1e9;
+  if (pod == "pod135") return power::PodParams::pod135(cload, rate);
+  if (pod == "pod12") return power::PodParams::pod12(cload, rate);
+  if (pod == "pod15") return power::PodParams::pod15(cload, rate);
+  throw std::runtime_error("unknown pod preset: " + pod);
+}
+
+int cmd_gen(const Args& args) {
+  BusConfig cfg;
+  cfg.width = static_cast<int>(args.get_long("width", 8));
+  cfg.burst_length = static_cast<int>(args.get_long("bl", 8));
+  const auto bursts = args.get_long("bursts", 1000);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  auto source = make_source(args.get("source", "uniform"), cfg, seed, args);
+  const auto trace = workload::BurstTrace::collect(*source, bursts);
+
+  const std::string out = args.get("output", "");
+  if (out.empty()) {
+    trace.save(std::cout);
+  } else {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    trace.save(os);
+    std::cerr << "wrote " << trace.size() << " bursts (" << source->name()
+              << ") to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto trace = load_trace(args);
+  const auto s = trace.stats();
+  sim::Table table({"metric", "value"});
+  table.add_row({"bursts", std::to_string(s.bursts)});
+  table.add_row({"payload bits", std::to_string(s.payload_bits)});
+  table.add_row({"payload zeros", std::to_string(s.payload_zeros)});
+  table.add_row({"zero fraction", sim::fmt(s.zero_fraction(), 4)});
+  table.add_row({"raw transitions", std::to_string(s.raw_transitions)});
+  emit(table, args);
+  return 0;
+}
+
+int cmd_encode(const Args& args) {
+  const auto trace = load_trace(args);
+  const double alpha = args.get_double("alpha", 0.5);
+  const CostWeights w = CostWeights::ac_dc_tradeoff(alpha);
+
+  sim::Table table({"scheme", "zeros/burst", "transitions/burst",
+                    "cost/burst"});
+  const std::vector<std::string> names =
+      args.options.count("scheme")
+          ? std::vector<std::string>{args.get("scheme", "opt")}
+          : std::vector<std::string>{"raw", "dc", "ac", "opt-fixed", "opt"};
+  for (const std::string& name : names) {
+    const auto encoder = make_encoder(parse_scheme(name), w);
+    const sim::MeanStats m = sim::mean_stats(trace, *encoder);
+    table.add_row({std::string(encoder->name()), sim::fmt(m.zeros, 3),
+                   sim::fmt(m.transitions, 3),
+                   sim::fmt(w.alpha * m.transitions + w.beta * m.zeros, 3)});
+  }
+  emit(table, args);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto trace = load_trace(args);
+  const auto steps = static_cast<int>(args.get_long("steps", 21));
+  const auto sweep = sim::alpha_sweep(trace, steps);
+  sim::Table table({"ac_cost", "raw", "dc", "ac", "acdc", "opt",
+                    "opt_fixed"});
+  for (const auto& p : sweep)
+    table.add_row({sim::fmt(p.ac_cost, 3), sim::fmt(p.raw, 3),
+                   sim::fmt(p.dc, 3), sim::fmt(p.ac, 3),
+                   sim::fmt(p.acdc, 3), sim::fmt(p.opt, 3),
+                   sim::fmt(p.opt_fixed, 3)});
+  emit(table, args);
+  return 0;
+}
+
+int cmd_rates(const Args& args) {
+  const auto trace = load_trace(args);
+  const power::PodParams pod = parse_pod(args);
+  std::vector<double> rates;
+  const double lo = args.get_double("from-gbps", 1.0);
+  const double hi = args.get_double("to-gbps", 20.0);
+  const double step = args.get_double("step-gbps", 1.0);
+  for (double g = lo; g <= hi + 1e-9; g += step) rates.push_back(g);
+  const auto sweep = sim::datarate_sweep(pod, trace, rates);
+  sim::Table table({"gbps", "raw_pj", "dc", "ac", "opt", "opt_fixed"});
+  for (const auto& p : sweep)
+    table.add_row({sim::fmt(p.gbps, 2), sim::fmt(p.raw_pj, 2),
+                   sim::fmt(p.dc, 4), sim::fmt(p.ac, 4),
+                   sim::fmt(p.opt, 4), sim::fmt(p.opt_fixed, 4)});
+  emit(table, args);
+  return 0;
+}
+
+int cmd_synth(const Args& args) {
+  const auto bytes = static_cast<int>(args.get_long("bytes", 8));
+  BusConfig cfg;
+  cfg.burst_length = bytes;
+  auto src = workload::make_uniform_source(cfg, 1);
+  const auto trace = workload::BurstTrace::collect(
+      *src, args.get_long("bursts", 1000));
+  hw::Table1Options options;
+  options.bytes = bytes;
+  const auto rows = hw::table1_synthesis(trace, options);
+  sim::Table table({"scheme", "cells", "area_um2", "static_uw",
+                    "dynamic_uw", "burst_rate_ghz", "fmax_ghz", "total_uw",
+                    "energy_per_burst_pj"});
+  for (const auto& r : rows)
+    table.add_row({r.scheme, std::to_string(r.cells),
+                   sim::fmt(r.area_um2, 1), sim::fmt(r.static_uw, 1),
+                   sim::fmt(r.dynamic_uw, 1),
+                   sim::fmt(r.burst_rate_ghz, 3), sim::fmt(r.fmax_ghz, 3),
+                   sim::fmt(r.total_uw, 1),
+                   sim::fmt(r.energy_per_burst_pj, 3)});
+  emit(table, args);
+  return 0;
+}
+
+int cmd_pareto(const Args& args) {
+  // Positional arguments: 8 hex bytes (defaults to the Fig. 2 burst).
+  BusConfig cfg{8, 8};
+  Burst data = sim::paper_example_burst();
+  if (!args.positional.empty()) {
+    if (args.positional.size() != 8)
+      throw std::runtime_error("pareto expects exactly 8 hex bytes");
+    std::vector<Word> words;
+    for (const std::string& tok : args.positional) {
+      const long v = std::stol(tok, nullptr, 16);
+      if (v < 0 || v > 0xFF) throw std::runtime_error("bytes are 00..ff");
+      words.push_back(static_cast<Word>(v));
+    }
+    data = Burst(cfg, words);
+  }
+  const BusState prev = BusState::all_ones(cfg);
+  sim::Table table({"zeros", "transitions", "invert_mask"});
+  for (const ParetoPoint& p : pareto_frontier(data, prev)) {
+    std::ostringstream mask;
+    mask << "0x" << std::hex << p.invert_mask;
+    table.add_row({std::to_string(p.zeros), std::to_string(p.transitions),
+                   mask.str()});
+  }
+  emit(table, args);
+  return 0;
+}
+
+int cmd_faults(const Args& args) {
+  BusConfig cfg{8, 8};
+  auto src = workload::make_uniform_source(
+      cfg, static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  const auto trace = workload::BurstTrace::collect(
+      *src, args.get_long("bursts", 64));
+  hw::FaultStudyOptions options;
+  options.max_sites = static_cast<int>(args.get_long("sites", 300));
+  options.bursts_per_fault =
+      static_cast<int>(args.get_long("bursts-per-fault", 24));
+  const hw::FaultStudyResult r = hw::run_fault_study(trace, options);
+  sim::Table table({"effect", "sites"});
+  table.add_row({"benign", std::to_string(r.benign)});
+  table.add_row({"suboptimal", std::to_string(r.suboptimal)});
+  table.add_row({"corrupting", std::to_string(r.corrupting)});
+  table.add_row({"worst_cost_increase",
+                 sim::fmt(100.0 * r.worst_cost_increase, 2) + " %"});
+  emit(table, args);
+  return 0;
+}
+
+int cmd_verilog(const Args& args) {
+  const std::string name = args.get("design", "opt-fixed");
+  hw::HwDesign design;
+  if (name == "dc")
+    design = hw::build_dbi_dc();
+  else if (name == "ac")
+    design = hw::build_dbi_ac();
+  else if (name == "opt-fixed")
+    design = hw::build_dbi_opt_fixed();
+  else if (name == "opt-3bit")
+    design = hw::build_dbi_opt_3bit();
+  else if (name == "decoder")
+    design = hw::build_dbi_decoder();
+  else
+    throw std::runtime_error(
+        "unknown design (dc|ac|opt-fixed|opt-3bit|decoder)");
+
+  const std::string module = "dbi_" + name;
+  const std::string out = args.get("output", "");
+  if (out.empty()) {
+    netlist::write_verilog(std::cout, design.net, module);
+  } else {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    netlist::write_verilog(os, design.net, module);
+    std::cerr << "wrote " << design.net.physical_gates() << "-cell module "
+              << module << " to " << out << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "dbitool — optimal DC/AC data bus inversion toolkit\n"
+      "\n"
+      "usage:\n"
+      "  dbitool gen     --source KIND --bursts N --seed S [--width 8]\n"
+      "                  [--bl 8] [-o trace.txt]\n"
+      "          KIND: uniform|biased|sparse|counter|gray|walking-ones|\n"
+      "                text|float|markov\n"
+      "  dbitool stats   TRACE [--csv]\n"
+      "  dbitool encode  TRACE [--scheme raw|dc|ac|acdc|opt|opt-fixed]\n"
+      "                  [--alpha 0.5] [--csv]\n"
+      "  dbitool sweep   TRACE [--steps 21] [--csv]        (Fig. 3/4)\n"
+      "  dbitool rates   TRACE [--pod pod135|pod12|pod15]\n"
+      "                  [--cload-pf 3] [--from-gbps 1] [--to-gbps 20]\n"
+      "                  [--step-gbps 1] [--csv]           (Fig. 7)\n"
+      "  dbitool synth   [--bytes 8] [--bursts 1000] [--csv] (Table I)\n"
+      "  dbitool pareto  [B0 B1 ... B7]  (hex bytes; default: Fig. 2)\n"
+      "  dbitool faults  [--sites 300] [--bursts-per-fault 24] [--csv]\n"
+      "  dbitool verilog [--design dc|ac|opt-fixed|opt-3bit|decoder]\n"
+      "                  [-o out.v]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "encode") return cmd_encode(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "rates") return cmd_rates(args);
+    if (args.command == "synth") return cmd_synth(args);
+    if (args.command == "pareto") return cmd_pareto(args);
+    if (args.command == "faults") return cmd_faults(args);
+    if (args.command == "verilog") return cmd_verilog(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "dbitool: " << e.what() << "\n";
+    return 1;
+  }
+}

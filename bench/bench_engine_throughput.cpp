@@ -1,0 +1,163 @@
+// Batch-engine throughput: bursts/sec per scheme for
+//   (a) the per-burst virtual-call path (Encoder::encode + stats, the
+//       route every sim loop took before the engine existed),
+//   (b) the BatchEncoder single-thread fast paths,
+//   (c) the BatchEncoder sharded across a ShardPool (one worker per
+//       lane-group shard).
+// Emits a single JSON object so the numbers can be tracked as a
+// trajectory across commits (BENCH_*.json).
+//
+//   ./bench_engine_throughput [bursts-per-lane] [lanes] [workers]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace dbi;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct SchemeReport {
+  std::string scheme;
+  double scalar_mbps = 0;   // mega-bursts per second, virtual path
+  double engine_mbps = 0;   // single thread, engine
+  double sharded_mbps = 0;  // engine across the pool
+  double speedup = 0;       // engine single-thread vs scalar
+};
+
+SchemeReport run_scheme(Scheme scheme, const CostWeights& w,
+                        const std::vector<std::vector<Burst>>& lanes,
+                        engine::ShardPool& pool, int repeats) {
+  const BusConfig cfg = lanes.front().front().config();
+  const auto total_bursts = static_cast<double>(lanes.size()) *
+                            static_cast<double>(lanes.front().size()) *
+                            repeats;
+  SchemeReport rep;
+  const engine::BatchEncoder batch(scheme, w);
+  rep.scheme = std::string(batch.name());
+
+  // (a) scalar virtual-call path: encode + stats + state threading,
+  // exactly what workload::Channel / sim loops did per burst.
+  {
+    const auto scalar = make_encoder(scheme, w);
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (const std::vector<Burst>& lane : lanes) {
+        BusState state = BusState::all_ones(cfg);
+        for (const Burst& b : lane) {
+          const EncodedBurst e = scalar->encode(b, state);
+          const BurstStats s = e.stats(state);
+          sink += s.zeros + s.transitions;
+          state = e.final_state();
+        }
+      }
+    }
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");  // defeat dead-code elimination
+    rep.scalar_mbps = total_bursts / dt / 1e6;
+  }
+
+  // (b) engine, single thread.
+  {
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (const std::vector<Burst>& lane : lanes) {
+        BusState state = BusState::all_ones(cfg);
+        const BurstStats s = batch.encode_lane(lane, state);
+        sink += s.zeros + s.transitions;
+      }
+    }
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    rep.engine_mbps = total_bursts / dt / 1e6;
+  }
+
+  // (c) engine, lanes sharded across the pool.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      std::vector<BusState> states(lanes.size(), BusState::all_ones(cfg));
+      std::vector<engine::LaneTask> tasks(lanes.size());
+      for (std::size_t l = 0; l < lanes.size(); ++l)
+        tasks[l] = engine::LaneTask{lanes[l], &states[l], nullptr, {}};
+      batch.encode_lanes(tasks, &pool);
+    }
+    const double dt = seconds_since(t0);
+    rep.sharded_mbps = total_bursts / dt / 1e6;
+  }
+
+  rep.speedup = rep.scalar_mbps > 0 ? rep.engine_mbps / rep.scalar_mbps : 0;
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int bursts_per_lane = argc > 1 ? std::atoi(argv[1]) : 16384;
+  const int lane_count = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int workers =
+      argc > 3 ? std::atoi(argv[3]) : engine::ShardPool::default_workers();
+  if (bursts_per_lane < 1 || lane_count < 1 || workers < 1) {
+    std::fprintf(stderr,
+                 "usage: %s [bursts-per-lane >= 1] [lanes >= 1] "
+                 "[workers >= 1]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const BusConfig cfg{8, 8};
+  std::vector<std::vector<Burst>> lanes;
+  lanes.reserve(static_cast<std::size_t>(lane_count));
+  for (int l = 0; l < lane_count; ++l) {
+    auto src = workload::make_uniform_source(
+        cfg, 100 + static_cast<std::uint64_t>(l));
+    std::vector<Burst> lane;
+    lane.reserve(static_cast<std::size_t>(bursts_per_lane));
+    for (int i = 0; i < bursts_per_lane; ++i) lane.push_back(src->next());
+    lanes.push_back(std::move(lane));
+  }
+
+  engine::ShardPool pool(workers);
+  const CostWeights w{0.56, 0.44};
+
+  struct Case {
+    Scheme scheme;
+    int repeats;
+  };
+  const Case cases[] = {
+      {Scheme::kDc, 8},  {Scheme::kAc, 8},       {Scheme::kAcDc, 8},
+      {Scheme::kOpt, 2}, {Scheme::kOptFixed, 2},
+  };
+
+  std::printf("{\n  \"bench\": \"engine_throughput\",\n");
+  std::printf("  \"config\": {\"width\": %d, \"burst_length\": %d, "
+              "\"lanes\": %d, \"bursts_per_lane\": %d, \"workers\": %d},\n",
+              cfg.width, cfg.burst_length, lane_count, bursts_per_lane,
+              workers);
+  std::printf("  \"schemes\": [\n");
+  bool first = true;
+  for (const Case& c : cases) {
+    const SchemeReport r = run_scheme(c.scheme, w, lanes, pool, c.repeats);
+    std::printf("%s    {\"scheme\": \"%s\", \"scalar_mbursts_per_s\": %.2f, "
+                "\"engine_mbursts_per_s\": %.2f, "
+                "\"sharded_mbursts_per_s\": %.2f, \"speedup\": %.2f}",
+                first ? "" : ",\n", r.scheme.c_str(), r.scalar_mbps,
+                r.engine_mbps, r.sharded_mbps, r.speedup);
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/encoder.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
 #include "hw/hw_encoder.hpp"
 #include "workload/generators.hpp"
 
@@ -79,6 +81,86 @@ BENCHMARK(BM_DbiOpt);
 BENCHMARK(BM_DbiOptFixed);
 BENCHMARK(BM_Exhaustive);
 BENCHMARK(BM_GateLevelOptFixed);
+
+// ------------------------------------------------------------ batch engine
+// The BatchEncoder counterparts: same bursts, whole-stream encode via
+// the bit-parallel fast paths / flat trellis kernel.
+
+void run_engine(benchmark::State& state, Scheme scheme,
+                const CostWeights& w = {}) {
+  const engine::BatchEncoder batch(scheme, w);
+  const BusConfig cfg{8, 8};
+  for (auto _ : state) {
+    BusState bus = BusState::all_ones(cfg);
+    const BurstStats s = batch.encode_lane(bursts(), bus);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bursts().size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bursts().size()) * 8);
+}
+
+void BM_EngineDc(benchmark::State& state) {
+  run_engine(state, Scheme::kDc);
+}
+void BM_EngineAc(benchmark::State& state) {
+  run_engine(state, Scheme::kAc);
+}
+void BM_EngineAcDc(benchmark::State& state) {
+  run_engine(state, Scheme::kAcDc);
+}
+void BM_EngineOpt(benchmark::State& state) {
+  run_engine(state, Scheme::kOpt, CostWeights{0.56, 0.44});
+}
+void BM_EngineOptFixed(benchmark::State& state) {
+  run_engine(state, Scheme::kOptFixed);
+}
+
+BENCHMARK(BM_EngineDc);
+BENCHMARK(BM_EngineAc);
+BENCHMARK(BM_EngineAcDc);
+BENCHMARK(BM_EngineOpt);
+BENCHMARK(BM_EngineOptFixed);
+
+// Multi-core scaling: lane-group shards across the deterministic pool.
+// Arg = worker count; 16 lanes of 1024 bursts each per iteration.
+void BM_EngineShardedOptFixed(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const BusConfig cfg{8, 8};
+  constexpr int kLanes = 16;
+  static const std::vector<std::vector<Burst>> lanes = [] {
+    std::vector<std::vector<Burst>> out;
+    for (int l = 0; l < kLanes; ++l) {
+      auto src = workload::make_uniform_source(
+          BusConfig{8, 8}, 40 + static_cast<std::uint64_t>(l));
+      std::vector<Burst> lane;
+      for (int i = 0; i < 1024; ++i) lane.push_back(src->next());
+      out.push_back(std::move(lane));
+    }
+    return out;
+  }();
+
+  const engine::BatchEncoder batch(Scheme::kOptFixed);
+  engine::ShardPool pool(workers);
+  for (auto _ : state) {
+    std::vector<BusState> states(kLanes, BusState::all_ones(cfg));
+    std::vector<engine::LaneTask> tasks(kLanes);
+    for (int l = 0; l < kLanes; ++l)
+      tasks[static_cast<std::size_t>(l)] =
+          engine::LaneTask{lanes[static_cast<std::size_t>(l)],
+                           &states[static_cast<std::size_t>(l)], nullptr, {}};
+    batch.encode_lanes(tasks, &pool);
+    benchmark::DoNotOptimize(tasks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kLanes * 1024);
+}
+BENCHMARK(BM_EngineShardedOptFixed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_TrellisByBurstLength(benchmark::State& state) {
   const int bl = static_cast<int>(state.range(0));

@@ -1,0 +1,384 @@
+#include "engine/batch_encoder.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/byte_utils.hpp"
+
+namespace dbi::engine {
+namespace {
+
+using dbi::Beat;
+using dbi::Burst;
+using dbi::BurstStats;
+using dbi::BusConfig;
+using dbi::BusState;
+using dbi::Scheme;
+using dbi::Word;
+
+// ------------------------------------------------------------------ SWAR
+// Bit-parallel helpers on packed byte lanes: 8 beats of a width-8 group
+// per 64-bit machine word, beat k in byte k.
+
+constexpr std::uint64_t kL01 = 0x0101010101010101ULL;
+constexpr std::uint64_t kL0F = 0x0F0F0F0F0F0F0F0FULL;
+constexpr std::uint64_t kL33 = 0x3333333333333333ULL;
+constexpr std::uint64_t kL55 = 0x5555555555555555ULL;
+constexpr std::uint64_t kL80 = 0x8080808080808080ULL;
+
+/// Per-byte popcount: byte k of the result = popcount(byte k of v).
+constexpr std::uint64_t byte_popcount(std::uint64_t v) {
+  v -= (v >> 1) & kL55;
+  v = (v & kL33) + ((v >> 2) & kL33);
+  return (v + (v >> 4)) & kL0F;
+}
+
+/// Packs bytes that are each 0 or 1 into the low 8 bits (byte k -> bit k).
+constexpr std::uint64_t movemask01(std::uint64_t bytes01) {
+  return (bytes01 * 0x0102040810204080ULL) >> 56;
+}
+
+/// Per-byte flag (0/1): 1 iff byte k of `counts` >= `threshold`.
+/// Valid for counts <= 127 per byte; ours are popcounts <= 9.
+constexpr std::uint64_t byte_ge(std::uint64_t counts, int threshold) {
+  const std::uint64_t bias =
+      static_cast<std::uint64_t>(0x80 - threshold) * kL01;
+  return ((counts + bias) & kL80) >> 7;
+}
+
+/// Spreads per-byte 0/1 flags to 0x00 / 0xFF full-byte masks.
+constexpr std::uint64_t spread01(std::uint64_t bytes01) {
+  return bytes01 * 0xFFULL;
+}
+
+/// Byte-granular prefix XOR: byte k of the result = XOR of bytes 0..k.
+constexpr std::uint64_t byte_prefix_xor(std::uint64_t v) {
+  v ^= v << 8;
+  v ^= v << 16;
+  v ^= v << 32;
+  return v;
+}
+
+/// Packs up to 8 consecutive beats (words masked to 8 bits) into one
+/// 64-bit lane word, beat i0+k in byte k.
+std::uint64_t pack8(std::span<const Word> words, int i0, int m) {
+  std::uint64_t p = 0;
+  for (int k = 0; k < m; ++k)
+    p |= static_cast<std::uint64_t>(words[static_cast<std::size_t>(i0 + k)] &
+                                    0xFFU)
+         << (8 * k);
+  return p;
+}
+
+// ------------------------------------------------- width-8 fixed schemes
+//
+// The fixed schemes decide whole 64-bit lane words at a time:
+//   DC:   invert beat iff popcount(byte) <= 3        (2 * zeros > 9)
+//   AC:   with h = hd(raw prev word, raw cur word), the transmitted
+//         comparison collapses to invert = (h >= 5) XOR s_prev, because
+//         t_keep + t_inv == 9 on the 9 lines of a byte group; the scan
+//         over beats is therefore a prefix XOR of the (h >= 5) flags.
+//   ACDC: AC with the first flag replaced by the DC rule for beat 0.
+// Stats (zeros, DQ + DBI transitions) come from whole-word popcounts of
+// the packed transmitted chunk against its shifted self.
+
+enum class Fixed8 { kDc, kAc, kAcDc };
+
+BurstResult encode_fixed8(Fixed8 rule, std::span<const Word> words,
+                          BusState& state) {
+  const int n = static_cast<int>(words.size());
+  BurstResult r;
+  // Carries threaded between 8-beat chunks.
+  std::uint64_t prev_raw = state.last.dq & 0xFFU;  // raw word of beat i-1
+  std::uint64_t prev_tx = state.last.dq & 0xFFU;   // transmitted word
+  bool prev_s = false;      // inversion state of beat i-1 (pre-burst: none)
+  bool prev_dbi = state.last.dbi;  // physical DBI value of beat i-1
+
+  for (int i0 = 0; i0 < n; i0 += 8) {
+    const int m = (n - i0 < 8) ? (n - i0) : 8;
+    const std::uint64_t valid =
+        (m == 8) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * m)) - 1);
+    const std::uint64_t valid_bits = (std::uint64_t{1} << m) - 1;
+    const std::uint64_t p = pack8(words, i0, m);
+
+    // Per-byte inversion decisions as 0/1 flags.
+    std::uint64_t s01;
+    if (rule == Fixed8::kDc) {
+      s01 = (byte_ge(byte_popcount(p), 4) ^ kL01) & kL01 & valid;
+    } else {
+      const std::uint64_t d = p ^ ((p << 8) | prev_raw);
+      std::uint64_t g01 = byte_ge(byte_popcount(d), 5) & kL01;
+      if (i0 == 0) {
+        // Beat 0 sees the pre-burst bus state, not a raw predecessor.
+        bool g0;
+        if (rule == Fixed8::kAcDc) {
+          g0 = std::popcount(static_cast<std::uint32_t>(p & 0xFF)) <= 3;
+        } else {
+          const int t0 = std::popcount(static_cast<std::uint32_t>(
+                             (p ^ prev_raw) & 0xFF)) +
+                         (state.last.dbi != true ? 1 : 0);
+          g0 = t0 >= 5;
+        }
+        g01 = (g01 & ~std::uint64_t{0xFF}) | (g0 ? 1 : 0);
+      }
+      // s_i = g_i XOR s_{i-1}: prefix XOR, then fold in the chunk carry.
+      s01 = byte_prefix_xor(g01);
+      if (prev_s) s01 ^= kL01;
+      s01 &= kL01 & valid;
+    }
+
+    const std::uint64_t inv_bytes = spread01(s01) & valid;
+    const std::uint64_t tx = (p ^ inv_bytes) & valid;
+    const std::uint64_t s_bits = movemask01(s01) & valid_bits;
+    r.invert_mask |= s_bits << i0;
+
+    // Zeros: 8 per beat minus transmitted ones, plus the DBI-low beats.
+    r.stats.zeros += 8 * m - std::popcount(tx) +
+                     std::popcount(s_bits);
+    // DQ transitions: packed chunk vs itself shifted one beat.
+    const std::uint64_t adj = tx ^ ((tx << 8) | prev_tx);
+    r.stats.transitions += std::popcount(adj & valid);
+    // DBI transitions: physical DBI is !s; pre-chunk value is prev_dbi.
+    const std::uint64_t dbi_bits = ~s_bits & valid_bits;
+    const std::uint64_t dbi_adj =
+        (dbi_bits ^ ((dbi_bits << 1) | (prev_dbi ? 1 : 0))) & valid_bits;
+    r.stats.transitions += std::popcount(dbi_adj);
+
+    prev_raw = (p >> (8 * (m - 1))) & 0xFF;
+    prev_tx = (tx >> (8 * (m - 1))) & 0xFF;
+    prev_s = (s_bits >> (m - 1)) & 1;
+    prev_dbi = !prev_s;
+  }
+
+  state.last = Beat{static_cast<Word>(prev_tx), prev_dbi};
+  return r;
+}
+
+/// RAW on a packed byte lane: no DBI wire, data as-is.
+BurstResult encode_raw8(std::span<const Word> words, BusState& state) {
+  const int n = static_cast<int>(words.size());
+  BurstResult r;
+  std::uint64_t prev_tx = state.last.dq & 0xFFU;
+  for (int i0 = 0; i0 < n; i0 += 8) {
+    const int m = (n - i0 < 8) ? (n - i0) : 8;
+    const std::uint64_t valid =
+        (m == 8) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * m)) - 1);
+    const std::uint64_t p = pack8(words, i0, m);
+    r.stats.zeros += 8 * m - std::popcount(p & valid);
+    r.stats.transitions += std::popcount((p ^ ((p << 8) | prev_tx)) & valid);
+    prev_tx = (p >> (8 * (m - 1))) & 0xFF;
+  }
+  // RAW beats carry an idle-high DBI value (see RawEncoder).
+  state.last = Beat{static_cast<Word>(prev_tx), true};
+  return r;
+}
+
+// -------------------------------------------------- flat trellis kernel
+//
+// Allocation-free Viterbi over the two-state trellis (see
+// core/trellis.cpp for the reference DP): both path metrics live in
+// registers and the predecessor decisions in two 64-bit masks, so a
+// burst costs zero heap traffic. Floating-point operation order matches
+// the reference solver exactly — (cur + dc) + alpha * trans — so the
+// result is bit-identical even on tie-prone weights.
+
+template <typename CostT, typename WeightsT>
+std::uint64_t trellis_mask_flat(std::span<const Word> words,
+                                const BusConfig& cfg, const Beat& prev,
+                                const WeightsT& w) {
+  const int n = static_cast<int>(words.size());
+  const Word m = cfg.dq_mask();
+  const auto alpha = static_cast<CostT>(w.alpha);
+  const auto beta = static_cast<CostT>(w.beta);
+
+  std::uint64_t pred0 = 0;  // bit i: predecessor state of (beat i, state 0)
+  std::uint64_t pred1 = 0;  // bit i: predecessor state of (beat i, state 1)
+
+  const Word w0 = words[0] & m;
+  const int z0 = cfg.width - std::popcount(w0);
+  CostT c0 = beta * static_cast<CostT>(z0) +
+             alpha * static_cast<CostT>(std::popcount((prev.dq ^ w0) & m) +
+                                        (prev.dbi != true ? 1 : 0));
+  CostT c1 =
+      beta * static_cast<CostT>(cfg.width - z0 + 1) +
+      alpha * static_cast<CostT>(std::popcount((prev.dq ^ ~w0) & m) +
+                                 (prev.dbi != false ? 1 : 0));
+
+  for (int i = 1; i < n; ++i) {
+    const Word wc = words[static_cast<std::size_t>(i)] & m;
+    const Word wp = words[static_cast<std::size_t>(i - 1)] & m;
+    const int h = std::popcount(wp ^ wc);
+    const int ones = std::popcount(wc);
+    const CostT dc0 = beta * static_cast<CostT>(cfg.width - ones);
+    const CostT dc1 = beta * static_cast<CostT>(ones + 1);
+    // Same-state edges keep the DBI value (h raw transitions); opposite
+    // edges see the complemented predecessor plus the DBI toggle.
+    const CostT t_same = alpha * static_cast<CostT>(h);
+    const CostT t_diff = alpha * static_cast<CostT>(cfg.width - h + 1);
+
+    const CostT a0 = (c0 + dc0) + t_same;  // p=0 -> s=0
+    const CostT b0 = (c1 + dc0) + t_diff;  // p=1 -> s=0
+    const CostT a1 = (c0 + dc1) + t_diff;  // p=0 -> s=1
+    const CostT b1 = (c1 + dc1) + t_same;  // p=1 -> s=1
+    // Ties keep the non-inverted predecessor, like the Fig. 5 comparators.
+    if (b0 < a0) pred0 |= std::uint64_t{1} << i;
+    if (b1 < a1) pred1 |= std::uint64_t{1} << i;
+    c0 = b0 < a0 ? b0 : a0;
+    c1 = b1 < a1 ? b1 : a1;
+  }
+
+  std::uint64_t mask = 0;
+  int s = (c1 < c0) ? 1 : 0;
+  for (int i = n - 1; i >= 0; --i) {
+    if (s) mask |= std::uint64_t{1} << i;
+    s = static_cast<int>(((s ? pred1 : pred0) >> i) & 1);
+  }
+  return mask;
+}
+
+/// Stats + state update for an arbitrary (width, mask) pair; the
+/// generic twin of the packed chunk accounting above.
+BurstStats apply_mask(std::span<const Word> words, const BusConfig& cfg,
+                      std::uint64_t mask, BusState& state) {
+  const Word dq_mask = cfg.dq_mask();
+  Beat last = state.last;
+  BurstStats stats;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const bool inv = (mask >> i) & 1U;
+    const Word x = inv ? (~words[i] & dq_mask) : (words[i] & dq_mask);
+    const bool dbi = !inv;
+    stats.zeros += cfg.width - std::popcount(x) + (dbi ? 0 : 1);
+    stats.transitions += std::popcount((last.dq ^ x) & dq_mask) +
+                         (last.dbi != dbi ? 1 : 0);
+    last = Beat{x, dbi};
+  }
+  state.last = last;
+  return stats;
+}
+
+}  // namespace
+
+BatchEncoder::BatchEncoder(Scheme scheme, const dbi::CostWeights& w)
+    : scheme_(scheme), weights_(w), fallback_(dbi::make_encoder(scheme, w)) {
+  w.validate();
+}
+
+std::string_view BatchEncoder::name() const { return fallback_->name(); }
+
+BurstResult BatchEncoder::encode(const Burst& data, BusState& state) const {
+  return encode_span(data.words(), data.config(), state, &data);
+}
+
+BurstResult BatchEncoder::encode_span(std::span<const Word> words,
+                                      const BusConfig& cfg, BusState& state,
+                                      const Burst* original) const {
+  switch (scheme_) {
+    case Scheme::kRaw:
+      if (cfg.width == 8) return encode_raw8(words, state);
+      break;
+    case Scheme::kDc:
+      if (cfg.width == 8) return encode_fixed8(Fixed8::kDc, words, state);
+      break;
+    case Scheme::kAc:
+      if (cfg.width == 8) return encode_fixed8(Fixed8::kAc, words, state);
+      break;
+    case Scheme::kAcDc:
+      if (cfg.width == 8) return encode_fixed8(Fixed8::kAcDc, words, state);
+      break;
+    case Scheme::kOpt: {
+      BurstResult r;
+      r.invert_mask =
+          trellis_mask_flat<double>(words, cfg, state.last, weights_);
+      r.stats = apply_mask(words, cfg, r.invert_mask, state);
+      return r;
+    }
+    case Scheme::kOptFixed: {
+      BurstResult r;
+      r.invert_mask = trellis_mask_flat<std::int64_t>(
+          words, cfg, state.last, dbi::IntCostWeights{1, 1});
+      r.stats = apply_mask(words, cfg, r.invert_mask, state);
+      return r;
+    }
+    default:
+      break;
+  }
+
+  // Slow path: scalar encoder (exhaustive search, non-byte geometries).
+  const dbi::EncodedBurst e = original
+                                  ? fallback_->encode(*original, state)
+                                  : fallback_->encode(Burst(cfg, words), state);
+  BurstResult r{e.inversion_mask(), e.stats(state)};
+  state = e.final_state();
+  return r;
+}
+
+BurstStats BatchEncoder::encode_words(std::span<const Word> words,
+                                      const BusConfig& cfg, BusState& state,
+                                      BurstResult* results) const {
+  cfg.validate();
+  const auto bl = static_cast<std::size_t>(cfg.burst_length);
+  if (words.size() % bl != 0)
+    throw std::invalid_argument(
+        "BatchEncoder::encode_words: word count not a multiple of "
+        "burst_length");
+  BurstStats totals;
+  for (std::size_t i = 0; i * bl < words.size(); ++i) {
+    const BurstResult r =
+        encode_span(words.subspan(i * bl, bl), cfg, state, nullptr);
+    totals += r.stats;
+    if (results) results[i] = r;
+  }
+  return totals;
+}
+
+BurstStats BatchEncoder::encode_lane(std::span<const Burst> bursts,
+                                     BusState& state,
+                                     BurstResult* results) const {
+  BurstStats totals;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const BurstResult r = encode(bursts[i], state);
+    totals += r.stats;
+    if (results) results[i] = r;
+  }
+  return totals;
+}
+
+void BatchEncoder::encode_lanes(std::span<LaneTask> lanes,
+                                ShardPool* pool) const {
+  auto run_lane = [this, lanes](int i) {
+    LaneTask& t = lanes[static_cast<std::size_t>(i)];
+    if (!t.state)
+      throw std::invalid_argument("BatchEncoder::encode_lanes: null state");
+    t.totals = encode_lane(t.bursts, *t.state, t.results);
+  };
+  if (pool) {
+    pool->run(static_cast<int>(lanes.size()), run_lane);
+  } else {
+    for (int i = 0; i < static_cast<int>(lanes.size()); ++i) run_lane(i);
+  }
+}
+
+BurstStats BatchEncoder::boundary_totals(std::span<const Burst> bursts,
+                                         const BusState& boundary) const {
+  BurstStats totals;
+  for (const Burst& b : bursts) {
+    BusState state = boundary;
+    totals += encode(b, state).stats;
+  }
+  return totals;
+}
+
+dbi::EncodedBurst BatchEncoder::materialize(const Burst& data,
+                                            const BurstResult& r) const {
+  if (scheme_ == Scheme::kRaw) {
+    std::vector<Beat> beats;
+    beats.reserve(static_cast<std::size_t>(data.length()));
+    for (int i = 0; i < data.length(); ++i)
+      beats.push_back(Beat{data.word(i), true});
+    return dbi::EncodedBurst(data.config(), std::move(beats),
+                             /*uses_dbi_line=*/false);
+  }
+  return dbi::EncodedBurst::from_inversion_mask(data, r.invert_mask);
+}
+
+}  // namespace dbi::engine

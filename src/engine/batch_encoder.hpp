@@ -1,0 +1,126 @@
+// BatchEncoder: line-rate batch encoding of burst streams.
+//
+// The scalar dbi::Encoder hierarchy encodes one burst per virtual call
+// and materialises a heap-allocated EncodedBurst each time — ideal for
+// the figure reproductions, far too slow for serving traffic. The
+// engine encodes whole streams instead:
+//
+//   * DC / AC / ACDC are decided bit-parallel on packed 64-bit lane
+//     words (8 beats of a byte lane per machine word) using SWAR
+//     popcounts and a prefix-XOR to resolve the AC decision recurrence
+//     — no per-bit loops anywhere (byte-lane groups, width == 8).
+//   * OPT / OPT (Fixed) run through a flat, allocation-free trellis
+//     kernel that keeps both path metrics in registers and the
+//     predecessor bits in two 64-bit masks, instead of rebuilding
+//     vector-backed trellis state per burst.
+//   * Everything else (exhaustive search, odd geometries) falls back to
+//     the scalar encoder, so every Scheme is supported and bit-exact.
+//
+// Results are compact BurstResult records (inversion mask + stats), not
+// EncodedBursts: callers that need the physical beats call
+// materialize(). BusState is threaded internally per lane; lanes can be
+// sharded across a ShardPool deterministically.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/encoder.hpp"
+#include "core/encoding.hpp"
+#include "core/types.hpp"
+#include "engine/shard_pool.hpp"
+
+namespace dbi::engine {
+
+/// Compact encode result for one burst: the per-beat inversion
+/// decisions plus the zero / transition counts against the pre-burst
+/// bus state (DBI line included for every scheme except RAW).
+struct BurstResult {
+  std::uint64_t invert_mask = 0;
+  dbi::BurstStats stats;
+
+  friend constexpr bool operator==(const BurstResult&, const BurstResult&) =
+      default;
+};
+
+/// One lane's unit of work for encode_lanes(): an ordered burst stream,
+/// the lane's bus state (threaded through and updated in place), and a
+/// caller-owned output span with one slot per burst.
+struct LaneTask {
+  std::span<const dbi::Burst> bursts;
+  dbi::BusState* state = nullptr;
+  BurstResult* results = nullptr;  ///< nullable: stats-only encode
+  dbi::BurstStats totals;          ///< filled by encode_lanes()
+};
+
+class BatchEncoder {
+ public:
+  /// Engine for one scheme. `w` parameterises kOpt / kExhaustive and is
+  /// ignored by the fixed schemes (same contract as dbi::make_encoder).
+  explicit BatchEncoder(dbi::Scheme scheme, const dbi::CostWeights& w = {});
+
+  BatchEncoder(const BatchEncoder&) = delete;
+  BatchEncoder& operator=(const BatchEncoder&) = delete;
+
+  [[nodiscard]] dbi::Scheme scheme() const { return scheme_; }
+  [[nodiscard]] std::string_view name() const;
+
+  /// The scalar encoder the engine is bit-exact against (also the
+  /// slow-path implementation). Lets engine-backed callers expose a
+  /// dbi::Encoder without constructing a second one.
+  [[nodiscard]] const dbi::Encoder& scalar_twin() const { return *fallback_; }
+
+  /// Encodes one burst against `state` and advances `state` to the
+  /// post-burst line values. Bit-exact vs the scalar encoder.
+  [[nodiscard]] BurstResult encode(const dbi::Burst& data,
+                                   dbi::BusState& state) const;
+
+  /// Encodes a lane's stream in order, threading `state` through all
+  /// bursts. Writes one BurstResult per burst to `results` when it is
+  /// non-null (then it must hold bursts.size() slots) and returns the
+  /// summed stats.
+  dbi::BurstStats encode_lane(std::span<const dbi::Burst> bursts,
+                              dbi::BusState& state,
+                              BurstResult* results = nullptr) const;
+
+  /// Flat-buffer variant for callers that keep payloads out of Burst
+  /// objects: `words` holds consecutive bursts back to back (burst i is
+  /// words[i * cfg.burst_length ... (i+1) * cfg.burst_length)), every
+  /// word already inside cfg.dq_mask(). Threads `state` like
+  /// encode_lane and returns the summed stats.
+  dbi::BurstStats encode_words(std::span<const dbi::Word> words,
+                               const dbi::BusConfig& cfg,
+                               dbi::BusState& state,
+                               BurstResult* results = nullptr) const;
+
+  /// Encodes many independent lanes. With a pool, lane i runs on worker
+  /// i % pool->workers() (deterministic, work-stealing-free); without
+  /// one, lanes run serially in index order. Results are identical
+  /// either way.
+  void encode_lanes(std::span<LaneTask> lanes, ShardPool* pool = nullptr) const;
+
+  /// Sum of per-burst stats with the paper's fixed boundary condition
+  /// (state reset to `boundary` before every burst, not threaded).
+  [[nodiscard]] dbi::BurstStats boundary_totals(
+      std::span<const dbi::Burst> bursts, const dbi::BusState& boundary) const;
+
+  /// Reconstructs the full physical burst for callers that need beats.
+  [[nodiscard]] dbi::EncodedBurst materialize(const dbi::Burst& data,
+                                              const BurstResult& r) const;
+
+ private:
+  /// Shared dispatch: `original` is the Burst backing `words` when the
+  /// caller has one (the scalar fallback needs it), nullptr otherwise.
+  BurstResult encode_span(std::span<const dbi::Word> words,
+                          const dbi::BusConfig& cfg, dbi::BusState& state,
+                          const dbi::Burst* original) const;
+
+  dbi::Scheme scheme_;
+  dbi::CostWeights weights_;
+  std::unique_ptr<dbi::Encoder> fallback_;  // scalar twin / slow path
+};
+
+}  // namespace dbi::engine

@@ -1,0 +1,76 @@
+#include "engine/shard_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dbi::engine {
+
+ShardPool::ShardPool(int workers) {
+  const int n = std::max(workers, 1);
+  errors_.assign(static_cast<std::size_t>(n), nullptr);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ShardPool::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+void ShardPool::run(int shards, const std::function<void(int)>& fn) {
+  if (shards < 0) throw std::invalid_argument("ShardPool::run: shards < 0");
+  if (shards == 0) return;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (fn_) throw std::logic_error("ShardPool::run: reentrant call");
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  fn_ = &fn;
+  shards_ = shards;
+  workers_done_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return workers_done_ == workers(); });
+  fn_ = nullptr;
+  for (const std::exception_ptr& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+void ShardPool::worker_loop(int worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int shards = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      shards = shards_;
+    }
+    try {
+      for (int s = worker_id; s < shards; s += workers()) (*fn)(s);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(worker_id)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace dbi::engine

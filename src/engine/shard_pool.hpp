@@ -1,0 +1,61 @@
+// ShardPool: a work-stealing-free thread pool for lane-group shards.
+//
+// Every run() distributes shards to workers by the fixed rule
+// shard -> worker (shard % workers), and each worker processes its
+// shards in increasing order. No stealing, no dynamic scheduling:
+// a given (workers, shards) pair always yields the same
+// shard-to-thread assignment and per-thread execution order, so
+// multi-threaded encoding runs are reproducible and debuggable.
+// Shards must write to disjoint state (the engine gives every lane its
+// own BusState and result span), which keeps the pool barrier-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbi::engine {
+
+class ShardPool {
+ public:
+  /// Spawns `workers` persistent worker threads (clamped to >= 1).
+  explicit ShardPool(int workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(shard) for every shard in [0, shards): shard s executes on
+  /// worker s % workers(), workers process their shards in increasing
+  /// order. Blocks until every shard finished. If any fn throws, the
+  /// first exception (in worker index order) is rethrown here after all
+  /// workers went idle. Not reentrant; one run() at a time.
+  void run(int shards, const std::function<void(int shard)>& fn);
+
+  /// A good default worker count for this machine.
+  [[nodiscard]] static int default_workers();
+
+ private:
+  void worker_loop(int worker_id);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // run() waits for completion
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;  // one slot per worker
+
+  // Job state, guarded by mu_.
+  const std::function<void(int)>* fn_ = nullptr;
+  int shards_ = 0;
+  std::uint64_t generation_ = 0;
+  int workers_done_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dbi::engine

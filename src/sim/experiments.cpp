@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "engine/batch_encoder.hpp"
 #include "power/interface_energy.hpp"
 #include "power/system_energy.hpp"
 #include "sim/stats.hpp"
@@ -17,6 +18,7 @@ using dbi::BurstStats;
 using dbi::BusState;
 using dbi::CostWeights;
 using dbi::Encoder;
+using dbi::Scheme;
 
 /// Sum of (zeros, transitions) of `encoder` over the whole trace with
 /// the paper's per-burst all-ones boundary.
@@ -27,6 +29,14 @@ BurstStats total_stats(const workload::BurstTrace& trace,
   for (const dbi::Burst& b : trace.bursts())
     total += encoder.encode(b, boundary).stats(boundary);
   return total;
+}
+
+/// Engine-routed totals: same contract as total_stats but through the
+/// BatchEncoder fast paths (bit-exact, no per-burst materialisation).
+BurstStats total_stats(const workload::BurstTrace& trace, Scheme scheme,
+                       const CostWeights& w = {}) {
+  return engine::BatchEncoder(scheme, w).boundary_totals(
+      trace.bursts(), BusState::all_ones(trace.config()));
 }
 
 double mean_cost_from_totals(const BurstStats& totals, std::size_t n,
@@ -53,6 +63,14 @@ MeanStats mean_stats(const workload::BurstTrace& trace,
   return MeanStats{totals.zeros / n, totals.transitions / n};
 }
 
+MeanStats mean_stats(const workload::BurstTrace& trace, Scheme scheme,
+                     const dbi::CostWeights& w) {
+  if (trace.empty()) return {};
+  const BurstStats totals = total_stats(trace, scheme, w);
+  const auto n = static_cast<double>(trace.size());
+  return MeanStats{totals.zeros / n, totals.transitions / n};
+}
+
 MeanStats mean_stats_chained(const workload::BurstTrace& trace,
                              const dbi::Encoder& encoder) {
   if (trace.empty()) return {};
@@ -67,6 +85,16 @@ MeanStats mean_stats_chained(const workload::BurstTrace& trace,
   return MeanStats{totals.zeros / n, totals.transitions / n};
 }
 
+MeanStats mean_stats_chained(const workload::BurstTrace& trace, Scheme scheme,
+                             const dbi::CostWeights& w) {
+  if (trace.empty()) return {};
+  const engine::BatchEncoder batch(scheme, w);
+  BusState state = BusState::all_ones(trace.config());
+  const BurstStats totals = batch.encode_lane(trace.bursts(), state);
+  const auto n = static_cast<double>(trace.size());
+  return MeanStats{totals.zeros / n, totals.transitions / n};
+}
+
 std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,
                                          int steps) {
   if (steps < 2) throw std::invalid_argument("alpha_sweep: steps < 2");
@@ -74,14 +102,13 @@ std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,
 
   // Encoding decisions of RAW / DC / AC / ACDC / OPT(Fixed) do not
   // depend on (alpha, beta); their mean cost is linear in the weights,
-  // so one pass collecting totals suffices for every sweep point.
-  const BurstStats raw = total_stats(trace, *dbi::make_raw_encoder());
-  const BurstStats dc = total_stats(trace, *dbi::make_dc_encoder());
-  const BurstStats ac = total_stats(trace, *dbi::make_ac_encoder());
-  const BurstStats acdc = total_stats(trace, *dbi::make_acdc_encoder());
-  const BurstStats fixed = total_stats(trace, *dbi::make_opt_fixed_encoder());
+  // so one engine pass collecting totals suffices for every sweep point.
+  const BurstStats raw = total_stats(trace, Scheme::kRaw);
+  const BurstStats dc = total_stats(trace, Scheme::kDc);
+  const BurstStats ac = total_stats(trace, Scheme::kAc);
+  const BurstStats acdc = total_stats(trace, Scheme::kAcDc);
+  const BurstStats fixed = total_stats(trace, Scheme::kOptFixed);
 
-  const BusState boundary = BusState::all_ones(trace.config());
   std::vector<AlphaSweepPoint> sweep;
   sweep.reserve(static_cast<std::size_t>(steps));
   for (int i = 0; i < steps; ++i) {
@@ -97,11 +124,10 @@ std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,
     p.acdc = mean_cost_from_totals(acdc, trace.size(), w);
     p.opt_fixed = mean_cost_from_totals(fixed, trace.size(), w);
 
-    const auto opt = dbi::make_opt_encoder(w);
-    Accumulator opt_cost;
-    for (const dbi::Burst& b : trace.bursts())
-      opt_cost.add(encoded_cost(opt->encode(b, boundary), boundary, w));
-    p.opt = opt_cost.mean();
+    // DBI OPT re-decides per sweep point; its cost is the weighted sum
+    // of its own totals, collected through the flat trellis kernel.
+    p.opt = mean_cost_from_totals(total_stats(trace, Scheme::kOpt, w),
+                                  trace.size(), w);
 
     sweep.push_back(p);
   }
@@ -147,12 +173,11 @@ std::vector<RateSweepPoint> datarate_sweep(const power::PodParams& interface,
   if (trace.empty())
     throw std::invalid_argument("datarate_sweep: empty trace");
 
-  const BurstStats raw = total_stats(trace, *dbi::make_raw_encoder());
-  const BurstStats dc = total_stats(trace, *dbi::make_dc_encoder());
-  const BurstStats ac = total_stats(trace, *dbi::make_ac_encoder());
-  const BurstStats fixed = total_stats(trace, *dbi::make_opt_fixed_encoder());
+  const BurstStats raw = total_stats(trace, Scheme::kRaw);
+  const BurstStats dc = total_stats(trace, Scheme::kDc);
+  const BurstStats ac = total_stats(trace, Scheme::kAc);
+  const BurstStats fixed = total_stats(trace, Scheme::kOptFixed);
 
-  const BusState boundary = BusState::all_ones(trace.config());
   const auto n = static_cast<double>(trace.size());
 
   std::vector<RateSweepPoint> sweep;
@@ -161,12 +186,9 @@ std::vector<RateSweepPoint> datarate_sweep(const power::PodParams& interface,
     const power::PodParams pod = interface.at_rate(gbps * 1e9);
     const CostWeights w = power::weights_from_pod(pod);
 
-    // DBI OPT re-encodes at this operating point's true energy weights.
-    const auto opt = dbi::make_opt_encoder(w);
-    Accumulator opt_energy;
-    for (const dbi::Burst& b : trace.bursts())
-      opt_energy.add(
-          power::burst_energy(pod, opt->encode(b, boundary).stats(boundary)));
+    // DBI OPT re-encodes at this operating point's true energy weights;
+    // burst_energy is linear in the stats, so totals suffice.
+    const BurstStats opt_totals = total_stats(trace, Scheme::kOpt, w);
 
     RateSweepPoint p;
     p.gbps = gbps;
@@ -176,7 +198,7 @@ std::vector<RateSweepPoint> datarate_sweep(const power::PodParams& interface,
       throw std::runtime_error("datarate_sweep: degenerate RAW energy");
     p.dc = mean_cost_from_totals(dc, trace.size(), w) / raw_j;
     p.ac = mean_cost_from_totals(ac, trace.size(), w) / raw_j;
-    p.opt = opt_energy.sum() / n / raw_j;
+    p.opt = power::burst_energy(pod, opt_totals) / n / raw_j;
     p.opt_fixed = mean_cost_from_totals(fixed, trace.size(), w) / raw_j;
     sweep.push_back(p);
   }
@@ -191,9 +213,9 @@ std::vector<TotalEnergyPoint> total_energy_sweep(
   if (trace.empty())
     throw std::invalid_argument("total_energy_sweep: empty trace");
 
-  const BurstStats dc = total_stats(trace, *dbi::make_dc_encoder());
-  const BurstStats ac = total_stats(trace, *dbi::make_ac_encoder());
-  const BurstStats fixed = total_stats(trace, *dbi::make_opt_fixed_encoder());
+  const BurstStats dc = total_stats(trace, Scheme::kDc);
+  const BurstStats ac = total_stats(trace, Scheme::kAc);
+  const BurstStats fixed = total_stats(trace, Scheme::kOptFixed);
   const auto n = static_cast<double>(trace.size());
   const dbi::BusConfig& cfg = trace.config();
 

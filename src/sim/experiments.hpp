@@ -27,12 +27,23 @@ struct MeanStats {
 [[nodiscard]] MeanStats mean_stats(const workload::BurstTrace& trace,
                                    const dbi::Encoder& encoder);
 
+/// Engine-routed twin: encodes through the engine::BatchEncoder fast
+/// paths (bit-exact vs the scalar encoder, much faster on big traces).
+[[nodiscard]] MeanStats mean_stats(const workload::BurstTrace& trace,
+                                   dbi::Scheme scheme,
+                                   const dbi::CostWeights& w = {});
+
 /// Like mean_stats, but threading the true line state from burst to
 /// burst (real memory-controller behaviour) instead of resetting to
 /// the paper's all-ones boundary before every burst. Quantifies how
 /// much the paper's per-burst boundary assumption matters.
 [[nodiscard]] MeanStats mean_stats_chained(const workload::BurstTrace& trace,
                                            const dbi::Encoder& encoder);
+
+/// Engine-routed twin of mean_stats_chained.
+[[nodiscard]] MeanStats mean_stats_chained(const workload::BurstTrace& trace,
+                                           dbi::Scheme scheme,
+                                           const dbi::CostWeights& w = {});
 
 // ---------------------------------------------------------------- Fig. 3/4
 

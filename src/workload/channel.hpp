@@ -16,6 +16,8 @@
 #include "core/encoder.hpp"
 #include "core/encoding.hpp"
 #include "core/types.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
 
 namespace dbi::workload {
 
@@ -60,10 +62,21 @@ class Channel {
  public:
   /// The channel takes ownership of the encoder (shared across lanes;
   /// encoders are stateless, the channel threads per-lane state).
+  /// Writes go through the per-burst virtual path — use the Scheme
+  /// constructor for the batch-engine fast paths.
   Channel(const ChannelConfig& cfg, std::unique_ptr<dbi::Encoder> encoder);
 
+  /// Engine-backed channel: every write routes through the
+  /// engine::BatchEncoder fast paths for `scheme` (bit-exact vs the
+  /// scalar encoder). `w` parameterises kOpt, as in dbi::make_encoder.
+  Channel(const ChannelConfig& cfg, dbi::Scheme scheme,
+          const dbi::CostWeights& w = {});
+
   [[nodiscard]] const ChannelConfig& config() const { return cfg_; }
-  [[nodiscard]] const dbi::Encoder& encoder() const { return *encoder_; }
+  [[nodiscard]] const dbi::Encoder& encoder() const {
+    return engine_ ? engine_->scalar_twin() : *encoder_;
+  }
+  [[nodiscard]] bool uses_engine() const { return engine_ != nullptr; }
 
   /// Writes one full-channel burst. `data.size()` must equal
   /// config().bytes_per_write(); byte b of beat t of lane l is
@@ -73,6 +86,21 @@ class Channel {
   /// running statistics.
   std::vector<dbi::EncodedBurst> write(std::span<const std::uint8_t> data);
 
+  /// Batched stats-only write path: `data` holds any number of
+  /// consecutive full-channel writes (size a multiple of
+  /// bytes_per_write(), same beat-major layout). Encodes every lane's
+  /// burst stream through the engine without materialising
+  /// EncodedBursts, updates the running statistics and per-lane line
+  /// state, and returns the stats of just this call. With `pool`,
+  /// lanes are sharded deterministically across its workers. Requires
+  /// an engine-backed channel for the fast path; encoder-backed
+  /// channels take the scalar route — serially even when a pool is
+  /// given, since a caller-supplied encoder (e.g. the noisy wrapper)
+  /// may carry state that is not safe to share across workers — and
+  /// yield identical stats.
+  ChannelStats write_stream(std::span<const std::uint8_t> data,
+                            engine::ShardPool* pool = nullptr);
+
   /// Statistics of everything written so far.
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
 
@@ -80,8 +108,11 @@ class Channel {
   void reset();
 
  private:
+  dbi::Burst lane_burst(std::span<const std::uint8_t> data, int lane) const;
+
   ChannelConfig cfg_;
   std::unique_ptr<dbi::Encoder> encoder_;
+  std::unique_ptr<engine::BatchEncoder> engine_;  // null: virtual path
   std::vector<dbi::BusState> lane_state_;
   ChannelStats stats_;
 };

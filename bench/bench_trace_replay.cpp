@@ -1,0 +1,197 @@
+// Streaming trace replay vs the in-memory engine path.
+//
+// Writes a >= 1M-burst binary trace to disk, then compares, per fixed
+// scheme:
+//   (a) Channel::write_stream over the interleaved byte stream held in
+//       RAM (the PR-1 engine fast path, sharded across the pool);
+//   (b) trace::ReplayPipeline streaming the same bursts back from the
+//       mmap'd file (zero-copy chunks + double buffering), with the
+//       identical lane interleave (burst g -> lane g % lanes), so both
+//       paths encode the very same per-lane burst sequences.
+// A streaming section records a zeros-heavy corpus with RLE compression
+// and replays it, reporting the on-disk ratio and throughput.
+// Emits one JSON object (BENCH_*.json trajectory format).
+//
+//   ./bench_trace_replay [writes-per-lane] [lanes] [workers] [repeats]
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "workload/channel.hpp"
+#include "workload/corpus.hpp"
+#include "workload/rng.hpp"
+
+namespace {
+
+using namespace dbi;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string temp_trace_path(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir && *dir ? dir : "/tmp";
+  path += "/bench_trace_replay_";
+  path += tag;
+  path += "_";
+  path += std::to_string(static_cast<long>(::getpid()));
+  path += ".dbt";
+  return path;
+}
+
+struct SchemeReport {
+  std::string scheme;
+  double stream_mbps = 0;  // mega-bursts/s, in-memory write_stream
+  double replay_mbps = 0;  // mega-bursts/s, mmap streaming replay
+  double ratio = 0;        // replay / stream (>= 1: no regression)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long writes = argc > 1 ? std::atol(argv[1]) : 131072;
+  const int lanes = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int workers =
+      argc > 3 ? std::atoi(argv[3]) : engine::ShardPool::default_workers();
+  const int repeats = argc > 4 ? std::atoi(argv[4]) : 3;
+  if (writes < 1 || lanes < 1 || lanes > 64 || workers < 1 || repeats < 1) {
+    std::fprintf(stderr,
+                 "usage: %s [writes-per-lane >= 1] [lanes 1..64] "
+                 "[workers >= 1] [repeats >= 1]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const workload::ChannelConfig ccfg{lanes, BusConfig{8, 8}, false};
+  const auto bpw = static_cast<std::size_t>(ccfg.bytes_per_write());
+  const std::int64_t bursts = writes * lanes;
+
+  // The interleaved channel byte stream (beat-major, like a x(8*lanes)
+  // device) — the exact input Channel::write_stream consumes.
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(writes) * bpw);
+  workload::Xoshiro256 rng(2026);
+  for (std::uint8_t& b : data) b = static_cast<std::uint8_t>(rng.next());
+
+  // Record the same bursts, in channel write order (write w emits lane
+  // 0..L-1), so replay's g % lanes interleave reproduces each lane's
+  // stream exactly.
+  const std::string path = temp_trace_path("uniform");
+  {
+    trace::TraceWriterOptions wopt;
+    wopt.compress = false;  // uniform bytes are incompressible
+    trace::TraceWriter writer(path, ccfg.lane, wopt);
+    std::vector<Word> burst(static_cast<std::size_t>(ccfg.lane.burst_length));
+    for (long w = 0; w < writes; ++w) {
+      for (int l = 0; l < lanes; ++l) {
+        for (int t = 0; t < ccfg.lane.burst_length; ++t)
+          burst[static_cast<std::size_t>(t)] =
+              data[static_cast<std::size_t>(w) * bpw +
+                   static_cast<std::size_t>(t * lanes + l)];
+        writer.write_words(burst);
+      }
+    }
+    writer.finish();
+  }
+
+  engine::ShardPool pool(workers);
+  const auto reader = trace::TraceReader::open(path);
+  const CostWeights w{0.56, 0.44};
+
+  const Scheme schemes[] = {Scheme::kDc, Scheme::kAc, Scheme::kAcDc,
+                            Scheme::kOptFixed};
+  std::vector<SchemeReport> reports;
+  for (const Scheme scheme : schemes) {
+    SchemeReport rep;
+    const double total =
+        static_cast<double>(bursts) * static_cast<double>(repeats);
+
+    {
+      workload::Channel channel(ccfg, scheme, w);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        channel.reset();
+        (void)channel.write_stream(data, &pool);
+      }
+      rep.stream_mbps = total / seconds_since(t0) / 1e6;
+    }
+
+    {
+      const engine::BatchEncoder encoder(scheme, w);
+      trace::ReplayOptions opt;
+      opt.lanes = lanes;
+      opt.pool = &pool;
+      trace::ReplayPipeline pipeline(reader, encoder, opt);
+      rep.scheme = std::string(encoder.name());
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) (void)pipeline.run();
+      rep.replay_mbps = total / seconds_since(t0) / 1e6;
+    }
+
+    rep.ratio = rep.stream_mbps > 0 ? rep.replay_mbps / rep.stream_mbps : 0;
+    reports.push_back(rep);
+  }
+  std::remove(path.c_str());
+
+  // Compressed streaming: a zeros-heavy corpus recorded with RLE, so
+  // the producer thread's decompression overlaps the encode.
+  const std::string sparse_path = temp_trace_path("sparse");
+  double sparse_mbps = 0;
+  double sparse_ratio = 0;
+  std::int64_t sparse_bursts = bursts;
+  {
+    trace::TraceWriter writer(sparse_path, ccfg.lane, {});
+    auto src = workload::make_corpus_source("sparse-zeros", ccfg.lane, 9);
+    for (std::int64_t i = 0; i < sparse_bursts; ++i)
+      writer.write(src->next());
+    writer.finish();
+    const auto sparse_reader = trace::TraceReader::open(sparse_path);
+    sparse_ratio =
+        static_cast<double>(sparse_reader.file_bytes()) /
+        (static_cast<double>(sparse_bursts) *
+         static_cast<double>(ccfg.lane.bytes_per_burst()));
+    const engine::BatchEncoder encoder(Scheme::kAc);
+    trace::ReplayOptions opt;
+    opt.lanes = lanes;
+    opt.pool = &pool;
+    const auto t0 = std::chrono::steady_clock::now();
+    const trace::ReplayTotals totals =
+        trace::replay_trace(sparse_reader, encoder, opt);
+    sparse_mbps = static_cast<double>(totals.bursts) / seconds_since(t0) / 1e6;
+  }
+  std::remove(sparse_path.c_str());
+
+  std::printf("{\n  \"bench\": \"trace_replay\",\n");
+  std::printf("  \"config\": {\"width\": %d, \"burst_length\": %d, "
+              "\"lanes\": %d, \"writes_per_lane\": %ld, \"bursts\": %lld, "
+              "\"workers\": %d, \"repeats\": %d},\n",
+              ccfg.lane.width, ccfg.lane.burst_length, lanes, writes,
+              static_cast<long long>(bursts), workers, repeats);
+  std::printf("  \"schemes\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SchemeReport& r = reports[i];
+    std::printf("    {\"scheme\": \"%s\", \"stream_mbursts_per_s\": %.2f, "
+                "\"replay_mbursts_per_s\": %.2f, \"replay_vs_stream\": "
+                "%.3f}%s\n",
+                r.scheme.c_str(), r.stream_mbps, r.replay_mbps, r.ratio,
+                i + 1 < reports.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"compressed\": {\"corpus\": \"sparse-zeros\", "
+              "\"bursts\": %lld, \"on_disk_ratio\": %.3f, "
+              "\"replay_mbursts_per_s\": %.2f}\n",
+              static_cast<long long>(sparse_bursts), sparse_ratio,
+              sparse_mbps);
+  std::printf("}\n");
+  return 0;
+}

@@ -40,6 +40,17 @@ struct BusConfig {
     return lines() * burst_length;
   }
 
+  /// Smallest whole number of bytes that holds one beat's payload word
+  /// (the unit of the binary trace format and packed engine inputs).
+  [[nodiscard]] constexpr int bytes_per_beat() const {
+    return width <= 8 ? 1 : (width <= 16 ? 2 : 4);
+  }
+
+  /// On-disk / packed-buffer size of one burst's payload.
+  [[nodiscard]] constexpr int bytes_per_burst() const {
+    return bytes_per_beat() * burst_length;
+  }
+
   /// Throws std::invalid_argument when the geometry is unusable.
   void validate() const {
     if (width < 1 || width > 32)

@@ -1,6 +1,7 @@
 #include "engine/batch_encoder.hpp"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/byte_utils.hpp"
@@ -59,16 +60,50 @@ constexpr std::uint64_t byte_prefix_xor(std::uint64_t v) {
   return v;
 }
 
-/// Packs up to 8 consecutive beats (words masked to 8 bits) into one
-/// 64-bit lane word, beat i0+k in byte k.
-std::uint64_t pack8(std::span<const Word> words, int i0, int m) {
-  std::uint64_t p = 0;
-  for (int k = 0; k < m; ++k)
-    p |= static_cast<std::uint64_t>(words[static_cast<std::size_t>(i0 + k)] &
-                                    0xFFU)
-         << (8 * k);
-  return p;
-}
+/// Beat sources for the width-8 kernels: both expose size() and
+/// pack8(i0, m) — up to 8 consecutive beats packed into one 64-bit lane
+/// word, beat i0+k in byte k.
+struct WordBeats {
+  std::span<const Word> words;
+
+  [[nodiscard]] int size() const { return static_cast<int>(words.size()); }
+  [[nodiscard]] Word operator[](int i) const {
+    return words[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
+    std::uint64_t p = 0;
+    for (int k = 0; k < m; ++k)
+      p |= static_cast<std::uint64_t>(
+               words[static_cast<std::size_t>(i0 + k)] & 0xFFU)
+           << (8 * k);
+    return p;
+  }
+};
+
+/// One byte per beat, the binary trace format's width-8 payload layout:
+/// the packed lane word is a straight (little-endian) 8-byte load, so
+/// mmap'd trace chunks feed the SWAR kernels with no widening pass.
+struct ByteBeats {
+  const std::uint8_t* bytes;
+  int n;
+
+  [[nodiscard]] int size() const { return n; }
+  [[nodiscard]] Word operator[](int i) const {
+    return static_cast<Word>(bytes[i]);
+  }
+  [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint64_t p = 0;
+      std::memcpy(&p, bytes + i0, static_cast<std::size_t>(m));
+      return p;
+    } else {
+      std::uint64_t p = 0;
+      for (int k = 0; k < m; ++k)
+        p |= static_cast<std::uint64_t>(bytes[i0 + k]) << (8 * k);
+      return p;
+    }
+  }
+};
 
 // ------------------------------------------------- width-8 fixed schemes
 //
@@ -84,9 +119,9 @@ std::uint64_t pack8(std::span<const Word> words, int i0, int m) {
 
 enum class Fixed8 { kDc, kAc, kAcDc };
 
-BurstResult encode_fixed8(Fixed8 rule, std::span<const Word> words,
-                          BusState& state) {
-  const int n = static_cast<int>(words.size());
+template <typename Beats>
+BurstResult encode_fixed8(Fixed8 rule, const Beats& beats, BusState& state) {
+  const int n = beats.size();
   BurstResult r;
   // Carries threaded between 8-beat chunks.
   std::uint64_t prev_raw = state.last.dq & 0xFFU;  // raw word of beat i-1
@@ -99,7 +134,7 @@ BurstResult encode_fixed8(Fixed8 rule, std::span<const Word> words,
     const std::uint64_t valid =
         (m == 8) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * m)) - 1);
     const std::uint64_t valid_bits = (std::uint64_t{1} << m) - 1;
-    const std::uint64_t p = pack8(words, i0, m);
+    const std::uint64_t p = beats.pack8(i0, m);
 
     // Per-byte inversion decisions as 0/1 flags.
     std::uint64_t s01;
@@ -155,15 +190,16 @@ BurstResult encode_fixed8(Fixed8 rule, std::span<const Word> words,
 }
 
 /// RAW on a packed byte lane: no DBI wire, data as-is.
-BurstResult encode_raw8(std::span<const Word> words, BusState& state) {
-  const int n = static_cast<int>(words.size());
+template <typename Beats>
+BurstResult encode_raw8(const Beats& beats, BusState& state) {
+  const int n = beats.size();
   BurstResult r;
   std::uint64_t prev_tx = state.last.dq & 0xFFU;
   for (int i0 = 0; i0 < n; i0 += 8) {
     const int m = (n - i0 < 8) ? (n - i0) : 8;
     const std::uint64_t valid =
         (m == 8) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * m)) - 1);
-    const std::uint64_t p = pack8(words, i0, m);
+    const std::uint64_t p = beats.pack8(i0, m);
     r.stats.zeros += 8 * m - std::popcount(p & valid);
     r.stats.transitions += std::popcount((p ^ ((p << 8) | prev_tx)) & valid);
     prev_tx = (p >> (8 * (m - 1))) & 0xFF;
@@ -182,11 +218,10 @@ BurstResult encode_raw8(std::span<const Word> words, BusState& state) {
 // the reference solver exactly — (cur + dc) + alpha * trans — so the
 // result is bit-identical even on tie-prone weights.
 
-template <typename CostT, typename WeightsT>
-std::uint64_t trellis_mask_flat(std::span<const Word> words,
-                                const BusConfig& cfg, const Beat& prev,
-                                const WeightsT& w) {
-  const int n = static_cast<int>(words.size());
+template <typename CostT, typename Beats, typename WeightsT>
+std::uint64_t trellis_mask_flat(const Beats& words, const BusConfig& cfg,
+                                const Beat& prev, const WeightsT& w) {
+  const int n = words.size();
   const Word m = cfg.dq_mask();
   const auto alpha = static_cast<CostT>(w.alpha);
   const auto beta = static_cast<CostT>(w.beta);
@@ -205,8 +240,8 @@ std::uint64_t trellis_mask_flat(std::span<const Word> words,
                                  (prev.dbi != false ? 1 : 0));
 
   for (int i = 1; i < n; ++i) {
-    const Word wc = words[static_cast<std::size_t>(i)] & m;
-    const Word wp = words[static_cast<std::size_t>(i - 1)] & m;
+    const Word wc = words[i] & m;
+    const Word wp = words[i - 1] & m;
     const int h = std::popcount(wp ^ wc);
     const int ones = std::popcount(wc);
     const CostT dc0 = beta * static_cast<CostT>(cfg.width - ones);
@@ -238,12 +273,13 @@ std::uint64_t trellis_mask_flat(std::span<const Word> words,
 
 /// Stats + state update for an arbitrary (width, mask) pair; the
 /// generic twin of the packed chunk accounting above.
-BurstStats apply_mask(std::span<const Word> words, const BusConfig& cfg,
+template <typename Beats>
+BurstStats apply_mask(const Beats& words, const BusConfig& cfg,
                       std::uint64_t mask, BusState& state) {
   const Word dq_mask = cfg.dq_mask();
   Beat last = state.last;
   BurstStats stats;
-  for (std::size_t i = 0; i < words.size(); ++i) {
+  for (int i = 0; i < words.size(); ++i) {
     const bool inv = (mask >> i) & 1U;
     const Word x = inv ? (~words[i] & dq_mask) : (words[i] & dq_mask);
     const bool dbi = !inv;
@@ -274,29 +310,32 @@ BurstResult BatchEncoder::encode_span(std::span<const Word> words,
                                       const Burst* original) const {
   switch (scheme_) {
     case Scheme::kRaw:
-      if (cfg.width == 8) return encode_raw8(words, state);
+      if (cfg.width == 8) return encode_raw8(WordBeats{words}, state);
       break;
     case Scheme::kDc:
-      if (cfg.width == 8) return encode_fixed8(Fixed8::kDc, words, state);
+      if (cfg.width == 8)
+        return encode_fixed8(Fixed8::kDc, WordBeats{words}, state);
       break;
     case Scheme::kAc:
-      if (cfg.width == 8) return encode_fixed8(Fixed8::kAc, words, state);
+      if (cfg.width == 8)
+        return encode_fixed8(Fixed8::kAc, WordBeats{words}, state);
       break;
     case Scheme::kAcDc:
-      if (cfg.width == 8) return encode_fixed8(Fixed8::kAcDc, words, state);
+      if (cfg.width == 8)
+        return encode_fixed8(Fixed8::kAcDc, WordBeats{words}, state);
       break;
     case Scheme::kOpt: {
       BurstResult r;
-      r.invert_mask =
-          trellis_mask_flat<double>(words, cfg, state.last, weights_);
-      r.stats = apply_mask(words, cfg, r.invert_mask, state);
+      r.invert_mask = trellis_mask_flat<double>(WordBeats{words}, cfg,
+                                                state.last, weights_);
+      r.stats = apply_mask(WordBeats{words}, cfg, r.invert_mask, state);
       return r;
     }
     case Scheme::kOptFixed: {
       BurstResult r;
       r.invert_mask = trellis_mask_flat<std::int64_t>(
-          words, cfg, state.last, dbi::IntCostWeights{1, 1});
-      r.stats = apply_mask(words, cfg, r.invert_mask, state);
+          WordBeats{words}, cfg, state.last, dbi::IntCostWeights{1, 1});
+      r.stats = apply_mask(WordBeats{words}, cfg, r.invert_mask, state);
       return r;
     }
     default:
@@ -325,6 +364,79 @@ BurstStats BatchEncoder::encode_words(std::span<const Word> words,
   for (std::size_t i = 0; i * bl < words.size(); ++i) {
     const BurstResult r =
         encode_span(words.subspan(i * bl, bl), cfg, state, nullptr);
+    totals += r.stats;
+    if (results) results[i] = r;
+  }
+  return totals;
+}
+
+BurstStats BatchEncoder::encode_packed(std::span<const std::uint8_t> bytes,
+                                       const BusConfig& cfg, BusState& state,
+                                       BurstResult* results) const {
+  cfg.validate();
+  const auto bl = static_cast<std::size_t>(cfg.burst_length);
+  const auto bpb = static_cast<std::size_t>(cfg.bytes_per_beat());
+  const std::size_t burst_bytes = bl * bpb;
+  if (bytes.size() % burst_bytes != 0)
+    throw std::invalid_argument(
+        "BatchEncoder::encode_packed: byte count not a multiple of the "
+        "packed burst size");
+  const std::size_t n = bytes.size() / burst_bytes;
+  BurstStats totals;
+  const std::uint8_t* p = bytes.data();
+
+  // Width-8 schemes consume the packed bytes in place — the trace
+  // payload layout is the SWAR lane-word layout, so there is no
+  // widening pass at all (and every byte value is a valid beat).
+  if (cfg.width == 8 && scheme_ != Scheme::kExhaustive) {
+    const int ibl = cfg.burst_length;
+    for (std::size_t i = 0; i < n; ++i, p += burst_bytes) {
+      const ByteBeats beats{p, ibl};
+      BurstResult r;
+      switch (scheme_) {
+        case Scheme::kRaw:
+          r = encode_raw8(beats, state);
+          break;
+        case Scheme::kDc:
+          r = encode_fixed8(Fixed8::kDc, beats, state);
+          break;
+        case Scheme::kAc:
+          r = encode_fixed8(Fixed8::kAc, beats, state);
+          break;
+        case Scheme::kAcDc:
+          r = encode_fixed8(Fixed8::kAcDc, beats, state);
+          break;
+        case Scheme::kOpt:
+          r.invert_mask = trellis_mask_flat<double>(beats, cfg, state.last,
+                                                    weights_);
+          r.stats = apply_mask(beats, cfg, r.invert_mask, state);
+          break;
+        default:  // kOptFixed
+          r.invert_mask = trellis_mask_flat<std::int64_t>(
+              beats, cfg, state.last, dbi::IntCostWeights{1, 1});
+          r.stats = apply_mask(beats, cfg, r.invert_mask, state);
+          break;
+      }
+      totals += r.stats;
+      if (results) results[i] = r;
+    }
+    return totals;
+  }
+
+  const Word mask = cfg.dq_mask();
+  Word buf[64];  // burst_length <= 64 by BusConfig::validate()
+  for (std::size_t i = 0; i < n; ++i, p += burst_bytes) {
+    for (std::size_t t = 0; t < bl; ++t) {
+      Word w = 0;
+      for (std::size_t b = 0; b < bpb; ++b)
+        w |= static_cast<Word>(p[t * bpb + b]) << (8 * b);
+      if ((w & ~mask) != 0)
+        throw std::invalid_argument(
+            "BatchEncoder::encode_packed: beat word exceeds bus width");
+      buf[t] = w;
+    }
+    const BurstResult r =
+        encode_span(std::span<const Word>(buf, bl), cfg, state, nullptr);
     totals += r.stats;
     if (results) results[i] = r;
   }

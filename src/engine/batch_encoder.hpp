@@ -96,6 +96,17 @@ class BatchEncoder {
                                dbi::BusState& state,
                                BurstResult* results = nullptr) const;
 
+  /// Packed-byte variant for streaming callers (the trace replay path):
+  /// `bytes` holds consecutive bursts in the binary trace format's
+  /// payload layout — burst_length beats of cfg.bytes_per_beat()
+  /// little-endian bytes each, bursts back to back. Decodes beats on a
+  /// fixed stack buffer (no heap traffic) and threads `state` like
+  /// encode_words. Beats outside cfg.dq_mask() throw.
+  dbi::BurstStats encode_packed(std::span<const std::uint8_t> bytes,
+                                const dbi::BusConfig& cfg,
+                                dbi::BusState& state,
+                                BurstResult* results = nullptr) const;
+
   /// Encodes many independent lanes. With a pool, lane i runs on worker
   /// i % pool->workers() (deterministic, work-stealing-free); without
   /// one, lanes run serially in index order. Results are identical

@@ -9,6 +9,7 @@
 #include "power/interface_energy.hpp"
 #include "power/system_energy.hpp"
 #include "sim/stats.hpp"
+#include "trace/replay.hpp"
 
 namespace dbi::sim {
 
@@ -93,6 +94,20 @@ MeanStats mean_stats_chained(const workload::BurstTrace& trace, Scheme scheme,
   const BurstStats totals = batch.encode_lane(trace.bursts(), state);
   const auto n = static_cast<double>(trace.size());
   return MeanStats{totals.zeros / n, totals.transitions / n};
+}
+
+ReplaySummary summarize_replay(const trace::ReplayTotals& totals,
+                               const power::PodParams* pod) {
+  ReplaySummary s;
+  if (totals.bursts == 0) return s;
+  s.zeros = totals.zeros_per_burst();
+  s.transitions = totals.transitions_per_burst();
+  if (pod) {
+    const double e_zero = power::energy_zero(*pod);
+    const double e_trans = power::energy_transition(*pod);
+    s.interface_pj = (s.zeros * e_zero + s.transitions * e_trans) * 1e12;
+  }
+  return s;
 }
 
 std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,

@@ -13,6 +13,10 @@
 #include "power/pod_params.hpp"
 #include "workload/trace.hpp"
 
+namespace dbi::trace {
+struct ReplayTotals;
+}  // namespace dbi::trace
+
 namespace dbi::sim {
 
 /// The 8-byte burst of the paper's Fig. 2 worked example.
@@ -44,6 +48,18 @@ struct MeanStats {
 [[nodiscard]] MeanStats mean_stats_chained(const workload::BurstTrace& trace,
                                            dbi::Scheme scheme,
                                            const dbi::CostWeights& w = {});
+
+/// Per-burst means and interface energy of a finished streaming replay
+/// (the trace::ReplayPipeline twin of mean_stats_chained, computed from
+/// the 64-bit totals instead of a second pass over the data).
+struct ReplaySummary {
+  double zeros = 0.0;        ///< per burst
+  double transitions = 0.0;  ///< per burst
+  double interface_pj = 0.0; ///< per burst; 0 unless a pod is given
+};
+[[nodiscard]] ReplaySummary summarize_replay(
+    const trace::ReplayTotals& totals,
+    const power::PodParams* pod = nullptr);
 
 // ---------------------------------------------------------------- Fig. 3/4
 

@@ -1,0 +1,26 @@
+// Lossless conversion between the v1 line-oriented hex text format
+// (workload::BurstTrace) and the binary trace format v2. Both
+// directions stream burst by burst, so converting never materialises
+// the whole trace in RAM.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "workload/trace.hpp"
+
+namespace dbi::trace {
+
+/// Streams a v1 text trace ("dbi-trace v1 <w> <bl>" + hex lines) into a
+/// v2 binary trace on `binary`, taking the geometry from the text
+/// header. Returns the payload statistics of the converted trace.
+/// Malformed text throws with the same line-level diagnostics as
+/// workload::BurstTrace::load.
+workload::TraceStats text_to_binary(std::istream& text, std::ostream& binary,
+                                    const TraceWriterOptions& opt = {});
+
+/// Streams every burst of `reader` out as v1 text.
+void binary_to_text(const TraceReader& reader, std::ostream& text);
+
+}  // namespace dbi::trace

@@ -1,0 +1,157 @@
+// Binary trace format v2: the on-disk layout shared by TraceWriter and
+// TraceReader, plus the small codecs (CRC-32, zero-run RLE, packed
+// little-endian beat words) both sides use.
+//
+// File layout (all integers little-endian):
+//
+//   Header (32 bytes)
+//     0   u8[4]  magic "DBT2"
+//     4   u8     version (2)
+//     5   u8     endianness tag (1 = little endian payload words)
+//     6   u16    width            (DQ lines per group, 1..32)
+//     8   u16    burst_length     (beats per burst, 1..64)
+//     10  u16    file flags       (bit 0: chunks may be RLE-compressed)
+//     12  u32    bursts_per_chunk (chunk capacity, >= 1)
+//     16  u8[16] reserved (zero)
+//
+//   Chunk (repeated; at least one unless the trace is empty)
+//     0   u8[4]  magic "CHNK"
+//     4   u32    burst_count   (1 .. bursts_per_chunk)
+//     8   u32    chunk flags   (bit 0: payload is zero-run RLE)
+//     12  u32    payload_bytes (on-disk payload size)
+//     16  u8[payload_bytes]    payload
+//
+//   Uncompressed chunk payload: burst_count bursts back to back, each
+//   burst_length beats of bytes_per_beat() little-endian bytes — for
+//   the canonical 8-lane x BL8 group, one burst is exactly 8 bytes
+//   (one packed 64-bit lane word, the engine's SWAR unit).
+//
+//   Footer (64 bytes)
+//     0   u8[4]  magic "DBTF"
+//     4   u32    reserved (zero)
+//     8   u64    chunk_count
+//     16  i64    bursts
+//     24  i64    payload_bits
+//     32  i64    payload_zeros
+//     40  i64    raw_transitions
+//     48  u64    reserved (zero)
+//     56  u32    crc32 of file bytes [0, footer_offset + 56)
+//     60  u8[4]  end magic "2TBD"
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dbi::trace {
+
+/// Every malformed-file condition surfaces as a TraceError (corrupted
+/// and truncated inputs are rejected with messages, never UB).
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint8_t kFileMagic[4] = {'D', 'B', 'T', '2'};
+inline constexpr std::uint8_t kChunkMagic[4] = {'C', 'H', 'N', 'K'};
+inline constexpr std::uint8_t kFooterMagic[4] = {'D', 'B', 'T', 'F'};
+inline constexpr std::uint8_t kEndMagic[4] = {'2', 'T', 'B', 'D'};
+inline constexpr std::uint8_t kFormatVersion = 2;
+inline constexpr std::uint8_t kLittleEndianTag = 1;
+
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kChunkHeaderBytes = 16;
+inline constexpr std::size_t kFooterBytes = 64;
+
+inline constexpr std::uint16_t kFileFlagCompressed = 1U << 0;
+inline constexpr std::uint32_t kChunkFlagRle = 1U << 0;
+
+inline constexpr std::uint32_t kDefaultBurstsPerChunk = 4096;
+
+// ------------------------------------------------------------- raw codec
+
+/// Appends `v` to `out` as `n` little-endian bytes.
+void put_le(std::vector<std::uint8_t>& out, std::uint64_t v, int n);
+
+/// Bounds-checked little-endian cursor over a byte view; every overrun
+/// throws TraceError instead of reading past the buffer.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> data, std::string_view what)
+      : data_(data), what_(what) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  [[nodiscard]] std::uint64_t le(int n);
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+  void expect_magic(const std::uint8_t (&magic)[4], std::string_view name);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::string_view what_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- CRC-32
+
+/// Streaming CRC-32 (ISO-HDLC, polynomial 0xEDB88320 reflected — the
+/// zlib/PNG checksum).
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::uint32_t value() const { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFU;
+};
+
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+// ------------------------------------------------------------- zero RLE
+
+/// Zero-run RLE over bytes. Token stream: control byte c, then
+///   c & 0x80 set  -> (c & 0x7F) + 1 zero bytes, no payload;
+///   c & 0x80 clear -> c + 1 literal bytes follow.
+/// Appends the encoding of `in` to `out`.
+void rle_compress(std::span<const std::uint8_t> in,
+                  std::vector<std::uint8_t>& out);
+
+/// Decodes into `out`, which must be filled exactly; short, overlong and
+/// truncated token streams throw TraceError.
+void rle_decompress(std::span<const std::uint8_t> in,
+                    std::span<std::uint8_t> out);
+
+// ----------------------------------------------------- beat word packing
+
+/// Packs one burst's beat words into `cfg.bytes_per_burst()` bytes at
+/// `out` (little-endian, bytes_per_beat() bytes per beat).
+void pack_burst(std::span<const dbi::Word> words, const dbi::BusConfig& cfg,
+                std::uint8_t* out);
+
+/// Unpacks one burst; beats exceeding cfg.dq_mask() throw TraceError.
+void unpack_burst(const std::uint8_t* in, const dbi::BusConfig& cfg,
+                  std::span<dbi::Word> words);
+
+// --------------------------------------------------------------- headers
+
+struct TraceHeader {
+  dbi::BusConfig cfg;
+  std::uint16_t flags = 0;
+  std::uint32_t bursts_per_chunk = kDefaultBurstsPerChunk;
+};
+
+struct ChunkHeader {
+  std::uint32_t burst_count = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t payload_bytes = 0;
+
+  [[nodiscard]] bool compressed() const { return (flags & kChunkFlagRle) != 0; }
+};
+
+}  // namespace dbi::trace

@@ -1,0 +1,220 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace dbi::trace {
+
+namespace {
+
+/// Sub-block size (bursts) for int64 accumulation: BurstStats counts in
+/// int, and (width+1) * burst_length <= 33 * 64 line-beats per burst,
+/// so 64K bursts stay far inside int range per encode_packed call.
+constexpr std::size_t kAccumBlockBursts = 1 << 16;
+
+}  // namespace
+
+void ReplayOptions::validate() const {
+  if (lanes < 1 || lanes > 65536)
+    throw std::invalid_argument("ReplayOptions: lanes must be in [1, 65536]");
+}
+
+ReplayPipeline::ReplayPipeline(const TraceReader& reader,
+                               const engine::BatchEncoder& encoder,
+                               ReplayOptions options)
+    : reader_(reader), encoder_(encoder), opt_(std::move(options)) {
+  opt_.validate();
+  lanes_.resize(static_cast<std::size_t>(opt_.lanes));
+}
+
+void ReplayPipeline::encode_lane_slice(int lane, const ChunkInfo& info,
+                                       std::span<const std::uint8_t> payload) {
+  const dbi::BusConfig& cfg = reader_.config();
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  const std::size_t count = info.burst_count;
+  const int L = opt_.lanes;
+  LaneScratch& ls = lanes_[static_cast<std::size_t>(lane)];
+  const bool want_results = static_cast<bool>(opt_.on_results);
+
+  // First chunk-local index owned by this lane (global index % L == lane).
+  const auto base_mod = static_cast<std::size_t>(
+      info.first_burst % static_cast<std::int64_t>(L));
+  const std::size_t j0 =
+      (static_cast<std::size_t>(lane) + static_cast<std::size_t>(L) -
+       base_mod) %
+      static_cast<std::size_t>(L);
+  if (j0 >= count) return;
+  const std::size_t mine = (count - j0 + static_cast<std::size_t>(L) - 1) /
+                           static_cast<std::size_t>(L);
+
+  std::span<const std::uint8_t> bytes;
+  if (L == 1) {
+    // Single-lane replay consumes the chunk view in place — for
+    // uncompressed chunks that is the mmap page itself (zero copy).
+    bytes = payload;
+  } else {
+    ls.bytes.resize(mine * bb);
+    std::uint8_t* dst = ls.bytes.data();
+    const std::uint8_t* src = payload.data();
+    for (std::size_t j = j0; j < count; j += static_cast<std::size_t>(L)) {
+      std::memcpy(dst, src + j * bb, bb);
+      dst += bb;
+    }
+    bytes = ls.bytes;
+  }
+  if (want_results) {
+    ls.results.resize(mine);
+    ls.positions.clear();
+    for (std::size_t j = j0; j < count; j += static_cast<std::size_t>(L))
+      ls.positions.push_back(j);
+  }
+
+  if (opt_.reset_state_per_burst) {
+    for (std::size_t k = 0; k < mine; ++k) {
+      ls.state = dbi::BusState::all_ones(cfg);
+      const dbi::BurstStats s = encoder_.encode_packed(
+          bytes.subspan(k * bb, bb), cfg, ls.state,
+          want_results ? &ls.results[k] : nullptr);
+      ls.zeros += s.zeros;
+      ls.transitions += s.transitions;
+    }
+  } else {
+    for (std::size_t k0 = 0; k0 < mine; k0 += kAccumBlockBursts) {
+      const std::size_t block = std::min(kAccumBlockBursts, mine - k0);
+      const dbi::BurstStats s = encoder_.encode_packed(
+          bytes.subspan(k0 * bb, block * bb), cfg, ls.state,
+          want_results ? ls.results.data() + k0 : nullptr);
+      ls.zeros += s.zeros;
+      ls.transitions += s.transitions;
+    }
+  }
+
+  if (want_results)
+    for (std::size_t k = 0; k < mine; ++k)
+      chunk_results_[ls.positions[k]] = ls.results[k];
+}
+
+void ReplayPipeline::encode_chunk(const ChunkInfo& info,
+                                  std::span<const std::uint8_t> payload) {
+  if (opt_.on_results) chunk_results_.resize(info.burst_count);
+  auto run_lane = [this, &info, payload](int lane) {
+    encode_lane_slice(lane, info, payload);
+  };
+  if (opt_.pool) {
+    opt_.pool->run(opt_.lanes, run_lane);
+  } else {
+    for (int l = 0; l < opt_.lanes; ++l) run_lane(l);
+  }
+  if (opt_.on_results) opt_.on_results(info.first_burst, chunk_results_);
+}
+
+ReplayTotals ReplayPipeline::run() {
+  const dbi::BusConfig& cfg = reader_.config();
+  for (LaneScratch& ls : lanes_) {
+    ls.state = dbi::BusState::all_ones(cfg);
+    ls.zeros = 0;
+    ls.transitions = 0;
+  }
+
+  const std::size_t n = reader_.chunk_count();
+  if (!opt_.double_buffer || n <= 1) {
+    std::vector<std::uint8_t> scratch;
+    for (std::size_t c = 0; c < n; ++c)
+      encode_chunk(reader_.chunk(c), reader_.chunk_payload(c, scratch));
+  } else {
+    // Two-slot pipeline: the producer prepares chunk c+1 (RLE
+    // decompression / paging-in of the mapped view) while this thread
+    // and the pool encode chunk c.
+    struct Slot {
+      std::vector<std::uint8_t> storage;
+      std::span<const std::uint8_t> payload;
+      bool ready = false;
+    };
+    Slot slots[2];
+    std::mutex mu;
+    std::condition_variable cv;
+    bool abort = false;
+    std::exception_ptr producer_error;
+
+    std::thread producer([&] {
+      try {
+        for (std::size_t c = 0; c < n; ++c) {
+          Slot& s = slots[c % 2];
+          {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return !s.ready || abort; });
+            if (abort) return;
+          }
+          s.payload = reader_.chunk_payload(c, s.storage);
+          if (!reader_.chunk(c).compressed()) {
+            // Touch one byte per page so the consumer never stalls on
+            // a major fault mid-encode.
+            volatile std::uint8_t sink = 0;
+            for (std::size_t off = 0; off < s.payload.size(); off += 4096)
+              sink = sink ^ s.payload[off];
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            s.ready = true;
+          }
+          cv.notify_all();
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          producer_error = std::current_exception();
+          abort = true;
+        }
+        cv.notify_all();
+      }
+    });
+
+    try {
+      for (std::size_t c = 0; c < n; ++c) {
+        Slot& s = slots[c % 2];
+        {
+          std::unique_lock<std::mutex> lk(mu);
+          cv.wait(lk, [&] { return s.ready || abort; });
+          if (abort) break;
+        }
+        encode_chunk(reader_.chunk(c), s.payload);
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          s.ready = false;
+        }
+        cv.notify_all();
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        abort = true;
+      }
+      cv.notify_all();
+      producer.join();
+      throw;
+    }
+    producer.join();
+    if (producer_error) std::rethrow_exception(producer_error);
+  }
+
+  ReplayTotals totals;
+  totals.bursts = reader_.bursts();
+  for (const LaneScratch& ls : lanes_) {
+    totals.zeros += ls.zeros;
+    totals.transitions += ls.transitions;
+  }
+  return totals;
+}
+
+ReplayTotals replay_trace(const TraceReader& reader,
+                          const engine::BatchEncoder& encoder,
+                          const ReplayOptions& options) {
+  ReplayPipeline pipeline(reader, encoder, options);
+  return pipeline.run();
+}
+
+}  // namespace dbi::trace

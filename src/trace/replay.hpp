@@ -1,0 +1,104 @@
+// ReplayPipeline: streams a binary trace through the batch encode
+// engine at line rate.
+//
+// The trace is interpreted exactly like a workload::Channel stream:
+// burst g belongs to lane g % lanes, and each lane threads its own
+// persistent BusState through its bursts (or resets to the paper's
+// all-ones boundary per burst). Chunks flow through a two-slot
+// producer/consumer pipeline — a producer thread prepares chunk N+1
+// (RLE decompression, page warm-up of the mmap view) while the
+// ShardPool workers encode chunk N — and per-lane zero / transition
+// totals accumulate in 64-bit counters, so gigabyte-scale traces
+// replay without ever materialising a Burst.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace dbi::trace {
+
+struct ReplayOptions {
+  /// Interleaved lane streams: burst g goes to lane g % lanes, each
+  /// with its own threaded line state (matches Channel's write order).
+  int lanes = 1;
+  /// Reset every lane to the all-ones boundary before each burst
+  /// (the paper's per-burst assumption) instead of threading state.
+  bool reset_state_per_burst = false;
+  /// Shard lanes across this pool (lane l -> worker l % workers);
+  /// null replays serially. Results are identical either way.
+  engine::ShardPool* pool = nullptr;
+  /// Overlap chunk preparation with encoding via a producer thread.
+  bool double_buffer = true;
+  /// Optional per-chunk observer: called in trace order with the global
+  /// index of the chunk's first burst and one BurstResult per burst (in
+  /// chunk order). Enables mask-exact verification and inspection.
+  std::function<void(std::int64_t first_burst,
+                     std::span<const engine::BurstResult> results)>
+      on_results;
+
+  void validate() const;
+};
+
+/// 64-bit aggregate of one replay run.
+struct ReplayTotals {
+  std::int64_t bursts = 0;
+  std::int64_t zeros = 0;
+  std::int64_t transitions = 0;
+
+  [[nodiscard]] double zeros_per_burst() const {
+    return bursts ? static_cast<double>(zeros) / static_cast<double>(bursts)
+                  : 0.0;
+  }
+  [[nodiscard]] double transitions_per_burst() const {
+    return bursts
+               ? static_cast<double>(transitions) / static_cast<double>(bursts)
+               : 0.0;
+  }
+};
+
+class ReplayPipeline {
+ public:
+  /// Reader and encoder must outlive the pipeline; geometry comes from
+  /// the reader.
+  ReplayPipeline(const TraceReader& reader,
+                 const engine::BatchEncoder& encoder,
+                 ReplayOptions options = {});
+
+  /// Replays the whole trace once and returns the totals. Restartable:
+  /// every run starts from fresh all-ones lane states.
+  ReplayTotals run();
+
+ private:
+  struct LaneScratch {
+    std::vector<std::uint8_t> bytes;           // gathered packed bursts
+    std::vector<engine::BurstResult> results;  // only with on_results
+    std::vector<std::size_t> positions;        // chunk-order slots
+    dbi::BusState state = dbi::BusState::all_zeros();
+    std::int64_t zeros = 0;
+    std::int64_t transitions = 0;
+  };
+
+  void encode_chunk(const ChunkInfo& info,
+                    std::span<const std::uint8_t> payload);
+  void encode_lane_slice(int lane, const ChunkInfo& info,
+                         std::span<const std::uint8_t> payload);
+
+  const TraceReader& reader_;
+  const engine::BatchEncoder& encoder_;
+  ReplayOptions opt_;
+  std::vector<LaneScratch> lanes_;
+  std::vector<engine::BurstResult> chunk_results_;  // only with on_results
+};
+
+/// One-shot convenience wrapper.
+ReplayTotals replay_trace(const TraceReader& reader,
+                          const engine::BatchEncoder& encoder,
+                          const ReplayOptions& options = {});
+
+}  // namespace dbi::trace

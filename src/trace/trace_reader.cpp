@@ -1,0 +1,256 @@
+#include "trace/trace_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DBI_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DBI_TRACE_HAVE_MMAP 0
+#endif
+
+namespace dbi::trace {
+
+// ------------------------------------------------------------ MappedFile
+
+MappedFile::~MappedFile() {
+#if DBI_TRACE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  if (!mapped_) data_ = fallback_.data();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#if DBI_TRACE_HAVE_MMAP
+    if (mapped_ && data_ != nullptr)
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+#endif
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    if (!mapped_) data_ = fallback_.data();
+  }
+  return *this;
+}
+
+MappedFile MappedFile::from_vector(std::vector<std::uint8_t> data) {
+  MappedFile mf;
+  mf.fallback_ = std::move(data);
+  mf.data_ = mf.fallback_.data();
+  mf.size_ = mf.fallback_.size();
+  mf.mapped_ = false;
+  return mf;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+#if DBI_TRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw TraceError("trace: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw TraceError("trace: cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  MappedFile mf;
+  if (size > 0) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      throw TraceError("trace: mmap failed for " + path);
+    }
+#if defined(POSIX_MADV_SEQUENTIAL)
+    (void)::posix_madvise(p, size, POSIX_MADV_SEQUENTIAL);
+#endif
+    mf.data_ = static_cast<const std::uint8_t*>(p);
+    mf.size_ = size;
+    mf.mapped_ = true;
+  }
+  ::close(fd);
+  return mf;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError("trace: cannot open " + path);
+  std::vector<std::uint8_t> data(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw TraceError("trace: read failed for " + path);
+  return from_vector(std::move(data));
+#endif
+}
+
+// ------------------------------------------------------------ TraceReader
+
+TraceReader TraceReader::open(const std::string& path, bool verify_crc) {
+  TraceReader r(MappedFile::open(path));
+  r.parse(verify_crc);
+  return r;
+}
+
+TraceReader TraceReader::from_bytes(std::vector<std::uint8_t> image,
+                                    bool verify_crc) {
+  TraceReader r(MappedFile::from_vector(std::move(image)));
+  r.parse(verify_crc);
+  return r;
+}
+
+void TraceReader::parse(bool verify_crc) {
+  const std::span<const std::uint8_t> file = file_.bytes();
+  if (file.size() < kHeaderBytes + kFooterBytes)
+    throw TraceError("trace: file too small (" + std::to_string(file.size()) +
+                     " bytes) for a v2 header + footer");
+
+  // Header.
+  ByteReader hdr(file, "trace header");
+  hdr.expect_magic(kFileMagic, "file");
+  const auto version = static_cast<std::uint8_t>(hdr.le(1));
+  if (version != kFormatVersion)
+    throw TraceError("trace: unsupported version " + std::to_string(version));
+  const auto endianness = static_cast<std::uint8_t>(hdr.le(1));
+  if (endianness != kLittleEndianTag)
+    throw TraceError("trace: unsupported endianness tag " +
+                     std::to_string(endianness));
+  header_.cfg.width = static_cast<int>(hdr.le(2));
+  header_.cfg.burst_length = static_cast<int>(hdr.le(2));
+  header_.flags = static_cast<std::uint16_t>(hdr.le(2));
+  header_.bursts_per_chunk = static_cast<std::uint32_t>(hdr.le(4));
+  try {
+    header_.cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    throw TraceError(std::string("trace: bad geometry: ") + e.what());
+  }
+  if (header_.bursts_per_chunk < 1)
+    throw TraceError("trace: bursts_per_chunk must be >= 1");
+
+  // Footer.
+  const std::size_t footer_off = file.size() - kFooterBytes;
+  ByteReader ftr(file.subspan(footer_off), "trace footer");
+  ftr.expect_magic(kFooterMagic, "footer");
+  (void)ftr.le(4);  // reserved
+  const std::uint64_t chunk_count = ftr.le(8);
+  stats_.bursts = static_cast<std::int64_t>(ftr.le(8));
+  stats_.payload_bits = static_cast<std::int64_t>(ftr.le(8));
+  stats_.payload_zeros = static_cast<std::int64_t>(ftr.le(8));
+  stats_.raw_transitions = static_cast<std::int64_t>(ftr.le(8));
+  (void)ftr.le(8);  // reserved
+  const auto stored_crc = static_cast<std::uint32_t>(ftr.le(4));
+  ByteReader end(file.subspan(footer_off + kFooterBytes - 4), "trace footer");
+  end.expect_magic(kEndMagic, "end");
+  if (stats_.bursts < 0)
+    throw TraceError("trace: negative burst count in footer");
+
+  if (verify_crc) {
+    const std::uint32_t got = crc32(file.first(footer_off + kFooterBytes - 8));
+    if (got != stored_crc)
+      throw TraceError("trace: CRC mismatch (file corrupted or truncated)");
+  }
+
+  // Chunk index.
+  const auto burst_bytes =
+      static_cast<std::uint64_t>(header_.cfg.bytes_per_burst());
+  ByteReader cur(file.first(footer_off), "trace chunks");
+  (void)cur.bytes(kHeaderBytes);
+  std::int64_t bursts_seen = 0;
+  // Clamp the reserve: with verify_crc off, a corrupted footer must not
+  // drive a huge allocation before the chunk walk catches it.
+  chunks_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(chunk_count, file.size() / kChunkHeaderBytes)));
+  while (cur.remaining() > 0) {
+    cur.expect_magic(kChunkMagic, "chunk");
+    ChunkInfo info;
+    info.burst_count = static_cast<std::uint32_t>(cur.le(4));
+    info.flags = static_cast<std::uint32_t>(cur.le(4));
+    info.payload_bytes = static_cast<std::uint32_t>(cur.le(4));
+    info.first_burst = bursts_seen;
+    if (info.burst_count < 1 || info.burst_count > header_.bursts_per_chunk)
+      throw TraceError("trace: chunk burst count " +
+                       std::to_string(info.burst_count) +
+                       " outside [1, bursts_per_chunk]");
+    const std::uint64_t raw_bytes = info.burst_count * burst_bytes;
+    if (!info.compressed() && info.payload_bytes != raw_bytes)
+      throw TraceError("trace: uncompressed chunk payload size mismatch");
+    if (info.compressed() && (header_.flags & kFileFlagCompressed) == 0)
+      throw TraceError("trace: compressed chunk in an uncompressed file");
+    // Zero-run RLE expands at most 128x (one control byte per up to 128
+    // zeros), so a decoded size beyond that bound can never be produced
+    // by the writer — reject it here so chunk_payload never sizes its
+    // scratch buffer from a lying header.
+    if (info.compressed() &&
+        raw_bytes > static_cast<std::uint64_t>(info.payload_bytes) * 128)
+      throw TraceError("trace: compressed chunk decoded size exceeds the "
+                       "128x RLE expansion bound");
+    info.payload_offset = cur.pos();
+    (void)cur.bytes(info.payload_bytes);
+    bursts_seen += info.burst_count;
+    chunks_.push_back(info);
+  }
+  if (chunks_.size() != chunk_count)
+    throw TraceError("trace: footer chunk count " +
+                     std::to_string(chunk_count) + " != chunks present " +
+                     std::to_string(chunks_.size()));
+  if (bursts_seen != stats_.bursts)
+    throw TraceError("trace: footer burst count " +
+                     std::to_string(stats_.bursts) + " != bursts present " +
+                     std::to_string(bursts_seen));
+}
+
+std::span<const std::uint8_t> TraceReader::chunk_payload(
+    std::size_t i, std::vector<std::uint8_t>& scratch) const {
+  const ChunkInfo& info = chunks_.at(i);
+  const auto on_disk = file_.bytes().subspan(
+      static_cast<std::size_t>(info.payload_offset), info.payload_bytes);
+  if (!info.compressed()) return on_disk;  // zero copy
+  const std::size_t raw =
+      static_cast<std::size_t>(info.burst_count) *
+      static_cast<std::size_t>(header_.cfg.bytes_per_burst());
+  scratch.resize(raw);
+  rle_decompress(on_disk, scratch);
+  return scratch;
+}
+
+void TraceReader::unpack_burst_at(std::span<const std::uint8_t> payload,
+                                  std::size_t j,
+                                  std::span<dbi::Word> words) const {
+  const auto bb = static_cast<std::size_t>(header_.cfg.bytes_per_burst());
+  if ((j + 1) * bb > payload.size())
+    throw TraceError("trace: burst index outside chunk payload");
+  unpack_burst(payload.data() + j * bb, header_.cfg, words);
+}
+
+workload::BurstTrace TraceReader::to_burst_trace() const {
+  workload::BurstTrace trace(header_.cfg);
+  std::vector<std::uint8_t> scratch;
+  std::vector<dbi::Word> words(
+      static_cast<std::size_t>(header_.cfg.burst_length));
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const auto payload = chunk_payload(c, scratch);
+    for (std::size_t j = 0; j < chunks_[c].burst_count; ++j) {
+      unpack_burst_at(payload, j, words);
+      trace.push(dbi::Burst(header_.cfg, words));
+    }
+  }
+  return trace;
+}
+
+}  // namespace dbi::trace

@@ -1,0 +1,173 @@
+#include "trace/trace_writer.hpp"
+
+#include <bit>
+
+namespace dbi::trace {
+namespace {
+
+/// push_back-based append of the 4-byte magics: gcc 12's
+/// -Wstringop-overflow misfires on vector::insert from small constant
+/// arrays (same family as the -Wrestrict workaround in netlist/export).
+void put_magic(std::vector<std::uint8_t>& out, const std::uint8_t (&m)[4]) {
+  for (const std::uint8_t b : m) out.push_back(b);
+}
+
+}  // namespace
+
+void TraceWriterOptions::validate() const {
+  if (bursts_per_chunk < 1)
+    throw std::invalid_argument("TraceWriterOptions: bursts_per_chunk >= 1");
+}
+
+TraceWriter::TraceWriter(std::ostream& os, const dbi::BusConfig& cfg,
+                         const TraceWriterOptions& opt)
+    : cfg_(cfg), opt_(opt), os_(&os) {
+  init();
+}
+
+TraceWriter::TraceWriter(const std::string& path, const dbi::BusConfig& cfg,
+                         const TraceWriterOptions& opt)
+    : cfg_(cfg),
+      opt_(opt),
+      owned_os_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      os_(owned_os_.get()) {
+  if (!*owned_os_)
+    throw TraceError("TraceWriter: cannot open " + path + " for writing");
+  init();
+}
+
+void TraceWriter::init() {
+  cfg_.validate();
+  opt_.validate();
+  // The chunk header stores the payload size as a u32; compression only
+  // ever shrinks a kept payload, so bounding the raw chunk bounds both.
+  const std::uint64_t max_chunk_bytes =
+      static_cast<std::uint64_t>(opt_.bursts_per_chunk) *
+      static_cast<std::uint64_t>(cfg_.bytes_per_burst());
+  if (max_chunk_bytes > 0xFFFFFFFFULL)
+    throw std::invalid_argument(
+        "TraceWriter: bursts_per_chunk * bytes_per_burst exceeds the u32 "
+        "chunk payload size field");
+  pending_.reserve(static_cast<std::size_t>(opt_.bursts_per_chunk) *
+                   static_cast<std::size_t>(cfg_.bytes_per_burst()));
+
+  std::vector<std::uint8_t> header;
+  put_magic(header, kFileMagic);
+  header.push_back(kFormatVersion);
+  header.push_back(kLittleEndianTag);
+  put_le(header, static_cast<std::uint64_t>(cfg_.width), 2);
+  put_le(header, static_cast<std::uint64_t>(cfg_.burst_length), 2);
+  put_le(header, opt_.compress ? kFileFlagCompressed : 0, 2);
+  put_le(header, opt_.bursts_per_chunk, 4);
+  header.resize(kHeaderBytes, 0);
+  emit(header);
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructors must not throw; call finish() explicitly to observe
+    // write errors.
+  }
+}
+
+void TraceWriter::emit(std::span<const std::uint8_t> bytes) {
+  crc_.update(bytes);
+  os_->write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!*os_) throw TraceError("TraceWriter: write failed");
+}
+
+void TraceWriter::account(std::span<const dbi::Word> words) {
+  stats_.bursts += 1;
+  stats_.payload_bits += cfg_.width * cfg_.burst_length;
+  dbi::Word last = cfg_.dq_mask();  // the paper's all-ones boundary
+  for (const dbi::Word w : words) {
+    stats_.payload_zeros += cfg_.width - std::popcount(w);
+    stats_.raw_transitions += std::popcount((last ^ w) & cfg_.dq_mask());
+    last = w;
+  }
+}
+
+void TraceWriter::write(const dbi::Burst& burst) {
+  if (!(burst.config() == cfg_))
+    throw std::invalid_argument("TraceWriter: burst geometry mismatch");
+  write_words(burst.words());
+}
+
+void TraceWriter::write_words(std::span<const dbi::Word> words) {
+  if (finished_) throw TraceError("TraceWriter: already finished");
+  const auto bl = static_cast<std::size_t>(cfg_.burst_length);
+  if (words.size() % bl != 0)
+    throw std::invalid_argument(
+        "TraceWriter: word count not a multiple of burst_length");
+  const dbi::Word mask = cfg_.dq_mask();
+  for (std::size_t i = 0; i < words.size(); i += bl) {
+    const auto burst = words.subspan(i, bl);
+    for (const dbi::Word w : burst)
+      if ((w & ~mask) != 0)
+        throw std::invalid_argument("TraceWriter: word does not fit width");
+    const std::size_t at = pending_.size();
+    pending_.resize(at + static_cast<std::size_t>(cfg_.bytes_per_burst()));
+    pack_burst(burst, cfg_, pending_.data() + at);
+    account(burst);
+    if (++pending_bursts_ == opt_.bursts_per_chunk) flush_chunk();
+  }
+}
+
+void TraceWriter::flush_chunk() {
+  if (pending_bursts_ == 0) return;
+
+  std::uint32_t flags = 0;
+  std::span<const std::uint8_t> payload(pending_);
+  if (opt_.compress) {
+    scratch_.clear();
+    rle_compress(pending_, scratch_);
+    if (scratch_.size() < pending_.size()) {
+      flags |= kChunkFlagRle;
+      payload = scratch_;
+    }
+  }
+
+  std::vector<std::uint8_t> header;
+  put_magic(header, kChunkMagic);
+  put_le(header, pending_bursts_, 4);
+  put_le(header, flags, 4);
+  put_le(header, payload.size(), 4);
+  emit(header);
+  emit(payload);
+
+  ++chunks_;
+  pending_.clear();
+  pending_bursts_ = 0;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  flush_chunk();
+
+  std::vector<std::uint8_t> footer;
+  put_magic(footer, kFooterMagic);
+  put_le(footer, 0, 4);
+  put_le(footer, chunks_, 8);
+  put_le(footer, static_cast<std::uint64_t>(stats_.bursts), 8);
+  put_le(footer, static_cast<std::uint64_t>(stats_.payload_bits), 8);
+  put_le(footer, static_cast<std::uint64_t>(stats_.payload_zeros), 8);
+  put_le(footer, static_cast<std::uint64_t>(stats_.raw_transitions), 8);
+  put_le(footer, 0, 8);
+  emit(footer);
+
+  // The CRC seals everything before it, including the footer stats.
+  std::vector<std::uint8_t> tail;
+  put_le(tail, crc_.value(), 4);
+  put_magic(tail, kEndMagic);
+  os_->write(reinterpret_cast<const char*>(tail.data()),
+             static_cast<std::streamsize>(tail.size()));
+  os_->flush();
+  if (!*os_) throw TraceError("TraceWriter: write failed");
+  finished_ = true;
+}
+
+}  // namespace dbi::trace

@@ -1,0 +1,86 @@
+// TraceWriter: buffered, chunked writer for the binary trace format v2.
+//
+// Bursts are appended one at a time (or as flat word buffers), packed
+// into fixed-capacity chunks, optionally zero-run RLE compressed per
+// chunk (only kept when it actually shrinks the payload), and flushed
+// with a trailing stats footer + CRC on finish(). Payload statistics
+// (zeros / raw transitions with the paper's all-ones boundary) are
+// accumulated on the fly in 64-bit counters, so recording a trace also
+// yields its workload::TraceStats without a second pass.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/burst.hpp"
+#include "core/types.hpp"
+#include "trace/format.hpp"
+#include "workload/trace.hpp"
+
+namespace dbi::trace {
+
+struct TraceWriterOptions {
+  std::uint32_t bursts_per_chunk = kDefaultBurstsPerChunk;
+  bool compress = true;  ///< try zero-run RLE per chunk, keep if smaller
+
+  void validate() const;
+};
+
+class TraceWriter {
+ public:
+  /// Writes to a caller-owned stream (must outlive the writer).
+  TraceWriter(std::ostream& os, const dbi::BusConfig& cfg,
+              const TraceWriterOptions& opt = {});
+
+  /// Opens `path` for binary writing; throws TraceError on failure.
+  TraceWriter(const std::string& path, const dbi::BusConfig& cfg,
+              const TraceWriterOptions& opt = {});
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Finishes implicitly, swallowing errors; call finish() yourself to
+  /// see them.
+  ~TraceWriter();
+
+  [[nodiscard]] const dbi::BusConfig& config() const { return cfg_; }
+
+  void write(const dbi::Burst& burst);
+
+  /// Flat-buffer variant: `words` holds consecutive bursts back to back
+  /// (a multiple of burst_length words, each inside cfg.dq_mask()).
+  void write_words(std::span<const dbi::Word> words);
+
+  /// Flushes the pending chunk and writes the footer. Idempotent; no
+  /// bursts can be appended afterwards.
+  void finish();
+
+  /// Payload statistics of everything written so far.
+  [[nodiscard]] const workload::TraceStats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t bursts_written() const { return stats_.bursts; }
+
+ private:
+  void init();
+  void emit(std::span<const std::uint8_t> bytes);
+  void flush_chunk();
+  void account(std::span<const dbi::Word> words);
+
+  dbi::BusConfig cfg_;
+  TraceWriterOptions opt_;
+  std::unique_ptr<std::ofstream> owned_os_;
+  std::ostream* os_;
+
+  std::vector<std::uint8_t> pending_;  // packed payload of open chunk
+  std::uint32_t pending_bursts_ = 0;
+  std::vector<std::uint8_t> scratch_;  // chunk header / RLE staging
+  Crc32 crc_;
+  workload::TraceStats stats_;
+  std::uint64_t chunks_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dbi::trace

@@ -1,0 +1,33 @@
+// Scenario corpus: named payload classes covering the traffic mix a
+// real memory channel carries, each resolvable by name so tools and
+// benchmarks can record diverse traces without hand-wiring generator
+// parameters. The classes deliberately span the coding-gain spectrum:
+// zeros-heavy pages where DC inversion shines, structured copies and
+// float tensors with per-byte-lane statistics, ASCII text, and
+// pre-compressed / high-entropy data where no encoder can win much.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/types.hpp"
+#include "workload/generators.hpp"
+
+namespace dbi::workload {
+
+struct CorpusScenario {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// Every named scenario, in a stable order.
+[[nodiscard]] std::span<const CorpusScenario> corpus_scenarios();
+
+/// Instantiates the scenario `name` (see corpus_scenarios()) with the
+/// given geometry and seed. Throws std::invalid_argument for unknown
+/// names, listing the valid ones.
+[[nodiscard]] std::unique_ptr<BurstSource> make_corpus_source(
+    std::string_view name, const dbi::BusConfig& cfg, std::uint64_t seed);
+
+}  // namespace dbi::workload

@@ -1,9 +1,11 @@
 #include "workload/trace.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/byte_utils.hpp"
 
@@ -55,25 +57,86 @@ void BurstTrace::save(std::ostream& os) const {
   os << std::dec;
 }
 
-BurstTrace BurstTrace::load(std::istream& is) {
+dbi::BusConfig parse_text_trace_header(std::istream& is) {
+  std::string header_line;
+  if (!std::getline(is, header_line))
+    throw std::runtime_error("trace text: empty input (missing header)");
+  std::istringstream hs(header_line);
   std::string magic, version;
   dbi::BusConfig cfg;
-  if (!(is >> magic >> version >> cfg.width >> cfg.burst_length) ||
+  if (!(hs >> magic >> version >> cfg.width >> cfg.burst_length) ||
       magic != "dbi-trace" || version != "v1")
-    throw std::runtime_error("BurstTrace::load: bad header");
+    throw std::runtime_error(
+        "trace text: bad header \"" + header_line +
+        "\" (expected \"dbi-trace v1 <width> <burst_length>\")");
+  std::string extra;
+  if (hs >> extra)
+    throw std::runtime_error("trace text: trailing token \"" + extra +
+                             "\" after header");
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("trace text: bad geometry: ") +
+                             e.what());
+  }
+  return cfg;
+}
+
+bool parse_text_trace_line(const std::string& line, const dbi::BusConfig& cfg,
+                           std::int64_t line_no,
+                           std::vector<dbi::Word>& words) {
+  words.clear();
+  const auto context = [line_no] {
+    return "trace text line " + std::to_string(line_no) + ": ";
+  };
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r'))
+      ++i;
+    if (i >= line.size()) break;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+           line[j] != '\r')
+      ++j;
+    const std::string_view tok(line.data() + i, j - i);
+    std::uint64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value, 16);
+    if (ec == std::errc::result_out_of_range ||
+        value > static_cast<std::uint64_t>(cfg.dq_mask()))
+      throw std::runtime_error(context() + "word \"" + std::string(tok) +
+                               "\" does not fit a width-" +
+                               std::to_string(cfg.width) + " bus");
+    if (ec != std::errc{} || end != tok.data() + tok.size())
+      throw std::runtime_error(context() + "\"" + std::string(tok) +
+                               "\" is not a hex word");
+    if (static_cast<int>(words.size()) == cfg.burst_length)
+      throw std::runtime_error(
+          context() + "more than " + std::to_string(cfg.burst_length) +
+          " words on one line");
+    words.push_back(static_cast<dbi::Word>(value));
+    i = j;
+  }
+  if (words.empty()) return false;
+  if (static_cast<int>(words.size()) != cfg.burst_length)
+    throw std::runtime_error(
+        context() + "expected " + std::to_string(cfg.burst_length) +
+        " words, got " + std::to_string(words.size()) +
+        " (truncated line?)");
+  return true;
+}
+
+BurstTrace BurstTrace::load(std::istream& is) {
+  const dbi::BusConfig cfg = parse_text_trace_header(is);
   BurstTrace trace(cfg);
   std::string line;
-  std::getline(is, line);  // consume rest of header line
+  std::vector<dbi::Word> words;
+  std::int64_t line_no = 1;  // the header was line 1
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    ls >> std::hex;
-    std::vector<dbi::Word> words;
-    dbi::Word w = 0;
-    while (ls >> w) words.push_back(w);
-    if (ls.fail() && !ls.eof())
-      throw std::runtime_error("BurstTrace::load: bad word");
-    trace.push(dbi::Burst(cfg, words));
+    ++line_no;
+    if (parse_text_trace_line(line, cfg, line_no, words))
+      trace.push(dbi::Burst(cfg, words));
   }
   return trace;
 }

@@ -61,4 +61,17 @@ class BurstTrace {
   std::vector<dbi::Burst> bursts_;
 };
 
+/// Parses and validates the v1 text header line
+/// ("dbi-trace v1 <width> <burst_length>"); throws std::runtime_error
+/// with a diagnostic on malformed headers or unusable geometry.
+[[nodiscard]] dbi::BusConfig parse_text_trace_header(std::istream& is);
+
+/// Parses one burst line of whitespace-separated hex words into
+/// `words`. `line_no` is the 1-based file line for error messages;
+/// truncated lines, extra words, non-hex tokens and words that don't
+/// fit the bus width all throw std::runtime_error naming the line.
+/// Returns false for blank lines (words is left empty).
+bool parse_text_trace_line(const std::string& line, const dbi::BusConfig& cfg,
+                           std::int64_t line_no, std::vector<dbi::Word>& words);
+
 }  // namespace dbi::workload

@@ -1,0 +1,60 @@
+# End-to-end dbitool smoke test, run by CTest:
+#   cmake -DDBITOOL=<path> -DWORK_DIR=<dir> -P cli_smoke.cmake
+# Drives gen / stats / record / inspect / replay / convert through real
+# files and asserts the documented exit codes, including the distinct
+# unknown-command code.
+
+if(NOT DEFINED DBITOOL OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDBITOOL=... -DWORK_DIR=... -P cli_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_dbitool expected_rc)
+  execute_process(
+    COMMAND ${DBITOOL} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+            "dbitool ${ARGN}: expected exit ${expected_rc}, got ${rc}\n"
+            "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+# Text pipeline: gen -> stats -> encode.
+run_dbitool(0 gen --source sparse --bursts 500 --seed 3 -o trace.txt)
+run_dbitool(0 stats trace.txt)
+run_dbitool(0 encode trace.txt --scheme opt-fixed)
+
+# Binary pipeline: record -> inspect -> replay (corpus and generator).
+run_dbitool(0 record --corpus float-tensor --bursts 2000 --seed 5 -o t.dbt)
+run_dbitool(0 inspect t.dbt)
+run_dbitool(0 replay t.dbt --lanes 4 --workers 2)
+run_dbitool(0 replay t.dbt --scheme ac --lanes 1 --no-double-buffer --csv)
+run_dbitool(0 record --source uniform --bursts 100 --seed 1 --no-compress
+            -o u.dbt)
+run_dbitool(0 corpus)
+
+# Conversion both ways must agree with the original text trace.
+run_dbitool(0 convert trace.txt roundtrip.dbt)
+run_dbitool(0 convert roundtrip.dbt roundtrip.txt)
+run_dbitool(0 stats roundtrip.txt)
+file(READ "${WORK_DIR}/trace.txt" text_a)
+file(READ "${WORK_DIR}/roundtrip.txt" text_b)
+if(NOT text_a STREQUAL text_b)
+  message(FATAL_ERROR "text -> binary -> text round trip changed the trace")
+endif()
+
+# Documented failure modes, each with its own exit code.
+run_dbitool(2)                           # no command: usage
+run_dbitool(64 frobnicate)               # unknown command: distinct code
+run_dbitool(1 replay missing.dbt)        # runtime error
+run_dbitool(1 record --corpus nope --bursts 1 -o x.dbt)
+file(WRITE "${WORK_DIR}/malformed.txt" "dbi-trace v1 8 8\nab cd\n")
+run_dbitool(1 stats malformed.txt)       # truncated burst line
+
+message(STATUS "dbitool CLI smoke test passed")

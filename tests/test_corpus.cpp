@@ -1,0 +1,84 @@
+// Scenario corpus: named payload classes resolve, stream
+// deterministically, and record to valid binary traces.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "workload/corpus.hpp"
+
+namespace dbi::workload {
+namespace {
+
+constexpr BusConfig kCfg{8, 8};
+
+TEST(Corpus, ScenarioNamesAreUniqueAndResolvable) {
+  const auto scenarios = corpus_scenarios();
+  EXPECT_GE(scenarios.size(), 5u);
+  std::set<std::string> names;
+  for (const CorpusScenario& s : scenarios) {
+    EXPECT_TRUE(names.insert(std::string(s.name)).second) << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    auto src = make_corpus_source(s.name, kCfg, 1);
+    ASSERT_NE(src, nullptr) << s.name;
+    const Burst b = src->next();
+    EXPECT_EQ(b.config(), kCfg) << s.name;
+  }
+}
+
+TEST(Corpus, UnknownScenarioThrowsListingNames) {
+  try {
+    (void)make_corpus_source("no-such-scenario", kCfg, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    EXPECT_NE(what.find("cacheline-memcpy"), std::string::npos);
+  }
+}
+
+TEST(Corpus, SourcesAreDeterministicPerSeed) {
+  for (const CorpusScenario& s : corpus_scenarios()) {
+    auto a = make_corpus_source(s.name, kCfg, 42);
+    auto b = make_corpus_source(s.name, kCfg, 42);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(a->next(), b->next()) << s.name;
+  }
+}
+
+TEST(Corpus, ScenariosDifferInPayloadStatistics) {
+  // The corpus spans the coding-gain spectrum: the sparse class must be
+  // zeros-dominated and the high-entropy class balanced.
+  auto measure = [](std::string_view name) {
+    auto src = make_corpus_source(name, kCfg, 3);
+    std::int64_t zeros = 0;
+    constexpr int kBursts = 400;
+    for (int i = 0; i < kBursts; ++i) zeros += src->next().payload_zeros();
+    return static_cast<double>(zeros) / (kBursts * 64.0);
+  };
+  EXPECT_GT(measure("sparse-zeros"), 0.8);
+  const double uniform = measure("high-entropy");
+  EXPECT_GT(uniform, 0.45);
+  EXPECT_LT(uniform, 0.55);
+  // Pointer-rich copies carry far more zero bytes than uniform data.
+  EXPECT_GT(measure("cacheline-memcpy"), 0.55);
+}
+
+TEST(Corpus, RecordsToValidBinaryTrace) {
+  for (const CorpusScenario& s : corpus_scenarios()) {
+    std::ostringstream os(std::ios::binary);
+    trace::TraceWriter writer(os, kCfg);
+    auto src = make_corpus_source(s.name, kCfg, 7);
+    for (int i = 0; i < 100; ++i) writer.write(src->next());
+    writer.finish();
+    const std::string image = os.str();
+    const auto reader = trace::TraceReader::from_bytes(
+        std::vector<std::uint8_t>(image.begin(), image.end()));
+    EXPECT_EQ(reader.bursts(), 100) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace dbi::workload

@@ -183,6 +183,73 @@ TEST(EngineChannel, WriteStreamWithStatefulEncoderStaysDeterministicUnderPool) {
   expect_same_stats(pooled.stats(), serial.stats());
 }
 
+TEST(EngineChannel, WriteStreamAcceptsEmptyStream) {
+  engine::ShardPool pool(2);
+  Channel engine_backed(ChannelConfig{4, dbi::BusConfig{8, 8}, false},
+                        dbi::Scheme::kDc);
+  Channel encoder_backed(ChannelConfig{4, dbi::BusConfig{8, 8}, false},
+                         dbi::make_dc_encoder());
+  const std::vector<std::uint8_t> empty;
+  for (Channel* c : {&engine_backed, &encoder_backed}) {
+    const ChannelStats delta = c->write_stream(empty, &pool);
+    EXPECT_EQ(delta.writes, 0);
+    EXPECT_EQ(delta.zeros, 0);
+    EXPECT_EQ(delta.transitions, 0);
+    EXPECT_EQ(c->stats().writes, 0);
+  }
+}
+
+TEST(EngineChannel, WriteStreamHandlesCountsOffThe64BeatGroups) {
+  // The SWAR kernels chew 8 beats per 64-bit word and the gather runs
+  // in 1024-write blocks; write counts that straddle neither boundary
+  // (1, 7, 63, 65, 100) must still match the per-write path exactly.
+  const ChannelConfig cfg{2, dbi::BusConfig{8, 8}, false};
+  for (const int writes : {1, 7, 63, 65, 100}) {
+    const std::vector<std::uint8_t> data = random_bytes(
+        static_cast<std::size_t>(cfg.bytes_per_write()) *
+            static_cast<std::size_t>(writes),
+        static_cast<std::uint64_t>(writes) * 131);
+
+    Channel sequential(cfg, dbi::Scheme::kAcDc);
+    for (int wi = 0; wi < writes; ++wi)
+      (void)sequential.write(std::span(data).subspan(
+          static_cast<std::size_t>(wi) *
+              static_cast<std::size_t>(cfg.bytes_per_write()),
+          static_cast<std::size_t>(cfg.bytes_per_write())));
+
+    Channel streamed(cfg, dbi::Scheme::kAcDc);
+    const ChannelStats delta = streamed.write_stream(data);
+    EXPECT_EQ(delta.writes, writes);
+    expect_same_stats(streamed.stats(), sequential.stats());
+  }
+}
+
+TEST(EngineChannel, WriteStreamSerialFallbackMatchesPerWritePath) {
+  // Encoder-backed channels take the scalar serial route; for a
+  // deterministic stateless encoder that must equal the per-write
+  // virtual path bit for bit, pool or no pool.
+  const ChannelConfig cfg{4, dbi::BusConfig{8, 8}, false};
+  constexpr int kWrites = 30;
+  const std::vector<std::uint8_t> data = random_bytes(
+      static_cast<std::size_t>(cfg.bytes_per_write()) * kWrites, 17);
+
+  Channel per_write(cfg, dbi::make_opt_encoder(dbi::CostWeights{0.56, 0.44}));
+  for (int wi = 0; wi < kWrites; ++wi)
+    (void)per_write.write(std::span(data).subspan(
+        static_cast<std::size_t>(wi) *
+            static_cast<std::size_t>(cfg.bytes_per_write()),
+        static_cast<std::size_t>(cfg.bytes_per_write())));
+
+  engine::ShardPool pool(3);
+  for (engine::ShardPool* p : {static_cast<engine::ShardPool*>(nullptr),
+                               &pool}) {
+    Channel streamed(cfg,
+                     dbi::make_opt_encoder(dbi::CostWeights{0.56, 0.44}));
+    (void)streamed.write_stream(data, p);
+    expect_same_stats(streamed.stats(), per_write.stats());
+  }
+}
+
 TEST(EngineChannel, WriteStreamRejectsRaggedSizes) {
   Channel c(ChannelConfig{4, dbi::BusConfig{8, 8}, false}, dbi::Scheme::kDc);
   const std::vector<std::uint8_t> bad(33);

@@ -1,0 +1,251 @@
+// ReplayPipeline: streaming replay must be observationally identical —
+// stats and per-burst inversion masks — to the in-memory Channel /
+// BatchEncoder paths, for every Scheme, sharded or serial, buffered or
+// not, compressed or raw.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "power/interface_energy.hpp"
+#include "sim/experiments.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "workload/channel.hpp"
+#include "workload/generators.hpp"
+
+namespace dbi::trace {
+namespace {
+
+workload::BurstTrace random_trace(const BusConfig& cfg, std::int64_t n,
+                                  std::uint64_t seed) {
+  auto src = workload::make_uniform_source(cfg, seed);
+  return workload::BurstTrace::collect(*src, n);
+}
+
+TraceReader reader_for(const workload::BurstTrace& trace,
+                       std::uint32_t bursts_per_chunk = 64,
+                       bool compress = true) {
+  std::ostringstream os(std::ios::binary);
+  TraceWriterOptions opt;
+  opt.bursts_per_chunk = bursts_per_chunk;
+  opt.compress = compress;
+  TraceWriter writer(os, trace.config(), opt);
+  for (const Burst& b : trace.bursts()) writer.write(b);
+  writer.finish();
+  const std::string s = os.str();
+  return TraceReader::from_bytes(std::vector<std::uint8_t>(s.begin(),
+                                                           s.end()));
+}
+
+/// Reference: encode burst g with lane (g % lanes)'s threaded state via
+/// the per-burst engine API, collecting totals and masks.
+struct Reference {
+  std::int64_t zeros = 0;
+  std::int64_t transitions = 0;
+  std::vector<std::uint64_t> masks;
+};
+
+Reference reference_replay(const workload::BurstTrace& trace,
+                           const engine::BatchEncoder& encoder, int lanes,
+                           bool reset_per_burst = false) {
+  std::vector<BusState> states(
+      static_cast<std::size_t>(lanes), BusState::all_ones(trace.config()));
+  Reference ref;
+  for (std::size_t g = 0; g < trace.size(); ++g) {
+    BusState& state = states[g % static_cast<std::size_t>(lanes)];
+    if (reset_per_burst) state = BusState::all_ones(trace.config());
+    const engine::BurstResult r = encoder.encode(trace[g], state);
+    ref.zeros += r.stats.zeros;
+    ref.transitions += r.stats.transitions;
+    ref.masks.push_back(r.invert_mask);
+  }
+  return ref;
+}
+
+TEST(Replay, MatchesPerBurstEngineForEverySchemeWithMasks) {
+  const BusConfig cfg{8, 8};
+  const auto trace = random_trace(cfg, 333, 7);  // several uneven chunks
+  const CostWeights w{0.56, 0.44};
+  for (Scheme s : {Scheme::kRaw, Scheme::kDc, Scheme::kAc, Scheme::kAcDc,
+                   Scheme::kOpt, Scheme::kOptFixed}) {
+    const engine::BatchEncoder encoder(s, w);
+    const auto reader = reader_for(trace);
+    for (const int lanes : {1, 3, 8}) {
+      const Reference ref = reference_replay(trace, encoder, lanes);
+
+      std::vector<std::uint64_t> masks(trace.size());
+      ReplayOptions opt;
+      opt.lanes = lanes;
+      opt.on_results = [&](std::int64_t first,
+                           std::span<const engine::BurstResult> results) {
+        for (std::size_t i = 0; i < results.size(); ++i)
+          masks[static_cast<std::size_t>(first) + i] =
+              results[i].invert_mask;
+      };
+      const ReplayTotals totals = replay_trace(reader, encoder, opt);
+      EXPECT_EQ(totals.bursts, static_cast<std::int64_t>(trace.size()));
+      EXPECT_EQ(totals.zeros, ref.zeros) << scheme_name(s) << " lanes "
+                                         << lanes;
+      EXPECT_EQ(totals.transitions, ref.transitions)
+          << scheme_name(s) << " lanes " << lanes;
+      EXPECT_EQ(masks, ref.masks) << scheme_name(s) << " lanes " << lanes;
+    }
+  }
+}
+
+TEST(Replay, ExhaustiveSchemeFallsBackToScalarAndMatches) {
+  const BusConfig cfg{8, 4};
+  const auto trace = random_trace(cfg, 40, 13);
+  const engine::BatchEncoder encoder(Scheme::kExhaustive,
+                                     CostWeights{0.5, 0.5});
+  const auto reader = reader_for(trace, 16);
+  const Reference ref = reference_replay(trace, encoder, 2);
+  ReplayOptions opt;
+  opt.lanes = 2;
+  const ReplayTotals totals = replay_trace(reader, encoder, opt);
+  EXPECT_EQ(totals.zeros, ref.zeros);
+  EXPECT_EQ(totals.transitions, ref.transitions);
+}
+
+TEST(Replay, MatchesChannelWriteStream) {
+  // The replay interleave (burst g -> lane g % L) is exactly Channel's
+  // write order, so totals must equal write_stream on the interleaved
+  // byte stream.
+  const workload::ChannelConfig ccfg{4, BusConfig{8, 8}, false};
+  constexpr int kWrites = 200;
+  const auto bpw = static_cast<std::size_t>(ccfg.bytes_per_write());
+
+  auto src = workload::make_uniform_source(ccfg.lane, 99);
+  std::vector<Burst> bursts;
+  for (int i = 0; i < kWrites * ccfg.lanes; ++i) bursts.push_back(src->next());
+
+  // Interleaved byte stream: byte of beat t, lane l, write w.
+  std::vector<std::uint8_t> data(kWrites * bpw);
+  for (int wi = 0; wi < kWrites; ++wi)
+    for (int l = 0; l < ccfg.lanes; ++l)
+      for (int t = 0; t < ccfg.lane.burst_length; ++t)
+        data[static_cast<std::size_t>(wi) * bpw +
+             static_cast<std::size_t>(t * ccfg.lanes + l)] =
+            static_cast<std::uint8_t>(
+                bursts[static_cast<std::size_t>(wi * ccfg.lanes + l)].word(t));
+
+  workload::BurstTrace trace(ccfg.lane);
+  for (const Burst& b : bursts) trace.push(b);
+
+  for (Scheme s : {Scheme::kDc, Scheme::kAc, Scheme::kOptFixed}) {
+    workload::Channel channel(ccfg, s);
+    const workload::ChannelStats want = channel.write_stream(data);
+
+    const engine::BatchEncoder encoder(s);
+    const auto reader = reader_for(trace, 128);
+    ReplayOptions opt;
+    opt.lanes = ccfg.lanes;
+    const ReplayTotals got = replay_trace(reader, encoder, opt);
+    EXPECT_EQ(got.bursts, kWrites * ccfg.lanes);
+    EXPECT_EQ(got.zeros, want.zeros) << scheme_name(s);
+    EXPECT_EQ(got.transitions, want.transitions) << scheme_name(s);
+  }
+}
+
+TEST(Replay, PoolSerialAndBufferingModesAgree) {
+  const auto trace = random_trace(BusConfig{8, 8}, 500, 21);
+  const engine::BatchEncoder encoder(Scheme::kAcDc);
+  const auto reader = reader_for(trace, 64);
+
+  ReplayOptions serial;
+  serial.lanes = 4;
+  serial.double_buffer = false;
+  const ReplayTotals want = replay_trace(reader, encoder, serial);
+
+  engine::ShardPool pool(3);
+  for (const bool double_buffer : {false, true}) {
+    ReplayOptions opt;
+    opt.lanes = 4;
+    opt.pool = &pool;
+    opt.double_buffer = double_buffer;
+    const ReplayTotals got = replay_trace(reader, encoder, opt);
+    EXPECT_EQ(got.zeros, want.zeros) << double_buffer;
+    EXPECT_EQ(got.transitions, want.transitions) << double_buffer;
+  }
+}
+
+TEST(Replay, CompressedAndRawTracesReplayIdentically) {
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_sparse_source(cfg, 0.85, 23);
+  const auto trace = workload::BurstTrace::collect(*src, 700);
+  const engine::BatchEncoder encoder(Scheme::kDc);
+
+  const auto compressed = reader_for(trace, 64, true);
+  const auto raw = reader_for(trace, 64, false);
+  ASSERT_TRUE(compressed.chunk(0).compressed());
+  ASSERT_FALSE(raw.chunk(0).compressed());
+
+  ReplayOptions opt;
+  opt.lanes = 2;
+  const ReplayTotals a = replay_trace(compressed, encoder, opt);
+  const ReplayTotals b = replay_trace(raw, encoder, opt);
+  EXPECT_EQ(a.zeros, b.zeros);
+  EXPECT_EQ(a.transitions, b.transitions);
+}
+
+TEST(Replay, ResetPerBurstMatchesBoundaryTotals) {
+  const auto trace = random_trace(BusConfig{8, 8}, 150, 27);
+  const engine::BatchEncoder encoder(Scheme::kOptFixed);
+  const auto reader = reader_for(trace, 32);
+
+  const BurstStats want = encoder.boundary_totals(
+      trace.bursts(), BusState::all_ones(trace.config()));
+  ReplayOptions opt;
+  opt.lanes = 3;
+  opt.reset_state_per_burst = true;
+  const ReplayTotals got = replay_trace(reader, encoder, opt);
+  EXPECT_EQ(got.zeros, want.zeros);
+  EXPECT_EQ(got.transitions, want.transitions);
+}
+
+TEST(Replay, RunIsRestartable) {
+  const auto trace = random_trace(BusConfig{8, 8}, 120, 31);
+  const engine::BatchEncoder encoder(Scheme::kAc);
+  const auto reader = reader_for(trace, 50);
+  ReplayOptions opt;
+  opt.lanes = 2;
+  ReplayPipeline pipeline(reader, encoder, opt);
+  const ReplayTotals first = pipeline.run();
+  const ReplayTotals second = pipeline.run();
+  EXPECT_EQ(first.zeros, second.zeros);
+  EXPECT_EQ(first.transitions, second.transitions);
+}
+
+TEST(Replay, SummaryComputesMeansAndEnergy) {
+  ReplayTotals totals;
+  totals.bursts = 100;
+  totals.zeros = 2500;
+  totals.transitions = 900;
+  const sim::ReplaySummary plain = sim::summarize_replay(totals);
+  EXPECT_DOUBLE_EQ(plain.zeros, 25.0);
+  EXPECT_DOUBLE_EQ(plain.transitions, 9.0);
+  EXPECT_DOUBLE_EQ(plain.interface_pj, 0.0);
+
+  const power::PodParams pod = power::PodParams::pod135(3e-12, 12e9);
+  const sim::ReplaySummary with_pod = sim::summarize_replay(totals, &pod);
+  const double want = (25.0 * power::energy_zero(pod) +
+                       9.0 * power::energy_transition(pod)) *
+                      1e12;
+  EXPECT_DOUBLE_EQ(with_pod.interface_pj, want);
+}
+
+TEST(Replay, RejectsBadLaneCounts) {
+  ReplayOptions opt;
+  opt.lanes = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.lanes = 1 << 17;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::trace

@@ -83,9 +83,73 @@ TEST(Trace, LoadRejectsBadHeader) {
   EXPECT_THROW(BurstTrace::load(ss2), std::runtime_error);
 }
 
-TEST(Trace, LoadRejectsOversizedWords) {
-  std::stringstream ss("dbi-trace v1 8 2\nab 1ff\n");
-  EXPECT_THROW(BurstTrace::load(ss), std::invalid_argument);
+TEST(Trace, LoadRejectsEmptyAndTrailingHeaderInput) {
+  std::stringstream empty("");
+  EXPECT_THROW(BurstTrace::load(empty), std::runtime_error);
+  std::stringstream trailing("dbi-trace v1 8 8 extra\n");
+  EXPECT_THROW(BurstTrace::load(trailing), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsUnusableGeometryWithContext) {
+  try {
+    std::stringstream ss("dbi-trace v1 99 8\n");
+    (void)BurstTrace::load(ss);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("geometry"), std::string::npos);
+  }
+}
+
+TEST(Trace, LoadRejectsOversizedWordsNamingTheLine) {
+  try {
+    std::stringstream ss("dbi-trace v1 8 2\nab 1\nab 1ff\n");
+    (void)BurstTrace::load(ss);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("1ff"), std::string::npos) << what;
+  }
+}
+
+TEST(Trace, LoadRejectsTruncatedLine) {
+  // 2-word bursts; the second line lost a word.
+  try {
+    std::stringstream ss("dbi-trace v1 8 2\nab 01\ncd\n");
+    (void)BurstTrace::load(ss);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 2 words, got 1"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Trace, LoadRejectsOverlongLine) {
+  std::stringstream ss("dbi-trace v1 8 2\nab 01 02\n");
+  EXPECT_THROW(BurstTrace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsNonHexTokens) {
+  for (const char* body : {"zz 01", "0x1 02", "1g 02", "-1 02"}) {
+    std::stringstream ss(std::string("dbi-trace v1 8 2\n") + body + "\n");
+    EXPECT_THROW(BurstTrace::load(ss), std::runtime_error) << body;
+  }
+}
+
+TEST(Trace, LoadRejectsOverlongHexWords) {
+  // 20 hex digits overflow any Word no matter the declared width.
+  std::stringstream ss("dbi-trace v1 8 2\nab ffffffffffffffffffff\n");
+  EXPECT_THROW(BurstTrace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, LoadAcceptsBlankLinesAndWindowsLineEndings) {
+  std::stringstream ss("dbi-trace v1 8 2\n\nab 01\r\n\ncd 02\n");
+  const BurstTrace trace = BurstTrace::load(ss);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].word(0), 0xABu);
+  EXPECT_EQ(trace[1].word(1), 0x02u);
 }
 
 TEST(Trace, CollectRejectsNegativeCount) {

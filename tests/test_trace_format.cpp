@@ -1,0 +1,275 @@
+// Binary trace format v2: write -> mmap-read round trips, RLE, CRC,
+// and rejection of corrupted / truncated files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "trace/convert.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace dbi::trace {
+namespace {
+
+std::vector<std::uint8_t> write_to_bytes(const workload::BurstTrace& trace,
+                                         const TraceWriterOptions& opt = {}) {
+  std::ostringstream os(std::ios::binary);
+  TraceWriter writer(os, trace.config(), opt);
+  for (const Burst& b : trace.bursts()) writer.write(b);
+  writer.finish();
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+workload::BurstTrace random_trace(const BusConfig& cfg, std::int64_t n,
+                                  std::uint64_t seed) {
+  auto src = workload::make_uniform_source(cfg, seed);
+  return workload::BurstTrace::collect(*src, n);
+}
+
+void expect_equal(const workload::BurstTrace& a,
+                  const workload::BurstTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.config(), b.config());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+TEST(TraceFormat, RoundTripsRandomTracesAcrossGeometries) {
+  for (const BusConfig cfg :
+       {BusConfig{8, 8}, BusConfig{1, 1}, BusConfig{5, 3}, BusConfig{8, 64},
+        BusConfig{16, 8}, BusConfig{32, 16}}) {
+    const auto trace = random_trace(cfg, 300, 11 + cfg.width);
+    TraceWriterOptions opt;
+    opt.bursts_per_chunk = 64;  // force several chunks
+    const auto image = write_to_bytes(trace, opt);
+    const auto reader = TraceReader::from_bytes(image);
+    EXPECT_EQ(reader.config(), cfg);
+    EXPECT_EQ(reader.bursts(), 300);
+    EXPECT_GE(reader.chunk_count(), 4u);
+    expect_equal(reader.to_burst_trace(), trace);
+  }
+}
+
+TEST(TraceFormat, FooterStatsMatchInMemoryStats) {
+  const auto trace = random_trace(BusConfig{8, 8}, 500, 3);
+  const auto reader = TraceReader::from_bytes(write_to_bytes(trace));
+  const workload::TraceStats want = trace.stats();
+  const workload::TraceStats& got = reader.stats();
+  EXPECT_EQ(got.bursts, want.bursts);
+  EXPECT_EQ(got.payload_bits, want.payload_bits);
+  EXPECT_EQ(got.payload_zeros, want.payload_zeros);
+  EXPECT_EQ(got.raw_transitions, want.raw_transitions);
+}
+
+TEST(TraceFormat, SparseTracesCompressAndRoundTrip) {
+  const BusConfig cfg{8, 8};
+  auto src = workload::make_sparse_source(cfg, 0.9, 5);
+  const auto trace = workload::BurstTrace::collect(*src, 1000);
+  const auto compressed = write_to_bytes(trace);
+  TraceWriterOptions raw_opt;
+  raw_opt.compress = false;
+  const auto raw = write_to_bytes(trace, raw_opt);
+
+  EXPECT_LT(compressed.size(), raw.size() / 2);
+  const auto reader = TraceReader::from_bytes(compressed);
+  ASSERT_GE(reader.chunk_count(), 1u);
+  EXPECT_TRUE(reader.chunk(0).compressed());
+  expect_equal(reader.to_burst_trace(), trace);
+  expect_equal(TraceReader::from_bytes(raw).to_burst_trace(), trace);
+}
+
+TEST(TraceFormat, EmptyTraceRoundTrips) {
+  const workload::BurstTrace trace(BusConfig{8, 8});
+  const auto reader = TraceReader::from_bytes(write_to_bytes(trace));
+  EXPECT_EQ(reader.bursts(), 0);
+  EXPECT_EQ(reader.chunk_count(), 0u);
+  EXPECT_TRUE(reader.to_burst_trace().empty());
+}
+
+TEST(TraceFormat, MmapAndInMemoryReadsAgree) {
+  const auto trace = random_trace(BusConfig{8, 8}, 200, 17);
+  const auto image = write_to_bytes(trace);
+  const std::string path =
+      ::testing::TempDir() + "/test_trace_format_roundtrip.dbt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    ASSERT_TRUE(out.good());
+  }
+  const auto reader = TraceReader::open(path);
+  expect_equal(reader.to_burst_trace(), trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormat, RejectsFlippedBytesEverywhere) {
+  const auto trace = random_trace(BusConfig{8, 8}, 64, 29);
+  const auto image = write_to_bytes(trace);
+  // Flip one byte at a spread of offsets: header, chunk header, payload,
+  // footer. Every flip must be rejected (CRC or structural check).
+  for (const std::size_t off :
+       {std::size_t{0}, std::size_t{5}, std::size_t{7}, kHeaderBytes,
+        kHeaderBytes + 4, kHeaderBytes + kChunkHeaderBytes + 3,
+        image.size() - kFooterBytes + 1, image.size() - 10,
+        image.size() - 1}) {
+    auto corrupt = image;
+    corrupt[off] ^= 0x40U;
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(corrupt)),
+                 TraceError)
+        << "offset " << off;
+  }
+}
+
+TEST(TraceFormat, RejectsTruncationEverywhere) {
+  const auto trace = random_trace(BusConfig{8, 8}, 64, 31);
+  const auto image = write_to_bytes(trace);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, kHeaderBytes - 1, kHeaderBytes,
+        kHeaderBytes + kChunkHeaderBytes + 5, image.size() - kFooterBytes,
+        image.size() - 4, image.size() - 1}) {
+    auto truncated = image;
+    truncated.resize(keep);
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(truncated)),
+                 TraceError)
+        << "keep " << keep;
+  }
+}
+
+TEST(TraceFormat, RejectsBadGeometryAndVersion) {
+  const auto trace = random_trace(BusConfig{8, 8}, 4, 37);
+  const auto image = write_to_bytes(trace);
+  {
+    auto bad = image;
+    bad[4] = 1;  // version
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad)), TraceError);
+  }
+  {
+    auto bad = image;
+    bad[5] = 2;  // endianness tag
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad)), TraceError);
+  }
+  {
+    auto bad = image;
+    bad[6] = 77;  // width out of range
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad)), TraceError);
+  }
+}
+
+TEST(TraceFormat, OpenRejectsMissingFile) {
+  EXPECT_THROW((void)TraceReader::open("/nonexistent/trace.dbt"), TraceError);
+}
+
+TEST(TraceFormat, WriterRejectsMisuse) {
+  std::ostringstream os(std::ios::binary);
+  TraceWriter writer(os, BusConfig{8, 8});
+  EXPECT_THROW(writer.write(Burst(BusConfig{8, 4})), std::invalid_argument);
+  const std::vector<Word> three(3, 0);
+  EXPECT_THROW(writer.write_words(three), std::invalid_argument);
+  const std::vector<Word> big(8, 0x1FF);
+  EXPECT_THROW(writer.write_words(big), std::invalid_argument);
+  writer.finish();
+  const std::vector<Word> ok(8, 0x12);
+  EXPECT_THROW(writer.write_words(ok), TraceError);
+}
+
+TEST(TraceFormat, RejectsCompressedChunkBeyondRleExpansionBound) {
+  // Hand-craft a CRC-valid file whose single RLE chunk claims far more
+  // bursts than a 1-byte payload can expand to (zero-run RLE grows at
+  // most 128x): the reader must reject the header instead of sizing a
+  // decompression buffer from it.
+  std::vector<std::uint8_t> image;
+  for (const std::uint8_t b : kFileMagic) image.push_back(b);
+  image.push_back(kFormatVersion);
+  image.push_back(kLittleEndianTag);
+  put_le(image, 8, 2);                    // width
+  put_le(image, 8, 2);                    // burst_length
+  put_le(image, kFileFlagCompressed, 2);  // file flags
+  put_le(image, 0x40000000U, 4);          // bursts_per_chunk
+  image.resize(kHeaderBytes, 0);
+
+  for (const std::uint8_t b : kChunkMagic) image.push_back(b);
+  put_le(image, 1000, 4);  // burst_count: 8000 raw bytes
+  put_le(image, kChunkFlagRle, 4);
+  put_le(image, 1, 4);    // payload_bytes: expands <= 128
+  image.push_back(0x80);  // payload: one zero byte
+
+  for (const std::uint8_t b : kFooterMagic) image.push_back(b);
+  put_le(image, 0, 4);
+  put_le(image, 1, 8);     // chunk_count
+  put_le(image, 1000, 8);  // bursts
+  put_le(image, 0, 8);     // payload_bits
+  put_le(image, 0, 8);     // payload_zeros
+  put_le(image, 0, 8);     // raw_transitions
+  put_le(image, 0, 8);     // reserved
+  put_le(image, crc32(image), 4);
+  for (const std::uint8_t b : kEndMagic) image.push_back(b);
+
+  try {
+    (void)TraceReader::from_bytes(std::move(image));
+    FAIL() << "lying compressed chunk header was accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("RLE expansion bound"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFormat, WriterRejectsChunkCapacityBeyondU32PayloadField) {
+  std::ostringstream os(std::ios::binary);
+  TraceWriterOptions opt;
+  opt.bursts_per_chunk = 0xFFFFFFFFU;  // * 8 bytes/burst overflows u32
+  EXPECT_THROW(TraceWriter(os, BusConfig{8, 8}, opt), std::invalid_argument);
+}
+
+TEST(TraceFormat, RleRejectsMalformedStreams) {
+  std::vector<std::uint8_t> out(8);
+  // Truncated literal run: control promises 4 literals, 1 present.
+  const std::vector<std::uint8_t> truncated{0x03, 0xAB};
+  EXPECT_THROW(rle_decompress(truncated, out), TraceError);
+  // Overrun: 128-byte zero run into an 8-byte output.
+  const std::vector<std::uint8_t> overrun{0xFF};
+  EXPECT_THROW(rle_decompress(overrun, out), TraceError);
+  // Underfill: decodes 4 of 8 bytes.
+  const std::vector<std::uint8_t> underfill{0x83};
+  EXPECT_THROW(rle_decompress(underfill, out), TraceError);
+}
+
+TEST(TraceFormat, RleRoundTripsArbitraryBytes) {
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 1000; ++i)
+    in.push_back(static_cast<std::uint8_t>((i % 7 == 0) ? 0 : (i * 37) & 0xFF));
+  in.insert(in.end(), 300, 0);  // long zero tail
+  std::vector<std::uint8_t> packed;
+  rle_compress(in, packed);
+  std::vector<std::uint8_t> out(in.size());
+  rle_decompress(packed, out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(TraceFormat, TextBinaryConversionIsLossless) {
+  const auto trace = random_trace(BusConfig{8, 8}, 128, 41);
+  std::ostringstream text1;
+  trace.save(text1);
+
+  std::istringstream text_in(text1.str());
+  std::ostringstream binary(std::ios::binary);
+  const workload::TraceStats s = text_to_binary(text_in, binary);
+  EXPECT_EQ(s.bursts, 128);
+  EXPECT_EQ(s.raw_transitions, trace.stats().raw_transitions);
+
+  const std::string b = binary.str();
+  const auto reader =
+      TraceReader::from_bytes(std::vector<std::uint8_t>(b.begin(), b.end()));
+  std::ostringstream text2;
+  binary_to_text(reader, text2);
+  EXPECT_EQ(text2.str(), text1.str());
+  expect_equal(reader.to_burst_trace(), trace);
+}
+
+}  // namespace
+}  // namespace dbi::trace

@@ -7,6 +7,10 @@
 //   dbitool rates   trace.txt --pod pod135 --cload-pf 3 [--csv]
 //   dbitool synth   [--bytes 8]
 //   dbitool verilog --design opt-fixed -o encoder.v
+//   dbitool record  --corpus float-tensor --bursts 1000000 -o t.dbt
+//   dbitool replay  t.dbt --lanes 8 --workers 4
+//   dbitool inspect t.dbt
+//   dbitool convert trace.txt trace.dbt   (direction by sniffing)
 //
 // Every subcommand prints an aligned table (or CSV with --csv) so the
 // tool slots into shell pipelines and plotting scripts.
@@ -15,12 +19,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/encoder.hpp"
 #include "core/pareto.hpp"
+#include "engine/shard_pool.hpp"
 #include "hw/fault_study.hpp"
 #include "hw/hw_design.hpp"
 #include "hw/synthesis.hpp"
@@ -28,6 +34,9 @@
 #include "power/interface_energy.hpp"
 #include "sim/experiments.hpp"
 #include "sim/table.hpp"
+#include "trace/convert.hpp"
+#include "trace/replay.hpp"
+#include "workload/corpus.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace.hpp"
 
@@ -58,12 +67,18 @@ struct Args {
 };
 
 Args parse_args(int argc, char** argv) {
+  // Flags that take no value; everything else spelled --key expects one.
+  static const std::set<std::string> kBoolFlags = {"no-compress",
+                                                  "no-double-buffer"};
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string token = argv[i];
     if (token == "--csv") {
       args.csv = true;
+    } else if (token.rfind("--", 0) == 0 &&
+               kBoolFlags.count(token.substr(2)) != 0) {
+      args.options[token.substr(2)] = "1";
     } else if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
       if (i + 1 >= argc) throw std::runtime_error("missing value for " + token);
@@ -331,6 +346,161 @@ int cmd_verilog(const Args& args) {
   return 0;
 }
 
+trace::TraceWriterOptions writer_options(const Args& args) {
+  trace::TraceWriterOptions opt;
+  const long chunk = args.get_long("chunk", 4096);
+  if (chunk < 1 || chunk > 0xFFFFFFFFL)
+    throw std::runtime_error("--chunk must be in [1, 4294967295]");
+  opt.bursts_per_chunk = static_cast<std::uint32_t>(chunk);
+  opt.compress = args.options.count("no-compress") == 0;
+  return opt;
+}
+
+int cmd_record(const Args& args) {
+  BusConfig cfg;
+  cfg.width = static_cast<int>(args.get_long("width", 8));
+  cfg.burst_length = static_cast<int>(args.get_long("bl", 8));
+  const auto bursts = args.get_long("bursts", 1000);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const std::string out = args.get("output", "");
+  if (out.empty())
+    throw std::runtime_error("record: -o OUTPUT.dbt is required");
+
+  std::unique_ptr<workload::BurstSource> source;
+  if (args.options.count("corpus")) {
+    source = workload::make_corpus_source(args.get("corpus", ""), cfg, seed);
+  } else {
+    source = make_source(args.get("source", "uniform"), cfg, seed, args);
+  }
+
+  trace::TraceWriter writer(out, cfg, writer_options(args));
+  for (long i = 0; i < bursts; ++i) writer.write(source->next());
+  writer.finish();
+  std::cerr << "recorded " << writer.bursts_written() << " bursts ("
+            << source->name() << ") to " << out << "\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("replay: expected a binary trace file");
+  const auto reader = trace::TraceReader::open(args.positional[0]);
+
+  const double alpha = args.get_double("alpha", 0.5);
+  const CostWeights w = CostWeights::ac_dc_tradeoff(alpha);
+  const power::PodParams pod = parse_pod(args);
+  const auto lanes = static_cast<int>(args.get_long("lanes", 4));
+  const auto workers = static_cast<int>(
+      args.get_long("workers", engine::ShardPool::default_workers()));
+
+  engine::ShardPool pool(workers);
+  trace::ReplayOptions opt;
+  opt.lanes = lanes;
+  opt.pool = &pool;
+  opt.double_buffer = args.options.count("no-double-buffer") == 0;
+
+  sim::Table table({"scheme", "zeros/burst", "transitions/burst",
+                    "interface_pj/burst"});
+  const std::vector<std::string> names =
+      args.options.count("scheme")
+          ? std::vector<std::string>{args.get("scheme", "opt")}
+          : std::vector<std::string>{"raw", "dc", "ac", "acdc", "opt-fixed",
+                                     "opt"};
+  for (const std::string& name : names) {
+    const engine::BatchEncoder encoder(parse_scheme(name), w);
+    const trace::ReplayTotals totals =
+        trace::replay_trace(reader, encoder, opt);
+    const sim::ReplaySummary s = sim::summarize_replay(totals, &pod);
+    table.add_row({std::string(encoder.name()), sim::fmt(s.zeros, 3),
+                   sim::fmt(s.transitions, 3), sim::fmt(s.interface_pj, 4)});
+  }
+  emit(table, args);
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("inspect: expected a binary trace file");
+  const auto reader = trace::TraceReader::open(args.positional[0]);
+  const auto& s = reader.stats();
+
+  std::size_t compressed_chunks = 0;
+  std::uint64_t payload_on_disk = 0;
+  for (std::size_t c = 0; c < reader.chunk_count(); ++c) {
+    compressed_chunks += reader.chunk(c).compressed() ? 1 : 0;
+    payload_on_disk += reader.chunk(c).payload_bytes;
+  }
+  const std::uint64_t payload_raw =
+      static_cast<std::uint64_t>(s.bursts) *
+      static_cast<std::uint64_t>(reader.config().bytes_per_burst());
+
+  sim::Table table({"field", "value"});
+  table.add_row({"format", "dbi-trace binary v2"});
+  table.add_row({"width", std::to_string(reader.config().width)});
+  table.add_row({"burst length",
+                 std::to_string(reader.config().burst_length)});
+  table.add_row({"bursts", std::to_string(s.bursts)});
+  table.add_row({"chunks", std::to_string(reader.chunk_count())});
+  table.add_row({"compressed chunks", std::to_string(compressed_chunks)});
+  table.add_row({"file bytes", std::to_string(reader.file_bytes())});
+  table.add_row({"payload bytes", std::to_string(payload_on_disk)});
+  table.add_row(
+      {"compression",
+       payload_raw > 0
+           ? sim::fmt(static_cast<double>(payload_on_disk) /
+                          static_cast<double>(payload_raw),
+                      3) + "x"
+           : "n/a"});
+  table.add_row({"payload zeros", std::to_string(s.payload_zeros)});
+  table.add_row({"zero fraction", sim::fmt(s.zero_fraction(), 4)});
+  table.add_row({"raw transitions", std::to_string(s.raw_transitions)});
+  table.add_row({"crc", "ok"});
+  emit(table, args);
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  if (args.positional.size() != 2)
+    throw std::runtime_error("convert: expected INPUT and OUTPUT files");
+  const std::string& in_path = args.positional[0];
+  const std::string& out_path = args.positional[1];
+
+  // Sniff the input: v2 binary starts with "DBT2", v1 text with
+  // "dbi-trace".
+  std::ifstream probe(in_path, std::ios::binary);
+  if (!probe) throw std::runtime_error("cannot open " + in_path);
+  char magic[4] = {};
+  probe.read(magic, 4);
+  probe.close();
+
+  if (std::string_view(magic, 4) == "DBT2") {
+    const auto reader = trace::TraceReader::open(in_path);
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot write " + out_path);
+    trace::binary_to_text(reader, out);
+    std::cerr << "converted " << reader.bursts() << " bursts to text "
+              << out_path << "\n";
+  } else {
+    std::ifstream in(in_path);
+    if (!in) throw std::runtime_error("cannot open " + in_path);
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + out_path);
+    const workload::TraceStats s =
+        trace::text_to_binary(in, out, writer_options(args));
+    std::cerr << "converted " << s.bursts << " bursts to binary " << out_path
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_corpus(const Args& args) {
+  sim::Table table({"scenario", "description"});
+  for (const workload::CorpusScenario& s : workload::corpus_scenarios())
+    table.add_row({std::string(s.name), std::string(s.description)});
+  emit(table, args);
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "dbitool — optimal DC/AC data bus inversion toolkit\n"
@@ -339,7 +509,7 @@ int usage() {
       "  dbitool gen     --source KIND --bursts N --seed S [--width 8]\n"
       "                  [--bl 8] [-o trace.txt]\n"
       "          KIND: uniform|biased|sparse|counter|gray|walking-ones|\n"
-      "                text|float|markov\n"
+      "                text|float|markov|framebuffer|tensor\n"
       "  dbitool stats   TRACE [--csv]\n"
       "  dbitool encode  TRACE [--scheme raw|dc|ac|acdc|opt|opt-fixed]\n"
       "                  [--alpha 0.5] [--csv]\n"
@@ -351,8 +521,27 @@ int usage() {
       "  dbitool pareto  [B0 B1 ... B7]  (hex bytes; default: Fig. 2)\n"
       "  dbitool faults  [--sites 300] [--bursts-per-fault 24] [--csv]\n"
       "  dbitool verilog [--design dc|ac|opt-fixed|opt-3bit|decoder]\n"
-      "                  [-o out.v]\n";
+      "                  [-o out.v]\n"
+      "  dbitool record  (--corpus SCENARIO | --source KIND) --bursts N\n"
+      "                  [--seed S] [--width 8] [--bl 8] [--chunk 4096]\n"
+      "                  [--no-compress] -o trace.dbt   (binary v2)\n"
+      "  dbitool replay  TRACE.dbt [--scheme SCHEME] [--alpha 0.5]\n"
+      "                  [--lanes 4] [--workers N] [--no-double-buffer]\n"
+      "                  [--pod pod135] [--cload-pf 3] [--gbps 12] [--csv]\n"
+      "  dbitool inspect TRACE.dbt [--csv]\n"
+      "  dbitool convert INPUT OUTPUT [--chunk 4096] [--no-compress]\n"
+      "                  (text <-> binary, direction by sniffing INPUT)\n"
+      "  dbitool corpus  [--csv]   (list recordable scenarios)\n";
   return 2;
+}
+
+/// Unknown commands are a distinct failure from an empty invocation:
+/// name the offender on stderr and exit 64 (EX_USAGE) instead of the
+/// bare-usage exit 2, so scripts can tell typos from missing arguments.
+int unknown_command(const std::string& command) {
+  std::cerr << "dbitool: unknown command '" << command << "'\n\n";
+  (void)usage();
+  return 64;
 }
 
 }  // namespace
@@ -360,6 +549,7 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.command.empty()) return usage();
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "encode") return cmd_encode(args);
@@ -369,7 +559,17 @@ int main(int argc, char** argv) {
     if (args.command == "pareto") return cmd_pareto(args);
     if (args.command == "faults") return cmd_faults(args);
     if (args.command == "verilog") return cmd_verilog(args);
-    return usage();
+    if (args.command == "record") return cmd_record(args);
+    if (args.command == "replay") return cmd_replay(args);
+    if (args.command == "inspect") return cmd_inspect(args);
+    if (args.command == "convert") return cmd_convert(args);
+    if (args.command == "corpus") return cmd_corpus(args);
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h") {
+      (void)usage();
+      return 0;
+    }
+    return unknown_command(args.command);
   } catch (const std::exception& e) {
     std::cerr << "dbitool: " << e.what() << "\n";
     return 1;

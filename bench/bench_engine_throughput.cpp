@@ -4,13 +4,19 @@
 //   (b) the BatchEncoder single-thread fast paths,
 //   (c) the BatchEncoder sharded across a ShardPool (one worker per
 //       lane-group shard).
-// Emits a single JSON object so the numbers can be tracked as a
-// trajectory across commits (BENCH_*.json).
+// A second section benches the wide multi-group path (x16/x32/x64): the
+// per-group scalar loop every wide caller used to need vs
+// encode_packed_wide in place over the beat-major bytes, single-thread
+// and sharded per (lane, group). Emits a single JSON object so the
+// numbers can be tracked as a trajectory across commits (BENCH_*.json,
+// gated by tools/bench_compare.py).
 //
 //   ./bench_engine_throughput [bursts-per-lane] [lanes] [workers]
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +24,7 @@
 #include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
 #include "workload/generators.hpp"
+#include "workload/rng.hpp"
 
 namespace {
 
@@ -103,6 +110,104 @@ SchemeReport run_scheme(Scheme scheme, const CostWeights& w,
   return rep;
 }
 
+struct WideReport {
+  int width = 0;
+  std::string scheme;
+  double scalar_mbps = 0;   // per-group scalar loop (the old fallback)
+  double engine_mbps = 0;   // encode_packed_wide, single thread
+  double sharded_mbps = 0;  // encode_wide_lanes across the pool
+  double speedup = 0;       // engine single-thread vs scalar
+};
+
+WideReport run_wide(Scheme scheme, const CostWeights& w, int width,
+                    int bursts, engine::ShardPool& pool, int repeats) {
+  const WideBusConfig cfg{width, 8};
+  const int groups = cfg.groups();
+  WideReport rep;
+  rep.width = width;
+  const engine::BatchEncoder batch(scheme, w);
+  rep.scheme = std::string(batch.name());
+  const double total = static_cast<double>(bursts) * repeats;
+
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(bursts) *
+      static_cast<std::size_t>(cfg.bytes_per_burst()));
+  workload::Xoshiro256 rng(7 + static_cast<std::uint64_t>(width));
+  for (std::uint8_t& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+
+  // (a) per-group scalar loop: materialised group Bursts through the
+  // virtual encoder, the only wide route before the group kernels.
+  {
+    std::vector<std::vector<Burst>> group_bursts(
+        static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g) {
+      auto& lane = group_bursts[static_cast<std::size_t>(g)];
+      lane.reserve(static_cast<std::size_t>(bursts));
+      for (int i = 0; i < bursts; ++i) {
+        Burst b(cfg.group_config(g));
+        for (int t = 0; t < cfg.burst_length; ++t)
+          b.set_word(t, bytes[static_cast<std::size_t>(i) *
+                                  static_cast<std::size_t>(cfg.bytes_per_burst()) +
+                              static_cast<std::size_t>(t * groups + g)]);
+        lane.push_back(std::move(b));
+      }
+    }
+    const auto scalar = make_encoder(scheme, w);
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (int g = 0; g < groups; ++g) {
+        BusState state = BusState::all_ones(cfg.group_config(g));
+        for (const Burst& b : group_bursts[static_cast<std::size_t>(g)]) {
+          const EncodedBurst e = scalar->encode(b, state);
+          const BurstStats s = e.stats(state);
+          sink += s.zeros + s.transitions;
+          state = e.final_state();
+        }
+      }
+    }
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    rep.scalar_mbps = total / dt / 1e6;
+  }
+
+  // (b) wide engine, single thread, in place over the packed bytes.
+  {
+    std::vector<BusState> states(static_cast<std::size_t>(groups));
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (int g = 0; g < groups; ++g)
+        states[static_cast<std::size_t>(g)] =
+            BusState::all_ones(cfg.group_config(g));
+      const BurstStats s = batch.encode_packed_wide(bytes, cfg, states);
+      sink += s.zeros + s.transitions;
+    }
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    rep.engine_mbps = total / dt / 1e6;
+  }
+
+  // (c) wide engine sharded: one lane, groups units across the pool.
+  {
+    std::vector<BusState> states(static_cast<std::size_t>(groups));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (int g = 0; g < groups; ++g)
+        states[static_cast<std::size_t>(g)] =
+            BusState::all_ones(cfg.group_config(g));
+      engine::WideLaneTask task{bytes, states, nullptr, {}};
+      batch.encode_wide_lanes(cfg, std::span<engine::WideLaneTask>(&task, 1),
+                              &pool);
+    }
+    const double dt = seconds_since(t0);
+    rep.sharded_mbps = total / dt / 1e6;
+  }
+
+  rep.speedup = rep.scalar_mbps > 0 ? rep.engine_mbps / rep.scalar_mbps : 0;
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +262,27 @@ int main(int argc, char** argv) {
                 first ? "" : ",\n", r.scheme.c_str(), r.scalar_mbps,
                 r.engine_mbps, r.sharded_mbps, r.speedup);
     first = false;
+  }
+  std::printf("\n  ],\n");
+
+  // Wide multi-group path: x16/x32/x64 interfaces, fixed schemes plus
+  // the flat trellis. The acceptance floor is a >= 4x single-thread
+  // speedup over the per-group scalar loop at widths 32 and 64.
+  std::printf("  \"wide\": [\n");
+  first = true;
+  for (const int width : {16, 32, 64}) {
+    for (const Scheme s :
+         {Scheme::kDc, Scheme::kAc, Scheme::kAcDc, Scheme::kOptFixed}) {
+      const WideReport r =
+          run_wide(s, w, width, bursts_per_lane, pool, 2);
+      std::printf(
+          "%s    {\"width\": %d, \"scheme\": \"%s\", "
+          "\"scalar_mbursts_per_s\": %.2f, \"engine_mbursts_per_s\": %.2f, "
+          "\"sharded_mbursts_per_s\": %.2f, \"speedup\": %.2f}",
+          first ? "" : ",\n", r.width, r.scheme.c_str(), r.scalar_mbps,
+          r.engine_mbps, r.sharded_mbps, r.speedup);
+      first = false;
+    }
   }
   std::printf("\n  ]\n}\n");
   return 0;

@@ -189,9 +189,73 @@ int main(int argc, char** argv) {
   std::printf("  ],\n");
   std::printf("  \"compressed\": {\"corpus\": \"sparse-zeros\", "
               "\"bursts\": %lld, \"on_disk_ratio\": %.3f, "
-              "\"replay_mbursts_per_s\": %.2f}\n",
+              "\"replay_mbursts_per_s\": %.2f},\n",
               static_cast<long long>(sparse_bursts), sparse_ratio,
               sparse_mbps);
+
+  // Wide multi-group streaming: a x64 trace replayed zero-copy off the
+  // mmap (strided group kernels, (lane, group) sharding) vs the same
+  // bytes encoded straight from RAM — the ratio is the streaming tax.
+  {
+    const WideBusConfig wcfg{64, 8};
+    const auto wide_bursts = static_cast<std::int64_t>(writes) * lanes / 8;
+    std::vector<std::uint8_t> wide_data(
+        static_cast<std::size_t>(wide_bursts) *
+        static_cast<std::size_t>(wcfg.bytes_per_burst()));
+    workload::Xoshiro256 wide_rng(4096);
+    for (std::uint8_t& b : wide_data)
+      b = static_cast<std::uint8_t>(wide_rng.next());
+
+    const std::string wide_path = temp_trace_path("wide64");
+    {
+      trace::TraceWriterOptions wopt;
+      wopt.compress = false;
+      trace::TraceWriter writer(wide_path, wcfg, wopt);
+      writer.write_packed(wide_data);
+      writer.finish();
+    }
+    const auto wide_reader = trace::TraceReader::open(wide_path);
+    const engine::BatchEncoder encoder(Scheme::kAc);
+    const int groups = wcfg.groups();
+    const double total =
+        static_cast<double>(wide_bursts) * static_cast<double>(repeats);
+
+    double memory_mbps = 0;
+    {
+      std::vector<BusState> states(static_cast<std::size_t>(groups));
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        for (int g = 0; g < groups; ++g)
+          states[static_cast<std::size_t>(g)] =
+              BusState::all_ones(wcfg.group_config(g));
+        engine::WideLaneTask task{wide_data, states, nullptr, {}};
+        encoder.encode_wide_lanes(wcfg,
+                                  std::span<engine::WideLaneTask>(&task, 1),
+                                  &pool);
+      }
+      memory_mbps = total / seconds_since(t0) / 1e6;
+    }
+
+    double wide_replay_mbps = 0;
+    {
+      trace::ReplayOptions opt;
+      opt.lanes = 1;  // zero-copy in-place path; groups shard the pool
+      opt.pool = &pool;
+      trace::ReplayPipeline pipeline(wide_reader, encoder, opt);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) (void)pipeline.run();
+      wide_replay_mbps = total / seconds_since(t0) / 1e6;
+    }
+    std::remove(wide_path.c_str());
+
+    std::printf("  \"wide\": {\"width\": %d, \"groups\": %d, "
+                "\"bursts\": %lld, \"memory_mbursts_per_s\": %.2f, "
+                "\"replay_mbursts_per_s\": %.2f, \"replay_vs_memory\": "
+                "%.3f}\n",
+                wcfg.width, groups, static_cast<long long>(wide_bursts),
+                memory_mbps, wide_replay_mbps,
+                memory_mbps > 0 ? wide_replay_mbps / memory_mbps : 0);
+  }
   std::printf("}\n");
   return 0;
 }

@@ -75,6 +75,74 @@ struct Beat {
   friend constexpr bool operator==(const Beat&, const Beat&) = default;
 };
 
+/// Geometry of a wide bus: `width` DQ lines decomposed into byte groups
+/// of at most 8 lines, each group driving its own DBI line — the JEDEC
+/// x16/x32/x64 arrangement (one DBI wire per byte of the interface).
+///
+/// Groups slice the bus little-endian: group g covers DQ lines
+/// [8g, min(8g + 8, width)), so a non-multiple-of-8 width ends in one
+/// narrower remainder group. Each group is an independent BusConfig
+/// code: group g of a wide bus encodes exactly like a standalone
+/// {group_width(g), burst_length} group, threading its own BusState.
+///
+/// Packed layout (trace payloads, engine wide inputs) is beat-major:
+/// one byte per group per beat, beat t at bytes
+/// [t * groups(), (t + 1) * groups()), byte g carrying group g's lanes
+/// (remainder-group bytes must fit the group's dq_mask). This is the
+/// physical wire order of a wide device and the byte order of
+/// workload::Channel::write_stream.
+struct WideBusConfig {
+  int width = 8;         ///< total DQ lines across all groups (1..64)
+  int burst_length = 8;  ///< beats per burst (1..64)
+
+  static constexpr int kMaxWidth = 64;
+
+  /// Number of byte groups (== DBI lines) on the bus.
+  [[nodiscard]] constexpr int groups() const { return (width + 7) / 8; }
+
+  /// DQ lines of group g: 8 for every full group, width % 8 for a
+  /// trailing remainder group.
+  [[nodiscard]] constexpr int group_width(int g) const {
+    return width - 8 * g >= 8 ? 8 : width - 8 * g;
+  }
+
+  /// Group g as a standalone single-group geometry.
+  [[nodiscard]] constexpr BusConfig group_config(int g) const {
+    return BusConfig{group_width(g), burst_length};
+  }
+
+  /// Valid-bit mask of group g's payload byte (0xFF for full groups,
+  /// narrower for a trailing remainder group).
+  [[nodiscard]] constexpr Word group_mask(int g) const {
+    return group_config(g).dq_mask();
+  }
+
+  /// Total lines driven by an encoded beat (DQ lines + one DBI per group).
+  [[nodiscard]] constexpr int lines() const { return width + groups(); }
+
+  /// Packed-layout size of one beat (one byte per group).
+  [[nodiscard]] constexpr int bytes_per_beat() const { return groups(); }
+
+  /// Packed-layout size of one burst.
+  [[nodiscard]] constexpr int bytes_per_burst() const {
+    return groups() * burst_length;
+  }
+
+  /// Throws std::invalid_argument when the geometry is unusable.
+  void validate() const {
+    if (width < 1 || width > kMaxWidth)
+      throw std::invalid_argument("WideBusConfig: width must be in [1,64], got " +
+                                  std::to_string(width));
+    if (burst_length < 1 || burst_length > 64)
+      throw std::invalid_argument(
+          "WideBusConfig: burst_length must be in [1,64], got " +
+          std::to_string(burst_length));
+  }
+
+  friend constexpr bool operator==(const WideBusConfig&,
+                                   const WideBusConfig&) = default;
+};
+
 /// State of the bus lines before a burst starts.
 ///
 /// The paper assumes all lines transmitted ones prior to the evaluated

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "core/byte_utils.hpp"
 
@@ -20,6 +21,17 @@ using dbi::Word;
 // ------------------------------------------------------------------ SWAR
 // Bit-parallel helpers on packed byte lanes: 8 beats of a width-8 group
 // per 64-bit machine word, beat k in byte k.
+
+/// Lower-case hex of a beat word, for geometry diagnostics.
+std::string to_hex(Word w) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), kDigits[w & 0xFU]);
+    w >>= 4;
+  } while (w != 0);
+  return out;
+}
 
 constexpr std::uint64_t kL01 = 0x0101010101010101ULL;
 constexpr std::uint64_t kL0F = 0x0F0F0F0F0F0F0F0FULL;
@@ -60,9 +72,11 @@ constexpr std::uint64_t byte_prefix_xor(std::uint64_t v) {
   return v;
 }
 
-/// Beat sources for the width-8 kernels: both expose size() and
-/// pack8(i0, m) — up to 8 consecutive beats packed into one 64-bit lane
-/// word, beat i0+k in byte k.
+/// Beat sources for the packed kernels: all expose size(), operator[]
+/// and pack8(i0, m) — up to 8 consecutive beats' low bytes packed into
+/// one 64-bit lane word, beat i0+k in byte k. pack8_col(i0, m, c) is
+/// the generalisation the bit-plane transpose uses: byte column c
+/// (payload bits 8c..8c+7) of up to 8 consecutive beats.
 struct WordBeats {
   std::span<const Word> words;
 
@@ -71,10 +85,13 @@ struct WordBeats {
     return words[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
+    return pack8_col(i0, m, 0);
+  }
+  [[nodiscard]] std::uint64_t pack8_col(int i0, int m, int c) const {
     std::uint64_t p = 0;
     for (int k = 0; k < m; ++k)
       p |= static_cast<std::uint64_t>(
-               words[static_cast<std::size_t>(i0 + k)] & 0xFFU)
+               (words[static_cast<std::size_t>(i0 + k)] >> (8 * c)) & 0xFFU)
            << (8 * k);
     return p;
   }
@@ -102,6 +119,37 @@ struct ByteBeats {
         p |= static_cast<std::uint64_t>(bytes[i0 + k]) << (8 * k);
       return p;
     }
+  }
+  [[nodiscard]] std::uint64_t pack8_col(int i0, int m, int /*c*/) const {
+    return pack8(i0, m);  // one byte per beat: column 0 only
+  }
+};
+
+/// One byte per beat at a fixed stride — group g of a wide beat-major
+/// payload (stride = groups(), offset g applied by the caller). This is
+/// how the kernels consume mmap'd wide trace chunks in place: no
+/// widening or de-interleaving pass, just strided byte gathers.
+struct StridedBeats {
+  const std::uint8_t* bytes;  ///< first beat's byte of this group
+  int n;
+  int stride;  ///< bytes per beat of the enclosing wide payload
+
+  [[nodiscard]] int size() const { return n; }
+  [[nodiscard]] Word operator[](int i) const {
+    return static_cast<Word>(bytes[static_cast<std::size_t>(i) *
+                                   static_cast<std::size_t>(stride)]);
+  }
+  [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
+    std::uint64_t p = 0;
+    for (int k = 0; k < m; ++k)
+      p |= static_cast<std::uint64_t>(
+               bytes[static_cast<std::size_t>(i0 + k) *
+                     static_cast<std::size_t>(stride)])
+           << (8 * k);
+    return p;
+  }
+  [[nodiscard]] std::uint64_t pack8_col(int i0, int m, int /*c*/) const {
+    return pack8(i0, m);  // one byte per beat: column 0 only
   }
 };
 
@@ -209,6 +257,185 @@ BurstResult encode_raw8(const Beats& beats, BusState& state) {
   return r;
 }
 
+// ------------------------------------------------- bit-plane fixed kernel
+//
+// Width-generic twin of the width-8 SWAR kernels, for every other group
+// width (1..32). The burst is transposed into one 64-bit plane per DQ
+// line (bit i of plane b = bit b of beat i; a burst is at most 64 beats,
+// so one word per line always suffices). Per-beat popcounts — ones for
+// the DC rule, Hamming distances for the AC rule — come from bit-sliced
+// vertical counters over the planes, threshold tests from a carry
+// ripple over the slices, and the AC decision recurrence from a 64-bit
+// prefix XOR (even widths) or a 64-step flag scan that also handles the
+// odd-width tie reset. The decision rules are the scalar encoders'
+// exactly:
+//   DC:   invert iff 2 * zeros > width + 1      <=>  ones < width / 2
+//   AC:   invert iff the inverted beat toggles strictly fewer of the
+//         width + 1 lines; against the raw predecessor with Hamming
+//         distance h this is g = (2h > width + 1) XOR s_prev — except
+//         when 2h == width + 1 (odd widths only), where BOTH choices
+//         tie or lose and the non-inverted beat wins regardless of
+//         s_prev, resetting the XOR chain to 0.
+//   ACDC: AC with the first flag replaced by the DC rule for beat 0.
+
+/// Transposes a u64 viewed as an 8x8 bit matrix (row k = byte k):
+/// result byte r bit k = input byte k bit r (Hacker's Delight 7-2).
+constexpr std::uint64_t transpose8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;
+  x ^= t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL;
+  x ^= t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL;
+  x ^= t ^ (t << 28);
+  return x;
+}
+
+/// Fills planes[b] (b < width) with bit b of every beat: bit i = bit b
+/// of beat i. Works in 8-beat x 8-line tiles via transpose8.
+template <typename Beats>
+void fill_planes(const Beats& beats, int width, std::uint64_t* planes) {
+  const int n = beats.size();
+  const int cols = (width + 7) / 8;
+  for (int b = 0; b < 8 * cols; ++b) planes[b] = 0;
+  for (int i0 = 0; i0 < n; i0 += 8) {
+    const int m = (n - i0 < 8) ? (n - i0) : 8;
+    for (int c = 0; c < cols; ++c) {
+      const std::uint64_t tile = transpose8(beats.pack8_col(i0, m, c));
+      for (int r = 0; r < 8; ++r)
+        planes[8 * c + r] |= ((tile >> (8 * r)) & 0xFFULL) << i0;
+    }
+  }
+}
+
+/// Bit-sliced per-beat counter: slice j holds bit j of 64 independent
+/// sums (one per beat column). Sums stay <= 33 (width + 1), so six
+/// slices are plenty.
+struct BeatCounts {
+  std::uint64_t s[6] = {};
+
+  /// Adds the 0/1 plane `x` to every beat's sum (ripple full-adder).
+  void add(std::uint64_t x) {
+    for (int j = 0; j < 6 && x != 0; ++j) {
+      const std::uint64_t carry = s[j] & x;
+      s[j] ^= x;
+      x = carry;
+    }
+  }
+
+  /// Mask of beats whose sum >= c, via the carry-out of sum + (64 - c).
+  [[nodiscard]] std::uint64_t ge(int c) const {
+    if (c <= 0) return ~std::uint64_t{0};
+    const auto k = static_cast<std::uint64_t>(64 - c);
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 6; ++j) {
+      const std::uint64_t a = ((k >> j) & 1U) ? ~std::uint64_t{0} : 0;
+      carry = (s[j] & a) | (carry & (s[j] ^ a));
+    }
+    return carry;
+  }
+};
+
+/// Whole-word prefix XOR over bits: bit i of the result = XOR of bits
+/// 0..i — the beat-granular twin of byte_prefix_xor.
+constexpr std::uint64_t bit_prefix_xor(std::uint64_t v) {
+  v ^= v << 1;
+  v ^= v << 2;
+  v ^= v << 4;
+  v ^= v << 8;
+  v ^= v << 16;
+  v ^= v << 32;
+  return v;
+}
+
+enum class PlanarRule { kRaw, kDc, kAc, kAcDc };
+
+template <typename Beats>
+BurstResult encode_planar(PlanarRule rule, const Beats& beats,
+                          const BusConfig& cfg, BusState& state) {
+  const int n = beats.size();
+  const int width = cfg.width;
+  const Word mask = cfg.dq_mask();
+  const std::uint64_t valid =
+      (n >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+
+  std::uint64_t planes[32];
+  fill_planes(beats, width, planes);
+
+  std::uint64_t s_bits = 0;  // bit i: beat i transmitted inverted
+  if (rule == PlanarRule::kDc) {
+    BeatCounts ones;
+    for (int b = 0; b < width; ++b) ones.add(planes[b]);
+    s_bits = ~ones.ge(width / 2) & valid;
+  } else if (rule == PlanarRule::kAc || rule == PlanarRule::kAcDc) {
+    // Hamming distance of each beat against its raw predecessor; beat
+    // 0's column is garbage here and is overwritten by the scalar
+    // boundary decision below (columns are independent).
+    BeatCounts h;
+    for (int b = 0; b < width; ++b) {
+      const std::uint64_t prev_bit = (state.last.dq >> b) & 1U;
+      h.add((planes[b] ^ ((planes[b] << 1) | prev_bit)) & valid);
+    }
+    std::uint64_t g01 = h.ge((width + 3) / 2) & valid;
+    // Odd widths can tie (2h == width + 1): both choices toggle the
+    // same number of lines, keep wins and the inversion state resets.
+    std::uint64_t eq01 = 0;
+    if (width & 1)
+      eq01 = (h.ge((width + 1) / 2) & ~h.ge((width + 1) / 2 + 1)) & valid;
+
+    // Beat 0 decides against the physical bus state (transmitted DQ
+    // values + DBI line), not a raw predecessor.
+    const Word w0 = static_cast<Word>(beats[0]) & mask;
+    bool g0;
+    if (rule == PlanarRule::kAcDc) {
+      const int zeros0 = width - std::popcount(w0);
+      g0 = 2 * zeros0 > width + 1;
+    } else {
+      const int h0 = std::popcount((state.last.dq ^ w0) & mask);
+      g0 = 2 * h0 > width + (state.last.dbi ? 1 : -1);
+    }
+    g01 = (g01 & ~std::uint64_t{1}) | (g0 ? 1 : 0);
+    eq01 &= ~std::uint64_t{1};
+
+    if (eq01 == 0) {
+      s_bits = bit_prefix_xor(g01) & valid;
+    } else {
+      std::uint64_t s = 0;
+      for (int i = 0; i < n; ++i) {
+        s = (((g01 >> i) ^ s) & 1U) & ~((eq01 >> i) & 1U);
+        s_bits |= s << i;
+      }
+    }
+  }
+
+  // Stats + final state from the transmitted planes, like apply_mask
+  // but popcounting whole lines at a time.
+  BurstResult r;
+  r.invert_mask = s_bits;
+  Word last_dq = 0;
+  int zeros = 0;
+  int transitions = 0;
+  for (int b = 0; b < width; ++b) {
+    const std::uint64_t tx = planes[b] ^ s_bits;
+    const std::uint64_t prev_bit = (state.last.dq >> b) & 1U;
+    zeros += n - std::popcount(tx);
+    transitions += std::popcount((tx ^ ((tx << 1) | prev_bit)) & valid);
+    last_dq |= static_cast<Word>((tx >> (n - 1)) & 1U) << b;
+  }
+  r.stats.zeros = zeros;
+  r.stats.transitions = transitions;
+  bool last_dbi = true;  // RAW beats carry an idle-high DBI value
+  if (rule != PlanarRule::kRaw) {
+    r.stats.zeros += std::popcount(s_bits);
+    const std::uint64_t dbi_bits = ~s_bits & valid;
+    const std::uint64_t prev_dbi = state.last.dbi ? 1 : 0;
+    r.stats.transitions +=
+        std::popcount((dbi_bits ^ ((dbi_bits << 1) | prev_dbi)) & valid);
+    last_dbi = ((s_bits >> (n - 1)) & 1U) == 0;
+  }
+  state.last = Beat{last_dq, last_dbi};
+  return r;
+}
+
 // -------------------------------------------------- flat trellis kernel
 //
 // Allocation-free Viterbi over the two-state trellis (see
@@ -311,19 +538,19 @@ BurstResult BatchEncoder::encode_span(std::span<const Word> words,
   switch (scheme_) {
     case Scheme::kRaw:
       if (cfg.width == 8) return encode_raw8(WordBeats{words}, state);
-      break;
+      return encode_planar(PlanarRule::kRaw, WordBeats{words}, cfg, state);
     case Scheme::kDc:
       if (cfg.width == 8)
         return encode_fixed8(Fixed8::kDc, WordBeats{words}, state);
-      break;
+      return encode_planar(PlanarRule::kDc, WordBeats{words}, cfg, state);
     case Scheme::kAc:
       if (cfg.width == 8)
         return encode_fixed8(Fixed8::kAc, WordBeats{words}, state);
-      break;
+      return encode_planar(PlanarRule::kAc, WordBeats{words}, cfg, state);
     case Scheme::kAcDc:
       if (cfg.width == 8)
         return encode_fixed8(Fixed8::kAcDc, WordBeats{words}, state);
-      break;
+      return encode_planar(PlanarRule::kAcDc, WordBeats{words}, cfg, state);
     case Scheme::kOpt: {
       BurstResult r;
       r.invert_mask = trellis_mask_flat<double>(WordBeats{words}, cfg,
@@ -342,7 +569,7 @@ BurstResult BatchEncoder::encode_span(std::span<const Word> words,
       break;
   }
 
-  // Slow path: scalar encoder (exhaustive search, non-byte geometries).
+  // Slow path: scalar encoder (the exhaustive-search ablation).
   const dbi::EncodedBurst e = original
                                   ? fallback_->encode(*original, state)
                                   : fallback_->encode(Burst(cfg, words), state);
@@ -379,8 +606,11 @@ BurstStats BatchEncoder::encode_packed(std::span<const std::uint8_t> bytes,
   const std::size_t burst_bytes = bl * bpb;
   if (bytes.size() % burst_bytes != 0)
     throw std::invalid_argument(
-        "BatchEncoder::encode_packed: byte count not a multiple of the "
-        "packed burst size");
+        "BatchEncoder::encode_packed: payload of " +
+        std::to_string(bytes.size()) + " bytes is not a multiple of the " +
+        std::to_string(burst_bytes) + "-byte packed burst (width " +
+        std::to_string(cfg.width) + ", burst_length " +
+        std::to_string(cfg.burst_length) + ")");
   const std::size_t n = bytes.size() / burst_bytes;
   BurstStats totals;
   const std::uint8_t* p = bytes.data();
@@ -432,7 +662,9 @@ BurstStats BatchEncoder::encode_packed(std::span<const std::uint8_t> bytes,
         w |= static_cast<Word>(p[t * bpb + b]) << (8 * b);
       if ((w & ~mask) != 0)
         throw std::invalid_argument(
-            "BatchEncoder::encode_packed: beat word exceeds bus width");
+            "BatchEncoder::encode_packed: burst " + std::to_string(i) +
+            " beat " + std::to_string(t) + ": word 0x" + to_hex(w) +
+            " exceeds the width-" + std::to_string(cfg.width) + " bus");
       buf[t] = w;
     }
     const BurstResult r =
@@ -441,6 +673,146 @@ BurstStats BatchEncoder::encode_packed(std::span<const std::uint8_t> bytes,
     if (results) results[i] = r;
   }
   return totals;
+}
+
+BurstStats BatchEncoder::encode_packed_group(
+    std::span<const std::uint8_t> bytes, const dbi::WideBusConfig& cfg,
+    int group, BusState& state, BurstResult* results,
+    std::size_t results_stride) const {
+  cfg.validate();
+  const int groups = cfg.groups();
+  if (group < 0 || group >= groups)
+    throw std::invalid_argument(
+        "BatchEncoder::encode_packed_group: group " + std::to_string(group) +
+        " outside [0, " + std::to_string(groups) + ") of the width-" +
+        std::to_string(cfg.width) + " bus");
+  const auto burst_bytes = static_cast<std::size_t>(cfg.bytes_per_burst());
+  if (bytes.size() % burst_bytes != 0)
+    throw std::invalid_argument(
+        "BatchEncoder::encode_packed_group: payload of " +
+        std::to_string(bytes.size()) + " bytes is not a multiple of the " +
+        std::to_string(burst_bytes) + "-byte packed wide burst (width " +
+        std::to_string(cfg.width) + ", " + std::to_string(groups) +
+        " groups, burst_length " + std::to_string(cfg.burst_length) + ")");
+  const std::size_t n = bytes.size() / burst_bytes;
+  const int bl = cfg.burst_length;
+  const int gw = cfg.group_width(group);
+  const BusConfig gcfg = cfg.group_config(group);
+  const Word gmask = gcfg.dq_mask();
+
+  BurstStats totals;
+  const std::uint8_t* p = bytes.data() + group;
+  for (std::size_t i = 0; i < n; ++i, p += burst_bytes) {
+    const StridedBeats beats{p, bl, groups};
+    // Full byte groups accept every byte value; a remainder group's
+    // bytes must fit its narrower mask.
+    if (gw < 8) {
+      for (int t = 0; t < bl; ++t)
+        if ((beats[t] & ~gmask) != 0)
+          throw std::invalid_argument(
+              "BatchEncoder::encode_packed_group: burst " + std::to_string(i) +
+              " beat " + std::to_string(t) + ": byte 0x" + to_hex(beats[t]) +
+              " exceeds the width-" + std::to_string(gw) +
+              " remainder group " + std::to_string(group));
+    }
+    BurstResult r;
+    switch (scheme_) {
+      case Scheme::kRaw:
+        r = gw == 8 ? encode_raw8(beats, state)
+                    : encode_planar(PlanarRule::kRaw, beats, gcfg, state);
+        break;
+      case Scheme::kDc:
+        r = gw == 8 ? encode_fixed8(Fixed8::kDc, beats, state)
+                    : encode_planar(PlanarRule::kDc, beats, gcfg, state);
+        break;
+      case Scheme::kAc:
+        r = gw == 8 ? encode_fixed8(Fixed8::kAc, beats, state)
+                    : encode_planar(PlanarRule::kAc, beats, gcfg, state);
+        break;
+      case Scheme::kAcDc:
+        r = gw == 8 ? encode_fixed8(Fixed8::kAcDc, beats, state)
+                    : encode_planar(PlanarRule::kAcDc, beats, gcfg, state);
+        break;
+      case Scheme::kOpt:
+        r.invert_mask =
+            trellis_mask_flat<double>(beats, gcfg, state.last, weights_);
+        r.stats = apply_mask(beats, gcfg, r.invert_mask, state);
+        break;
+      case Scheme::kOptFixed:
+        r.invert_mask = trellis_mask_flat<std::int64_t>(
+            beats, gcfg, state.last, dbi::IntCostWeights{1, 1});
+        r.stats = apply_mask(beats, gcfg, r.invert_mask, state);
+        break;
+      default: {  // kExhaustive: materialise the group burst, scalar twin
+        Burst data(gcfg);
+        for (int t = 0; t < bl; ++t) data.set_word(t, beats[t]);
+        const dbi::EncodedBurst e = fallback_->encode(data, state);
+        r = BurstResult{e.inversion_mask(), e.stats(state)};
+        state = e.final_state();
+        break;
+      }
+    }
+    totals += r.stats;
+    if (results) results[i * results_stride] = r;
+  }
+  return totals;
+}
+
+BurstStats BatchEncoder::encode_packed_wide(std::span<const std::uint8_t> bytes,
+                                            const dbi::WideBusConfig& cfg,
+                                            std::span<dbi::BusState> states,
+                                            BurstResult* results) const {
+  cfg.validate();
+  const int groups = cfg.groups();
+  if (states.size() != static_cast<std::size_t>(groups))
+    throw std::invalid_argument(
+        "BatchEncoder::encode_packed_wide: got " +
+        std::to_string(states.size()) + " group states, width " +
+        std::to_string(cfg.width) + " needs " + std::to_string(groups));
+  BurstStats totals;
+  for (int g = 0; g < groups; ++g)
+    totals += encode_packed_group(
+        bytes, cfg, g, states[static_cast<std::size_t>(g)],
+        results ? results + g : nullptr, static_cast<std::size_t>(groups));
+  return totals;
+}
+
+void BatchEncoder::encode_wide_lanes(const dbi::WideBusConfig& cfg,
+                                     std::span<WideLaneTask> lanes,
+                                     ShardPool* pool) const {
+  cfg.validate();
+  const int groups = cfg.groups();
+  // Validate every lane before dispatching anything: a bad lane must
+  // not surface only after other units already advanced their states.
+  for (const WideLaneTask& t : lanes)
+    if (t.states.size() != static_cast<std::size_t>(groups))
+      throw std::invalid_argument(
+          "BatchEncoder::encode_wide_lanes: lane needs " +
+          std::to_string(groups) + " group states, got " +
+          std::to_string(t.states.size()));
+  const auto units = static_cast<int>(lanes.size()) * groups;
+  // Every (lane, group) unit writes its own slot; totals reduce after
+  // the pool drained, so the run stays barrier- and atomic-free.
+  std::vector<BurstStats> unit_totals(static_cast<std::size_t>(units));
+  auto run_unit = [this, &cfg, lanes, groups, &unit_totals](int u) {
+    WideLaneTask& t = lanes[static_cast<std::size_t>(u / groups)];
+    const int g = u % groups;
+    unit_totals[static_cast<std::size_t>(u)] = encode_packed_group(
+        t.bytes, cfg, g, t.states[static_cast<std::size_t>(g)],
+        t.results ? t.results + g : nullptr, static_cast<std::size_t>(groups));
+  };
+  if (pool) {
+    pool->run(units, run_unit);
+  } else {
+    for (int u = 0; u < units; ++u) run_unit(u);
+  }
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    lanes[l].totals = BurstStats{};
+    for (int g = 0; g < groups; ++g)
+      lanes[l].totals +=
+          unit_totals[l * static_cast<std::size_t>(groups) +
+                      static_cast<std::size_t>(g)];
+  }
 }
 
 BurstStats BatchEncoder::encode_lane(std::span<const Burst> bursts,

@@ -9,12 +9,27 @@
 //     words (8 beats of a byte lane per machine word) using SWAR
 //     popcounts and a prefix-XOR to resolve the AC decision recurrence
 //     — no per-bit loops anywhere (byte-lane groups, width == 8).
+//   * Every other width (1..32) runs the fixed schemes through a
+//     bit-plane kernel: the burst is transposed into one 64-bit plane
+//     per DQ line (bit i = beat i), per-beat popcounts come from
+//     bit-sliced vertical counters, and the whole burst's inversion
+//     decisions fall out of a handful of whole-word compares — no
+//     scalar fallback for any fixed scheme at any geometry.
 //   * OPT / OPT (Fixed) run through a flat, allocation-free trellis
 //     kernel that keeps both path metrics in registers and the
 //     predecessor bits in two 64-bit masks, instead of rebuilding
 //     vector-backed trellis state per burst.
-//   * Everything else (exhaustive search, odd geometries) falls back to
-//     the scalar encoder, so every Scheme is supported and bit-exact.
+//   * Only the exhaustive-search ablation falls back to the scalar
+//     encoder; every Scheme is supported and bit-exact at every width.
+//
+// Wide buses (dbi::WideBusConfig, up to 64 DQ lines) decompose into
+// byte groups with one DBI line each, exactly like a x16/x32/x64
+// device: encode_packed_wide / encode_packed_group run the kernels
+// above per group directly over the beat-major packed payload (group
+// g's bytes read at stride groups(), zero widening pass), threading one
+// BusState per group. encode_wide_lanes shards (lane, group) units
+// across a ShardPool, so a single wide lane still parallelises
+// groups()-way.
 //
 // Results are compact BurstResult records (inversion mask + stats), not
 // EncodedBursts: callers that need the physical beats call
@@ -54,6 +69,19 @@ struct LaneTask {
   dbi::BusState* state = nullptr;
   BurstResult* results = nullptr;  ///< nullable: stats-only encode
   dbi::BurstStats totals;          ///< filled by encode_lanes()
+};
+
+/// One wide lane's unit of work for encode_wide_lanes(): a packed
+/// beat-major burst stream (cfg.bytes_per_burst() bytes per burst), one
+/// BusState per byte group (threaded through and updated in place), and
+/// an optional caller-owned result array with one slot per
+/// (burst, group) pair — burst i's group g lands in
+/// results[i * cfg.groups() + g].
+struct WideLaneTask {
+  std::span<const std::uint8_t> bytes;
+  std::span<dbi::BusState> states;  ///< cfg.groups() entries
+  BurstResult* results = nullptr;   ///< nullable: stats-only encode
+  dbi::BurstStats totals;           ///< filled: summed over all groups
 };
 
 class BatchEncoder {
@@ -106,6 +134,41 @@ class BatchEncoder {
                                 const dbi::BusConfig& cfg,
                                 dbi::BusState& state,
                                 BurstResult* results = nullptr) const;
+
+  /// Wide-bus packed encode: `bytes` holds consecutive beat-major wide
+  /// bursts (cfg.bytes_per_burst() bytes each, byte g of a beat carrying
+  /// byte group g — the trace format's wide payload layout and the
+  /// Channel write layout). Every group is encoded independently with
+  /// its own DBI line, threading states[g] (cfg.groups() entries);
+  /// kernels read the payload in place at stride cfg.groups(), so
+  /// mmap'd wide chunks replay with no widening pass. When `results` is
+  /// non-null it must hold bursts * cfg.groups() slots; burst i's group
+  /// g is written to results[i * cfg.groups() + g]. Returns the summed
+  /// stats of all groups.
+  dbi::BurstStats encode_packed_wide(std::span<const std::uint8_t> bytes,
+                                     const dbi::WideBusConfig& cfg,
+                                     std::span<dbi::BusState> states,
+                                     BurstResult* results = nullptr) const;
+
+  /// One group slice of a wide packed stream — the unit ReplayPipeline
+  /// and encode_wide_lanes shard on. Encodes group `group` of every
+  /// burst in `bytes`, threading `state`; burst i's result is written
+  /// to results[i * results_stride] when `results` is non-null.
+  dbi::BurstStats encode_packed_group(std::span<const std::uint8_t> bytes,
+                                      const dbi::WideBusConfig& cfg, int group,
+                                      dbi::BusState& state,
+                                      BurstResult* results = nullptr,
+                                      std::size_t results_stride = 1) const;
+
+  /// Encodes many independent wide lanes, sharding at group
+  /// granularity: unit (lane l, group g) runs on worker
+  /// (l * cfg.groups() + g) % pool->workers() (deterministic), so even
+  /// a single x64 lane spreads across cfg.groups() workers. Without a
+  /// pool, units run serially in index order; results are identical
+  /// either way.
+  void encode_wide_lanes(const dbi::WideBusConfig& cfg,
+                         std::span<WideLaneTask> lanes,
+                         ShardPool* pool = nullptr) const;
 
   /// Encodes many independent lanes. With a pool, lane i runs on worker
   /// i % pool->workers() (deterministic, work-stealing-free); without

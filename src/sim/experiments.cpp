@@ -110,6 +110,69 @@ ReplaySummary summarize_replay(const trace::ReplayTotals& totals,
   return s;
 }
 
+std::vector<WideWidthPoint> wide_width_sweep(dbi::Scheme scheme,
+                                             const dbi::CostWeights& w,
+                                             std::span<const std::uint8_t> bytes,
+                                             int burst_length,
+                                             std::span<const int> widths) {
+  const engine::BatchEncoder batch(scheme, w);
+  std::vector<WideWidthPoint> out;
+  out.reserve(widths.size());
+  std::vector<std::uint8_t> masked;
+  std::vector<BusState> states;
+  for (const int width : widths) {
+    const dbi::WideBusConfig cfg{width, burst_length};
+    cfg.validate();
+    const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+    if (bytes.empty() || bytes.size() % bb != 0)
+      throw std::invalid_argument(
+          "wide_width_sweep: payload of " + std::to_string(bytes.size()) +
+          " bytes is not a non-empty multiple of the " + std::to_string(bb) +
+          "-byte packed burst at width " + std::to_string(width));
+
+    // The same byte stream feeds every width; only a remainder group's
+    // bytes need masking down to its narrower lane count.
+    std::span<const std::uint8_t> view = bytes;
+    const auto groups = static_cast<std::size_t>(cfg.groups());
+    if (cfg.group_width(cfg.groups() - 1) < 8) {
+      masked.assign(bytes.begin(), bytes.end());
+      const auto gmask =
+          static_cast<std::uint8_t>(cfg.group_mask(cfg.groups() - 1));
+      for (std::size_t p = groups - 1; p < masked.size(); p += groups)
+        masked[p] &= gmask;
+      view = masked;
+    }
+
+    states.assign(groups, BusState{});
+    for (std::size_t g = 0; g < groups; ++g)
+      states[g] = BusState::all_ones(cfg.group_config(static_cast<int>(g)));
+
+    WideWidthPoint point;
+    point.width = width;
+    point.bursts = static_cast<std::int64_t>(bytes.size() / bb);
+    // Blocked accumulation keeps BurstStats's int counters safe however
+    // large the payload is.
+    constexpr std::size_t kBlockBursts = std::size_t{1} << 16;
+    std::int64_t zeros = 0;
+    std::int64_t transitions = 0;
+    for (std::size_t b0 = 0; b0 < static_cast<std::size_t>(point.bursts);
+         b0 += kBlockBursts) {
+      const std::size_t block =
+          std::min(kBlockBursts,
+                   static_cast<std::size_t>(point.bursts) - b0);
+      const BurstStats s = batch.encode_packed_wide(
+          view.subspan(b0 * bb, block * bb), cfg, states);
+      zeros += s.zeros;
+      transitions += s.transitions;
+    }
+    const auto n = static_cast<double>(point.bursts);
+    point.zeros = static_cast<double>(zeros) / n;
+    point.transitions = static_cast<double>(transitions) / n;
+    out.push_back(point);
+  }
+  return out;
+}
+
 std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,
                                          int steps) {
   if (steps < 2) throw std::invalid_argument("alpha_sweep: steps < 2");

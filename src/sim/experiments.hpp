@@ -4,6 +4,7 @@
 // EXPERIMENTS.md.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,28 @@ struct ReplaySummary {
 [[nodiscard]] ReplaySummary summarize_replay(
     const trace::ReplayTotals& totals,
     const power::PodParams* pod = nullptr);
+
+// ------------------------------------------------------------ wide buses
+
+/// One geometry point of the wide-bus width sweep.
+struct WideWidthPoint {
+  int width = 0;             ///< total DQ lines (groups = ceil(width/8))
+  std::int64_t bursts = 0;   ///< wide bursts the payload decomposed into
+  double zeros = 0.0;        ///< per burst, summed over all groups
+  double transitions = 0.0;  ///< per burst, summed over all groups
+};
+
+/// Encodes the same payload byte stream as packed beat-major wide
+/// bursts at each width in `widths` (x16/x32/x64 and friends) through
+/// the engine's per-group kernels — the engine-speed twin of the
+/// paper's bus-width ablation, at traffic volumes the scalar path
+/// cannot reach. `bytes.size()` must be a multiple of every width's
+/// WideBusConfig::bytes_per_burst(); remainder-group bytes are masked
+/// to the group width before encoding.
+[[nodiscard]] std::vector<WideWidthPoint> wide_width_sweep(
+    dbi::Scheme scheme, const dbi::CostWeights& w,
+    std::span<const std::uint8_t> bytes, int burst_length,
+    std::span<const int> widths);
 
 // ---------------------------------------------------------------- Fig. 3/4
 

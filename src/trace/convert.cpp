@@ -24,6 +24,11 @@ workload::TraceStats text_to_binary(std::istream& text, std::ostream& binary,
 }
 
 void binary_to_text(const TraceReader& reader, std::ostream& text) {
+  if (reader.wide())
+    throw TraceError(
+        "convert: the v1 text format is single-group only; wide "
+        "multi-group traces replay through the engine instead "
+        "(dbitool replay)");
   const dbi::BusConfig& cfg = reader.config();
   text << "dbi-trace v1 " << cfg.width << ' ' << cfg.burst_length << '\n';
   text << std::hex;

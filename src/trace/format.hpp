@@ -8,11 +8,18 @@
 //     0   u8[4]  magic "DBT2"
 //     4   u8     version (2)
 //     5   u8     endianness tag (1 = little endian payload words)
-//     6   u16    width            (DQ lines per group, 1..32)
+//     6   u16    width            (total DQ lines; 1..32 single-group,
+//                                  1..64 wide multi-group)
 //     8   u16    burst_length     (beats per burst, 1..64)
 //     10  u16    file flags       (bit 0: chunks may be RLE-compressed)
 //     12  u32    bursts_per_chunk (chunk capacity, >= 1)
-//     16  u8[16] reserved (zero)
+//     16  u8     dbi_groups       (0: single-group trace, one DBI line
+//                                  over all `width` lanes — the original
+//                                  v2 layout, reserved-zero there; >= 1:
+//                                  wide trace of ceil(width / 8) byte
+//                                  groups, one DBI line each, and the
+//                                  value must equal that group count)
+//     17  u8[15] reserved (zero)
 //
 //   Chunk (repeated; at least one unless the trace is empty)
 //     0   u8[4]  magic "CHNK"
@@ -24,7 +31,11 @@
 //   Uncompressed chunk payload: burst_count bursts back to back, each
 //   burst_length beats of bytes_per_beat() little-endian bytes — for
 //   the canonical 8-lane x BL8 group, one burst is exactly 8 bytes
-//   (one packed 64-bit lane word, the engine's SWAR unit).
+//   (one packed 64-bit lane word, the engine's SWAR unit). Wide traces
+//   use the WideBusConfig beat-major layout instead: one byte per group
+//   per beat (byte g of a beat = byte group g), so group g's stream is
+//   the payload read at stride dbi_groups — the engine's strided
+//   zero-copy unit.
 //
 //   Footer (64 bytes)
 //     0   u8[4]  magic "DBTF"
@@ -141,9 +152,26 @@ void unpack_burst(const std::uint8_t* in, const dbi::BusConfig& cfg,
 // --------------------------------------------------------------- headers
 
 struct TraceHeader {
+  /// Geometry. For single-group traces (groups <= 1) this is the full
+  /// story; for wide traces cfg.width is the TOTAL bus width (may
+  /// exceed BusConfig's 32-lane ceiling) and only wide_config() views
+  /// are meaningful.
   dbi::BusConfig cfg;
+  std::uint8_t groups = 0;  ///< header byte 16; 0 = single-group file
   std::uint16_t flags = 0;
   std::uint32_t bursts_per_chunk = kDefaultBurstsPerChunk;
+
+  /// True when the payload is the multi-group beat-major wide layout.
+  [[nodiscard]] bool wide() const { return groups > 1; }
+
+  [[nodiscard]] dbi::WideBusConfig wide_config() const {
+    return dbi::WideBusConfig{cfg.width, cfg.burst_length};
+  }
+
+  /// On-disk payload size of one burst, either layout.
+  [[nodiscard]] int bytes_per_burst() const {
+    return wide() ? wide_config().bytes_per_burst() : cfg.bytes_per_burst();
+  }
 };
 
 struct ChunkHeader {

@@ -10,6 +10,13 @@
 // ShardPool workers encode chunk N — and per-lane zero / transition
 // totals accumulate in 64-bit counters, so gigabyte-scale traces
 // replay without ever materialising a Burst.
+//
+// Wide multi-group traces shard one level finer: the pool unit is a
+// (lane, byte group) pair, each threading its own group BusState, so a
+// single x64 lane still spreads across 8 workers. Single-lane wide
+// replay consumes the beat-major chunk view in place (group g read at
+// stride groups — zero copy off the mmap); multi-lane replay gathers
+// each unit's group slice into a contiguous per-unit buffer.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +43,10 @@ struct ReplayOptions {
   /// Overlap chunk preparation with encoding via a producer thread.
   bool double_buffer = true;
   /// Optional per-chunk observer: called in trace order with the global
-  /// index of the chunk's first burst and one BurstResult per burst (in
-  /// chunk order). Enables mask-exact verification and inspection.
+  /// index of the chunk's first burst and one BurstResult per
+  /// (burst, group) pair — burst j's group g at results[j * groups + g]
+  /// (groups == 1 for single-group traces, so plain per-burst order
+  /// there). Enables mask-exact verification and inspection.
   std::function<void(std::int64_t first_burst,
                      std::span<const engine::BurstResult> results)>
       on_results;
@@ -75,10 +84,12 @@ class ReplayPipeline {
   ReplayTotals run();
 
  private:
-  struct LaneScratch {
-    std::vector<std::uint8_t> bytes;           // gathered packed bursts
+  /// Scratch of one shard unit — (lane, group); group is always 0 for
+  /// single-group traces.
+  struct UnitScratch {
+    std::vector<std::uint8_t> bytes;           // gathered packed slice
     std::vector<engine::BurstResult> results;  // only with on_results
-    std::vector<std::size_t> positions;        // chunk-order slots
+    std::vector<std::size_t> positions;        // chunk-order burst slots
     dbi::BusState state = dbi::BusState::all_zeros();
     std::int64_t zeros = 0;
     std::int64_t transitions = 0;
@@ -86,13 +97,14 @@ class ReplayPipeline {
 
   void encode_chunk(const ChunkInfo& info,
                     std::span<const std::uint8_t> payload);
-  void encode_lane_slice(int lane, const ChunkInfo& info,
+  void encode_unit_slice(int unit, const ChunkInfo& info,
                          std::span<const std::uint8_t> payload);
 
   const TraceReader& reader_;
   const engine::BatchEncoder& encoder_;
   ReplayOptions opt_;
-  std::vector<LaneScratch> lanes_;
+  int groups_ = 1;  ///< DBI groups per burst (1 unless the trace is wide)
+  std::vector<UnitScratch> units_;  ///< lanes x groups, group-minor
   std::vector<engine::BurstResult> chunk_results_;  // only with on_results
 };
 

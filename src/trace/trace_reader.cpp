@@ -135,8 +135,22 @@ void TraceReader::parse(bool verify_crc) {
   header_.cfg.burst_length = static_cast<int>(hdr.le(2));
   header_.flags = static_cast<std::uint16_t>(hdr.le(2));
   header_.bursts_per_chunk = static_cast<std::uint32_t>(hdr.le(4));
+  header_.groups = static_cast<std::uint8_t>(hdr.le(1));
   try {
-    header_.cfg.validate();
+    if (header_.groups == 0) {
+      // Legacy single-group file: byte 16 was reserved-zero.
+      header_.cfg.validate();
+    } else {
+      // Wide multi-group file: the group count is derived from the
+      // width, so a mismatching byte means corruption.
+      const dbi::WideBusConfig wide = header_.wide_config();
+      wide.validate();
+      if (static_cast<int>(header_.groups) != wide.groups())
+        throw std::invalid_argument(
+            "dbi_groups byte " + std::to_string(header_.groups) +
+            " does not match width " + std::to_string(wide.width) + " (" +
+            std::to_string(wide.groups()) + " byte groups)");
+    }
   } catch (const std::invalid_argument& e) {
     throw TraceError(std::string("trace: bad geometry: ") + e.what());
   }
@@ -168,7 +182,7 @@ void TraceReader::parse(bool verify_crc) {
 
   // Chunk index.
   const auto burst_bytes =
-      static_cast<std::uint64_t>(header_.cfg.bytes_per_burst());
+      static_cast<std::uint64_t>(header_.bytes_per_burst());
   ByteReader cur(file.first(footer_off), "trace chunks");
   (void)cur.bytes(kHeaderBytes);
   std::int64_t bursts_seen = 0;
@@ -223,7 +237,7 @@ std::span<const std::uint8_t> TraceReader::chunk_payload(
   if (!info.compressed()) return on_disk;  // zero copy
   const std::size_t raw =
       static_cast<std::size_t>(info.burst_count) *
-      static_cast<std::size_t>(header_.cfg.bytes_per_burst());
+      static_cast<std::size_t>(header_.bytes_per_burst());
   scratch.resize(raw);
   rle_decompress(on_disk, scratch);
   return scratch;
@@ -232,6 +246,10 @@ std::span<const std::uint8_t> TraceReader::chunk_payload(
 void TraceReader::unpack_burst_at(std::span<const std::uint8_t> payload,
                                   std::size_t j,
                                   std::span<dbi::Word> words) const {
+  if (header_.wide())
+    throw TraceError(
+        "trace: wide multi-group bursts have no single-word beat view; "
+        "slice per group (see WideBusConfig) or replay through the engine");
   const auto bb = static_cast<std::size_t>(header_.cfg.bytes_per_burst());
   if ((j + 1) * bb > payload.size())
     throw TraceError("trace: burst index outside chunk payload");
@@ -239,6 +257,10 @@ void TraceReader::unpack_burst_at(std::span<const std::uint8_t> payload,
 }
 
 workload::BurstTrace TraceReader::to_burst_trace() const {
+  if (header_.wide())
+    throw TraceError(
+        "trace: wide multi-group traces cannot be materialised as a "
+        "single-group BurstTrace; replay through the engine instead");
   workload::BurstTrace trace(header_.cfg);
   std::vector<std::uint8_t> scratch;
   std::vector<dbi::Word> words(

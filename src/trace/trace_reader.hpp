@@ -73,7 +73,12 @@ class TraceReader {
   [[nodiscard]] static TraceReader from_bytes(std::vector<std::uint8_t> image,
                                               bool verify_crc = true);
 
+  /// Single-group geometry; for wide traces only width / burst_length
+  /// are meaningful (see header().wide_config()).
   [[nodiscard]] const dbi::BusConfig& config() const { return header_.cfg; }
+  /// True when this is a wide multi-group trace (one DBI per byte
+  /// group, beat-major payload).
+  [[nodiscard]] bool wide() const { return header_.wide(); }
   [[nodiscard]] const TraceHeader& header() const { return header_; }
   [[nodiscard]] const workload::TraceStats& stats() const { return stats_; }
   [[nodiscard]] std::int64_t bursts() const { return stats_.bursts; }

@@ -37,20 +37,54 @@ TraceWriter::TraceWriter(const std::string& path, const dbi::BusConfig& cfg,
   init();
 }
 
+TraceWriter::TraceWriter(std::ostream& os, const dbi::WideBusConfig& wide,
+                         const TraceWriterOptions& opt)
+    : cfg_{wide.width, wide.burst_length},
+      wcfg_(wide),
+      wide_mode_(true),
+      opt_(opt),
+      os_(&os) {
+  init();
+}
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const dbi::WideBusConfig& wide,
+                         const TraceWriterOptions& opt)
+    : cfg_{wide.width, wide.burst_length},
+      wcfg_(wide),
+      wide_mode_(true),
+      opt_(opt),
+      owned_os_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      os_(owned_os_.get()) {
+  if (!*owned_os_)
+    throw TraceError("TraceWriter: cannot open " + path + " for writing");
+  init();
+}
+
+std::size_t TraceWriter::bytes_per_burst() const {
+  return static_cast<std::size_t>(wide_mode_ ? wcfg_.bytes_per_burst()
+                                             : cfg_.bytes_per_burst());
+}
+
 void TraceWriter::init() {
-  cfg_.validate();
+  if (wide_mode_) {
+    wcfg_.validate();
+  } else {
+    cfg_.validate();
+  }
   opt_.validate();
   // The chunk header stores the payload size as a u32; compression only
   // ever shrinks a kept payload, so bounding the raw chunk bounds both.
   const std::uint64_t max_chunk_bytes =
       static_cast<std::uint64_t>(opt_.bursts_per_chunk) *
-      static_cast<std::uint64_t>(cfg_.bytes_per_burst());
+      static_cast<std::uint64_t>(bytes_per_burst());
   if (max_chunk_bytes > 0xFFFFFFFFULL)
     throw std::invalid_argument(
         "TraceWriter: bursts_per_chunk * bytes_per_burst exceeds the u32 "
         "chunk payload size field");
   pending_.reserve(static_cast<std::size_t>(opt_.bursts_per_chunk) *
-                   static_cast<std::size_t>(cfg_.bytes_per_burst()));
+                   bytes_per_burst());
 
   std::vector<std::uint8_t> header;
   put_magic(header, kFileMagic);
@@ -60,6 +94,11 @@ void TraceWriter::init() {
   put_le(header, static_cast<std::uint64_t>(cfg_.burst_length), 2);
   put_le(header, opt_.compress ? kFileFlagCompressed : 0, 2);
   put_le(header, opt_.bursts_per_chunk, 4);
+  // Byte 16: DBI group count; single-group files keep the legacy
+  // reserved zero, so they stay byte-identical to pre-wide writers.
+  header.push_back(wide_mode_
+                       ? static_cast<std::uint8_t>(wcfg_.groups())
+                       : std::uint8_t{0});
   header.resize(kHeaderBytes, 0);
   emit(header);
 }
@@ -97,8 +136,75 @@ void TraceWriter::write(const dbi::Burst& burst) {
   write_words(burst.words());
 }
 
+void TraceWriter::account_packed_wide(std::span<const std::uint8_t> burst) {
+  stats_.bursts += 1;
+  stats_.payload_bits += wcfg_.width * wcfg_.burst_length;
+  const int groups = wcfg_.groups();
+  for (int g = 0; g < groups; ++g) {
+    const int gw = wcfg_.group_width(g);
+    const std::uint32_t gmask = wcfg_.group_mask(g);
+    std::uint32_t last = gmask;  // the paper's all-ones boundary
+    for (int t = 0; t < wcfg_.burst_length; ++t) {
+      const std::uint32_t b =
+          burst[static_cast<std::size_t>(t * groups + g)];
+      stats_.payload_zeros += gw - std::popcount(b);
+      stats_.raw_transitions += std::popcount((last ^ b) & gmask);
+      last = b;
+    }
+  }
+}
+
+void TraceWriter::write_packed(std::span<const std::uint8_t> bytes) {
+  if (finished_) throw TraceError("TraceWriter: already finished");
+  const std::size_t bb = bytes_per_burst();
+  if (bytes.size() % bb != 0)
+    throw std::invalid_argument(
+        "TraceWriter::write_packed: payload of " +
+        std::to_string(bytes.size()) + " bytes is not a multiple of the " +
+        std::to_string(bb) + "-byte packed burst");
+  std::vector<dbi::Word> words(
+      static_cast<std::size_t>(cfg_.burst_length));
+  for (std::size_t i = 0; i * bb < bytes.size(); ++i) {
+    const auto burst = bytes.subspan(i * bb, bb);
+    if (wide_mode_) {
+      // Full byte groups accept any value; remainder-group bytes must
+      // fit their narrower mask.
+      const int groups = wcfg_.groups();
+      const int gw_last = wcfg_.group_width(groups - 1);
+      if (gw_last < 8) {
+        const auto gmask =
+            static_cast<std::uint8_t>(wcfg_.group_mask(groups - 1));
+        for (int t = 0; t < wcfg_.burst_length; ++t) {
+          const std::uint8_t b =
+              burst[static_cast<std::size_t>(t * groups + groups - 1)];
+          if ((b & ~gmask) != 0)
+            throw std::invalid_argument(
+                "TraceWriter::write_packed: burst " + std::to_string(i) +
+                " beat " + std::to_string(t) + ": byte does not fit the " +
+                "width-" + std::to_string(gw_last) + " remainder group");
+        }
+      }
+      account_packed_wide(burst);
+    } else {
+      // Unpack validates each beat against the single-group mask.
+      try {
+        unpack_burst(burst.data(), cfg_, words);
+      } catch (const TraceError& e) {
+        throw std::invalid_argument("TraceWriter::write_packed: burst " +
+                                    std::to_string(i) + ": " + e.what());
+      }
+      account(words);
+    }
+    pending_.insert(pending_.end(), burst.begin(), burst.end());
+    if (++pending_bursts_ == opt_.bursts_per_chunk) flush_chunk();
+  }
+}
+
 void TraceWriter::write_words(std::span<const dbi::Word> words) {
   if (finished_) throw TraceError("TraceWriter: already finished");
+  if (wide_mode_)
+    throw std::invalid_argument(
+        "TraceWriter: wide traces take write_packed(), not Burst words");
   const auto bl = static_cast<std::size_t>(cfg_.burst_length);
   if (words.size() % bl != 0)
     throw std::invalid_argument(

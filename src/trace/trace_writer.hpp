@@ -40,6 +40,14 @@ class TraceWriter {
   TraceWriter(const std::string& path, const dbi::BusConfig& cfg,
               const TraceWriterOptions& opt = {});
 
+  /// Wide multi-group trace (one DBI line per byte group, beat-major
+  /// packed payload). Bursts are appended with write_packed(); the
+  /// Burst-based write paths do not apply to wide geometry and throw.
+  TraceWriter(std::ostream& os, const dbi::WideBusConfig& wide,
+              const TraceWriterOptions& opt = {});
+  TraceWriter(const std::string& path, const dbi::WideBusConfig& wide,
+              const TraceWriterOptions& opt = {});
+
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
 
@@ -48,12 +56,23 @@ class TraceWriter {
   ~TraceWriter();
 
   [[nodiscard]] const dbi::BusConfig& config() const { return cfg_; }
+  [[nodiscard]] bool wide() const { return wide_mode_; }
+  /// Only meaningful in wide mode.
+  [[nodiscard]] const dbi::WideBusConfig& wide_config() const { return wcfg_; }
 
   void write(const dbi::Burst& burst);
 
   /// Flat-buffer variant: `words` holds consecutive bursts back to back
   /// (a multiple of burst_length words, each inside cfg.dq_mask()).
   void write_words(std::span<const dbi::Word> words);
+
+  /// Packed-byte variant, the only write path wide traces take:
+  /// `bytes` holds consecutive bursts in the on-disk payload layout
+  /// (bytes_per_burst() bytes each — little-endian beat words for
+  /// single-group traces, beat-major group bytes for wide ones).
+  /// Remainder-group / out-of-mask beats throw with the burst and beat
+  /// index.
+  void write_packed(std::span<const std::uint8_t> bytes);
 
   /// Flushes the pending chunk and writes the footer. Idempotent; no
   /// bursts can be appended afterwards.
@@ -68,8 +87,12 @@ class TraceWriter {
   void emit(std::span<const std::uint8_t> bytes);
   void flush_chunk();
   void account(std::span<const dbi::Word> words);
+  void account_packed_wide(std::span<const std::uint8_t> burst);
+  [[nodiscard]] std::size_t bytes_per_burst() const;
 
   dbi::BusConfig cfg_;
+  dbi::WideBusConfig wcfg_{};
+  bool wide_mode_ = false;
   TraceWriterOptions opt_;
   std::unique_ptr<std::ofstream> owned_os_;
   std::ostream* os_;

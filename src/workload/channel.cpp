@@ -87,6 +87,32 @@ ChannelStats Channel::write_stream(std::span<const std::uint8_t> data,
 
   const int lanes = cfg_.lanes;
   const int bl = cfg_.lane.burst_length;
+
+  // Wide fast path: for up to 8 byte lanes the beat-major interleave IS
+  // the engine's packed wide layout (lane l = byte group l of a
+  // width-8*lanes bus), so the engine encodes the stream in place — no
+  // per-lane gather at all — and a pool shards (lane, group) units.
+  // Blocked so BurstStats's int counters never overflow per call.
+  if (engine_ && !cfg_.reset_state_per_write &&
+      lanes * 8 <= dbi::WideBusConfig::kMaxWidth) {
+    const dbi::WideBusConfig wcfg{8 * lanes, bl};
+    constexpr std::int64_t kWideBlockWrites = 1 << 16;
+    ChannelStats delta;
+    delta.writes = writes;
+    for (std::int64_t w0 = 0; w0 < writes; w0 += kWideBlockWrites) {
+      const std::int64_t block = std::min(kWideBlockWrites, writes - w0);
+      engine::WideLaneTask task{
+          data.subspan(static_cast<std::size_t>(w0) * bpw,
+                       static_cast<std::size_t>(block) * bpw),
+          lane_state_, nullptr, {}};
+      engine_->encode_wide_lanes(wcfg, std::span<engine::WideLaneTask>(&task, 1),
+                                 pool);
+      delta.zeros += task.totals.zeros;
+      delta.transitions += task.totals.transitions;
+    }
+    stats_ += delta;
+    return delta;
+  }
   // Accumulated in 64 bits: one call may stream far more line-beats
   // than BurstStats's int fields can count.
   struct LaneTotals {

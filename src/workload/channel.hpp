@@ -91,7 +91,10 @@ class Channel {
   /// bytes_per_write(), same beat-major layout). Encodes every lane's
   /// burst stream through the engine without materialising
   /// EncodedBursts, updates the running statistics and per-lane line
-  /// state, and returns the stats of just this call. With `pool`,
+  /// state, and returns the stats of just this call. Engine-backed
+  /// channels of up to 8 byte lanes take the wide fast path: the
+  /// interleaved bytes are encoded in place as a width-8*lanes wide bus
+  /// (lane l = byte group l, no gather pass). With `pool`,
   /// lanes are sharded deterministically across its workers. Requires
   /// an engine-backed channel for the fast path; encoder-backed
   /// channels take the scalar route — serially even when a pool is

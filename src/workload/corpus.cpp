@@ -107,4 +107,40 @@ std::unique_ptr<BurstSource> make_corpus_source(std::string_view name,
                               std::string(name) + "\" (" + known + ")");
 }
 
+void fill_wide_bursts(BurstSource& source, const dbi::WideBusConfig& cfg,
+                      std::span<std::uint8_t> out) {
+  cfg.validate();
+  if (source.config().width != 8)
+    throw std::invalid_argument(
+        "fill_wide_bursts: the source must stream bytes (width 8), got "
+        "width " +
+        std::to_string(source.config().width));
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  if (out.size() % bb != 0)
+    throw std::invalid_argument(
+        "fill_wide_bursts: output of " + std::to_string(out.size()) +
+        " bytes is not a multiple of the " + std::to_string(bb) +
+        "-byte packed wide burst");
+  const auto groups = static_cast<std::size_t>(cfg.groups());
+  const auto gmask =
+      static_cast<std::uint8_t>(cfg.group_mask(cfg.groups() - 1));
+
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const dbi::Burst burst = source.next();
+    for (int t = 0; t < burst.length() && pos < out.size(); ++t) {
+      auto byte = static_cast<std::uint8_t>(burst.word(t));
+      if (pos % groups == groups - 1) byte &= gmask;
+      out[pos++] = byte;
+    }
+  }
+}
+
+void fill_wide_corpus(std::string_view name, const dbi::WideBusConfig& cfg,
+                      std::uint64_t seed, std::span<std::uint8_t> out) {
+  const auto source =
+      make_corpus_source(name, dbi::BusConfig{8, cfg.burst_length}, seed);
+  fill_wide_bursts(*source, cfg, out);
+}
+
 }  // namespace dbi::workload

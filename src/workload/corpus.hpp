@@ -30,4 +30,19 @@ struct CorpusScenario {
 [[nodiscard]] std::unique_ptr<BurstSource> make_corpus_source(
     std::string_view name, const dbi::BusConfig& cfg, std::uint64_t seed);
 
+/// Streams a byte source (width-8 BurstSource) into packed beat-major
+/// wide bursts: consecutive scenario bytes fill a burst across the
+/// groups of a beat, then down the beats — the order in which a wide
+/// device actually consumes a memcpy'd byte stream. `out` must be a
+/// multiple of cfg.bytes_per_burst(); remainder-group bytes are masked
+/// to the group width. Deterministic for a deterministic source.
+void fill_wide_bursts(BurstSource& source, const dbi::WideBusConfig& cfg,
+                      std::span<std::uint8_t> out);
+
+/// fill_wide_bursts over the named corpus scenario — the
+/// width-parameterised corpus: "cacheline-memcpy" at width 16,
+/// "float-tensor" at width 32, "framebuffer" at width 64, and so on.
+void fill_wide_corpus(std::string_view name, const dbi::WideBusConfig& cfg,
+                      std::uint64_t seed, std::span<std::uint8_t> out);
+
 }  // namespace dbi::workload

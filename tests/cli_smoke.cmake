@@ -39,6 +39,20 @@ run_dbitool(0 record --source uniform --bursts 100 --seed 1 --no-compress
             -o u.dbt)
 run_dbitool(0 corpus)
 
+# Wide multi-group pipeline: record (explicit --wide and implied by
+# width > 32) -> inspect -> replay; wide traces refuse text conversion.
+run_dbitool(0 record --corpus cacheline-memcpy --width 16 --wide
+            --bursts 1000 --seed 7 -o w16.dbt)
+run_dbitool(0 record --corpus framebuffer --width 64 --bursts 1000
+            --seed 7 -o w64.dbt)
+run_dbitool(0 inspect w64.dbt)
+run_dbitool(0 replay w64.dbt --lanes 2 --workers 2)
+run_dbitool(0 replay w16.dbt --scheme ac --lanes 1 --csv)
+run_dbitool(0 corpus --width 32 --bursts 512)
+run_dbitool(1 convert w64.dbt wide.txt)  # wide traces are binary-only
+run_dbitool(1 record --corpus float-tensor --width 65 --bursts 10
+            -o bad.dbt)                  # width beyond the 64-lane bus
+
 # Conversion both ways must agree with the original text trace.
 run_dbitool(0 convert trace.txt roundtrip.dbt)
 run_dbitool(0 convert roundtrip.dbt roundtrip.txt)

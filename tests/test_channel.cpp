@@ -130,6 +130,57 @@ TEST(Channel, PersistentStateDiffersFromPerWriteReset) {
   EXPECT_GT(resetting_second_write_transitions, 0);
 }
 
+TEST(Channel, WriteStreamWideFastPathMatchesScalarChannel) {
+  // Engine-backed channels of 2/4/8 byte lanes (x16/x32/x64) take the
+  // in-place wide path; a caller-supplied scalar encoder takes the
+  // virtual route. Both must report identical stats for the same
+  // stream, pooled or not — and leave identical line state behind, as
+  // observed through a follow-up write.
+  engine::ShardPool pool(3);
+  for (const int lanes : {2, 4, 8}) {
+    for (const Scheme s :
+         {Scheme::kDc, Scheme::kAc, Scheme::kAcDc, Scheme::kOptFixed}) {
+      ChannelConfig cfg;
+      cfg.lanes = lanes;
+      cfg.lane = BusConfig{8, 8};
+      const auto data = random_line(
+          1000 + static_cast<std::uint64_t>(lanes), cfg.bytes_per_write() * 57);
+
+      Channel wide(cfg, s, CostWeights{0.56, 0.44});
+      Channel scalar(cfg, make_encoder(s, CostWeights{0.56, 0.44}));
+      const ChannelStats a = wide.write_stream(data, &pool);
+      const ChannelStats b = scalar.write_stream(data);
+      EXPECT_EQ(a.writes, b.writes) << scheme_name(s) << " x" << 8 * lanes;
+      EXPECT_EQ(a.zeros, b.zeros) << scheme_name(s) << " x" << 8 * lanes;
+      EXPECT_EQ(a.transitions, b.transitions)
+          << scheme_name(s) << " x" << 8 * lanes;
+
+      const auto follow = random_line(2000, cfg.bytes_per_write());
+      const ChannelStats fa = wide.write_stream(follow);
+      const ChannelStats fb = scalar.write_stream(follow);
+      EXPECT_EQ(fa.zeros, fb.zeros) << "state diverged: " << scheme_name(s);
+      EXPECT_EQ(fa.transitions, fb.transitions)
+          << "state diverged: " << scheme_name(s);
+    }
+  }
+}
+
+TEST(Channel, WriteStreamBeyondWideWidthStillMatches) {
+  // 16 lanes exceed the 64-line wide ceiling, so the engine falls back
+  // to the per-lane gather path; stats must still match the scalar
+  // channel.
+  ChannelConfig cfg;
+  cfg.lanes = 16;
+  cfg.lane = BusConfig{8, 8};
+  const auto data = random_line(31, cfg.bytes_per_write() * 9);
+  Channel wide(cfg, Scheme::kAc);
+  Channel scalar(cfg, make_ac_encoder());
+  const ChannelStats a = wide.write_stream(data);
+  const ChannelStats b = scalar.write_stream(data);
+  EXPECT_EQ(a.zeros, b.zeros);
+  EXPECT_EQ(a.transitions, b.transitions);
+}
+
 TEST(Channel, EncodedBurstsDecodeToWrittenData) {
   Channel ch(x32_config(), make_opt_fixed_encoder());
   const auto line = random_line(77, 32);

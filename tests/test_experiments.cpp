@@ -7,9 +7,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "engine/batch_encoder.hpp"
 #include "workload/generators.hpp"
+#include "workload/rng.hpp"
 
 namespace dbi::sim {
 namespace {
@@ -292,6 +295,47 @@ TEST(Window, LookaheadConvergesToFullOpt) {
   // Monotone improvement with lookahead.
   for (std::size_t i = 1; i < s.size(); ++i)
     EXPECT_LE(s[i].loss_vs_full, s[i - 1].loss_vs_full + 1e-9);
+}
+
+TEST(WideWidthSweep, MatchesEnginePackedTotalsAndScalesWithWidth) {
+  // 512 bursts of 64 bytes each feed every width cleanly.
+  workload::Xoshiro256 rng(44);
+  std::vector<std::uint8_t> bytes(512 * 64);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+
+  const std::vector<int> widths = {8, 16, 32, 64};
+  const auto sweep = wide_width_sweep(Scheme::kDc, CostWeights{0.5, 0.5},
+                                      bytes, 8, widths);
+  ASSERT_EQ(sweep.size(), widths.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].width, widths[i]);
+    EXPECT_EQ(sweep[i].bursts,
+              static_cast<std::int64_t>(bytes.size()) / (widths[i]));
+    EXPECT_GT(sweep[i].zeros, 0.0);
+    EXPECT_GT(sweep[i].transitions, 0.0);
+  }
+
+  // Width 8 is a single byte group: the sweep point must equal the
+  // engine's plain packed encode of the same bytes.
+  const engine::BatchEncoder batch(Scheme::kDc);
+  BusState state = BusState::all_ones(BusConfig{8, 8});
+  const BurstStats direct =
+      batch.encode_packed(bytes, BusConfig{8, 8}, state);
+  const auto n = static_cast<double>(sweep[0].bursts);
+  EXPECT_DOUBLE_EQ(sweep[0].zeros, direct.zeros / n);
+  EXPECT_DOUBLE_EQ(sweep[0].transitions, direct.transitions / n);
+
+  // Same payload, twice the lanes: per-burst zeros roughly double from
+  // width 32 to 64 (identical bits, half as many bursts).
+  EXPECT_NEAR(sweep[3].zeros / sweep[2].zeros, 2.0, 0.2);
+
+  EXPECT_THROW((void)wide_width_sweep(Scheme::kDc, {}, bytes, 8,
+                                      std::vector<int>{65}),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> odd(33, 0);
+  EXPECT_THROW((void)wide_width_sweep(Scheme::kDc, {}, odd, 8,
+                                      std::vector<int>{16}),
+               std::invalid_argument);
 }
 
 }  // namespace

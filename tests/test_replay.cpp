@@ -17,6 +17,7 @@
 #include "trace/trace_writer.hpp"
 #include "workload/channel.hpp"
 #include "workload/generators.hpp"
+#include "workload/rng.hpp"
 
 namespace dbi::trace {
 namespace {
@@ -245,6 +246,181 @@ TEST(Replay, RejectsBadLaneCounts) {
   EXPECT_THROW(opt.validate(), std::invalid_argument);
   opt.lanes = 1 << 17;
   EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------- wide multi-group replay
+
+/// Compressible deterministic wide payload (runs of zero bytes), with
+/// remainder-group bytes masked.
+std::vector<std::uint8_t> wide_payload(const WideBusConfig& cfg, int bursts,
+                                       std::uint64_t seed) {
+  workload::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(bursts) *
+      static_cast<std::size_t>(cfg.bytes_per_burst()));
+  const auto groups = static_cast<std::size_t>(cfg.groups());
+  const Word last_mask = cfg.group_config(cfg.groups() - 1).dq_mask();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::uint64_t r = rng.next();
+    bytes[i] = (r & 3U) == 0 ? 0 : static_cast<std::uint8_t>(r >> 8);
+    if (i % groups == groups - 1)
+      bytes[i] &= static_cast<std::uint8_t>(last_mask);
+  }
+  return bytes;
+}
+
+TraceReader wide_reader_for(const WideBusConfig& cfg,
+                            std::span<const std::uint8_t> payload,
+                            std::uint32_t bursts_per_chunk = 64,
+                            bool compress = true) {
+  std::ostringstream os(std::ios::binary);
+  TraceWriterOptions opt;
+  opt.bursts_per_chunk = bursts_per_chunk;
+  opt.compress = compress;
+  TraceWriter writer(os, cfg, opt);
+  writer.write_packed(payload);
+  writer.finish();
+  const std::string s = os.str();
+  return TraceReader::from_bytes(
+      std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+/// Scalar reference: burst j goes to lane j % lanes; every group of the
+/// lane threads its own scalar-encoder state.
+struct WideReference {
+  std::int64_t zeros = 0;
+  std::int64_t transitions = 0;
+  std::vector<std::uint64_t> masks;  // [burst * groups + group]
+};
+
+WideReference wide_reference(const WideBusConfig& cfg,
+                             std::span<const std::uint8_t> payload, Scheme s,
+                             const CostWeights& w, int lanes,
+                             bool reset_per_burst = false) {
+  const auto scalar = make_encoder(s, w);
+  const int groups = cfg.groups();
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  const std::size_t bursts = payload.size() / bb;
+  std::vector<std::vector<BusState>> states(
+      static_cast<std::size_t>(lanes));
+  for (auto& lane_states : states) {
+    lane_states.resize(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+      lane_states[static_cast<std::size_t>(g)] =
+          BusState::all_ones(cfg.group_config(g));
+  }
+  WideReference ref;
+  ref.masks.resize(bursts * static_cast<std::size_t>(groups));
+  for (std::size_t j = 0; j < bursts; ++j) {
+    auto& lane_states = states[j % static_cast<std::size_t>(lanes)];
+    for (int g = 0; g < groups; ++g) {
+      const BusConfig gcfg = cfg.group_config(g);
+      BusState& state = lane_states[static_cast<std::size_t>(g)];
+      if (reset_per_burst) state = BusState::all_ones(gcfg);
+      Burst data(gcfg);
+      for (int t = 0; t < cfg.burst_length; ++t)
+        data.set_word(
+            t, payload[j * bb + static_cast<std::size_t>(t * groups + g)]);
+      const EncodedBurst e = scalar->encode(data, state);
+      const BurstStats st = e.stats(state);
+      ref.zeros += st.zeros;
+      ref.transitions += st.transitions;
+      ref.masks[j * static_cast<std::size_t>(groups) +
+                static_cast<std::size_t>(g)] = e.inversion_mask();
+      state = e.final_state();
+    }
+  }
+  return ref;
+}
+
+TEST(WideReplay, MatchesScalarPerGroupForEverySchemeWithMasks) {
+  const CostWeights w{0.56, 0.44};
+  for (const int width : {16, 32, 64, 12}) {
+    const WideBusConfig cfg{width, 8};
+    const int groups = cfg.groups();
+    const auto payload = wide_payload(cfg, 150, 21 + static_cast<std::uint64_t>(width));
+    for (Scheme s : {Scheme::kRaw, Scheme::kDc, Scheme::kAc, Scheme::kAcDc,
+                     Scheme::kOpt, Scheme::kOptFixed}) {
+      const engine::BatchEncoder encoder(s, w);
+      const auto reader = wide_reader_for(cfg, payload);
+      ASSERT_TRUE(reader.wide());
+      for (const int lanes : {1, 3}) {
+        const WideReference ref =
+            wide_reference(cfg, payload, s, w, lanes);
+
+        std::vector<std::uint64_t> masks(ref.masks.size());
+        ReplayOptions opt;
+        opt.lanes = lanes;
+        opt.on_results = [&](std::int64_t first,
+                             std::span<const engine::BurstResult> results) {
+          const auto base =
+              static_cast<std::size_t>(first) * static_cast<std::size_t>(groups);
+          for (std::size_t i = 0; i < results.size(); ++i)
+            masks[base + i] = results[i].invert_mask;
+        };
+        const ReplayTotals totals = replay_trace(reader, encoder, opt);
+        EXPECT_EQ(totals.bursts, 150) << scheme_name(s);
+        EXPECT_EQ(totals.zeros, ref.zeros)
+            << scheme_name(s) << " width " << width << " lanes " << lanes;
+        EXPECT_EQ(totals.transitions, ref.transitions)
+            << scheme_name(s) << " width " << width << " lanes " << lanes;
+        EXPECT_EQ(masks, ref.masks)
+            << scheme_name(s) << " width " << width << " lanes " << lanes;
+      }
+    }
+  }
+}
+
+TEST(WideReplay, ResetStatePerBurstMatchesScalarBoundary) {
+  const WideBusConfig cfg{32, 8};
+  const CostWeights w{0.5, 0.5};
+  const auto payload = wide_payload(cfg, 90, 5);
+  const engine::BatchEncoder encoder(Scheme::kAcDc, w);
+  const auto reader = wide_reader_for(cfg, payload);
+  const WideReference ref =
+      wide_reference(cfg, payload, Scheme::kAcDc, w, 2, true);
+
+  ReplayOptions opt;
+  opt.lanes = 2;
+  opt.reset_state_per_burst = true;
+  const ReplayTotals totals = replay_trace(reader, encoder, opt);
+  EXPECT_EQ(totals.zeros, ref.zeros);
+  EXPECT_EQ(totals.transitions, ref.transitions);
+}
+
+TEST(WideReplay, PoolAndDoubleBufferDoNotChangeResults) {
+  const WideBusConfig cfg{64, 8};
+  const auto payload = wide_payload(cfg, 500, 77);
+  const engine::BatchEncoder encoder(Scheme::kAc);
+  // Small chunks so the producer/consumer hand-off actually cycles.
+  const auto reader = wide_reader_for(cfg, payload, 32);
+
+  ReplayOptions serial;
+  serial.lanes = 4;
+  serial.double_buffer = false;
+  const ReplayTotals want = replay_trace(reader, encoder, serial);
+
+  engine::ShardPool pool(3);  // != lanes * groups on purpose
+  ReplayOptions sharded;
+  sharded.lanes = 4;
+  sharded.pool = &pool;
+  sharded.double_buffer = true;
+  const ReplayTotals got = replay_trace(reader, encoder, sharded);
+  EXPECT_EQ(got.zeros, want.zeros);
+  EXPECT_EQ(got.transitions, want.transitions);
+  EXPECT_EQ(got.bursts, want.bursts);
+
+  // The exhaustive-search fallback must ride along on wide traces too.
+  const WideBusConfig small{12, 4};
+  const auto small_payload = wide_payload(small, 40, 3);
+  const auto small_reader = wide_reader_for(small, small_payload);
+  const engine::BatchEncoder ex(Scheme::kExhaustive, CostWeights{0.5, 0.5});
+  const WideReference ref = wide_reference(small, small_payload,
+                                           Scheme::kExhaustive,
+                                           CostWeights{0.5, 0.5}, 1);
+  const ReplayTotals ex_totals = replay_trace(small_reader, ex, {});
+  EXPECT_EQ(ex_totals.zeros, ref.zeros);
+  EXPECT_EQ(ex_totals.transitions, ref.transitions);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 // and rejection of corrupted / truncated files.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -158,6 +160,159 @@ TEST(TraceFormat, RejectsBadGeometryAndVersion) {
     bad[6] = 77;  // width out of range
     EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad)), TraceError);
   }
+}
+
+// --------------------------------------------------- wide trace extension
+
+std::vector<std::uint8_t> wide_bytes(const WideBusConfig& cfg, int bursts,
+                                     std::uint8_t fill) {
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(bursts) *
+          static_cast<std::size_t>(cfg.bytes_per_burst()),
+      fill);
+  const auto groups = static_cast<std::size_t>(cfg.groups());
+  const Word last_mask = cfg.group_config(cfg.groups() - 1).dq_mask();
+  for (std::size_t i = groups - 1; i < bytes.size(); i += groups)
+    bytes[i] &= static_cast<std::uint8_t>(last_mask);
+  return bytes;
+}
+
+std::vector<std::uint8_t> write_wide_to_bytes(
+    const WideBusConfig& cfg, std::span<const std::uint8_t> payload,
+    const TraceWriterOptions& opt = {}) {
+  std::ostringstream os(std::ios::binary);
+  TraceWriter writer(os, cfg, opt);
+  writer.write_packed(payload);
+  writer.finish();
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+TEST(TraceFormat, WideHeaderRoundTripsAndPayloadSurvives) {
+  for (const WideBusConfig cfg :
+       {WideBusConfig{16, 8}, WideBusConfig{12, 6}, WideBusConfig{64, 8}}) {
+    const auto payload = wide_bytes(cfg, 100, 0x5A);
+    TraceWriterOptions opt;
+    opt.bursts_per_chunk = 32;  // several chunks
+    const auto image = write_wide_to_bytes(cfg, payload, opt);
+    EXPECT_EQ(image[16], static_cast<std::uint8_t>(cfg.groups()))
+        << "header byte 16 carries the group count";
+
+    const auto reader = TraceReader::from_bytes(image);
+    EXPECT_TRUE(reader.wide());
+    EXPECT_EQ(reader.header().groups, cfg.groups());
+    EXPECT_EQ(reader.header().wide_config(), cfg);
+    EXPECT_EQ(reader.header().bytes_per_burst(), cfg.bytes_per_burst());
+    EXPECT_EQ(reader.bursts(), 100);
+
+    // The chunk payloads concatenate back to the exact input bytes
+    // (zero-run RLE round trips losslessly).
+    std::vector<std::uint8_t> scratch;
+    std::vector<std::uint8_t> got;
+    for (std::size_t c = 0; c < reader.chunk_count(); ++c) {
+      const auto view = reader.chunk_payload(c, scratch);
+      got.insert(got.end(), view.begin(), view.end());
+    }
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST(TraceFormat, WideFooterStatsMatchDirectAccounting) {
+  const WideBusConfig cfg{12, 8};
+  std::vector<std::uint8_t> payload = wide_bytes(cfg, 64, 0xFF);
+  // Mix in structure so zeros and transitions are non-trivial.
+  for (std::size_t i = 0; i < payload.size(); i += 3) payload[i] = 0;
+  for (std::size_t i = cfg.groups() - 1; i < payload.size();
+       i += static_cast<std::size_t>(cfg.groups()))
+    payload[i] &= 0x0FU;
+  const auto reader =
+      TraceReader::from_bytes(write_wide_to_bytes(cfg, payload));
+
+  std::int64_t zeros = 0;
+  std::int64_t transitions = 0;
+  const int groups = cfg.groups();
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  for (std::size_t j = 0; j * bb < payload.size(); ++j) {
+    for (int g = 0; g < groups; ++g) {
+      const int gw = cfg.group_width(g);
+      const Word gmask = cfg.group_config(g).dq_mask();
+      Word last = gmask;  // all-ones boundary per burst
+      for (int t = 0; t < cfg.burst_length; ++t) {
+        const Word b = payload[j * bb + static_cast<std::size_t>(t * groups + g)];
+        zeros += gw - std::popcount(b);
+        transitions += std::popcount((last ^ b) & gmask);
+        last = b;
+      }
+    }
+  }
+  EXPECT_EQ(reader.stats().payload_zeros, zeros);
+  EXPECT_EQ(reader.stats().raw_transitions, transitions);
+  EXPECT_EQ(reader.stats().payload_bits,
+            static_cast<std::int64_t>(64) * cfg.width * cfg.burst_length);
+}
+
+TEST(TraceFormat, SingleGroupFilesKeepReservedZeroGroupsByte) {
+  const auto image = write_to_bytes(random_trace(BusConfig{16, 8}, 10, 2));
+  EXPECT_EQ(image[16], 0) << "legacy single-group layout must not change";
+  const auto reader = TraceReader::from_bytes(image);
+  EXPECT_FALSE(reader.wide());
+}
+
+TEST(TraceFormat, RejectsCorruptWideGeometry) {
+  const WideBusConfig cfg{16, 8};
+  const auto image = write_wide_to_bytes(cfg, wide_bytes(cfg, 8, 0x11));
+  {
+    auto bad = image;
+    bad[16] = 5;  // width 16 has 2 groups, not 5
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad), false),
+                 TraceError);
+  }
+  {
+    auto bad = image;
+    bad[6] = 65;  // wide width out of range
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad), false),
+                 TraceError);
+  }
+  {
+    // Clearing the groups byte of a width-24 wide trace reinterprets it
+    // as single-group (4 bytes per beat, not 3): the chunk payload
+    // sizes no longer match and the reader must say so.
+    const WideBusConfig x24{24, 8};
+    auto bad = write_wide_to_bytes(x24, wide_bytes(x24, 8, 0x33));
+    bad[16] = 0;
+    EXPECT_THROW((void)TraceReader::from_bytes(std::move(bad), false),
+                 TraceError);
+  }
+}
+
+TEST(TraceFormat, WideTracesHaveNoSingleGroupViews) {
+  const WideBusConfig cfg{24, 4};
+  const auto reader =
+      TraceReader::from_bytes(write_wide_to_bytes(cfg, wide_bytes(cfg, 4, 7)));
+  EXPECT_THROW((void)reader.to_burst_trace(), TraceError);
+  std::vector<Word> words(4);
+  std::vector<std::uint8_t> scratch;
+  const auto payload = reader.chunk_payload(0, scratch);
+  EXPECT_THROW(reader.unpack_burst_at(payload, 0, words), TraceError);
+  std::ostringstream text;
+  EXPECT_THROW(binary_to_text(reader, text), TraceError);
+}
+
+TEST(TraceFormat, WideWriterRejectsMisuse) {
+  const WideBusConfig cfg{12, 4};
+  std::ostringstream os(std::ios::binary);
+  TraceWriter writer(os, cfg);
+  EXPECT_TRUE(writer.wide());
+  // Burst-based writes are single-group only.
+  EXPECT_THROW(writer.write(Burst(BusConfig{12, 4})), std::invalid_argument);
+  const std::vector<Word> words(4, 0);
+  EXPECT_THROW(writer.write_words(words), std::invalid_argument);
+  // Payload size and remainder-group range are validated per burst.
+  const std::vector<std::uint8_t> short_bytes(7, 0);
+  EXPECT_THROW(writer.write_packed(short_bytes), std::invalid_argument);
+  std::vector<std::uint8_t> overflow(static_cast<std::size_t>(cfg.bytes_per_burst()), 0);
+  overflow[1] = 0x20;  // beat 0, group 1: 4-lane group takes 0x0..0xF
+  EXPECT_THROW(writer.write_packed(overflow), std::invalid_argument);
 }
 
 TEST(TraceFormat, OpenRejectsMissingFile) {

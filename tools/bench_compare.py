@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the BENCH_*.json trajectory.
+
+Compares the ratio metrics of a fresh bench run against the committed
+baselines in bench/baselines/ and fails (exit 1) when any metric
+regressed more than --tolerance (default 15%) below its baseline, or
+when an acceptance-floor metric (wide-bus fixed-scheme speedups) drops
+under its hard floor.
+
+Only machine-relative RATIOS are gated — engine-vs-scalar speedups and
+replay-vs-memory ratios — never absolute bursts/sec, so the gate is
+stable across differently sized CI machines. The absolute numbers still
+land in the trend artifact for human trajectory tracking.
+
+Usage:
+  python3 tools/bench_compare.py \
+      --baseline-dir bench/baselines --current-dir . \
+      [--tolerance 0.15] [--trend bench_trend.csv]
+
+Re-baselining after an intentional perf change:
+  ./build/bench_engine_throughput 8192 8 4 > bench/baselines/bench_engine_throughput.json
+  ./build/bench_trace_replay 131072 8 4 > bench/baselines/bench_trace_replay.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+FILES = ("bench_engine_throughput.json", "bench_trace_replay.json")
+
+# Acceptance floors (independent of the baseline): the wide multi-group
+# kernels must stay >= 4x over the per-group scalar loop for the fixed
+# schemes at the x32 and x64 geometries.
+FLOOR_SCHEMES = ("DBI DC", "DBI AC", "DBI ACDC")
+FLOOR_WIDTHS = (32, 64)
+FLOOR_SPEEDUP = 4.0
+
+
+def extract_metrics(name: str, doc: dict) -> dict[str, float]:
+    """Flattens one bench JSON into {metric_name: ratio} pairs."""
+    metrics: dict[str, float] = {}
+    if name == "bench_engine_throughput.json":
+        for row in doc.get("schemes", []):
+            metrics[f"engine_speedup/{row['scheme']}"] = row["speedup"]
+        for row in doc.get("wide", []):
+            metrics[f"wide_speedup/x{row['width']}/{row['scheme']}"] = (
+                row["speedup"]
+            )
+    elif name == "bench_trace_replay.json":
+        for row in doc.get("schemes", []):
+            metrics[f"replay_vs_stream/{row['scheme']}"] = (
+                row["replay_vs_stream"]
+            )
+        wide = doc.get("wide")
+        if wide:
+            metrics[f"wide_replay_vs_memory/x{wide['width']}"] = (
+                wide["replay_vs_memory"]
+            )
+    return metrics
+
+
+def floor_for(metric: str) -> float | None:
+    for width in FLOOR_WIDTHS:
+        for scheme in FLOOR_SCHEMES:
+            if metric == f"wide_speedup/x{width}/{scheme}":
+                return FLOOR_SPEEDUP
+    return None
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--trend", default=None,
+                        help="write a CSV trend artifact here")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    rows: list[tuple[str, str, float, float, str]] = []
+
+    for name in FILES:
+        baseline_path = os.path.join(args.baseline_dir, name)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(baseline_path):
+            failures.append(f"{name}: missing baseline {baseline_path}")
+            continue
+        if not os.path.exists(current_path):
+            failures.append(f"{name}: missing current run {current_path}")
+            continue
+        baseline = extract_metrics(name, load(baseline_path))
+        current = extract_metrics(name, load(current_path))
+
+        for metric, base_value in sorted(baseline.items()):
+            if metric not in current:
+                failures.append(
+                    f"{metric}: present in baseline but missing from the "
+                    f"current run (bench output shape changed?)")
+                continue
+            cur_value = current[metric]
+            allowed = base_value * (1.0 - args.tolerance)
+            status = "ok"
+            if cur_value < allowed:
+                status = "REGRESSED"
+                failures.append(
+                    f"{metric}: {cur_value:.3f} < {allowed:.3f} "
+                    f"(baseline {base_value:.3f} - {args.tolerance:.0%})")
+            floor = floor_for(metric)
+            if floor is not None and cur_value < floor:
+                status = "BELOW-FLOOR"
+                failures.append(
+                    f"{metric}: {cur_value:.3f} below the hard acceptance "
+                    f"floor {floor:.1f}")
+            rows.append((name, metric, base_value, cur_value, status))
+
+        for metric in sorted(set(current) - set(baseline)):
+            rows.append((name, metric, float("nan"), current[metric], "new"))
+
+    sha = os.environ.get("GITHUB_SHA", "local")
+    if args.trend:
+        with open(args.trend, "w", encoding="utf-8") as f:
+            f.write("commit,bench,metric,baseline,current,status\n")
+            for bench, metric, base, cur, status in rows:
+                f.write(f"{sha},{bench},{metric},{base:.4f},{cur:.4f},"
+                        f"{status}\n")
+
+    width = max((len(r[1]) for r in rows), default=10)
+    print(f"bench gate @ {sha} (tolerance {args.tolerance:.0%})")
+    for bench, metric, base, cur, status in rows:
+        print(f"  {metric:<{width}}  baseline {base:7.3f}  "
+              f"current {cur:7.3f}  {status}")
+
+    if failures:
+        print("\nFAIL: bench regression gate", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(rows)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

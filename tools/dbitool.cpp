@@ -14,6 +14,7 @@
 //
 // Every subcommand prints an aligned table (or CSV with --csv) so the
 // tool slots into shell pipelines and plotting scripts.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -69,7 +70,7 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   // Flags that take no value; everything else spelled --key expects one.
   static const std::set<std::string> kBoolFlags = {"no-compress",
-                                                  "no-double-buffer"};
+                                                  "no-double-buffer", "wide"};
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -357,15 +358,45 @@ trace::TraceWriterOptions writer_options(const Args& args) {
 }
 
 int cmd_record(const Args& args) {
-  BusConfig cfg;
-  cfg.width = static_cast<int>(args.get_long("width", 8));
-  cfg.burst_length = static_cast<int>(args.get_long("bl", 8));
+  const int width = static_cast<int>(args.get_long("width", 8));
+  const int bl = static_cast<int>(args.get_long("bl", 8));
   const auto bursts = args.get_long("bursts", 1000);
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   const std::string out = args.get("output", "");
   if (out.empty())
     throw std::runtime_error("record: -o OUTPUT.dbt is required");
 
+  // --wide (implied by width > 32) records a multi-group trace: one DBI
+  // line per byte group, like a x16/x32/x64 device. The scenario's byte
+  // stream is interleaved beat-major across the groups.
+  if (args.options.count("wide") != 0 || width > 32) {
+    const dbi::WideBusConfig wcfg{width, bl};
+    wcfg.validate();
+    const auto source_cfg = BusConfig{8, bl};
+    std::unique_ptr<workload::BurstSource> source =
+        args.options.count("corpus")
+            ? workload::make_corpus_source(args.get("corpus", ""), source_cfg,
+                                           seed)
+            : make_source(args.get("source", "uniform"), source_cfg, seed,
+                          args);
+    trace::TraceWriter writer(out, wcfg, writer_options(args));
+    const auto bb = static_cast<std::size_t>(wcfg.bytes_per_burst());
+    constexpr long kBlockBursts = 4096;
+    std::vector<std::uint8_t> block;
+    for (long i = 0; i < bursts; i += kBlockBursts) {
+      const long n = std::min(kBlockBursts, bursts - i);
+      block.resize(static_cast<std::size_t>(n) * bb);
+      workload::fill_wide_bursts(*source, wcfg, block);
+      writer.write_packed(block);
+    }
+    writer.finish();
+    std::cerr << "recorded " << writer.bursts_written() << " wide x" << width
+              << " bursts (" << source->name() << ", " << wcfg.groups()
+              << " DBI groups) to " << out << "\n";
+    return 0;
+  }
+
+  BusConfig cfg{width, bl};
   std::unique_ptr<workload::BurstSource> source;
   if (args.options.count("corpus")) {
     source = workload::make_corpus_source(args.get("corpus", ""), cfg, seed);
@@ -432,11 +463,16 @@ int cmd_inspect(const Args& args) {
   }
   const std::uint64_t payload_raw =
       static_cast<std::uint64_t>(s.bursts) *
-      static_cast<std::uint64_t>(reader.config().bytes_per_burst());
+      static_cast<std::uint64_t>(reader.header().bytes_per_burst());
 
+  const int groups =
+      reader.wide() ? reader.header().wide_config().groups() : 1;
   sim::Table table({"field", "value"});
-  table.add_row({"format", "dbi-trace binary v2"});
+  table.add_row({"format", reader.wide()
+                               ? "dbi-trace binary v2 (wide multi-group)"
+                               : "dbi-trace binary v2"});
   table.add_row({"width", std::to_string(reader.config().width)});
+  table.add_row({"dbi groups", std::to_string(groups)});
   table.add_row({"burst length",
                  std::to_string(reader.config().burst_length)});
   table.add_row({"bursts", std::to_string(s.bursts)});
@@ -494,9 +530,73 @@ int cmd_convert(const Args& args) {
 }
 
 int cmd_corpus(const Args& args) {
-  sim::Table table({"scenario", "description"});
-  for (const workload::CorpusScenario& s : workload::corpus_scenarios())
-    table.add_row({std::string(s.name), std::string(s.description)});
+  // Plain listing without --width; with --width, sample every scenario
+  // at that wide geometry and report its payload statistics plus the
+  // engine-encoded AC transition rate (one DBI per byte group).
+  if (args.options.count("width") == 0) {
+    sim::Table table({"scenario", "description"});
+    for (const workload::CorpusScenario& s : workload::corpus_scenarios())
+      table.add_row({std::string(s.name), std::string(s.description)});
+    emit(table, args);
+    return 0;
+  }
+
+  const dbi::WideBusConfig wcfg{
+      static_cast<int>(args.get_long("width", 32)),
+      static_cast<int>(args.get_long("bl", 8))};
+  wcfg.validate();
+  const auto bursts = args.get_long("bursts", 4096);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const auto bb = static_cast<std::size_t>(wcfg.bytes_per_burst());
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(bursts) * bb);
+
+  const engine::BatchEncoder raw(Scheme::kRaw);
+  const engine::BatchEncoder ac(Scheme::kAc);
+  sim::Table table({"scenario", "zero_frac", "raw_trans/burst",
+                    "ac_trans/burst", "ac_saving"});
+  for (const workload::CorpusScenario& s : workload::corpus_scenarios()) {
+    workload::fill_wide_corpus(s.name, wcfg, seed, bytes);
+    std::vector<BusState> states(static_cast<std::size_t>(wcfg.groups()));
+    auto reset = [&] {
+      for (int g = 0; g < wcfg.groups(); ++g)
+        states[static_cast<std::size_t>(g)] =
+            BusState::all_ones(wcfg.group_config(g));
+    };
+    // Blocked 64-bit accumulation: BurstStats counts in int, which a
+    // large --bursts would overflow in one encode call.
+    auto totals = [&](const engine::BatchEncoder& enc) {
+      reset();
+      constexpr std::size_t kBlockBursts = std::size_t{1} << 16;
+      std::int64_t zeros = 0;
+      std::int64_t transitions = 0;
+      for (std::size_t b0 = 0; b0 < static_cast<std::size_t>(bursts);
+           b0 += kBlockBursts) {
+        const std::size_t block = std::min(
+            kBlockBursts, static_cast<std::size_t>(bursts) - b0);
+        const BurstStats st = enc.encode_packed_wide(
+            std::span<const std::uint8_t>(bytes).subspan(b0 * bb,
+                                                         block * bb),
+            wcfg, states);
+        zeros += st.zeros;
+        transitions += st.transitions;
+      }
+      return std::pair<std::int64_t, std::int64_t>{zeros, transitions};
+    };
+    const auto [raw_zeros, raw_trans] = totals(raw);
+    const auto [ac_zeros, ac_trans] = totals(ac);
+    (void)ac_zeros;
+    const auto n = static_cast<double>(bursts);
+    const double bits = n * wcfg.width * wcfg.burst_length;
+    table.add_row(
+        {std::string(s.name),
+         sim::fmt(static_cast<double>(raw_zeros) / bits, 4),
+         sim::fmt(static_cast<double>(raw_trans) / n, 2),
+         sim::fmt(static_cast<double>(ac_trans) / n, 2),
+         sim::fmt(raw_trans > 0 ? 1.0 - static_cast<double>(ac_trans) /
+                                            static_cast<double>(raw_trans)
+                                : 0.0,
+                  3)});
+  }
   emit(table, args);
   return 0;
 }
@@ -524,14 +624,21 @@ int usage() {
       "                  [-o out.v]\n"
       "  dbitool record  (--corpus SCENARIO | --source KIND) --bursts N\n"
       "                  [--seed S] [--width 8] [--bl 8] [--chunk 4096]\n"
-      "                  [--no-compress] -o trace.dbt   (binary v2)\n"
+      "                  [--no-compress] [--wide] -o trace.dbt (binary v2;\n"
+      "                  --wide or --width > 32 records a multi-group\n"
+      "                  trace, one DBI line per byte group, width <= 64)\n"
       "  dbitool replay  TRACE.dbt [--scheme SCHEME] [--alpha 0.5]\n"
       "                  [--lanes 4] [--workers N] [--no-double-buffer]\n"
       "                  [--pod pod135] [--cload-pf 3] [--gbps 12] [--csv]\n"
+      "                  (wide traces shard per lane x byte group)\n"
       "  dbitool inspect TRACE.dbt [--csv]\n"
       "  dbitool convert INPUT OUTPUT [--chunk 4096] [--no-compress]\n"
-      "                  (text <-> binary, direction by sniffing INPUT)\n"
-      "  dbitool corpus  [--csv]   (list recordable scenarios)\n";
+      "                  (text <-> binary, direction by sniffing INPUT;\n"
+      "                  wide traces are binary-only)\n"
+      "  dbitool corpus  [--csv]   (list recordable scenarios)\n"
+      "  dbitool corpus  --width 32 [--bl 8] [--bursts 4096] [--seed S]\n"
+      "                  (sample every scenario at a wide geometry and\n"
+      "                  report zero fraction + AC coding gain)\n";
   return 2;
 }
 

@@ -11,8 +11,8 @@
 
 #include <vector>
 
+#include "api/session.hpp"
 #include "core/encoder.hpp"
-#include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
 #include "hw/hw_encoder.hpp"
 #include "workload/generators.hpp"
@@ -83,16 +83,20 @@ BENCHMARK(BM_Exhaustive);
 BENCHMARK(BM_GateLevelOptFixed);
 
 // ------------------------------------------------------------ batch engine
-// The BatchEncoder counterparts: same bursts, whole-stream encode via
-// the bit-parallel fast paths / flat trellis kernel.
+// The Session-facade counterparts: same bursts, whole-stream encode
+// via the bit-parallel fast paths / flat trellis kernel behind
+// dbi::Session.
 
 void run_engine(benchmark::State& state, Scheme scheme,
                 const CostWeights& w = {}) {
-  const engine::BatchEncoder batch(scheme, w);
-  const BusConfig cfg{8, 8};
+  SessionSpec spec;
+  spec.scheme = scheme;
+  spec.geometry = Geometry::narrow(8, 8);
+  spec.weights = w;
+  Session session(spec);
   for (auto _ : state) {
-    BusState bus = BusState::all_ones(cfg);
-    const BurstStats s = batch.encode_lane(bursts(), bus);
+    const auto source = make_burst_source(bursts());
+    const StreamStats s = session.run(*source);
     benchmark::DoNotOptimize(s);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -141,17 +145,32 @@ void BM_EngineShardedOptFixed(benchmark::State& state) {
     return out;
   }();
 
-  const engine::BatchEncoder batch(Scheme::kOptFixed);
+  // One interleaved packed stream (burst g -> lane g % kLanes), the
+  // layout a multi-lane Session shards across the pool.
+  static const std::vector<std::uint8_t> interleaved = [] {
+    std::vector<std::uint8_t> out;
+    out.reserve(kLanes * 1024 * 8);
+    for (int i = 0; i < 1024; ++i)
+      for (int l = 0; l < kLanes; ++l)
+        for (int t = 0; t < 8; ++t)
+          out.push_back(static_cast<std::uint8_t>(
+              lanes[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)]
+                  .word(t)));
+    return out;
+  }();
+  (void)cfg;
+
   engine::ShardPool pool(workers);
+  SessionSpec spec;
+  spec.scheme = Scheme::kOptFixed;
+  spec.geometry = Geometry::narrow(8, 8);
+  spec.lanes = kLanes;
+  spec.pool = &pool;
+  Session session(spec);
   for (auto _ : state) {
-    std::vector<BusState> states(kLanes, BusState::all_ones(cfg));
-    std::vector<engine::LaneTask> tasks(kLanes);
-    for (int l = 0; l < kLanes; ++l)
-      tasks[static_cast<std::size_t>(l)] =
-          engine::LaneTask{lanes[static_cast<std::size_t>(l)],
-                           &states[static_cast<std::size_t>(l)], nullptr, {}};
-    batch.encode_lanes(tasks, &pool);
-    benchmark::DoNotOptimize(tasks.data());
+    const auto source = make_packed_source(interleaved);
+    const StreamStats s = session.run(*source);
+    benchmark::DoNotOptimize(s);
   }
   state.SetItemsProcessed(state.iterations() * kLanes * 1024);
 }

@@ -3,11 +3,13 @@
 // Writes a >= 1M-burst binary trace to disk, then compares, per fixed
 // scheme:
 //   (a) Channel::write_stream over the interleaved byte stream held in
-//       RAM (the PR-1 engine fast path, sharded across the pool);
-//   (b) trace::ReplayPipeline streaming the same bursts back from the
-//       mmap'd file (zero-copy chunks + double buffering), with the
-//       identical lane interleave (burst g -> lane g % lanes), so both
-//       paths encode the very same per-lane burst sequences.
+//       RAM (the engine fast path behind the dbi::Session facade,
+//       sharded across the pool);
+//   (b) a trace-source Session streaming the same bursts back from the
+//       mmap'd file (the double-buffered zero-copy replay pipeline
+//       behind the facade), with the identical lane interleave
+//       (burst g -> lane g % lanes), so both paths encode the very
+//       same per-lane burst sequences.
 // A streaming section records a zeros-heavy corpus with RLE compression
 // and replays it, reporting the on-disk ratio and throughput.
 // Emits one JSON object (BENCH_*.json trajectory format).
@@ -21,9 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "engine/batch_encoder.hpp"
+#include "api/session.hpp"
 #include "engine/shard_pool.hpp"
-#include "trace/replay.hpp"
 #include "trace/trace_reader.hpp"
 #include "trace/trace_writer.hpp"
 #include "workload/channel.hpp"
@@ -127,14 +128,19 @@ int main(int argc, char** argv) {
     }
 
     {
-      const engine::BatchEncoder encoder(scheme, w);
-      trace::ReplayOptions opt;
-      opt.lanes = lanes;
-      opt.pool = &pool;
-      trace::ReplayPipeline pipeline(reader, encoder, opt);
-      rep.scheme = std::string(encoder.name());
+      SessionSpec spec;
+      spec.scheme = scheme;
+      spec.geometry = Geometry::of(reader.config());
+      spec.lanes = lanes;
+      spec.weights = w;
+      spec.pool = &pool;
+      Session session(spec);
+      rep.scheme = std::string(session.scheme_name());
       const auto t0 = std::chrono::steady_clock::now();
-      for (int r = 0; r < repeats; ++r) (void)pipeline.run();
+      for (int r = 0; r < repeats; ++r) {
+        const auto source = make_trace_source(reader);
+        (void)session.run(*source);
+      }
       rep.replay_mbps = total / seconds_since(t0) / 1e6;
     }
 
@@ -160,13 +166,15 @@ int main(int argc, char** argv) {
         static_cast<double>(sparse_reader.file_bytes()) /
         (static_cast<double>(sparse_bursts) *
          static_cast<double>(ccfg.lane.bytes_per_burst()));
-    const engine::BatchEncoder encoder(Scheme::kAc);
-    trace::ReplayOptions opt;
-    opt.lanes = lanes;
-    opt.pool = &pool;
+    SessionSpec spec;
+    spec.scheme = Scheme::kAc;
+    spec.geometry = Geometry::of(sparse_reader.config());
+    spec.lanes = lanes;
+    spec.pool = &pool;
+    Session session(spec);
+    const auto source = make_trace_source(sparse_reader);
     const auto t0 = std::chrono::steady_clock::now();
-    const trace::ReplayTotals totals =
-        trace::replay_trace(sparse_reader, encoder, opt);
+    const StreamStats totals = session.run(*source);
     sparse_mbps = static_cast<double>(totals.bursts) / seconds_since(t0) / 1e6;
   }
   std::remove(sparse_path.c_str());
@@ -215,35 +223,35 @@ int main(int argc, char** argv) {
       writer.finish();
     }
     const auto wide_reader = trace::TraceReader::open(wide_path);
-    const engine::BatchEncoder encoder(Scheme::kAc);
     const int groups = wcfg.groups();
     const double total =
         static_cast<double>(wide_bursts) * static_cast<double>(repeats);
 
+    SessionSpec spec;
+    spec.scheme = Scheme::kAc;
+    spec.geometry = Geometry::of(wcfg);
+    spec.lanes = 1;  // zero-copy in-place path; groups shard the pool
+    spec.pool = &pool;
+
     double memory_mbps = 0;
     {
-      std::vector<BusState> states(static_cast<std::size_t>(groups));
+      Session session(spec);
       const auto t0 = std::chrono::steady_clock::now();
       for (int r = 0; r < repeats; ++r) {
-        for (int g = 0; g < groups; ++g)
-          states[static_cast<std::size_t>(g)] =
-              BusState::all_ones(wcfg.group_config(g));
-        engine::WideLaneTask task{wide_data, states, nullptr, {}};
-        encoder.encode_wide_lanes(wcfg,
-                                  std::span<engine::WideLaneTask>(&task, 1),
-                                  &pool);
+        const auto source = make_packed_source(wide_data);
+        (void)session.run(*source);
       }
       memory_mbps = total / seconds_since(t0) / 1e6;
     }
 
     double wide_replay_mbps = 0;
     {
-      trace::ReplayOptions opt;
-      opt.lanes = 1;  // zero-copy in-place path; groups shard the pool
-      opt.pool = &pool;
-      trace::ReplayPipeline pipeline(wide_reader, encoder, opt);
+      Session session(spec);
       const auto t0 = std::chrono::steady_clock::now();
-      for (int r = 0; r < repeats; ++r) (void)pipeline.run();
+      for (int r = 0; r < repeats; ++r) {
+        const auto source = make_trace_source(wide_reader);
+        (void)session.run(*source);
+      }
       wide_replay_mbps = total / seconds_since(t0) / 1e6;
     }
     std::remove(wide_path.c_str());

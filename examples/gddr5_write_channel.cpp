@@ -15,6 +15,10 @@
 #include "workload/channel.hpp"
 #include "workload/generators.hpp"
 
+// The channel below is Session-backed: the Scheme constructor routes
+// every write through the dbi::Session facade over the batch-engine
+// kernels (bit-exact vs the scalar encoders).
+
 namespace {
 
 using namespace dbi;
@@ -40,7 +44,7 @@ double channel_energy_per_write(workload::BurstSource& src, Scheme scheme,
                                 const power::PodParams& pod,
                                 const CostWeights& weights, int writes) {
   workload::ChannelConfig cfg;  // x32: 4 lanes, BL8
-  workload::Channel channel(cfg, make_encoder(scheme, weights));
+  workload::Channel channel(cfg, scheme, weights);
   for (int i = 0; i < writes; ++i) (void)channel.write(next_line(src, cfg));
   const auto& s = channel.stats();
   return s.zeros_per_write() * power::energy_zero(pod) +

@@ -1,0 +1,352 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "trace/replay.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace dbi {
+
+namespace {
+
+/// Block size (bursts) for int64 accumulation over the Burst-span fast
+/// path: BurstStats counts in int, 64K bursts stay far inside range.
+constexpr std::size_t kAccumBlockBursts = 1 << 16;
+
+/// Gathered block size for the > 8-lane write_stream route: bounds the
+/// per-lane scratch at O(block) words regardless of stream size.
+constexpr std::int64_t kGatherBlockWrites = 1024;
+
+}  // namespace
+
+void SessionSpec::validate() const {
+  geometry.validate();
+  weights.validate();
+  if (lanes < 1 || lanes > 65536)
+    throw std::invalid_argument("SessionSpec: lanes must be in [1, 65536]");
+  if (threads < 0 || threads > 1024)
+    throw std::invalid_argument("SessionSpec: threads must be in [0, 1024]");
+}
+
+Session::Session(const SessionSpec& spec)
+    : spec_(spec), engine_(spec_.scheme, spec_.weights) {
+  spec_.validate();
+  if (!spec_.pool && spec_.threads >= 2)
+    owned_pool_ = std::make_unique<engine::ShardPool>(spec_.threads);
+  // The incremental-write surface exists for channel-shaped sessions
+  // (byte lanes side by side); set up its persistent line states now
+  // so write()/write_stream()/reset() agree on them.
+  if (!spec_.geometry.is_wide() && spec_.geometry.width() == 8 &&
+      spec_.lanes <= 64)
+    lane_states_.assign(static_cast<std::size_t>(spec_.lanes),
+                        dbi::BusState::all_ones(spec_.geometry.bus()));
+}
+
+std::string_view Session::scheme_name() const { return engine_.name(); }
+
+const dbi::Encoder& Session::scalar_encoder() const {
+  return engine_.scalar_twin();
+}
+
+void Session::require_channel_geometry(const char* what) const {
+  if (spec_.geometry.is_wide() || spec_.geometry.width() != 8 ||
+      spec_.lanes > 64)
+    throw std::logic_error(
+        std::string("Session::") + what +
+        ": the incremental write surface needs narrow x8 geometry with at "
+        "most 64 lanes (channel semantics); this session is " +
+        spec_.geometry.to_string() + " with " + std::to_string(spec_.lanes) +
+        " lanes");
+}
+
+std::int64_t Session::bytes_per_write() const {
+  return static_cast<std::int64_t>(spec_.lanes) *
+         static_cast<std::int64_t>(spec_.geometry.burst_length());
+}
+
+StreamStats Session::write(std::span<const std::uint8_t> data,
+                           std::vector<dbi::EncodedBurst>* encoded) {
+  require_channel_geometry("write");
+  if (static_cast<std::int64_t>(data.size()) != bytes_per_write())
+    throw std::invalid_argument(
+        "Session::write: expected " + std::to_string(bytes_per_write()) +
+        " bytes, got " + std::to_string(data.size()));
+
+  const dbi::BusConfig lane_cfg = spec_.geometry.bus();
+  const int lanes = spec_.lanes;
+  const int bl = lane_cfg.burst_length;
+  if (encoded) {
+    encoded->clear();
+    encoded->reserve(static_cast<std::size_t>(lanes));
+  }
+
+  StreamStats delta;
+  dbi::Burst burst(lane_cfg);
+  for (int lane = 0; lane < lanes; ++lane) {
+    for (int beat = 0; beat < bl; ++beat)
+      burst.set_word(beat,
+                     data[static_cast<std::size_t>(beat) *
+                              static_cast<std::size_t>(lanes) +
+                          static_cast<std::size_t>(lane)]);
+    dbi::BusState& state = lane_states_[static_cast<std::size_t>(lane)];
+    if (spec_.state_policy == StatePolicy::kResetPerBurst)
+      state = dbi::BusState::all_ones(lane_cfg);
+    const engine::BurstResult r = engine_.encode(burst, state);
+    delta.add(r.stats);
+    if (encoded) encoded->push_back(engine_.materialize(burst, r));
+  }
+  delta.writes = 1;
+  stats_ += delta;
+  return delta;
+}
+
+StreamStats Session::write_stream(std::span<const std::uint8_t> data,
+                                  engine::ShardPool* pool_override) {
+  require_channel_geometry("write_stream");
+  const auto bpw = static_cast<std::size_t>(bytes_per_write());
+  if (data.size() % bpw != 0)
+    throw std::invalid_argument(
+        "Session::write_stream: data size must be a multiple of " +
+        std::to_string(bpw) + " bytes, got " + std::to_string(data.size()));
+  const auto writes = static_cast<std::int64_t>(data.size() / bpw);
+  if (writes == 0) return {};
+
+  const int lanes = spec_.lanes;
+  const dbi::BusConfig lane_cfg = spec_.geometry.bus();
+  const bool reset_per_write =
+      spec_.state_policy == StatePolicy::kResetPerBurst;
+
+  StreamStats delta;
+  delta.writes = writes;
+  delta.bursts = writes * lanes;
+
+  // Wide fast path: for up to 8 byte lanes the beat-major interleave IS
+  // the engine's packed wide layout (lane l = byte group l of a
+  // width-8*lanes bus), so the stream encodes in place — no per-lane
+  // gather at all — with the pool sharding the byte-group units.
+  if (lanes * 8 <= dbi::WideBusConfig::kMaxWidth) {
+    if (!wide_writer_) {
+      engine::StreamEncodeOptions so;
+      so.lanes = 1;
+      so.reset_state_per_burst = reset_per_write;
+      wide_writer_ = std::make_unique<engine::StreamEncoder>(
+          engine_, dbi::WideBusConfig{8 * lanes, lane_cfg.burst_length}, so,
+          std::span<dbi::BusState>(lane_states_));
+    }
+    wide_writer_->set_pool(pool_override ? pool_override : pool());
+    const std::int64_t zeros_before = wide_writer_->zeros();
+    const std::int64_t transitions_before = wide_writer_->transitions();
+    (void)wide_writer_->encode_chunk(0, data,
+                                     static_cast<std::size_t>(writes));
+    delta.zeros = wide_writer_->zeros() - zeros_before;
+    delta.transitions = wide_writer_->transitions() - transitions_before;
+    stats_ += delta;
+    return delta;
+  }
+
+  // > 8 lanes: gather each lane's bytes out of the beat-major
+  // interleave into a reused flat word buffer, one block of writes at
+  // a time, and push each block through the engine. 64-bit
+  // accumulation per lane.
+  const int bl = lane_cfg.burst_length;
+  struct LaneTotals {
+    std::int64_t zeros = 0;
+    std::int64_t transitions = 0;
+  };
+  std::vector<LaneTotals> lane_totals(static_cast<std::size_t>(lanes));
+
+  auto encode_lane_stream = [&](int lane) {
+    std::vector<dbi::Word> words(
+        static_cast<std::size_t>(std::min(writes, kGatherBlockWrites)) *
+        static_cast<std::size_t>(bl));
+    dbi::BusState& state = lane_states_[static_cast<std::size_t>(lane)];
+    LaneTotals& totals = lane_totals[static_cast<std::size_t>(lane)];
+    auto add = [&totals](const dbi::BurstStats& s) {
+      totals.zeros += s.zeros;
+      totals.transitions += s.transitions;
+    };
+
+    for (std::int64_t w0 = 0; w0 < writes; w0 += kGatherBlockWrites) {
+      const std::int64_t block = std::min(kGatherBlockWrites, writes - w0);
+      for (std::int64_t wi = 0; wi < block; ++wi) {
+        const std::size_t base = static_cast<std::size_t>(w0 + wi) * bpw;
+        for (int beat = 0; beat < bl; ++beat)
+          words[static_cast<std::size_t>(wi * bl + beat)] =
+              data[base + static_cast<std::size_t>(beat) *
+                              static_cast<std::size_t>(lanes) +
+                   static_cast<std::size_t>(lane)];
+      }
+      const std::span<const dbi::Word> block_words(
+          words.data(), static_cast<std::size_t>(block * bl));
+
+      if (reset_per_write) {
+        for (std::int64_t wi = 0; wi < block; ++wi) {
+          state = dbi::BusState::all_ones(lane_cfg);
+          add(engine_.encode_words(
+              block_words.subspan(static_cast<std::size_t>(wi * bl),
+                                  static_cast<std::size_t>(bl)),
+              lane_cfg, state));
+        }
+      } else {
+        add(engine_.encode_words(block_words, lane_cfg, state));
+      }
+    }
+  };
+
+  if (engine::ShardPool* p = pool_override ? pool_override : pool()) {
+    p->run(lanes, encode_lane_stream);
+  } else {
+    for (int lane = 0; lane < lanes; ++lane) encode_lane_stream(lane);
+  }
+
+  for (const LaneTotals& s : lane_totals) {
+    delta.zeros += s.zeros;
+    delta.transitions += s.transitions;
+  }
+  stats_ += delta;
+  return delta;
+}
+
+void Session::reset() {
+  if (!lane_states_.empty())
+    lane_states_.assign(static_cast<std::size_t>(spec_.lanes),
+                        dbi::BusState::all_ones(spec_.geometry.bus()));
+  stats_ = StreamStats{};
+}
+
+StreamStats Session::run_replay(const trace::TraceReader& reader,
+                                Sink& sink) {
+  trace::ReplayOptions opt;
+  opt.lanes = spec_.lanes;
+  opt.reset_state_per_burst =
+      spec_.state_policy == StatePolicy::kResetPerBurst;
+  opt.pool = pool();
+  opt.double_buffer = spec_.double_buffer;
+  if (sink.wants_results()) {
+    const int groups = spec_.geometry.groups();
+    opt.on_results = [&sink, groups](
+                         std::int64_t first_burst,
+                         std::span<const engine::BurstResult> results) {
+      SinkChunk chunk;
+      chunk.first_burst = first_burst;
+      chunk.bursts =
+          static_cast<std::int64_t>(results.size()) / std::max(groups, 1);
+      chunk.groups = groups;
+      chunk.results = results;
+      sink.consume(chunk);
+    };
+  }
+  return trace::replay_trace(reader, engine_, opt);
+}
+
+StreamStats Session::run_bursts(std::span<const dbi::Burst> bursts) {
+  const dbi::BusConfig cfg = spec_.geometry.bus();
+  const dbi::BusState boundary = dbi::BusState::all_ones(cfg);
+  StreamStats totals;
+  dbi::BusState state = boundary;
+  for (std::size_t b0 = 0; b0 < bursts.size(); b0 += kAccumBlockBursts) {
+    const std::size_t n = std::min(kAccumBlockBursts, bursts.size() - b0);
+    const std::span<const dbi::Burst> block = bursts.subspan(b0, n);
+    const dbi::BurstStats s =
+        spec_.state_policy == StatePolicy::kResetPerBurst
+            ? engine_.boundary_totals(block, boundary)
+            : engine_.encode_lane(block, state);
+    totals.add(s, static_cast<std::int64_t>(n));
+  }
+  return totals;
+}
+
+StreamStats Session::run_chunks(Source& source, Sink& sink) {
+  engine::StreamEncodeOptions so;
+  so.lanes = spec_.lanes;
+  so.reset_state_per_burst =
+      spec_.state_policy == StatePolicy::kResetPerBurst;
+  so.pool = pool();
+
+  const bool collect = sink.wants_results();
+  const bool pass_payload = sink.wants_payload();
+  const int groups = spec_.geometry.groups();
+
+  auto deliver = [&](std::int64_t first_burst, const SourceChunk& c,
+                     std::span<const engine::BurstResult> results) {
+    SinkChunk chunk;
+    chunk.first_burst = first_burst;
+    chunk.bursts = c.bursts;
+    chunk.groups = groups;
+    if (pass_payload) chunk.payload = c.bytes;
+    chunk.results = results;
+    sink.consume(chunk);
+  };
+
+  // Multi-lane chunks gather each unit's slice into per-unit scratch;
+  // slicing big chunks bounds that scratch at O(kAccumBlockBursts)
+  // regardless of how large a span the source serves in one piece.
+  // Single-lane streams encode in place, so slicing would only cost.
+  const std::int64_t slice_bursts =
+      spec_.lanes > 1 ? static_cast<std::int64_t>(kAccumBlockBursts)
+                      : std::numeric_limits<std::int64_t>::max();
+  const auto bb = static_cast<std::size_t>(spec_.geometry.bytes_per_burst());
+
+  auto encode_all = [&](engine::StreamEncoder& enc) {
+    StreamStats totals;
+    std::int64_t first_burst = 0;
+    while (const auto c = source.next()) {
+      for (std::int64_t b0 = 0; b0 < c->bursts; b0 += slice_bursts) {
+        const std::int64_t n = std::min(slice_bursts, c->bursts - b0);
+        const SourceChunk slice{
+            c->bytes.subspan(static_cast<std::size_t>(b0) * bb,
+                             static_cast<std::size_t>(n) * bb),
+            n};
+        const auto results = enc.encode_chunk(
+            first_burst, slice.bytes, static_cast<std::size_t>(n), collect);
+        deliver(first_burst, slice, results);
+        first_burst += n;
+      }
+    }
+    totals.bursts = enc.bursts();
+    totals.zeros = enc.zeros();
+    totals.transitions = enc.transitions();
+    return totals;
+  };
+
+  if (spec_.geometry.is_wide()) {
+    engine::StreamEncoder enc(engine_, spec_.geometry.wide_bus(), so);
+    return encode_all(enc);
+  }
+  engine::StreamEncoder enc(engine_, spec_.geometry.bus(), so);
+  return encode_all(enc);
+}
+
+StreamStats Session::run(Source& source, Sink& sink) {
+  source.bind(spec_.geometry);
+  sink.begin(spec_.geometry, spec_.lanes);
+
+  StreamStats totals;
+  const trace::TraceReader* reader = source.trace_reader();
+  const std::span<const dbi::Burst> burst_span = source.bursts();
+  if (reader && !sink.wants_payload()) {
+    // mmap replay keeps the double-buffered producer and the zero-copy
+    // chunk views; payload-wanting sinks fall through to the generic
+    // loop, which still serves uncompressed chunks as views.
+    totals = run_replay(*reader, sink);
+  } else if (!burst_span.empty() && spec_.lanes == 1 &&
+             !spec_.geometry.is_wide() && !sink.wants_results() &&
+             !sink.wants_payload()) {
+    // Single-lane narrow Burst spans skip the packing pass entirely.
+    totals = run_bursts(burst_span);
+  } else {
+    totals = run_chunks(source, sink);
+  }
+  sink.finish(totals);
+  return totals;
+}
+
+StreamStats Session::run(Source& source) {
+  const std::unique_ptr<Sink> sink = make_stats_sink();
+  return run(source, *sink);
+}
+
+}  // namespace dbi

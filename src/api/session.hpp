@@ -1,0 +1,150 @@
+// dbi::Session — the one public front-end over every encode path.
+//
+// Construct it from a SessionSpec (scheme, Geometry, lanes, cost
+// weights, threading, state-reset policy) and drive it with one pair
+// of abstractions:
+//
+//   Session session(SessionSpec{.scheme = Scheme::kAc,
+//                               .geometry = Geometry::wide(64)});
+//   auto source = make_trace_source(reader);   // or packed / bursts /
+//   auto sink = make_stats_sink();             //    corpus / generator
+//   const StreamStats totals = session.run(*source, *sink);
+//
+// Session::run routes to the existing kernels with zero copy
+// preserved: trace-backed sources go through the double-buffered mmap
+// ReplayPipeline, single-lane narrow Burst spans through
+// BatchEncoder::encode_lane, and everything else through the shared
+// engine::StreamEncoder chunk loop — the BatchEncoder entry points and
+// the replay double-buffer are internal dispatch targets, not part of
+// the public surface.
+//
+// For memory-controller-style incremental traffic (workload::Channel
+// is a thin wrapper over this), write() / write_stream() consume
+// beat-major interleaved channel bytes against persistent per-lane
+// line state, with the same lanes-as-byte-groups wide fast path the
+// engine always had.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "api/geometry.hpp"
+#include "api/sink.hpp"
+#include "api/source.hpp"
+#include "api/stream_stats.hpp"
+#include "core/cost.hpp"
+#include "core/encoder.hpp"
+#include "core/encoding.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "engine/stream_encoder.hpp"
+
+namespace dbi {
+
+/// How line state flows from burst to burst on each (lane, group) unit.
+enum class StatePolicy {
+  kThread,         ///< persistent history (real controller behaviour)
+  kResetPerBurst,  ///< the paper's all-ones boundary before every burst
+};
+
+struct SessionSpec {
+  Scheme scheme = Scheme::kOpt;
+  Geometry geometry{};  ///< narrow x8 BL8 by default
+  /// Interleaved lane streams: burst g of a run() source goes to lane
+  /// g % lanes; write()/write_stream() treat lanes as byte lanes side
+  /// by side (requires narrow x8 geometry, lanes <= 64).
+  int lanes = 1;
+  CostWeights weights{};  ///< parameterises kOpt / kExhaustive
+  /// 0 or 1: encode on the calling thread. N >= 2: the session owns a
+  /// ShardPool of N workers and shards (lane, group) units across it.
+  int threads = 0;
+  /// Non-null: share this caller-owned pool instead (overrides
+  /// `threads`; the pool must outlive the session).
+  engine::ShardPool* pool = nullptr;
+  StatePolicy state_policy = StatePolicy::kThread;
+  /// Trace-backed sources: overlap chunk preparation with encoding.
+  bool double_buffer = true;
+
+  void validate() const;
+};
+
+class Session {
+ public:
+  explicit Session(const SessionSpec& spec);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const SessionSpec& spec() const { return spec_; }
+  [[nodiscard]] std::string_view scheme_name() const;
+
+  /// The scalar encoder this session is bit-exact against (the paper's
+  /// per-burst reference implementation).
+  [[nodiscard]] const dbi::Encoder& scalar_encoder() const;
+
+  /// Streams the whole source into the sink once and returns the
+  /// 64-bit totals (also handed to sink.finish()). Restartable: every
+  /// run starts from fresh all-ones states; rewindable sources can be
+  /// run repeatedly with identical results.
+  StreamStats run(Source& source, Sink& sink);
+
+  /// Stats-only run.
+  StreamStats run(Source& source);
+
+  // ------------------------------------------------- incremental writes
+  //
+  // Channel semantics: `lanes` byte lanes side by side, data beat-major
+  // (byte of beat t, lane l at data[t * lanes + l]), persistent
+  // per-lane line state across calls (or per-write all-ones with
+  // StatePolicy::kResetPerBurst). Requires narrow x8 geometry.
+
+  /// Bytes of one full write (lanes * burst_length).
+  [[nodiscard]] std::int64_t bytes_per_write() const;
+
+  /// Encodes one write; fills `encoded` with the per-lane physical
+  /// bursts when non-null. Returns this write's stats delta.
+  StreamStats write(std::span<const std::uint8_t> data,
+                    std::vector<dbi::EncodedBurst>* encoded = nullptr);
+
+  /// Batched stats-only write path: any number of consecutive writes
+  /// (data.size() a multiple of bytes_per_write()). Up to 8 lanes the
+  /// interleaved bytes are encoded in place as one wide bus (lane l =
+  /// byte group l, no gather pass); more lanes take a blocked
+  /// gather-per-lane route. `pool_override` shards this call across a
+  /// caller-owned pool instead of the session's own threading (results
+  /// are identical either way). Returns this call's stats delta.
+  StreamStats write_stream(std::span<const std::uint8_t> data,
+                           engine::ShardPool* pool_override = nullptr);
+
+  /// Running totals over every write()/write_stream() since the last
+  /// reset().
+  [[nodiscard]] const StreamStats& stats() const { return stats_; }
+
+  /// Restores all-ones line state on every lane and clears stats().
+  void reset();
+
+ private:
+  [[nodiscard]] engine::ShardPool* pool() const {
+    return spec_.pool ? spec_.pool : owned_pool_.get();
+  }
+  void require_channel_geometry(const char* what) const;
+  StreamStats run_chunks(Source& source, Sink& sink);
+  StreamStats run_bursts(std::span<const dbi::Burst> bursts);
+  StreamStats run_replay(const trace::TraceReader& reader, Sink& sink);
+
+  SessionSpec spec_;
+  engine::BatchEncoder engine_;
+  std::unique_ptr<engine::ShardPool> owned_pool_;
+
+  // Incremental-write surface (lazily set up on first use): persistent
+  // per-lane states shared by write() and write_stream()'s wide
+  // in-place encoder.
+  std::vector<dbi::BusState> lane_states_;
+  std::unique_ptr<engine::StreamEncoder> wide_writer_;
+  StreamStats stats_;
+};
+
+}  // namespace dbi

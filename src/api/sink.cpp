@@ -1,0 +1,99 @@
+#include "api/sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "trace/trace_writer.hpp"
+
+namespace dbi {
+
+namespace {
+
+class StatsSink final : public Sink {
+ public:
+  void consume(const SinkChunk&) override {}
+};
+
+class ResultBufferSink final : public Sink {
+ public:
+  explicit ResultBufferSink(std::vector<engine::BurstResult>& out)
+      : out_(out) {}
+
+  bool wants_results() const override { return true; }
+
+  void begin(const Geometry&, int) override { out_.clear(); }
+
+  void consume(const SinkChunk& chunk) override {
+    out_.insert(out_.end(), chunk.results.begin(), chunk.results.end());
+  }
+
+ private:
+  std::vector<engine::BurstResult>& out_;
+};
+
+class ObserverSink final : public Sink {
+ public:
+  using Fn = std::function<void(std::int64_t,
+                                std::span<const engine::BurstResult>)>;
+  explicit ObserverSink(Fn fn) : fn_(std::move(fn)) {
+    if (!fn_) throw std::invalid_argument("observer sink: null callback");
+  }
+
+  bool wants_results() const override { return true; }
+
+  void consume(const SinkChunk& chunk) override {
+    fn_(chunk.first_burst, chunk.results);
+  }
+
+ private:
+  Fn fn_;
+};
+
+class TraceWriterSink final : public Sink {
+ public:
+  explicit TraceWriterSink(trace::TraceWriter& writer) : writer_(writer) {}
+
+  bool wants_payload() const override { return true; }
+
+  void begin(const Geometry& geometry, int) override {
+    const Geometry writer_geometry =
+        writer_.wide() ? Geometry::of(writer_.wide_config())
+                       : Geometry::of(writer_.config());
+    if (writer_geometry != geometry)
+      throw std::invalid_argument("trace sink: writer geometry " +
+                                  writer_geometry.to_string() +
+                                  " does not match session geometry " +
+                                  geometry.to_string());
+  }
+
+  void consume(const SinkChunk& chunk) override {
+    writer_.write_packed(chunk.payload);
+  }
+
+  void finish(const StreamStats&) override { writer_.finish(); }
+
+ private:
+  trace::TraceWriter& writer_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sink> make_stats_sink() {
+  return std::make_unique<StatsSink>();
+}
+
+std::unique_ptr<Sink> make_result_sink(std::vector<engine::BurstResult>& out) {
+  return std::make_unique<ResultBufferSink>(out);
+}
+
+std::unique_ptr<Sink> make_observer_sink(
+    std::function<void(std::int64_t, std::span<const engine::BurstResult>)>
+        fn) {
+  return std::make_unique<ObserverSink>(std::move(fn));
+}
+
+std::unique_ptr<Sink> make_trace_sink(trace::TraceWriter& writer) {
+  return std::make_unique<TraceWriterSink>(writer);
+}
+
+}  // namespace dbi

@@ -1,0 +1,103 @@
+// dbi::Source: where a Session's payload bursts come from.
+//
+// A Source yields the stream as packed beat-major chunks (the binary
+// trace payload layout, which is also the engine's packed input
+// layout), so every producer — in-RAM Burst spans, packed byte spans,
+// mmap'd trace files, named corpus generators — feeds the same
+// Session::run pipeline. Sources with an intrinsic shape (traces,
+// Burst spans) verify the session geometry against it in bind();
+// generators configure themselves for whatever geometry the session
+// asks for. Two fast-path hooks let Session keep the zero-copy routes:
+// trace_reader() hands trace-backed sources to the double-buffered
+// mmap ReplayPipeline, and bursts() lets single-lane narrow streams go
+// through BatchEncoder::encode_lane without a packing pass.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "api/geometry.hpp"
+#include "core/burst.hpp"
+
+namespace dbi::trace {
+class TraceReader;
+}  // namespace dbi::trace
+
+namespace dbi::workload {
+class BurstSource;
+}  // namespace dbi::workload
+
+namespace dbi {
+
+/// One pulled chunk: `bursts` consecutive packed bursts.
+struct SourceChunk {
+  std::span<const std::uint8_t> bytes;
+  std::int64_t bursts = 0;
+};
+
+class Source {
+ public:
+  virtual ~Source() = default;
+  Source(const Source&) = delete;
+  Source& operator=(const Source&) = delete;
+
+  /// Called by Session::run before the first chunk: checks (or adopts)
+  /// the session geometry and rewinds to the start of the stream.
+  /// Throws std::invalid_argument when the source cannot produce `g`.
+  virtual void bind(const Geometry& g) = 0;
+
+  /// Next chunk, or nullopt at end of stream. The returned view stays
+  /// valid until the next call on this source.
+  [[nodiscard]] virtual std::optional<SourceChunk> next() = 0;
+
+  /// Fast-path hook: non-null when the source streams a binary trace
+  /// the session can hand to the mmap replay pipeline unchanged.
+  [[nodiscard]] virtual const trace::TraceReader* trace_reader() const {
+    return nullptr;
+  }
+
+  /// Fast-path hook: non-empty when the whole stream is an in-RAM
+  /// Burst span the session can encode without a packing pass.
+  [[nodiscard]] virtual std::span<const dbi::Burst> bursts() const {
+    return {};
+  }
+
+ protected:
+  Source() = default;
+};
+
+/// In-RAM Burst span (narrow geometry; the span's BusConfig must match
+/// the session geometry). The span must outlive the source.
+[[nodiscard]] std::unique_ptr<Source> make_burst_source(
+    std::span<const dbi::Burst> bursts);
+
+/// Packed beat-major byte span at the session geometry (size must be a
+/// multiple of its bytes_per_burst()). The span must outlive the
+/// source.
+[[nodiscard]] std::unique_ptr<Source> make_packed_source(
+    std::span<const std::uint8_t> bytes);
+
+/// Binary trace chunks served through the reader (zero copy for
+/// uncompressed chunks). The reader must outlive the source; its
+/// geometry must match the session geometry.
+[[nodiscard]] std::unique_ptr<Source> make_trace_source(
+    const trace::TraceReader& reader);
+
+/// `total_bursts` bursts pulled from any workload generator, packed at
+/// the session geometry (wide geometry interleaves the generator's
+/// byte stream beat-major across the groups, like
+/// workload::fill_wide_bursts). Takes ownership of the generator; for
+/// narrow geometry the generator's BusConfig must match.
+[[nodiscard]] std::unique_ptr<Source> make_generator_source(
+    std::unique_ptr<workload::BurstSource> generator,
+    std::int64_t total_bursts);
+
+/// Named corpus scenario (workload::corpus_scenarios()) at whatever
+/// geometry the session binds, seeded deterministically.
+[[nodiscard]] std::unique_ptr<Source> make_corpus_source(
+    std::string scenario, std::int64_t total_bursts, std::uint64_t seed);
+
+}  // namespace dbi

@@ -1,0 +1,119 @@
+// StreamEncoder: lane/group-sharded encoding of a packed burst stream,
+// one chunk at a time.
+//
+// This is the shared core behind every streaming front-end: the
+// trace::ReplayPipeline feeds it chunks straight off the mmap'd file,
+// and dbi::Session feeds it chunks pulled from any Source (in-RAM
+// packed spans, generators, trace views). The stream is interpreted
+// like a workload::Channel write sequence: burst g belongs to lane
+// g % lanes, and each (lane, byte group) pair is one shard unit with
+// its own threaded BusState — so a single x64 lane still spreads
+// across 8 workers. Totals accumulate in 64-bit counters internally
+// (chunks of any size are block-split so BurstStats's int fields never
+// overflow), and single-lane streams are encoded in place with zero
+// copy (wide groups read their bytes at stride groups()).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+
+namespace dbi::engine {
+
+struct StreamEncodeOptions {
+  /// Interleaved lane streams: burst g goes to lane g % lanes, each
+  /// threading its own line state (matches Channel's write order).
+  int lanes = 1;
+  /// Reset every unit to the all-ones boundary before each burst (the
+  /// paper's per-burst assumption) instead of threading state.
+  bool reset_state_per_burst = false;
+  /// Shard (lane, group) units across this pool; null encodes serially.
+  /// Results are identical either way.
+  ShardPool* pool = nullptr;
+
+  void validate() const;
+};
+
+/// One shard unit's scratch: gathered payload slice, per-unit results
+/// staging, and the unit's 64-bit totals.
+struct StreamUnit {
+  std::vector<std::uint8_t> bytes;   // gathered packed slice
+  std::vector<BurstResult> results;  // only when collecting results
+  std::vector<std::size_t> positions;  // chunk-order burst slots
+  std::int64_t zeros = 0;
+  std::int64_t transitions = 0;
+};
+
+class StreamEncoder {
+ public:
+  /// Narrow stream: every burst is one `cfg` group. `encoder` must
+  /// outlive the StreamEncoder. `states` optionally hands in
+  /// caller-owned line states (lanes entries, threaded in place, must
+  /// outlive the StreamEncoder) so several encode surfaces can share
+  /// one bus history; empty means internally owned states.
+  StreamEncoder(const BatchEncoder& encoder, const dbi::BusConfig& cfg,
+                const StreamEncodeOptions& options,
+                std::span<dbi::BusState> states = {});
+
+  /// Wide multi-group stream (beat-major packed payload, one byte per
+  /// group per beat). Caller-owned `states` hold lanes x groups
+  /// entries, group-minor.
+  StreamEncoder(const BatchEncoder& encoder, const dbi::WideBusConfig& cfg,
+                const StreamEncodeOptions& options,
+                std::span<dbi::BusState> states = {});
+
+  StreamEncoder(const StreamEncoder&) = delete;
+  StreamEncoder& operator=(const StreamEncoder&) = delete;
+
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] int units() const { return static_cast<int>(units_.size()); }
+  [[nodiscard]] std::size_t bytes_per_burst() const { return bytes_per_burst_; }
+
+  /// Restores every unit to the all-ones boundary and zeroes the totals.
+  void reset();
+
+  /// Re-targets the shard pool (results are pool-independent, so this
+  /// is safe between chunks; null returns to serial encoding).
+  void set_pool(ShardPool* pool) { opt_.pool = pool; }
+
+  /// Encodes `burst_count` packed bursts (payload holds burst_count *
+  /// bytes_per_burst() bytes); `first_burst` is the stream-global index
+  /// of the chunk's first burst, which fixes the lane interleave.
+  /// With collect_results, returns the per-(burst, group) results in
+  /// trace order — burst j's group g at [j * groups() + g]; an empty
+  /// span otherwise. The span is valid until the next call.
+  std::span<const BurstResult> encode_chunk(
+      std::int64_t first_burst, std::span<const std::uint8_t> payload,
+      std::size_t burst_count, bool collect_results = false);
+
+  /// 64-bit totals over everything encoded since the last reset().
+  [[nodiscard]] std::int64_t bursts() const { return bursts_; }
+  [[nodiscard]] std::int64_t zeros() const;
+  [[nodiscard]] std::int64_t transitions() const;
+
+ private:
+  void init(std::span<dbi::BusState> states);
+  void encode_unit_slice(int unit, std::int64_t first_burst,
+                         std::span<const std::uint8_t> payload,
+                         std::size_t burst_count, bool collect_results);
+  [[nodiscard]] dbi::BusConfig unit_config(int unit) const;
+
+  const BatchEncoder& encoder_;
+  dbi::BusConfig cfg_;       // narrow streams
+  dbi::WideBusConfig wcfg_;  // wide streams
+  bool wide_ = false;
+  StreamEncodeOptions opt_;
+  int groups_ = 1;
+  std::size_t bytes_per_burst_ = 0;
+  std::int64_t bursts_ = 0;
+  std::vector<StreamUnit> units_;       // lanes x groups, group-minor
+  std::vector<dbi::BusState> owned_states_;  // empty with external states
+  std::span<dbi::BusState> states_;     // one per unit
+  std::vector<BurstResult> chunk_results_;  // only when collecting
+};
+
+}  // namespace dbi::engine

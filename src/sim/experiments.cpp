@@ -5,11 +5,10 @@
 #include <stdexcept>
 #include <string_view>
 
-#include "engine/batch_encoder.hpp"
+#include "api/session.hpp"
 #include "power/interface_energy.hpp"
 #include "power/system_energy.hpp"
 #include "sim/stats.hpp"
-#include "trace/replay.hpp"
 
 namespace dbi::sim {
 
@@ -32,17 +31,27 @@ BurstStats total_stats(const workload::BurstTrace& trace,
   return total;
 }
 
-/// Engine-routed totals: same contract as total_stats but through the
-/// BatchEncoder fast paths (bit-exact, no per-burst materialisation).
-BurstStats total_stats(const workload::BurstTrace& trace, Scheme scheme,
-                       const CostWeights& w = {}) {
-  return engine::BatchEncoder(scheme, w).boundary_totals(
-      trace.bursts(), BusState::all_ones(trace.config()));
+/// Facade-routed totals: same contract as total_stats but through a
+/// dbi::Session over the engine fast paths (bit-exact, no per-burst
+/// materialisation). Returned as 64-bit StreamStats.
+dbi::StreamStats total_stream_stats(const workload::BurstTrace& trace,
+                                    Scheme scheme, const CostWeights& w = {},
+                                    dbi::StatePolicy policy =
+                                        dbi::StatePolicy::kResetPerBurst) {
+  dbi::SessionSpec spec;
+  spec.scheme = scheme;
+  spec.geometry = dbi::Geometry::of(trace.config());
+  spec.weights = w;
+  spec.state_policy = policy;
+  dbi::Session session(spec);
+  const auto source = dbi::make_burst_source(trace.bursts());
+  return session.run(*source);
 }
 
-double mean_cost_from_totals(const BurstStats& totals, std::size_t n,
+double mean_cost_from_totals(const dbi::StreamStats& totals, std::size_t n,
                              const CostWeights& w) {
-  return n ? (w.alpha * totals.transitions + w.beta * totals.zeros) /
+  return n ? (w.alpha * static_cast<double>(totals.transitions) +
+              w.beta * static_cast<double>(totals.zeros)) /
                  static_cast<double>(n)
            : 0.0;
 }
@@ -67,9 +76,8 @@ MeanStats mean_stats(const workload::BurstTrace& trace,
 MeanStats mean_stats(const workload::BurstTrace& trace, Scheme scheme,
                      const dbi::CostWeights& w) {
   if (trace.empty()) return {};
-  const BurstStats totals = total_stats(trace, scheme, w);
-  const auto n = static_cast<double>(trace.size());
-  return MeanStats{totals.zeros / n, totals.transitions / n};
+  const dbi::StreamStats totals = total_stream_stats(trace, scheme, w);
+  return MeanStats{totals.zeros_per_burst(), totals.transitions_per_burst()};
 }
 
 MeanStats mean_stats_chained(const workload::BurstTrace& trace,
@@ -89,14 +97,12 @@ MeanStats mean_stats_chained(const workload::BurstTrace& trace,
 MeanStats mean_stats_chained(const workload::BurstTrace& trace, Scheme scheme,
                              const dbi::CostWeights& w) {
   if (trace.empty()) return {};
-  const engine::BatchEncoder batch(scheme, w);
-  BusState state = BusState::all_ones(trace.config());
-  const BurstStats totals = batch.encode_lane(trace.bursts(), state);
-  const auto n = static_cast<double>(trace.size());
-  return MeanStats{totals.zeros / n, totals.transitions / n};
+  const dbi::StreamStats totals =
+      total_stream_stats(trace, scheme, w, dbi::StatePolicy::kThread);
+  return MeanStats{totals.zeros_per_burst(), totals.transitions_per_burst()};
 }
 
-ReplaySummary summarize_replay(const trace::ReplayTotals& totals,
+ReplaySummary summarize_replay(const dbi::StreamStats& totals,
                                const power::PodParams* pod) {
   ReplaySummary s;
   if (totals.bursts == 0) return s;
@@ -115,15 +121,13 @@ std::vector<WideWidthPoint> wide_width_sweep(dbi::Scheme scheme,
                                              std::span<const std::uint8_t> bytes,
                                              int burst_length,
                                              std::span<const int> widths) {
-  const engine::BatchEncoder batch(scheme, w);
   std::vector<WideWidthPoint> out;
   out.reserve(widths.size());
   std::vector<std::uint8_t> masked;
-  std::vector<BusState> states;
   for (const int width : widths) {
-    const dbi::WideBusConfig cfg{width, burst_length};
-    cfg.validate();
-    const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+    const dbi::Geometry geometry = dbi::Geometry::wide(width, burst_length);
+    geometry.validate();
+    const auto bb = static_cast<std::size_t>(geometry.bytes_per_burst());
     if (bytes.empty() || bytes.size() % bb != 0)
       throw std::invalid_argument(
           "wide_width_sweep: payload of " + std::to_string(bytes.size()) +
@@ -133,7 +137,8 @@ std::vector<WideWidthPoint> wide_width_sweep(dbi::Scheme scheme,
     // The same byte stream feeds every width; only a remainder group's
     // bytes need masking down to its narrower lane count.
     std::span<const std::uint8_t> view = bytes;
-    const auto groups = static_cast<std::size_t>(cfg.groups());
+    const auto groups = static_cast<std::size_t>(geometry.groups());
+    const dbi::WideBusConfig cfg = geometry.wide_bus();
     if (cfg.group_width(cfg.groups() - 1) < 8) {
       masked.assign(bytes.begin(), bytes.end());
       const auto gmask =
@@ -143,31 +148,19 @@ std::vector<WideWidthPoint> wide_width_sweep(dbi::Scheme scheme,
       view = masked;
     }
 
-    states.assign(groups, BusState{});
-    for (std::size_t g = 0; g < groups; ++g)
-      states[g] = BusState::all_ones(cfg.group_config(static_cast<int>(g)));
+    dbi::SessionSpec spec;
+    spec.scheme = scheme;
+    spec.geometry = geometry;
+    spec.weights = w;
+    dbi::Session session(spec);
+    const auto source = dbi::make_packed_source(view);
+    const dbi::StreamStats totals = session.run(*source);
 
     WideWidthPoint point;
     point.width = width;
-    point.bursts = static_cast<std::int64_t>(bytes.size() / bb);
-    // Blocked accumulation keeps BurstStats's int counters safe however
-    // large the payload is.
-    constexpr std::size_t kBlockBursts = std::size_t{1} << 16;
-    std::int64_t zeros = 0;
-    std::int64_t transitions = 0;
-    for (std::size_t b0 = 0; b0 < static_cast<std::size_t>(point.bursts);
-         b0 += kBlockBursts) {
-      const std::size_t block =
-          std::min(kBlockBursts,
-                   static_cast<std::size_t>(point.bursts) - b0);
-      const BurstStats s = batch.encode_packed_wide(
-          view.subspan(b0 * bb, block * bb), cfg, states);
-      zeros += s.zeros;
-      transitions += s.transitions;
-    }
-    const auto n = static_cast<double>(point.bursts);
-    point.zeros = static_cast<double>(zeros) / n;
-    point.transitions = static_cast<double>(transitions) / n;
+    point.bursts = totals.bursts;
+    point.zeros = totals.zeros_per_burst();
+    point.transitions = totals.transitions_per_burst();
     out.push_back(point);
   }
   return out;
@@ -181,11 +174,11 @@ std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,
   // Encoding decisions of RAW / DC / AC / ACDC / OPT(Fixed) do not
   // depend on (alpha, beta); their mean cost is linear in the weights,
   // so one engine pass collecting totals suffices for every sweep point.
-  const BurstStats raw = total_stats(trace, Scheme::kRaw);
-  const BurstStats dc = total_stats(trace, Scheme::kDc);
-  const BurstStats ac = total_stats(trace, Scheme::kAc);
-  const BurstStats acdc = total_stats(trace, Scheme::kAcDc);
-  const BurstStats fixed = total_stats(trace, Scheme::kOptFixed);
+  const dbi::StreamStats raw = total_stream_stats(trace, Scheme::kRaw);
+  const dbi::StreamStats dc = total_stream_stats(trace, Scheme::kDc);
+  const dbi::StreamStats ac = total_stream_stats(trace, Scheme::kAc);
+  const dbi::StreamStats acdc = total_stream_stats(trace, Scheme::kAcDc);
+  const dbi::StreamStats fixed = total_stream_stats(trace, Scheme::kOptFixed);
 
   std::vector<AlphaSweepPoint> sweep;
   sweep.reserve(static_cast<std::size_t>(steps));
@@ -204,7 +197,7 @@ std::vector<AlphaSweepPoint> alpha_sweep(const workload::BurstTrace& trace,
 
     // DBI OPT re-decides per sweep point; its cost is the weighted sum
     // of its own totals, collected through the flat trellis kernel.
-    p.opt = mean_cost_from_totals(total_stats(trace, Scheme::kOpt, w),
+    p.opt = mean_cost_from_totals(total_stream_stats(trace, Scheme::kOpt, w),
                                   trace.size(), w);
 
     sweep.push_back(p);
@@ -251,10 +244,10 @@ std::vector<RateSweepPoint> datarate_sweep(const power::PodParams& interface,
   if (trace.empty())
     throw std::invalid_argument("datarate_sweep: empty trace");
 
-  const BurstStats raw = total_stats(trace, Scheme::kRaw);
-  const BurstStats dc = total_stats(trace, Scheme::kDc);
-  const BurstStats ac = total_stats(trace, Scheme::kAc);
-  const BurstStats fixed = total_stats(trace, Scheme::kOptFixed);
+  const dbi::StreamStats raw = total_stream_stats(trace, Scheme::kRaw);
+  const dbi::StreamStats dc = total_stream_stats(trace, Scheme::kDc);
+  const dbi::StreamStats ac = total_stream_stats(trace, Scheme::kAc);
+  const dbi::StreamStats fixed = total_stream_stats(trace, Scheme::kOptFixed);
 
   const auto n = static_cast<double>(trace.size());
 
@@ -265,8 +258,13 @@ std::vector<RateSweepPoint> datarate_sweep(const power::PodParams& interface,
     const CostWeights w = power::weights_from_pod(pod);
 
     // DBI OPT re-encodes at this operating point's true energy weights;
-    // burst_energy is linear in the stats, so totals suffice.
-    const BurstStats opt_totals = total_stats(trace, Scheme::kOpt, w);
+    // burst energy is linear in the stats, so the 64-bit totals suffice
+    // (Eq. 4 applied directly — no narrowing back to int counters).
+    const dbi::StreamStats opt_stream = total_stream_stats(trace, Scheme::kOpt, w);
+    const double opt_energy =
+        static_cast<double>(opt_stream.zeros) * power::energy_zero(pod) +
+        static_cast<double>(opt_stream.transitions) *
+            power::energy_transition(pod);
 
     RateSweepPoint p;
     p.gbps = gbps;
@@ -276,7 +274,7 @@ std::vector<RateSweepPoint> datarate_sweep(const power::PodParams& interface,
       throw std::runtime_error("datarate_sweep: degenerate RAW energy");
     p.dc = mean_cost_from_totals(dc, trace.size(), w) / raw_j;
     p.ac = mean_cost_from_totals(ac, trace.size(), w) / raw_j;
-    p.opt = power::burst_energy(pod, opt_totals) / n / raw_j;
+    p.opt = opt_energy / n / raw_j;
     p.opt_fixed = mean_cost_from_totals(fixed, trace.size(), w) / raw_j;
     sweep.push_back(p);
   }
@@ -291,9 +289,9 @@ std::vector<TotalEnergyPoint> total_energy_sweep(
   if (trace.empty())
     throw std::invalid_argument("total_energy_sweep: empty trace");
 
-  const BurstStats dc = total_stats(trace, Scheme::kDc);
-  const BurstStats ac = total_stats(trace, Scheme::kAc);
-  const BurstStats fixed = total_stats(trace, Scheme::kOptFixed);
+  const dbi::StreamStats dc = total_stream_stats(trace, Scheme::kDc);
+  const dbi::StreamStats ac = total_stream_stats(trace, Scheme::kAc);
+  const dbi::StreamStats fixed = total_stream_stats(trace, Scheme::kOptFixed);
   const auto n = static_cast<double>(trace.size());
   const dbi::BusConfig& cfg = trace.config();
 
@@ -304,7 +302,7 @@ std::vector<TotalEnergyPoint> total_energy_sweep(
     const double rate = power::burst_rate(pod, cfg);
     const CostWeights w = power::weights_from_pod(pod);
 
-    auto total = [&](const BurstStats& totals,
+    auto total = [&](const dbi::StreamStats& totals,
                      const power::EncoderHardware& hw) {
       return mean_cost_from_totals(totals, trace.size(), w) +
              hw.energy_per_burst(rate);

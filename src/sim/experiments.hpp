@@ -8,15 +8,12 @@
 #include <span>
 #include <vector>
 
+#include "api/stream_stats.hpp"
 #include "core/burst.hpp"
 #include "core/encoder.hpp"
 #include "power/encoder_energy.hpp"
 #include "power/pod_params.hpp"
 #include "workload/trace.hpp"
-
-namespace dbi::trace {
-struct ReplayTotals;
-}  // namespace dbi::trace
 
 namespace dbi::sim {
 
@@ -32,8 +29,9 @@ struct MeanStats {
 [[nodiscard]] MeanStats mean_stats(const workload::BurstTrace& trace,
                                    const dbi::Encoder& encoder);
 
-/// Engine-routed twin: encodes through the engine::BatchEncoder fast
-/// paths (bit-exact vs the scalar encoder, much faster on big traces).
+/// Engine-routed twin: encodes through the dbi::Session facade over
+/// the batch-engine fast paths (bit-exact vs the scalar encoder, much
+/// faster on big traces).
 [[nodiscard]] MeanStats mean_stats(const workload::BurstTrace& trace,
                                    dbi::Scheme scheme,
                                    const dbi::CostWeights& w = {});
@@ -50,17 +48,16 @@ struct MeanStats {
                                            dbi::Scheme scheme,
                                            const dbi::CostWeights& w = {});
 
-/// Per-burst means and interface energy of a finished streaming replay
-/// (the trace::ReplayPipeline twin of mean_stats_chained, computed from
-/// the 64-bit totals instead of a second pass over the data).
+/// Per-burst means and interface energy of a finished streaming run
+/// (Session::run / replay totals), computed from the unified 64-bit
+/// StreamStats instead of a second pass over the data.
 struct ReplaySummary {
   double zeros = 0.0;        ///< per burst
   double transitions = 0.0;  ///< per burst
   double interface_pj = 0.0; ///< per burst; 0 unless a pod is given
 };
 [[nodiscard]] ReplaySummary summarize_replay(
-    const trace::ReplayTotals& totals,
-    const power::PodParams* pod = nullptr);
+    const dbi::StreamStats& totals, const power::PodParams* pod = nullptr);
 
 // ------------------------------------------------------------ wide buses
 

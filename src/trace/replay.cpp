@@ -1,20 +1,32 @@
 #include "trace/replay.hpp"
 
-#include <algorithm>
 #include <condition_variable>
-#include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 namespace dbi::trace {
 
 namespace {
 
-/// Sub-block size (bursts) for int64 accumulation: BurstStats counts in
-/// int, and (width+1) * burst_length <= 33 * 64 line-beats per burst,
-/// so 64K bursts stay far inside int range per encode_packed call.
-constexpr std::size_t kAccumBlockBursts = 1 << 16;
+engine::StreamEncodeOptions stream_options(const ReplayOptions& opt) {
+  engine::StreamEncodeOptions so;
+  so.lanes = opt.lanes;
+  so.reset_state_per_burst = opt.reset_state_per_burst;
+  so.pool = opt.pool;
+  return so;
+}
+
+engine::StreamEncoder make_stream(const TraceReader& reader,
+                                  const engine::BatchEncoder& encoder,
+                                  const ReplayOptions& opt) {
+  return reader.wide()
+             ? engine::StreamEncoder(encoder, reader.header().wide_config(),
+                                     stream_options(opt))
+             : engine::StreamEncoder(encoder, reader.config(),
+                                     stream_options(opt));
+}
 
 }  // namespace
 
@@ -26,148 +38,20 @@ void ReplayOptions::validate() const {
 ReplayPipeline::ReplayPipeline(const TraceReader& reader,
                                const engine::BatchEncoder& encoder,
                                ReplayOptions options)
-    : reader_(reader), encoder_(encoder), opt_(std::move(options)) {
-  opt_.validate();
-  groups_ = reader_.wide() ? reader_.header().wide_config().groups() : 1;
-  units_.resize(static_cast<std::size_t>(opt_.lanes) *
-                static_cast<std::size_t>(groups_));
-}
-
-void ReplayPipeline::encode_unit_slice(int unit, const ChunkInfo& info,
-                                       std::span<const std::uint8_t> payload) {
-  const bool wide = groups_ > 1;
-  const dbi::WideBusConfig wcfg =
-      wide ? reader_.header().wide_config() : dbi::WideBusConfig{};
-  // Geometry of the slice this unit encodes: its byte group for wide
-  // traces, the whole burst otherwise.
-  const dbi::BusConfig cfg =
-      wide ? wcfg.group_config(unit % groups_) : reader_.config();
-  const int lane = unit / groups_;
-  const int group = unit % groups_;
-  const auto bb = static_cast<std::size_t>(reader_.header().bytes_per_burst());
-  const std::size_t count = info.burst_count;
-  const int L = opt_.lanes;
-  UnitScratch& us = units_[static_cast<std::size_t>(unit)];
-  const bool want_results = static_cast<bool>(opt_.on_results);
-
-  // First chunk-local index owned by this lane (global index % L == lane).
-  const auto base_mod = static_cast<std::size_t>(
-      info.first_burst % static_cast<std::int64_t>(L));
-  const std::size_t j0 =
-      (static_cast<std::size_t>(lane) + static_cast<std::size_t>(L) -
-       base_mod) %
-      static_cast<std::size_t>(L);
-  if (j0 >= count) return;
-  const std::size_t mine = (count - j0 + static_cast<std::size_t>(L) - 1) /
-                           static_cast<std::size_t>(L);
-
-  // A wide unit encodes one byte per beat once its slice is gathered.
-  const auto slice_bb =
-      wide ? static_cast<std::size_t>(wcfg.burst_length) : bb;
-
-  std::span<const std::uint8_t> bytes;
-  bool in_place_wide = false;
-  if (L == 1) {
-    // Single-lane replay consumes the chunk view in place — for
-    // uncompressed chunks that is the mmap page itself (zero copy; wide
-    // groups read their bytes at stride groups_).
-    bytes = payload;
-    in_place_wide = wide;
-  } else if (!wide) {
-    us.bytes.resize(mine * bb);
-    std::uint8_t* dst = us.bytes.data();
-    const std::uint8_t* src = payload.data();
-    for (std::size_t j = j0; j < count; j += static_cast<std::size_t>(L)) {
-      std::memcpy(dst, src + j * bb, bb);
-      dst += bb;
-    }
-    bytes = us.bytes;
-  } else {
-    // Gather only this unit's group slice (1 byte per beat), so the L
-    // x groups units never copy a byte twice.
-    us.bytes.resize(mine * slice_bb);
-    std::uint8_t* dst = us.bytes.data();
-    const std::uint8_t* src = payload.data();
-    const auto stride = static_cast<std::size_t>(groups_);
-    for (std::size_t j = j0; j < count; j += static_cast<std::size_t>(L)) {
-      const std::uint8_t* burst = src + j * bb + group;
-      for (std::size_t t = 0; t < slice_bb; ++t) dst[t] = burst[t * stride];
-      dst += slice_bb;
-    }
-    bytes = us.bytes;
-  }
-  if (want_results) {
-    us.results.resize(mine);
-    us.positions.clear();
-    for (std::size_t j = j0; j < count; j += static_cast<std::size_t>(L))
-      us.positions.push_back(j);
-  }
-
-  auto encode_block = [&](std::span<const std::uint8_t> block_bytes,
-                          engine::BurstResult* results) {
-    return in_place_wide
-               ? encoder_.encode_packed_group(block_bytes, wcfg, group,
-                                              us.state, results)
-               : encoder_.encode_packed(block_bytes, cfg, us.state, results);
-  };
-  const std::size_t step = in_place_wide ? bb : slice_bb;
-
-  if (opt_.reset_state_per_burst) {
-    for (std::size_t k = 0; k < mine; ++k) {
-      us.state = dbi::BusState::all_ones(cfg);
-      const dbi::BurstStats s =
-          encode_block(bytes.subspan(k * step, step),
-                       want_results ? &us.results[k] : nullptr);
-      us.zeros += s.zeros;
-      us.transitions += s.transitions;
-    }
-  } else {
-    for (std::size_t k0 = 0; k0 < mine; k0 += kAccumBlockBursts) {
-      const std::size_t block = std::min(kAccumBlockBursts, mine - k0);
-      const dbi::BurstStats s =
-          encode_block(bytes.subspan(k0 * step, block * step),
-                       want_results ? us.results.data() + k0 : nullptr);
-      us.zeros += s.zeros;
-      us.transitions += s.transitions;
-    }
-  }
-
-  if (want_results) {
-    const auto g = static_cast<std::size_t>(groups_);
-    for (std::size_t k = 0; k < mine; ++k)
-      chunk_results_[us.positions[k] * g + static_cast<std::size_t>(group)] =
-          us.results[k];
-  }
-}
+    : reader_(reader),
+      opt_(std::move(options)),
+      stream_((opt_.validate(), make_stream(reader, encoder, opt_))) {}
 
 void ReplayPipeline::encode_chunk(const ChunkInfo& info,
                                   std::span<const std::uint8_t> payload) {
-  if (opt_.on_results)
-    chunk_results_.resize(static_cast<std::size_t>(info.burst_count) *
-                          static_cast<std::size_t>(groups_));
-  const auto units = static_cast<int>(units_.size());
-  auto run_unit = [this, &info, payload](int unit) {
-    encode_unit_slice(unit, info, payload);
-  };
-  if (opt_.pool) {
-    opt_.pool->run(units, run_unit);
-  } else {
-    for (int u = 0; u < units; ++u) run_unit(u);
-  }
-  if (opt_.on_results) opt_.on_results(info.first_burst, chunk_results_);
+  const std::span<const engine::BurstResult> results = stream_.encode_chunk(
+      info.first_burst, payload, info.burst_count,
+      /*collect_results=*/static_cast<bool>(opt_.on_results));
+  if (opt_.on_results) opt_.on_results(info.first_burst, results);
 }
 
 ReplayTotals ReplayPipeline::run() {
-  for (std::size_t u = 0; u < units_.size(); ++u) {
-    UnitScratch& us = units_[u];
-    const dbi::BusConfig cfg =
-        groups_ > 1 ? reader_.header().wide_config().group_config(
-                          static_cast<int>(u) % groups_)
-                    : reader_.config();
-    us.state = dbi::BusState::all_ones(cfg);
-    us.zeros = 0;
-    us.transitions = 0;
-  }
+  stream_.reset();
 
   const std::size_t n = reader_.chunk_count();
   if (!opt_.double_buffer || n <= 1) {
@@ -252,10 +136,8 @@ ReplayTotals ReplayPipeline::run() {
 
   ReplayTotals totals;
   totals.bursts = reader_.bursts();
-  for (const UnitScratch& us : units_) {
-    totals.zeros += us.zeros;
-    totals.transitions += us.transitions;
-  }
+  totals.zeros = stream_.zeros();
+  totals.transitions = stream_.transitions();
   return totals;
 }
 

@@ -7,25 +7,25 @@
 // all-ones boundary per burst). Chunks flow through a two-slot
 // producer/consumer pipeline — a producer thread prepares chunk N+1
 // (RLE decompression, page warm-up of the mmap view) while the
-// ShardPool workers encode chunk N — and per-lane zero / transition
-// totals accumulate in 64-bit counters, so gigabyte-scale traces
-// replay without ever materialising a Burst.
+// ShardPool workers encode chunk N — and the lane/group sharding,
+// zero-copy single-lane encode and 64-bit accumulation are the shared
+// engine::StreamEncoder core, so gigabyte-scale traces replay without
+// ever materialising a Burst.
 //
-// Wide multi-group traces shard one level finer: the pool unit is a
-// (lane, byte group) pair, each threading its own group BusState, so a
-// single x64 lane still spreads across 8 workers. Single-lane wide
-// replay consumes the beat-major chunk view in place (group g read at
-// stride groups — zero copy off the mmap); multi-lane replay gathers
-// each unit's group slice into a contiguous per-unit buffer.
+// This is an internal dispatch target of dbi::Session (the public
+// front-end): Session routes trace-backed sources here so the
+// double-buffer loop and the mmap zero-copy path are preserved behind
+// the facade.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
-#include <vector>
 
+#include "api/stream_stats.hpp"
 #include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
+#include "engine/stream_encoder.hpp"
 #include "trace/trace_reader.hpp"
 
 namespace dbi::trace {
@@ -54,22 +54,9 @@ struct ReplayOptions {
   void validate() const;
 };
 
-/// 64-bit aggregate of one replay run.
-struct ReplayTotals {
-  std::int64_t bursts = 0;
-  std::int64_t zeros = 0;
-  std::int64_t transitions = 0;
-
-  [[nodiscard]] double zeros_per_burst() const {
-    return bursts ? static_cast<double>(zeros) / static_cast<double>(bursts)
-                  : 0.0;
-  }
-  [[nodiscard]] double transitions_per_burst() const {
-    return bursts
-               ? static_cast<double>(transitions) / static_cast<double>(bursts)
-               : 0.0;
-  }
-};
+/// 64-bit aggregate of one replay run (the unified streaming totals
+/// type; `writes` stays 0 on the replay path).
+using ReplayTotals = dbi::StreamStats;
 
 class ReplayPipeline {
  public:
@@ -84,28 +71,12 @@ class ReplayPipeline {
   ReplayTotals run();
 
  private:
-  /// Scratch of one shard unit — (lane, group); group is always 0 for
-  /// single-group traces.
-  struct UnitScratch {
-    std::vector<std::uint8_t> bytes;           // gathered packed slice
-    std::vector<engine::BurstResult> results;  // only with on_results
-    std::vector<std::size_t> positions;        // chunk-order burst slots
-    dbi::BusState state = dbi::BusState::all_zeros();
-    std::int64_t zeros = 0;
-    std::int64_t transitions = 0;
-  };
-
   void encode_chunk(const ChunkInfo& info,
                     std::span<const std::uint8_t> payload);
-  void encode_unit_slice(int unit, const ChunkInfo& info,
-                         std::span<const std::uint8_t> payload);
 
   const TraceReader& reader_;
-  const engine::BatchEncoder& encoder_;
   ReplayOptions opt_;
-  int groups_ = 1;  ///< DBI groups per burst (1 unless the trace is wide)
-  std::vector<UnitScratch> units_;  ///< lanes x groups, group-minor
-  std::vector<engine::BurstResult> chunk_results_;  // only with on_results
+  engine::StreamEncoder stream_;
 };
 
 /// One-shot convenience wrapper.

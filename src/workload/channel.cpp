@@ -1,10 +1,26 @@
 #include "workload/channel.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 namespace dbi::workload {
+
+namespace {
+
+dbi::SessionSpec channel_spec(const ChannelConfig& cfg, dbi::Scheme scheme,
+                              const dbi::CostWeights& w) {
+  dbi::SessionSpec spec;
+  spec.scheme = scheme;
+  spec.geometry = dbi::Geometry::of(cfg.lane);
+  spec.lanes = cfg.lanes;
+  spec.weights = w;
+  spec.state_policy = cfg.reset_state_per_write
+                          ? dbi::StatePolicy::kResetPerBurst
+                          : dbi::StatePolicy::kThread;
+  return spec;
+}
+
+}  // namespace
 
 void ChannelConfig::validate() const {
   lane.validate();
@@ -26,11 +42,9 @@ Channel::Channel(const ChannelConfig& cfg,
 
 Channel::Channel(const ChannelConfig& cfg, dbi::Scheme scheme,
                  const dbi::CostWeights& w)
-    : cfg_(cfg),
-      engine_(std::make_unique<engine::BatchEncoder>(scheme, w)) {
+    : cfg_(cfg) {
   cfg_.validate();
-  lane_state_.assign(static_cast<std::size_t>(cfg_.lanes),
-                     dbi::BusState::all_ones(cfg_.lane));
+  session_ = std::make_unique<dbi::Session>(channel_spec(cfg_, scheme, w));
 }
 
 dbi::Burst Channel::lane_burst(std::span<const std::uint8_t> data,
@@ -44,7 +58,13 @@ dbi::Burst Channel::lane_burst(std::span<const std::uint8_t> data,
 
 std::vector<dbi::EncodedBurst> Channel::write(
     std::span<const std::uint8_t> data) {
-  if (data.size() != static_cast<std::size_t>(cfg_.bytes_per_write()))
+  if (session_) {
+    std::vector<dbi::EncodedBurst> encoded;
+    (void)session_->write(data, &encoded);
+    return encoded;
+  }
+
+  if (static_cast<std::int64_t>(data.size()) != cfg_.bytes_per_write())
     throw std::invalid_argument(
         "Channel::write: expected " + std::to_string(cfg_.bytes_per_write()) +
         " bytes, got " + std::to_string(data.size()));
@@ -57,19 +77,10 @@ std::vector<dbi::EncodedBurst> Channel::write(
     if (cfg_.reset_state_per_write)
       state = dbi::BusState::all_ones(cfg_.lane);
 
-    if (engine_) {
-      const engine::BurstResult r = engine_->encode(burst, state);
-      stats_.zeros += r.stats.zeros;
-      stats_.transitions += r.stats.transitions;
-      encoded.push_back(engine_->materialize(burst, r));
-    } else {
-      dbi::EncodedBurst e = encoder_->encode(burst, state);
-      const dbi::BurstStats s = e.stats(state);
-      stats_.zeros += s.zeros;
-      stats_.transitions += s.transitions;
-      state = e.final_state();
-      encoded.push_back(std::move(e));
-    }
+    dbi::EncodedBurst e = encoder_->encode(burst, state);
+    stats_.add(e.stats(state));
+    state = e.final_state();
+    encoded.push_back(std::move(e));
   }
   ++stats_.writes;
   return encoded;
@@ -77,6 +88,11 @@ std::vector<dbi::EncodedBurst> Channel::write(
 
 ChannelStats Channel::write_stream(std::span<const std::uint8_t> data,
                                    engine::ShardPool* pool) {
+  if (session_) return session_->write_stream(data, pool);
+
+  // Scalar virtual path: a caller-supplied encoder may carry internal
+  // state (e.g. the noisy wrapper's PRNG), so lanes are never sharded
+  // across workers here; the stats are identical to the engine route.
   const auto bpw = static_cast<std::size_t>(cfg_.bytes_per_write());
   if (data.size() % bpw != 0)
     throw std::invalid_argument(
@@ -85,116 +101,33 @@ ChannelStats Channel::write_stream(std::span<const std::uint8_t> data,
   const auto writes = static_cast<std::int64_t>(data.size() / bpw);
   if (writes == 0) return {};
 
-  const int lanes = cfg_.lanes;
-  const int bl = cfg_.lane.burst_length;
-
-  // Wide fast path: for up to 8 byte lanes the beat-major interleave IS
-  // the engine's packed wide layout (lane l = byte group l of a
-  // width-8*lanes bus), so the engine encodes the stream in place — no
-  // per-lane gather at all — and a pool shards (lane, group) units.
-  // Blocked so BurstStats's int counters never overflow per call.
-  if (engine_ && !cfg_.reset_state_per_write &&
-      lanes * 8 <= dbi::WideBusConfig::kMaxWidth) {
-    const dbi::WideBusConfig wcfg{8 * lanes, bl};
-    constexpr std::int64_t kWideBlockWrites = 1 << 16;
-    ChannelStats delta;
-    delta.writes = writes;
-    for (std::int64_t w0 = 0; w0 < writes; w0 += kWideBlockWrites) {
-      const std::int64_t block = std::min(kWideBlockWrites, writes - w0);
-      engine::WideLaneTask task{
-          data.subspan(static_cast<std::size_t>(w0) * bpw,
-                       static_cast<std::size_t>(block) * bpw),
-          lane_state_, nullptr, {}};
-      engine_->encode_wide_lanes(wcfg, std::span<engine::WideLaneTask>(&task, 1),
-                                 pool);
-      delta.zeros += task.totals.zeros;
-      delta.transitions += task.totals.transitions;
-    }
-    stats_ += delta;
-    return delta;
-  }
-  // Accumulated in 64 bits: one call may stream far more line-beats
-  // than BurstStats's int fields can count.
-  struct LaneTotals {
-    std::int64_t zeros = 0;
-    std::int64_t transitions = 0;
-  };
-  std::vector<LaneTotals> lane_totals(static_cast<std::size_t>(lanes));
-
-  // Gathered block size: bounds the per-lane scratch at O(block) words
-  // regardless of how much data one call streams.
-  constexpr std::int64_t kBlockWrites = 1024;
-
-  auto encode_lane_stream = [&](int lane) {
-    // Gather this lane's bytes out of the beat-major interleave into a
-    // reused flat word buffer, one block of writes at a time, and push
-    // each block through the engine.
-    std::vector<dbi::Word> words(
-        static_cast<std::size_t>(std::min(writes, kBlockWrites)) *
-        static_cast<std::size_t>(bl));
-    dbi::BusState& state = lane_state_[static_cast<std::size_t>(lane)];
-    LaneTotals& totals = lane_totals[static_cast<std::size_t>(lane)];
-    auto add = [&totals](const dbi::BurstStats& s) {
-      totals.zeros += s.zeros;
-      totals.transitions += s.transitions;
-    };
-
-    for (std::int64_t w0 = 0; w0 < writes; w0 += kBlockWrites) {
-      const std::int64_t block = std::min(kBlockWrites, writes - w0);
-      for (std::int64_t wi = 0; wi < block; ++wi) {
-        const std::size_t base = static_cast<std::size_t>(w0 + wi) * bpw;
-        for (int beat = 0; beat < bl; ++beat)
-          words[static_cast<std::size_t>(wi * bl + beat)] =
-              data[base + static_cast<std::size_t>(beat * lanes + lane)];
-      }
-      const std::span<const dbi::Word> block_words(
-          words.data(), static_cast<std::size_t>(block * bl));
-
-      if (cfg_.reset_state_per_write || !engine_) {
-        // Per-write boundaries (or the virtual path) need burst-at-a-time
-        // state handling; still no EncodedBurst materialisation on the
-        // engine route.
-        for (std::int64_t wi = 0; wi < block; ++wi) {
-          if (cfg_.reset_state_per_write)
-            state = dbi::BusState::all_ones(cfg_.lane);
-          const std::span<const dbi::Word> burst_words =
-              block_words.subspan(static_cast<std::size_t>(wi * bl),
-                                  static_cast<std::size_t>(bl));
-          if (engine_) {
-            add(engine_->encode_words(burst_words, cfg_.lane, state));
-          } else {
-            const dbi::Burst burst(cfg_.lane, burst_words);
-            const dbi::EncodedBurst e = encoder_->encode(burst, state);
-            add(e.stats(state));
-            state = e.final_state();
-          }
-        }
-      } else {
-        add(engine_->encode_words(block_words, cfg_.lane, state));
-      }
-    }
-  };
-
-  // Only the engine route is safe to shard: a caller-supplied scalar
-  // encoder may carry internal state (e.g. the noisy wrapper's PRNG)
-  // that must not be hit from several workers at once.
-  if (pool && engine_) {
-    pool->run(lanes, encode_lane_stream);
-  } else {
-    for (int lane = 0; lane < lanes; ++lane) encode_lane_stream(lane);
-  }
-
   ChannelStats delta;
   delta.writes = writes;
-  for (const LaneTotals& s : lane_totals) {
-    delta.zeros += s.zeros;
-    delta.transitions += s.transitions;
+  delta.bursts = writes * cfg_.lanes;
+  for (int lane = 0; lane < cfg_.lanes; ++lane) {
+    dbi::BusState& state = lane_state_[static_cast<std::size_t>(lane)];
+    for (std::int64_t w = 0; w < writes; ++w) {
+      const dbi::Burst burst =
+          lane_burst(data.subspan(static_cast<std::size_t>(w) * bpw, bpw),
+                     lane);
+      if (cfg_.reset_state_per_write)
+        state = dbi::BusState::all_ones(cfg_.lane);
+      const dbi::EncodedBurst e = encoder_->encode(burst, state);
+      const dbi::BurstStats s = e.stats(state);
+      delta.zeros += s.zeros;
+      delta.transitions += s.transitions;
+      state = e.final_state();
+    }
   }
   stats_ += delta;
   return delta;
 }
 
 void Channel::reset() {
+  if (session_) {
+    session_->reset();
+    return;
+  }
   lane_state_.assign(static_cast<std::size_t>(cfg_.lanes),
                      dbi::BusState::all_ones(cfg_.lane));
   stats_ = ChannelStats{};

@@ -2,10 +2,17 @@
 // side by side, as in a x32 GDDR5/GDDR5X device (4 byte lanes, each
 // with its own DBI wire) or a x64 DDR4 DIMM (8 lanes).
 //
-// The channel owns one encoder and one persistent bus state per lane,
-// so consecutive writes see the true line history instead of the paper's
-// per-burst all-ones boundary — which is exactly what a memory
-// controller integration would experience.
+// The channel owns one persistent bus state per lane, so consecutive
+// writes see the true line history instead of the paper's per-burst
+// all-ones boundary — which is exactly what a memory controller
+// integration would experience.
+//
+// Engine-backed channels are a thin wrapper over dbi::Session (the
+// public streaming facade): the Scheme constructor builds a SessionSpec
+// and both write() and write_stream() delegate to it, so the channel
+// never wires engine objects itself. The Encoder constructor keeps the
+// scalar per-burst virtual path for encoders that have no engine twin
+// (e.g. the noisy wrapper).
 #pragma once
 
 #include <cstdint>
@@ -13,70 +20,53 @@
 #include <span>
 #include <vector>
 
+#include "api/session.hpp"
+#include "api/stream_stats.hpp"
 #include "core/encoder.hpp"
 #include "core/encoding.hpp"
 #include "core/types.hpp"
-#include "engine/batch_encoder.hpp"
-#include "engine/shard_pool.hpp"
 
 namespace dbi::workload {
 
 struct ChannelConfig {
-  int lanes = 4;                 ///< DBI groups side by side (x32: 4)
-  dbi::BusConfig lane{8, 8};     ///< geometry of each group
+  int lanes = 4;              ///< DBI groups side by side (x32: 4)
+  dbi::BusConfig lane{8, 8};  ///< geometry of each group
   bool reset_state_per_write = false;  ///< paper boundary vs persistent
 
   void validate() const;
 
   /// Bytes carried by one full-channel burst (e.g. 32 for x32 BL8 —
-  /// one GPU cache sector / half a CPU cache line).
-  [[nodiscard]] int bytes_per_write() const {
-    return lanes * lane.burst_length;
+  /// one GPU cache sector / half a CPU cache line). 64-bit so callers
+  /// can multiply by write counts without widening first.
+  [[nodiscard]] std::int64_t bytes_per_write() const {
+    return static_cast<std::int64_t>(lanes) *
+           static_cast<std::int64_t>(lane.burst_length);
   }
 };
 
-/// Aggregate counters over everything a channel transmitted.
-struct ChannelStats {
-  std::int64_t writes = 0;
-  std::int64_t zeros = 0;
-  std::int64_t transitions = 0;
-
-  ChannelStats& operator+=(const ChannelStats& o) {
-    writes += o.writes;
-    zeros += o.zeros;
-    transitions += o.transitions;
-    return *this;
-  }
-  [[nodiscard]] double zeros_per_write() const {
-    return writes ? static_cast<double>(zeros) / static_cast<double>(writes)
-                  : 0.0;
-  }
-  [[nodiscard]] double transitions_per_write() const {
-    return writes
-               ? static_cast<double>(transitions) / static_cast<double>(writes)
-               : 0.0;
-  }
-};
+/// Aggregate counters over everything a channel transmitted — the
+/// unified streaming totals type (bursts = writes * lanes).
+using ChannelStats = dbi::StreamStats;
 
 class Channel {
  public:
   /// The channel takes ownership of the encoder (shared across lanes;
   /// encoders are stateless, the channel threads per-lane state).
   /// Writes go through the per-burst virtual path — use the Scheme
-  /// constructor for the batch-engine fast paths.
+  /// constructor for the Session-backed fast paths.
   Channel(const ChannelConfig& cfg, std::unique_ptr<dbi::Encoder> encoder);
 
-  /// Engine-backed channel: every write routes through the
-  /// engine::BatchEncoder fast paths for `scheme` (bit-exact vs the
-  /// scalar encoder). `w` parameterises kOpt, as in dbi::make_encoder.
+  /// Session-backed channel: every write routes through the dbi::Session
+  /// facade over the batch-engine fast paths for `scheme` (bit-exact vs
+  /// the scalar encoder). `w` parameterises kOpt, as in dbi::make_encoder.
   Channel(const ChannelConfig& cfg, dbi::Scheme scheme,
           const dbi::CostWeights& w = {});
 
   [[nodiscard]] const ChannelConfig& config() const { return cfg_; }
   [[nodiscard]] const dbi::Encoder& encoder() const {
-    return engine_ ? engine_->scalar_twin() : *encoder_;
+    return session_ ? session_->scalar_encoder() : *encoder_;
   }
-  [[nodiscard]] bool uses_engine() const { return engine_ != nullptr; }
+  [[nodiscard]] bool uses_engine() const { return session_ != nullptr; }
 
   /// Writes one full-channel burst. `data.size()` must equal
   /// config().bytes_per_write(); byte b of beat t of lane l is
@@ -88,24 +78,22 @@ class Channel {
 
   /// Batched stats-only write path: `data` holds any number of
   /// consecutive full-channel writes (size a multiple of
-  /// bytes_per_write(), same beat-major layout). Encodes every lane's
-  /// burst stream through the engine without materialising
-  /// EncodedBursts, updates the running statistics and per-lane line
-  /// state, and returns the stats of just this call. Engine-backed
-  /// channels of up to 8 byte lanes take the wide fast path: the
-  /// interleaved bytes are encoded in place as a width-8*lanes wide bus
-  /// (lane l = byte group l, no gather pass). With `pool`,
-  /// lanes are sharded deterministically across its workers. Requires
-  /// an engine-backed channel for the fast path; encoder-backed
-  /// channels take the scalar route — serially even when a pool is
-  /// given, since a caller-supplied encoder (e.g. the noisy wrapper)
-  /// may carry state that is not safe to share across workers — and
-  /// yield identical stats.
+  /// bytes_per_write(), same beat-major layout). Session-backed
+  /// channels of up to 8 byte lanes encode the interleaved bytes in
+  /// place as a width-8*lanes wide bus (lane l = byte group l, no
+  /// gather pass); with `pool`, lanes are sharded deterministically
+  /// across its workers. Encoder-backed channels take the scalar route
+  /// — serially even when a pool is given, since a caller-supplied
+  /// encoder (e.g. the noisy wrapper) may carry state that is not safe
+  /// to share across workers — and yield identical stats. Returns the
+  /// stats of just this call.
   ChannelStats write_stream(std::span<const std::uint8_t> data,
                             engine::ShardPool* pool = nullptr);
 
   /// Statistics of everything written so far.
-  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const ChannelStats& stats() const {
+    return session_ ? session_->stats() : stats_;
+  }
 
   /// Restores the all-ones line state and clears statistics.
   void reset();
@@ -114,10 +102,10 @@ class Channel {
   dbi::Burst lane_burst(std::span<const std::uint8_t> data, int lane) const;
 
   ChannelConfig cfg_;
-  std::unique_ptr<dbi::Encoder> encoder_;
-  std::unique_ptr<engine::BatchEncoder> engine_;  // null: virtual path
-  std::vector<dbi::BusState> lane_state_;
-  ChannelStats stats_;
+  std::unique_ptr<dbi::Encoder> encoder_;  // scalar virtual path
+  std::unique_ptr<dbi::Session> session_;  // engine facade path
+  std::vector<dbi::BusState> lane_state_;  // scalar path only
+  ChannelStats stats_;                     // scalar path only
 };
 
 }  // namespace dbi::workload

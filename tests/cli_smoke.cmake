@@ -66,6 +66,10 @@ endif()
 # Documented failure modes, each with its own exit code.
 run_dbitool(2)                           # no command: usage
 run_dbitool(64 frobnicate)               # unknown command: distinct code
+run_dbitool(64 replay t.dbt --lanse 4)   # unknown flag: named, same code
+run_dbitool(64 inspect t.dbt --csvv x)   # unknown flag on a flagless cmd
+run_dbitool(64 gen --lanse)              # unknown flag, even with no value
+run_dbitool(1 gen --bursts)              # known flag missing its value
 run_dbitool(1 replay missing.dbt)        # runtime error
 run_dbitool(1 record --corpus nope --bursts 1 -o x.dbt)
 file(WRITE "${WORK_DIR}/malformed.txt" "dbi-trace v1 8 8\nab cd\n")

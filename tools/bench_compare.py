@@ -33,10 +33,12 @@ FILES = ("bench_engine_throughput.json", "bench_trace_replay.json")
 
 # Acceptance floors (independent of the baseline): the wide multi-group
 # kernels must stay >= 4x over the per-group scalar loop for the fixed
-# schemes at the x32 and x64 geometries.
+# schemes at the x32 and x64 geometries, and the dbi::Session facade
+# may cost at most 2% throughput over the direct engine entry points.
 FLOOR_SCHEMES = ("DBI DC", "DBI AC", "DBI ACDC")
 FLOOR_WIDTHS = (32, 64)
 FLOOR_SPEEDUP = 4.0
+FACADE_FLOOR = 0.98
 
 
 def extract_metrics(name: str, doc: dict) -> dict[str, float]:
@@ -48,6 +50,10 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
         for row in doc.get("wide", []):
             metrics[f"wide_speedup/x{row['width']}/{row['scheme']}"] = (
                 row["speedup"]
+            )
+        for row in doc.get("facade", []):
+            metrics[f"facade_overhead/{row['case']}"] = (
+                row["session_vs_engine"]
             )
     elif name == "bench_trace_replay.json":
         for row in doc.get("schemes", []):
@@ -63,6 +69,8 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
 
 
 def floor_for(metric: str) -> float | None:
+    if metric.startswith("facade_overhead/"):
+        return FACADE_FLOOR
     for width in FLOOR_WIDTHS:
         for scheme in FLOOR_SCHEMES:
             if metric == f"wide_speedup/x{width}/{scheme}":
@@ -123,7 +131,14 @@ def main() -> int:
             rows.append((name, metric, base_value, cur_value, status))
 
         for metric in sorted(set(current) - set(baseline)):
-            rows.append((name, metric, float("nan"), current[metric], "new"))
+            status = "new"
+            floor = floor_for(metric)
+            if floor is not None and current[metric] < floor:
+                status = "BELOW-FLOOR"
+                failures.append(
+                    f"{metric}: {current[metric]:.3f} below the hard "
+                    f"acceptance floor {floor:.2f} (new metric)")
+            rows.append((name, metric, float("nan"), current[metric], status))
 
     sha = os.environ.get("GITHUB_SHA", "local")
     if args.trend:

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "core/encoder.hpp"
 #include "core/pareto.hpp"
 #include "engine/shard_pool.hpp"
@@ -36,7 +37,8 @@
 #include "sim/experiments.hpp"
 #include "sim/table.hpp"
 #include "trace/convert.hpp"
-#include "trace/replay.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
 #include "workload/corpus.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace.hpp"
@@ -50,6 +52,7 @@ struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
   bool csv = false;
+  std::string missing_value_flag;  ///< "--key" with no value following
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
@@ -82,8 +85,14 @@ Args parse_args(int argc, char** argv) {
       args.options[token.substr(2)] = "1";
     } else if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + token);
-      args.options[key] = argv[++i];
+      if (i + 1 >= argc) {
+        // Defer the error: an *unknown* trailing flag must still get
+        // the named exit-64 treatment, not a generic runtime error.
+        args.options[key] = "";
+        args.missing_value_flag = key;
+      } else {
+        args.options[key] = argv[++i];
+      }
     } else if (token == "-o") {
       if (i + 1 >= argc) throw std::runtime_error("missing value for -o");
       args.options["output"] = argv[++i];
@@ -92,6 +101,46 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Flags each subcommand accepts (keys as stored in Args::options; -o
+/// lands under "output", --csv is global). Anything else is an unknown
+/// flag: named on stderr with exit 64 (EX_USAGE), like unknown
+/// commands, so scripts can tell typos from bad data.
+const std::map<std::string, std::set<std::string>>& allowed_flags() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"gen", {"source", "bursts", "seed", "width", "bl", "output", "p-one",
+               "p-zero", "p-stay"}},
+      {"stats", {}},
+      {"encode", {"scheme", "alpha"}},
+      {"sweep", {"steps"}},
+      {"rates", {"pod", "cload-pf", "gbps", "from-gbps", "to-gbps",
+                 "step-gbps"}},
+      {"synth", {"bytes", "bursts"}},
+      {"pareto", {}},
+      {"faults", {"seed", "bursts", "sites", "bursts-per-fault"}},
+      {"verilog", {"design", "output"}},
+      {"record", {"corpus", "source", "bursts", "seed", "width", "bl",
+                  "chunk", "no-compress", "wide", "output", "p-one", "p-zero",
+                  "p-stay"}},
+      {"replay", {"scheme", "alpha", "lanes", "workers", "no-double-buffer",
+                  "pod", "cload-pf", "gbps"}},
+      {"inspect", {}},
+      {"convert", {"chunk", "no-compress"}},
+      {"corpus", {"width", "bl", "bursts", "seed"}},
+  };
+  return kAllowed;
+}
+
+/// Returns the first unknown flag of the command, or empty.
+std::string unknown_flag(const Args& args) {
+  const auto it = allowed_flags().find(args.command);
+  if (it == allowed_flags().end()) return {};  // unknown command: handled later
+  for (const auto& [key, value] : args.options) {
+    (void)value;
+    if (it->second.count(key) == 0) return key;
+  }
+  return {};
 }
 
 void emit(const sim::Table& table, const Args& args) {
@@ -152,6 +201,37 @@ power::PodParams parse_pod(const Args& args) {
   if (pod == "pod12") return power::PodParams::pod12(cload, rate);
   if (pod == "pod15") return power::PodParams::pod15(cload, rate);
   throw std::runtime_error("unknown pod preset: " + pod);
+}
+
+/// Shared geometry parsing for the subcommands that take a bus shape:
+/// --width / --bl, with --wide (implied by width > 32) selecting the
+/// multi-group arrangement (one DBI line per byte group).
+Geometry parse_geometry(const Args& args, int default_width = 8) {
+  const int width = static_cast<int>(args.get_long("width", default_width));
+  const int bl = static_cast<int>(args.get_long("bl", 8));
+  const bool wide = args.options.count("wide") != 0 || width > 32;
+  const Geometry g =
+      wide ? Geometry::wide(width, bl) : Geometry::narrow(width, bl);
+  g.validate();
+  return g;
+}
+
+/// The one SessionSpec producer every encode-path subcommand uses:
+/// --scheme / --alpha / --lanes / --workers / --no-double-buffer over a
+/// given geometry. `default_scheme` lets subcommands keep their
+/// historical default.
+SessionSpec session_spec(const Args& args, const Geometry& geometry,
+                         const std::string& default_scheme = "opt") {
+  SessionSpec spec;
+  spec.scheme = parse_scheme(args.get("scheme", default_scheme));
+  spec.geometry = geometry;
+  spec.weights =
+      CostWeights::ac_dc_tradeoff(args.get_double("alpha", 0.5));
+  spec.lanes = static_cast<int>(args.get_long("lanes", 1));
+  spec.threads = static_cast<int>(args.get_long("workers", 0));
+  spec.double_buffer = args.options.count("no-double-buffer") == 0;
+  spec.validate();
+  return spec;
 }
 
 int cmd_gen(const Args& args) {
@@ -358,57 +438,50 @@ trace::TraceWriterOptions writer_options(const Args& args) {
 }
 
 int cmd_record(const Args& args) {
-  const int width = static_cast<int>(args.get_long("width", 8));
-  const int bl = static_cast<int>(args.get_long("bl", 8));
+  const Geometry geometry = parse_geometry(args);
   const auto bursts = args.get_long("bursts", 1000);
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   const std::string out = args.get("output", "");
   if (out.empty())
     throw std::runtime_error("record: -o OUTPUT.dbt is required");
 
-  // --wide (implied by width > 32) records a multi-group trace: one DBI
-  // line per byte group, like a x16/x32/x64 device. The scenario's byte
-  // stream is interleaved beat-major across the groups.
-  if (args.options.count("wide") != 0 || width > 32) {
-    const dbi::WideBusConfig wcfg{width, bl};
-    wcfg.validate();
-    const auto source_cfg = BusConfig{8, bl};
-    std::unique_ptr<workload::BurstSource> source =
-        args.options.count("corpus")
-            ? workload::make_corpus_source(args.get("corpus", ""), source_cfg,
-                                           seed)
-            : make_source(args.get("source", "uniform"), source_cfg, seed,
-                          args);
-    trace::TraceWriter writer(out, wcfg, writer_options(args));
-    const auto bb = static_cast<std::size_t>(wcfg.bytes_per_burst());
-    constexpr long kBlockBursts = 4096;
-    std::vector<std::uint8_t> block;
-    for (long i = 0; i < bursts; i += kBlockBursts) {
-      const long n = std::min(kBlockBursts, bursts - i);
-      block.resize(static_cast<std::size_t>(n) * bb);
-      workload::fill_wide_bursts(*source, wcfg, block);
-      writer.write_packed(block);
-    }
-    writer.finish();
-    std::cerr << "recorded " << writer.bursts_written() << " wide x" << width
-              << " bursts (" << source->name() << ", " << wcfg.groups()
-              << " DBI groups) to " << out << "\n";
-    return 0;
-  }
-
-  BusConfig cfg{width, bl};
-  std::unique_ptr<workload::BurstSource> source;
+  // Recording is the Session pipeline with a trace sink: the scenario
+  // source streams packed bursts (wide geometry interleaves its byte
+  // stream beat-major across the groups), the sink writes them through
+  // the TraceWriter, and the RAW scheme keeps the pass stats-true
+  // without altering the payload.
+  std::unique_ptr<Source> source;
+  std::string source_name;
+  const BusConfig generator_cfg =
+      geometry.is_wide() ? BusConfig{8, geometry.burst_length()}
+                         : geometry.bus();
   if (args.options.count("corpus")) {
-    source = workload::make_corpus_source(args.get("corpus", ""), cfg, seed);
+    source_name = args.get("corpus", "");
+    source = dbi::make_corpus_source(source_name, bursts, seed);
   } else {
-    source = make_source(args.get("source", "uniform"), cfg, seed, args);
+    auto generator =
+        make_source(args.get("source", "uniform"), generator_cfg, seed, args);
+    source_name = std::string(generator->name());
+    source = dbi::make_generator_source(std::move(generator), bursts);
   }
 
-  trace::TraceWriter writer(out, cfg, writer_options(args));
-  for (long i = 0; i < bursts; ++i) writer.write(source->next());
-  writer.finish();
-  std::cerr << "recorded " << writer.bursts_written() << " bursts ("
-            << source->name() << ") to " << out << "\n";
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (geometry.is_wide())
+    writer = std::make_unique<trace::TraceWriter>(out, geometry.wide_bus(),
+                                                  writer_options(args));
+  else
+    writer = std::make_unique<trace::TraceWriter>(out, geometry.bus(),
+                                                  writer_options(args));
+  const auto sink = dbi::make_trace_sink(*writer);
+
+  SessionSpec spec = session_spec(args, geometry, "raw");
+  spec.scheme = Scheme::kRaw;  // record never re-encodes the payload
+  Session session(spec);
+  (void)session.run(*source, *sink);
+
+  std::cerr << "recorded " << writer->bursts_written() << " "
+            << geometry.to_string() << " bursts (" << source_name << ") to "
+            << out << "\n";
   return 0;
 }
 
@@ -416,19 +489,15 @@ int cmd_replay(const Args& args) {
   if (args.positional.empty())
     throw std::runtime_error("replay: expected a binary trace file");
   const auto reader = trace::TraceReader::open(args.positional[0]);
+  const Geometry geometry = reader.wide()
+                                ? Geometry::of(reader.header().wide_config())
+                                : Geometry::of(reader.config());
 
-  const double alpha = args.get_double("alpha", 0.5);
-  const CostWeights w = CostWeights::ac_dc_tradeoff(alpha);
   const power::PodParams pod = parse_pod(args);
-  const auto lanes = static_cast<int>(args.get_long("lanes", 4));
-  const auto workers = static_cast<int>(
+  SessionSpec spec = session_spec(args, geometry);
+  spec.lanes = static_cast<int>(args.get_long("lanes", 4));
+  spec.threads = static_cast<int>(
       args.get_long("workers", engine::ShardPool::default_workers()));
-
-  engine::ShardPool pool(workers);
-  trace::ReplayOptions opt;
-  opt.lanes = lanes;
-  opt.pool = &pool;
-  opt.double_buffer = args.options.count("no-double-buffer") == 0;
 
   sim::Table table({"scheme", "zeros/burst", "transitions/burst",
                     "interface_pj/burst"});
@@ -438,11 +507,12 @@ int cmd_replay(const Args& args) {
           : std::vector<std::string>{"raw", "dc", "ac", "acdc", "opt-fixed",
                                      "opt"};
   for (const std::string& name : names) {
-    const engine::BatchEncoder encoder(parse_scheme(name), w);
-    const trace::ReplayTotals totals =
-        trace::replay_trace(reader, encoder, opt);
+    spec.scheme = parse_scheme(name);
+    Session session(spec);
+    const auto source = dbi::make_trace_source(reader);
+    const StreamStats totals = session.run(*source);
     const sim::ReplaySummary s = sim::summarize_replay(totals, &pod);
-    table.add_row({std::string(encoder.name()), sim::fmt(s.zeros, 3),
+    table.add_row({std::string(session.scheme_name()), sim::fmt(s.zeros, 3),
                    sim::fmt(s.transitions, 3), sim::fmt(s.interface_pj, 4)});
   }
   emit(table, args);
@@ -532,7 +602,7 @@ int cmd_convert(const Args& args) {
 int cmd_corpus(const Args& args) {
   // Plain listing without --width; with --width, sample every scenario
   // at that wide geometry and report its payload statistics plus the
-  // engine-encoded AC transition rate (one DBI per byte group).
+  // Session-encoded AC transition rate (one DBI per byte group).
   if (args.options.count("width") == 0) {
     sim::Table table({"scenario", "description"});
     for (const workload::CorpusScenario& s : workload::corpus_scenarios())
@@ -541,60 +611,42 @@ int cmd_corpus(const Args& args) {
     return 0;
   }
 
-  const dbi::WideBusConfig wcfg{
-      static_cast<int>(args.get_long("width", 32)),
-      static_cast<int>(args.get_long("bl", 8))};
-  wcfg.validate();
+  const Geometry geometry =
+      Geometry::wide(static_cast<int>(args.get_long("width", 32)),
+                     static_cast<int>(args.get_long("bl", 8)));
+  geometry.validate();
   const auto bursts = args.get_long("bursts", 4096);
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
-  const auto bb = static_cast<std::size_t>(wcfg.bytes_per_burst());
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(bursts) * bb);
 
-  const engine::BatchEncoder raw(Scheme::kRaw);
-  const engine::BatchEncoder ac(Scheme::kAc);
+  SessionSpec raw_spec = session_spec(args, geometry, "raw");
+  raw_spec.scheme = Scheme::kRaw;
+  SessionSpec ac_spec = raw_spec;
+  ac_spec.scheme = Scheme::kAc;
+  Session raw(raw_spec);
+  Session ac(ac_spec);
+
   sim::Table table({"scenario", "zero_frac", "raw_trans/burst",
                     "ac_trans/burst", "ac_saving"});
   for (const workload::CorpusScenario& s : workload::corpus_scenarios()) {
-    workload::fill_wide_corpus(s.name, wcfg, seed, bytes);
-    std::vector<BusState> states(static_cast<std::size_t>(wcfg.groups()));
-    auto reset = [&] {
-      for (int g = 0; g < wcfg.groups(); ++g)
-        states[static_cast<std::size_t>(g)] =
-            BusState::all_ones(wcfg.group_config(g));
-    };
-    // Blocked 64-bit accumulation: BurstStats counts in int, which a
-    // large --bursts would overflow in one encode call.
-    auto totals = [&](const engine::BatchEncoder& enc) {
-      reset();
-      constexpr std::size_t kBlockBursts = std::size_t{1} << 16;
-      std::int64_t zeros = 0;
-      std::int64_t transitions = 0;
-      for (std::size_t b0 = 0; b0 < static_cast<std::size_t>(bursts);
-           b0 += kBlockBursts) {
-        const std::size_t block = std::min(
-            kBlockBursts, static_cast<std::size_t>(bursts) - b0);
-        const BurstStats st = enc.encode_packed_wide(
-            std::span<const std::uint8_t>(bytes).subspan(b0 * bb,
-                                                         block * bb),
-            wcfg, states);
-        zeros += st.zeros;
-        transitions += st.transitions;
-      }
-      return std::pair<std::int64_t, std::int64_t>{zeros, transitions};
-    };
-    const auto [raw_zeros, raw_trans] = totals(raw);
-    const auto [ac_zeros, ac_trans] = totals(ac);
-    (void)ac_zeros;
+    // Both schemes must see identical data, and corpus sources reseed
+    // per bind(), so each run pulls a fresh, identical stream.
+    auto raw_source = dbi::make_corpus_source(std::string(s.name), bursts,
+                                              seed);
+    auto ac_source = dbi::make_corpus_source(std::string(s.name), bursts,
+                                             seed);
+    const StreamStats raw_totals = raw.run(*raw_source);
+    const StreamStats ac_totals = ac.run(*ac_source);
     const auto n = static_cast<double>(bursts);
-    const double bits = n * wcfg.width * wcfg.burst_length;
+    const double bits = n * geometry.width() * geometry.burst_length();
     table.add_row(
         {std::string(s.name),
-         sim::fmt(static_cast<double>(raw_zeros) / bits, 4),
-         sim::fmt(static_cast<double>(raw_trans) / n, 2),
-         sim::fmt(static_cast<double>(ac_trans) / n, 2),
-         sim::fmt(raw_trans > 0 ? 1.0 - static_cast<double>(ac_trans) /
-                                            static_cast<double>(raw_trans)
-                                : 0.0,
+         sim::fmt(static_cast<double>(raw_totals.zeros) / bits, 4),
+         sim::fmt(raw_totals.transitions_per_burst(), 2),
+         sim::fmt(ac_totals.transitions_per_burst(), 2),
+         sim::fmt(raw_totals.transitions > 0
+                      ? 1.0 - static_cast<double>(ac_totals.transitions) /
+                                  static_cast<double>(raw_totals.transitions)
+                      : 0.0,
                   3)});
   }
   emit(table, args);
@@ -642,11 +694,19 @@ int usage() {
   return 2;
 }
 
-/// Unknown commands are a distinct failure from an empty invocation:
-/// name the offender on stderr and exit 64 (EX_USAGE) instead of the
-/// bare-usage exit 2, so scripts can tell typos from missing arguments.
+/// Unknown commands and unknown flags are a distinct failure from an
+/// empty invocation: name the offender on stderr and exit 64
+/// (EX_USAGE) instead of the bare-usage exit 2, so scripts can tell
+/// typos from missing arguments.
 int unknown_command(const std::string& command) {
   std::cerr << "dbitool: unknown command '" << command << "'\n\n";
+  (void)usage();
+  return 64;
+}
+
+int unknown_flag_error(const std::string& command, const std::string& flag) {
+  std::cerr << "dbitool: unknown flag '--" << flag << "' for command '"
+            << command << "'\n\n";
   (void)usage();
   return 64;
 }
@@ -657,6 +717,11 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     if (args.command.empty()) return usage();
+    if (const std::string flag = unknown_flag(args); !flag.empty())
+      return unknown_flag_error(args.command, flag);
+    if (!args.missing_value_flag.empty())
+      throw std::runtime_error("missing value for --" +
+                               args.missing_value_flag);
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "encode") return cmd_encode(args);

@@ -27,6 +27,7 @@
 
 #include "api/session.hpp"
 #include "core/encoder.hpp"
+#include "engine/batch_decoder.hpp"
 #include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
 #include "workload/generators.hpp"
@@ -224,6 +225,162 @@ WideReport run_wide(Scheme scheme, const CostWeights& w, int width,
   return rep;
 }
 
+// Receive side: the scalar receive path (materialised EncodedBursts,
+// EncodedBurst::decode() per burst — what every consumer of encoded
+// data did before the decode engine) vs BatchDecoder's packed kernels
+// over the same transmitted stream. Encoding and wire materialisation
+// happen outside the timed region. decode_vs_scalar carries a hard 4x
+// floor for the fixed schemes at x8 and x64 (tools/bench_compare.py).
+struct DecodeReport {
+  std::string geometry;  // "x8" | "wide_x64"
+  std::string scheme;
+  double scalar_mbps = 0;  // mega-bursts decoded per second, scalar path
+  double engine_mbps = 0;  // BatchDecoder packed kernel
+  double ratio = 0;        // engine / scalar
+};
+
+DecodeReport run_decode_narrow(Scheme scheme, int bursts, int repeats) {
+  const BusConfig cfg{8, 8};
+  DecodeReport rep;
+  rep.geometry = "x8";
+  const double total = static_cast<double>(bursts) * repeats;
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(bursts) * bb);
+  workload::Xoshiro256 rng(21);
+  for (std::uint8_t& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+  // Untimed: encode the stream and materialise the wire bytes.
+  const engine::BatchEncoder engine(scheme);
+  rep.scheme = std::string(engine.name());
+  std::vector<engine::BurstResult> results(
+      static_cast<std::size_t>(bursts));
+  BusState state = BusState::all_ones(cfg);
+  (void)engine.encode_packed(payload, cfg, state, results.data());
+  std::vector<std::uint64_t> masks(static_cast<std::size_t>(bursts));
+  for (int i = 0; i < bursts; ++i)
+    masks[static_cast<std::size_t>(i)] =
+        results[static_cast<std::size_t>(i)].invert_mask;
+  const engine::BatchDecoder decoder;
+  std::vector<std::uint8_t> tx(payload.size());
+  decoder.apply_packed(payload, masks, cfg, tx);
+
+  // (a) scalar receive path, on pre-materialised physical bursts.
+  {
+    std::vector<EncodedBurst> wire;
+    wire.reserve(static_cast<std::size_t>(bursts));
+    for (int i = 0; i < bursts; ++i) {
+      std::vector<Beat> beats;
+      beats.reserve(8);
+      for (int t = 0; t < 8; ++t)
+        beats.push_back(
+            Beat{static_cast<Word>(tx[static_cast<std::size_t>(i) * bb +
+                                      static_cast<std::size_t>(t)]),
+                 ((masks[static_cast<std::size_t>(i)] >> t) & 1U) == 0});
+      wire.emplace_back(cfg, std::move(beats));
+    }
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r)
+      for (const EncodedBurst& e : wire) sink += e.decode().word(0);
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    rep.scalar_mbps = total / dt / 1e6;
+  }
+
+  // (b) packed decode kernel.
+  {
+    std::vector<std::uint8_t> out(tx.size());
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      decoder.decode_packed(tx, masks, cfg, out);
+      sink += out[0];
+    }
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    rep.engine_mbps = total / dt / 1e6;
+  }
+
+  rep.ratio = rep.scalar_mbps > 0 ? rep.engine_mbps / rep.scalar_mbps : 0;
+  return rep;
+}
+
+DecodeReport run_decode_wide(Scheme scheme, int bursts, int repeats) {
+  const WideBusConfig cfg{64, 8};
+  const int groups = cfg.groups();
+  DecodeReport rep;
+  rep.geometry = "wide_x64";
+  const double total = static_cast<double>(bursts) * repeats;
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(bursts) * bb);
+  workload::Xoshiro256 rng(23);
+  for (std::uint8_t& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+  const engine::BatchEncoder engine(scheme);
+  rep.scheme = std::string(engine.name());
+  std::vector<engine::BurstResult> results(
+      static_cast<std::size_t>(bursts) * static_cast<std::size_t>(groups));
+  std::vector<BusState> states(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g)
+    states[static_cast<std::size_t>(g)] =
+        BusState::all_ones(cfg.group_config(g));
+  (void)engine.encode_packed_wide(payload, cfg, states, results.data());
+  std::vector<std::uint64_t> masks(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i)
+    masks[i] = results[i].invert_mask;
+  const engine::BatchDecoder decoder;
+  std::vector<std::uint8_t> tx(payload.size());
+  decoder.apply_packed_wide(payload, masks, cfg, tx);
+
+  // (a) scalar receive path: one EncodedBurst per (burst, group).
+  {
+    std::vector<EncodedBurst> wire;
+    wire.reserve(results.size());
+    for (int i = 0; i < bursts; ++i) {
+      for (int g = 0; g < groups; ++g) {
+        std::vector<Beat> beats;
+        beats.reserve(8);
+        const std::uint64_t m =
+            masks[static_cast<std::size_t>(i * groups + g)];
+        for (int t = 0; t < 8; ++t)
+          beats.push_back(
+              Beat{static_cast<Word>(
+                       tx[static_cast<std::size_t>(i) * bb +
+                          static_cast<std::size_t>(t * groups + g)]),
+                   ((m >> t) & 1U) == 0});
+        wire.emplace_back(cfg.group_config(g), std::move(beats));
+      }
+    }
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r)
+      for (const EncodedBurst& e : wire) sink += e.decode().word(0);
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    // Normalise to whole wide bursts, like the engine side.
+    rep.scalar_mbps = total / dt / 1e6;
+  }
+
+  // (b) packed wide decode kernel.
+  {
+    std::vector<std::uint8_t> out(tx.size());
+    std::int64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      decoder.decode_packed_wide(tx, masks, cfg, out);
+      sink += out[0];
+    }
+    const double dt = seconds_since(t0);
+    if (sink == 42) std::puts("");
+    rep.engine_mbps = total / dt / 1e6;
+  }
+
+  rep.ratio = rep.scalar_mbps > 0 ? rep.engine_mbps / rep.scalar_mbps : 0;
+  return rep;
+}
+
 // Facade tax: Session::run vs the direct engine entry point on the
 // same payload. These are the only direct BatchEncoder calls in the
 // bench — they exist as the overhead reference the CI gate compares
@@ -415,6 +572,27 @@ int main(int argc, char** argv) {
           "\"sharded_mbursts_per_s\": %.2f, \"speedup\": %.2f}",
           first ? "" : ",\n", r.width, r.scheme.c_str(), r.scalar_mbps,
           r.engine_mbps, r.sharded_mbps, r.speedup);
+      first = false;
+    }
+  }
+  std::printf("\n  ],\n");
+
+  // Receive side: scalar EncodedBurst::decode vs the packed decode
+  // kernels. Gated at a hard 4x floor for the fixed schemes at x8 and
+  // x64 by tools/bench_compare.py.
+  std::printf("  \"decode\": [\n");
+  first = true;
+  for (const Scheme s : {Scheme::kDc, Scheme::kAc, Scheme::kAcDc}) {
+    for (const bool wide : {false, true}) {
+      const DecodeReport r =
+          wide ? run_decode_wide(s, bursts_per_lane, 4)
+               : run_decode_narrow(s, bursts_per_lane, 8);
+      std::printf(
+          "%s    {\"geometry\": \"%s\", \"scheme\": \"%s\", "
+          "\"scalar_mbursts_per_s\": %.2f, \"engine_mbursts_per_s\": %.2f, "
+          "\"decode_vs_scalar\": %.2f}",
+          first ? "" : ",\n", r.geometry.c_str(), r.scheme.c_str(),
+          r.scalar_mbps, r.engine_mbps, r.ratio);
       first = false;
     }
   }

@@ -1,6 +1,7 @@
 #include "api/session.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -29,6 +30,9 @@ void SessionSpec::validate() const {
     throw std::invalid_argument("SessionSpec: lanes must be in [1, 65536]");
   if (threads < 0 || threads > 1024)
     throw std::invalid_argument("SessionSpec: threads must be in [0, 1024]");
+  if (fault_injector && direction != Direction::kRoundTrip)
+    throw std::invalid_argument(
+        "SessionSpec: fault_injector only applies to kRoundTrip sessions");
 }
 
 Session::Session(const SessionSpec& spec)
@@ -70,6 +74,9 @@ std::int64_t Session::bytes_per_write() const {
 StreamStats Session::write(std::span<const std::uint8_t> data,
                            std::vector<dbi::EncodedBurst>* encoded) {
   require_channel_geometry("write");
+  if (spec_.direction != Direction::kEncode)
+    throw std::logic_error(
+        "Session::write: the incremental write surface is encode-only");
   if (static_cast<std::int64_t>(data.size()) != bytes_per_write())
     throw std::invalid_argument(
         "Session::write: expected " + std::to_string(bytes_per_write()) +
@@ -106,6 +113,10 @@ StreamStats Session::write(std::span<const std::uint8_t> data,
 StreamStats Session::write_stream(std::span<const std::uint8_t> data,
                                   engine::ShardPool* pool_override) {
   require_channel_geometry("write_stream");
+  if (spec_.direction != Direction::kEncode)
+    throw std::logic_error(
+        "Session::write_stream: the incremental write surface is "
+        "encode-only");
   const auto bpw = static_cast<std::size_t>(bytes_per_write());
   if (data.size() % bpw != 0)
     throw std::invalid_argument(
@@ -294,12 +305,17 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
     StreamStats totals;
     std::int64_t first_burst = 0;
     while (const auto c = source.next()) {
+      if (!c->masks.empty())
+        throw std::invalid_argument(
+            "Session::run: the source is already encoded (mask-carrying); "
+            "run a kDecode session instead of re-encoding it");
       for (std::int64_t b0 = 0; b0 < c->bursts; b0 += slice_bursts) {
         const std::int64_t n = std::min(slice_bursts, c->bursts - b0);
         const SourceChunk slice{
             c->bytes.subspan(static_cast<std::size_t>(b0) * bb,
                              static_cast<std::size_t>(n) * bb),
-            n};
+            n,
+            {}};
         const auto results = enc.encode_chunk(
             first_burst, slice.bytes, static_cast<std::size_t>(n), collect);
         deliver(first_burst, slice, results);
@@ -320,12 +336,193 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
   return encode_all(enc);
 }
 
+StreamStats Session::run_decode(Source& source, Sink& sink) {
+  if (sink.wants_results())
+    throw std::invalid_argument(
+        "Session::run: kDecode sessions recover payload, not encode "
+        "results; use a payload / stats / trace sink");
+  const bool pass_payload = sink.wants_payload();
+  const int groups = spec_.geometry.groups();
+  const auto bb = static_cast<std::size_t>(spec_.geometry.bytes_per_burst());
+
+  StreamStats totals;
+  std::vector<std::uint8_t> decoded;
+  std::int64_t first_burst = 0;
+  while (const auto c = source.next()) {
+    if (c->bursts == 0) continue;
+    if (c->masks.size() !=
+        static_cast<std::size_t>(c->bursts) * static_cast<std::size_t>(groups))
+      throw std::invalid_argument(
+          "Session::run: a kDecode session needs an encoded source "
+          "(a mask-carrying trace or make_encoded_packed_source); this "
+          "chunk has " + std::to_string(c->masks.size()) + " masks for " +
+          std::to_string(c->bursts) + " bursts of " +
+          std::to_string(groups) + " groups");
+    decoded.resize(static_cast<std::size_t>(c->bursts) * bb);
+    if (spec_.geometry.is_wide())
+      decoder_.decode_packed_wide(c->bytes, c->masks,
+                                  spec_.geometry.wide_bus(), decoded, pool());
+    else
+      decoder_.decode_packed(c->bytes, c->masks, spec_.geometry.bus(),
+                             decoded, pool());
+    SinkChunk chunk;
+    chunk.first_burst = first_burst;
+    chunk.bursts = c->bursts;
+    chunk.groups = groups;
+    if (pass_payload) chunk.payload = decoded;
+    sink.consume(chunk);
+    totals.bursts += c->bursts;
+    first_burst += c->bursts;
+  }
+  return totals;
+}
+
+StreamStats Session::run_roundtrip(Source& source, Sink& sink) {
+  engine::StreamEncodeOptions so;
+  so.lanes = spec_.lanes;
+  so.reset_state_per_burst =
+      spec_.state_policy == StatePolicy::kResetPerBurst;
+  so.pool = pool();
+
+  const bool pass_payload = sink.wants_payload();
+  const bool pass_results = sink.wants_results();
+  const int groups = spec_.geometry.groups();
+  const int lanes = spec_.lanes;
+  const int bl = spec_.geometry.burst_length();
+  const auto bpb = static_cast<std::size_t>(spec_.geometry.bytes_per_beat());
+  const auto bb = static_cast<std::size_t>(spec_.geometry.bytes_per_burst());
+  const bool wide = spec_.geometry.is_wide();
+  const dbi::BusConfig narrow_cfg =
+      wide ? dbi::BusConfig{} : spec_.geometry.bus();
+  const dbi::WideBusConfig wide_cfg =
+      wide ? spec_.geometry.wide_bus() : dbi::WideBusConfig{};
+
+  auto enc = wide ? std::make_unique<engine::StreamEncoder>(engine_, wide_cfg,
+                                                            so)
+                  : std::make_unique<engine::StreamEncoder>(engine_,
+                                                            narrow_cfg, so);
+
+  // Compares one round-tripped burst's group against the original and
+  // returns the beat mask of the differing beats (narrow groups span
+  // bytes_per_beat() bytes per beat; wide group g is the strided byte).
+  const auto diff_mask = [&](const std::uint8_t* original,
+                             const std::uint8_t* roundtripped, int group) {
+    std::uint64_t mask = 0;
+    for (int t = 0; t < bl; ++t) {
+      bool differs;
+      if (wide) {
+        const std::size_t at = static_cast<std::size_t>(t) *
+                                   static_cast<std::size_t>(groups) +
+                               static_cast<std::size_t>(group);
+        differs = original[at] != roundtripped[at];
+      } else {
+        const std::size_t at = static_cast<std::size_t>(t) * bpb;
+        differs =
+            std::memcmp(original + at, roundtripped + at, bpb) != 0;
+      }
+      if (differs) mask |= std::uint64_t{1} << t;
+    }
+    return mask;
+  };
+
+  const std::int64_t slice_bursts =
+      spec_.lanes > 1 ? static_cast<std::int64_t>(kAccumBlockBursts)
+                      : std::numeric_limits<std::int64_t>::max();
+
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint64_t> masks;
+  std::int64_t first_burst = 0;
+  while (const auto c = source.next()) {
+    if (c->bursts > 0 && !c->masks.empty())
+      throw std::invalid_argument(
+          "Session::run: kRoundTrip takes payload sources; verify an "
+          "already-encoded trace with verify_encoded_trace / dbitool "
+          "verify");
+    for (std::int64_t b0 = 0; b0 < c->bursts; b0 += slice_bursts) {
+      const std::int64_t n = std::min(slice_bursts, c->bursts - b0);
+      const auto bytes = c->bytes.subspan(static_cast<std::size_t>(b0) * bb,
+                                          static_cast<std::size_t>(n) * bb);
+      const auto results = enc->encode_chunk(
+          first_burst, bytes, static_cast<std::size_t>(n), true);
+      masks.resize(results.size());
+      for (std::size_t i = 0; i < results.size(); ++i)
+        masks[i] = results[i].invert_mask;
+
+      // Materialise the wire stream, optionally corrupt it, then run
+      // the receiver over it — all on the same buffer.
+      wire.assign(bytes.begin(), bytes.end());
+      if (wide)
+        decoder_.apply_packed_wide(wire, masks, wide_cfg, wire, pool());
+      else
+        decoder_.apply_packed(wire, masks, narrow_cfg, wire, pool());
+      if (spec_.fault_injector) spec_.fault_injector(first_burst, wire, masks);
+      if (wide)
+        decoder_.decode_packed_wide(wire, masks, wide_cfg, wire, pool());
+      else
+        decoder_.decode_packed(wire, masks, narrow_cfg, wire, pool());
+
+      verify_.bursts += n;
+      if (std::memcmp(wire.data(), bytes.data(), wire.size()) != 0) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const std::uint8_t* orig =
+              bytes.data() + static_cast<std::size_t>(j) * bb;
+          const std::uint8_t* got =
+              wire.data() + static_cast<std::size_t>(j) * bb;
+          if (std::memcmp(orig, got, bb) == 0) continue;
+          const std::int64_t burst = first_burst + j;
+          for (int g = 0; g < groups; ++g) {
+            const std::uint64_t mask = diff_mask(orig, got, g);
+            if (mask != 0)
+              verify_.record(burst, static_cast<int>(burst % lanes), g, mask);
+          }
+        }
+      }
+
+      SinkChunk chunk;
+      chunk.first_burst = first_burst;
+      chunk.bursts = n;
+      chunk.groups = groups;
+      if (pass_payload) chunk.payload = wire;
+      if (pass_results) chunk.results = results;
+      sink.consume(chunk);
+      first_burst += n;
+    }
+  }
+
+  StreamStats totals;
+  totals.bursts = enc->bursts();
+  totals.zeros = enc->zeros();
+  totals.transitions = enc->transitions();
+  return totals;
+}
+
 StreamStats Session::run(Source& source, Sink& sink) {
   source.bind(spec_.geometry);
   sink.begin(spec_.geometry, spec_.lanes);
+  verify_ = VerifyReport{};
 
   StreamStats totals;
   const trace::TraceReader* reader = source.trace_reader();
+  if (spec_.direction == Direction::kDecode) {
+    if (reader && !reader->encoded())
+      throw std::invalid_argument(
+          "Session::run: kDecode needs an encoded trace (this one has no "
+          "mask stream)");
+    totals = run_decode(source, sink);
+    sink.finish(totals);
+    return totals;
+  }
+  if (reader && reader->encoded())
+    throw std::invalid_argument(
+        "Session::run: the trace is already encoded; run a kDecode "
+        "session or verify_encoded_trace instead of re-encoding the "
+        "transmitted stream");
+  if (spec_.direction == Direction::kRoundTrip) {
+    totals = run_roundtrip(source, sink);
+    sink.finish(totals);
+    return totals;
+  }
+
   const std::span<const dbi::Burst> burst_span = source.bursts();
   if (reader && !sink.wants_payload()) {
     // mmap replay keeps the double-buffered producer and the zero-copy

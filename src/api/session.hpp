@@ -31,13 +31,17 @@
 #include <string_view>
 #include <vector>
 
+#include <functional>
+
 #include "api/geometry.hpp"
 #include "api/sink.hpp"
 #include "api/source.hpp"
 #include "api/stream_stats.hpp"
+#include "api/verify.hpp"
 #include "core/cost.hpp"
 #include "core/encoder.hpp"
 #include "core/encoding.hpp"
+#include "engine/batch_decoder.hpp"
 #include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
 #include "engine/stream_encoder.hpp"
@@ -48,6 +52,24 @@ namespace dbi {
 enum class StatePolicy {
   kThread,         ///< persistent history (real controller behaviour)
   kResetPerBurst,  ///< the paper's all-ones boundary before every burst
+};
+
+/// Which way a Session::run moves the data.
+enum class Direction {
+  /// Payload in, DBI decisions out (the original pipeline).
+  kEncode,
+  /// Encoded (transmitted + mask) source in, recovered payload out:
+  /// the source must carry masks (an encoded trace or
+  /// make_encoded_packed_source), sinks receive the decoded payload,
+  /// and the returned StreamStats counts bursts only (the receiver
+  /// re-derives no line statistics).
+  kDecode,
+  /// Encode, materialise the wire stream, decode it back and compare
+  /// bit-exactly against the original payload in one pass; the verdict
+  /// and per-lane mismatch positions land in Session::verify_report().
+  /// Sinks see the round-tripped (receiver-side) payload and the
+  /// encode results; totals are the encode totals.
+  kRoundTrip,
 };
 
 struct SessionSpec {
@@ -67,6 +89,21 @@ struct SessionSpec {
   StatePolicy state_policy = StatePolicy::kThread;
   /// Trace-backed sources: overlap chunk preparation with encoding.
   bool double_buffer = true;
+  Direction direction = Direction::kEncode;
+  /// Round-trip sessions only: called once per chunk between encode
+  /// and decode with the materialised transmitted bytes and the
+  /// per-(burst, group) inversion masks (both mutable), so fault
+  /// studies can corrupt the wire or the DBI decisions at engine speed
+  /// and watch verify_report() catch the damage. Corruptions must stay
+  /// on the physical lines: a bus of width w has no wires above
+  /// dq_mask, so pushing a transmitted beat out of range (possible at
+  /// non-byte widths, where packed bytes have spare bits) is not a
+  /// modellable fault — the decoder rejects it like any malformed
+  /// packed input and the run throws instead of reporting mismatches.
+  std::function<void(std::int64_t first_burst,
+                     std::span<std::uint8_t> tx,
+                     std::span<std::uint64_t> masks)>
+      fault_injector;
 
   void validate() const;
 };
@@ -88,11 +125,18 @@ class Session {
   /// Streams the whole source into the sink once and returns the
   /// 64-bit totals (also handed to sink.finish()). Restartable: every
   /// run starts from fresh all-ones states; rewindable sources can be
-  /// run repeatedly with identical results.
+  /// run repeatedly with identical results. The spec's Direction picks
+  /// the pipeline: encode, decode (mask-carrying sources only) or
+  /// round-trip (see Direction).
   StreamStats run(Source& source, Sink& sink);
 
   /// Stats-only run.
   StreamStats run(Source& source);
+
+  /// Verdict of the latest kRoundTrip run (reset at every run start):
+  /// bit-exact flag plus the first mismatching (burst, lane, group)
+  /// sites with their beat masks.
+  [[nodiscard]] const VerifyReport& verify_report() const { return verify_; }
 
   // ------------------------------------------------- incremental writes
   //
@@ -134,9 +178,13 @@ class Session {
   StreamStats run_chunks(Source& source, Sink& sink);
   StreamStats run_bursts(std::span<const dbi::Burst> bursts);
   StreamStats run_replay(const trace::TraceReader& reader, Sink& sink);
+  StreamStats run_decode(Source& source, Sink& sink);
+  StreamStats run_roundtrip(Source& source, Sink& sink);
 
   SessionSpec spec_;
   engine::BatchEncoder engine_;
+  engine::BatchDecoder decoder_;
+  VerifyReport verify_;
   std::unique_ptr<engine::ShardPool> owned_pool_;
 
   // Incremental-write surface (lazily set up on first use): persistent

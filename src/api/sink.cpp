@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "engine/batch_decoder.hpp"
 #include "trace/trace_writer.hpp"
 
 namespace dbi {
@@ -76,6 +78,67 @@ class TraceWriterSink final : public Sink {
   trace::TraceWriter& writer_;
 };
 
+class PayloadBufferSink final : public Sink {
+ public:
+  explicit PayloadBufferSink(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  bool wants_payload() const override { return true; }
+
+  void begin(const Geometry&, int) override { out_.clear(); }
+
+  void consume(const SinkChunk& chunk) override {
+    out_.insert(out_.end(), chunk.payload.begin(), chunk.payload.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Applies each chunk's masks to its payload (payload -> transmitted
+/// stream) and writes both through an encoded-mode TraceWriter.
+class EncodedTraceWriterSink final : public Sink {
+ public:
+  explicit EncodedTraceWriterSink(trace::TraceWriter& writer)
+      : writer_(writer) {}
+
+  bool wants_results() const override { return true; }
+  bool wants_payload() const override { return true; }
+
+  void begin(const Geometry& geometry, int) override {
+    const Geometry writer_geometry =
+        writer_.wide() ? Geometry::of(writer_.wide_config())
+                       : Geometry::of(writer_.config());
+    if (writer_geometry != geometry)
+      throw std::invalid_argument("encoded trace sink: writer geometry " +
+                                  writer_geometry.to_string() +
+                                  " does not match session geometry " +
+                                  geometry.to_string());
+    geometry_ = geometry;
+  }
+
+  void consume(const SinkChunk& chunk) override {
+    masks_.resize(chunk.results.size());
+    for (std::size_t i = 0; i < chunk.results.size(); ++i)
+      masks_[i] = chunk.results[i].invert_mask;
+    tx_.resize(chunk.payload.size());
+    if (geometry_.is_wide())
+      decoder_.apply_packed_wide(chunk.payload, masks_, geometry_.wide_bus(),
+                                 tx_);
+    else
+      decoder_.apply_packed(chunk.payload, masks_, geometry_.bus(), tx_);
+    writer_.write_encoded(tx_, masks_);
+  }
+
+  void finish(const StreamStats&) override { writer_.finish(); }
+
+ private:
+  trace::TraceWriter& writer_;
+  Geometry geometry_;
+  engine::BatchDecoder decoder_;
+  std::vector<std::uint64_t> masks_;
+  std::vector<std::uint8_t> tx_;
+};
+
 }  // namespace
 
 std::unique_ptr<Sink> make_stats_sink() {
@@ -94,6 +157,14 @@ std::unique_ptr<Sink> make_observer_sink(
 
 std::unique_ptr<Sink> make_trace_sink(trace::TraceWriter& writer) {
   return std::make_unique<TraceWriterSink>(writer);
+}
+
+std::unique_ptr<Sink> make_payload_sink(std::vector<std::uint8_t>& out) {
+  return std::make_unique<PayloadBufferSink>(out);
+}
+
+std::unique_ptr<Sink> make_encoded_trace_sink(trace::TraceWriter& writer) {
+  return std::make_unique<EncodedTraceWriterSink>(writer);
 }
 
 }  // namespace dbi

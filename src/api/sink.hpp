@@ -83,4 +83,18 @@ class Sink {
 [[nodiscard]] std::unique_ptr<Sink> make_trace_sink(
     trace::TraceWriter& writer);
 
+/// Appends the stream's packed payload bytes to `out` — for a kDecode
+/// session this is the recovered payload. `out` must outlive the sink.
+[[nodiscard]] std::unique_ptr<Sink> make_payload_sink(
+    std::vector<std::uint8_t>& out);
+
+/// Records an ENCODED trace: the chunk's payload is XORed with its
+/// inversion masks into the transmitted stream and written together
+/// with the mask stream through a TraceWriter opened with
+/// TraceWriterOptions::encoded (the dbitool `record --encode` path).
+/// Only meaningful on a kEncode session; the writer must outlive the
+/// sink and match the session geometry.
+[[nodiscard]] std::unique_ptr<Sink> make_encoded_trace_sink(
+    trace::TraceWriter& writer);
+
 }  // namespace dbi

@@ -57,7 +57,7 @@ class BurstSpanSource final : public Source {
       pack_burst(bursts_[static_cast<std::size_t>(next_ + i)], bpb_,
                  buffer_.data() + static_cast<std::size_t>(i) * bb_);
     next_ += n;
-    return SourceChunk{buffer_, n};
+    return SourceChunk{buffer_, n, {}};
   }
 
   std::span<const dbi::Burst> bursts() const override { return bursts_; }
@@ -75,6 +75,11 @@ class PackedSpanSource final : public Source {
   explicit PackedSpanSource(std::span<const std::uint8_t> bytes)
       : bytes_(bytes) {}
 
+  /// Encoded variant: transmitted bytes plus per-(burst, group) masks.
+  PackedSpanSource(std::span<const std::uint8_t> bytes,
+                   std::span<const std::uint64_t> masks)
+      : bytes_(bytes), masks_(masks), encoded_(true) {}
+
   void bind(const Geometry& g) override {
     bb_ = static_cast<std::size_t>(g.bytes_per_burst());
     if (bytes_.size() % bb_ != 0)
@@ -82,6 +87,16 @@ class PackedSpanSource final : public Source {
           "packed source: " + std::to_string(bytes_.size()) +
           " bytes is not a multiple of the " + std::to_string(bb_) +
           "-byte packed burst of geometry " + g.to_string());
+    if (encoded_) {
+      const std::size_t bursts = bytes_.size() / bb_;
+      const auto groups = static_cast<std::size_t>(g.groups());
+      if (masks_.size() != bursts * groups)
+        throw std::invalid_argument(
+            "encoded packed source: " + std::to_string(bursts) +
+            " bursts of " + std::to_string(groups) + " DBI groups need " +
+            std::to_string(bursts * groups) + " masks, got " +
+            std::to_string(masks_.size()));
+    }
     next_ = 0;
   }
 
@@ -92,11 +107,13 @@ class PackedSpanSource final : public Source {
     const auto total = static_cast<std::int64_t>(bytes_.size() / bb_);
     if (next_ >= total) return {};
     next_ = total;
-    return SourceChunk{bytes_, total};
+    return SourceChunk{bytes_, total, masks_};
   }
 
  private:
   std::span<const std::uint8_t> bytes_;
+  std::span<const std::uint64_t> masks_;
+  bool encoded_ = false;
   std::size_t bb_ = 1;
   std::int64_t next_ = 0;
 };
@@ -122,8 +139,13 @@ class TraceFileSource final : public Source {
     if (next_chunk_ >= reader_.chunk_count()) return {};
     const trace::ChunkInfo& info = reader_.chunk(next_chunk_);
     const auto payload = reader_.chunk_payload(next_chunk_, scratch_);
+    SourceChunk chunk{payload, static_cast<std::int64_t>(info.burst_count),
+                      {}};
+    if (reader_.encoded())
+      chunk.masks =
+          reader_.chunk_masks(next_chunk_, mask_scratch_, mask_words_);
     ++next_chunk_;
-    return SourceChunk{payload, static_cast<std::int64_t>(info.burst_count)};
+    return chunk;
   }
 
   const trace::TraceReader* trace_reader() const override { return &reader_; }
@@ -132,6 +154,8 @@ class TraceFileSource final : public Source {
   const trace::TraceReader& reader_;
   std::size_t next_chunk_ = 0;
   std::vector<std::uint8_t> scratch_;
+  std::vector<std::uint8_t> mask_scratch_;
+  std::vector<std::uint64_t> mask_words_;
 };
 
 /// Streams a workload generator as packed bursts at the bound
@@ -168,7 +192,7 @@ class GeneratorSource : public Source {
                    buffer_.data() + static_cast<std::size_t>(i) * bb_);
     }
     produced_ += n;
-    return SourceChunk{buffer_, n};
+    return SourceChunk{buffer_, n, {}};
   }
 
  protected:
@@ -239,6 +263,12 @@ std::unique_ptr<Source> make_burst_source(std::span<const dbi::Burst> bursts) {
 std::unique_ptr<Source> make_packed_source(
     std::span<const std::uint8_t> bytes) {
   return std::make_unique<PackedSpanSource>(bytes);
+}
+
+std::unique_ptr<Source> make_encoded_packed_source(
+    std::span<const std::uint8_t> bytes,
+    std::span<const std::uint64_t> masks) {
+  return std::make_unique<PackedSpanSource>(bytes, masks);
 }
 
 std::unique_ptr<Source> make_trace_source(const trace::TraceReader& reader) {

@@ -32,10 +32,15 @@ class BurstSource;
 
 namespace dbi {
 
-/// One pulled chunk: `bursts` consecutive packed bursts.
+/// One pulled chunk: `bursts` consecutive packed bursts. Encoded
+/// sources (a trace recorded with DBI decisions, or an explicit
+/// packed+mask pair) additionally carry one u64 inversion mask per
+/// (burst, group) pair in burst-major / group-minor order — the input
+/// of a kDecode session; payload-only sources leave `masks` empty.
 struct SourceChunk {
   std::span<const std::uint8_t> bytes;
   std::int64_t bursts = 0;
+  std::span<const std::uint64_t> masks;
 };
 
 class Source {
@@ -79,6 +84,14 @@ class Source {
 /// source.
 [[nodiscard]] std::unique_ptr<Source> make_packed_source(
     std::span<const std::uint8_t> bytes);
+
+/// Encoded packed span: `bytes` is the transmitted stream and `masks`
+/// holds one u64 inversion mask per (burst, group) pair, burst-major /
+/// group-minor. The input of a kDecode session; both spans must
+/// outlive the source.
+[[nodiscard]] std::unique_ptr<Source> make_encoded_packed_source(
+    std::span<const std::uint8_t> bytes,
+    std::span<const std::uint64_t> masks);
 
 /// Binary trace chunks served through the reader (zero copy for
 /// uncompressed chunks). The reader must outlive the source; its

@@ -1,0 +1,103 @@
+#include "api/verify.hpp"
+
+#include <bit>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "engine/batch_decoder.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "engine/stream_encoder.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace dbi {
+
+void VerifyReport::record(std::int64_t burst, int lane, int group,
+                          std::uint64_t beat_mask) {
+  ++mismatched_units;
+  mismatched_beats += std::popcount(beat_mask);
+  if (sites.size() < kMaxSites)
+    sites.push_back(MismatchSite{burst, lane, group, beat_mask});
+}
+
+std::uint8_t scheme_to_tag(Scheme s) {
+  return static_cast<std::uint8_t>(1 + static_cast<int>(s));
+}
+
+std::optional<Scheme> scheme_from_tag(std::uint8_t tag) {
+  if (tag < 1 || tag > 7) return std::nullopt;
+  return static_cast<Scheme>(tag - 1);
+}
+
+VerifyReport verify_encoded_trace(const trace::TraceReader& reader,
+                                  const VerifyOptions& options) {
+  if (!reader.encoded())
+    throw std::invalid_argument(
+        "verify: the trace carries no mask stream; round-trip it through "
+        "a kRoundTrip session instead");
+  const trace::TraceHeader& h = reader.header();
+
+  std::optional<Scheme> scheme = options.scheme;
+  if (!scheme) scheme = scheme_from_tag(h.enc_scheme);
+  if (!scheme)
+    throw std::invalid_argument(
+        "verify: the trace header does not record its encode scheme; "
+        "pass one explicitly");
+  const int lanes =
+      options.lanes.value_or(h.enc_lanes > 0 ? h.enc_lanes : 1);
+  const bool reset =
+      options.reset_per_burst.value_or(h.enc_policy == 1);
+  const int groups = h.group_count();
+
+  std::unique_ptr<engine::ShardPool> pool;
+  if (options.threads >= 2)
+    pool = std::make_unique<engine::ShardPool>(options.threads);
+
+  const engine::BatchEncoder engine(*scheme, options.weights);
+  const engine::BatchDecoder decoder;
+  engine::StreamEncodeOptions so;
+  so.lanes = lanes;
+  so.reset_state_per_burst = reset;
+  so.pool = pool.get();
+  auto stream =
+      h.wide() ? std::make_unique<engine::StreamEncoder>(
+                     engine, h.wide_config(), so)
+               : std::make_unique<engine::StreamEncoder>(engine, h.cfg, so);
+
+  VerifyReport report;
+  std::vector<std::uint8_t> scratch;
+  std::vector<std::uint8_t> mask_scratch;
+  std::vector<std::uint64_t> masks;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t c = 0; c < reader.chunk_count(); ++c) {
+    const trace::ChunkInfo& info = reader.chunk(c);
+    const auto tx = reader.chunk_payload(c, scratch);
+    const auto stored = reader.chunk_masks(c, mask_scratch, masks);
+    payload.resize(tx.size());
+    if (h.wide())
+      decoder.decode_packed_wide(tx, stored, h.wide_config(), payload,
+                                 pool.get());
+    else
+      decoder.decode_packed(tx, stored, h.cfg, payload, pool.get());
+    const auto rederived = stream->encode_chunk(
+        info.first_burst, payload, info.burst_count,
+        /*collect_results=*/true);
+    for (std::size_t j = 0; j < info.burst_count; ++j) {
+      for (int g = 0; g < groups; ++g) {
+        const std::size_t u = j * static_cast<std::size_t>(groups) +
+                              static_cast<std::size_t>(g);
+        const std::uint64_t diff = rederived[u].invert_mask ^ stored[u];
+        if (diff != 0) {
+          const std::int64_t burst =
+              info.first_burst + static_cast<std::int64_t>(j);
+          report.record(burst, static_cast<int>(burst % lanes), g, diff);
+        }
+      }
+    }
+    report.bursts += info.burst_count;
+  }
+  return report;
+}
+
+}  // namespace dbi

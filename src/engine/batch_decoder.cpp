@@ -1,0 +1,279 @@
+#include "engine/batch_decoder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "engine/bits.hpp"
+
+namespace dbi::engine {
+namespace {
+
+using dbi::Beat;
+using dbi::BusConfig;
+using dbi::Word;
+
+constexpr std::uint64_t kL01 = 0x0101010101010101ULL;
+constexpr std::uint64_t kL7F = 0x7F7F7F7F7F7F7F7FULL;
+constexpr std::uint64_t kL80 = 0x8080808080808080ULL;
+
+/// Spreads the low 8 bits to full bytes: byte k of the result is 0xFF
+/// iff bit k of `bits8` is set. One multiply selects bit k into byte k
+/// (at position k), the +0x7F carry turns any nonzero byte into a high
+/// bit, and the final multiply widens the 0/1 bytes to 0x00/0xFF.
+constexpr std::uint64_t spread_bits_to_bytes(std::uint64_t bits8) {
+  const std::uint64_t sel =
+      (bits8 * kL01) & 0x8040201008040201ULL;
+  return (((sel + kL7F) & kL80) >> 7) * 0xFFULL;
+}
+
+void check_mask_tails(std::span<const std::uint64_t> masks, int burst_length,
+                      int groups) {
+  if (burst_length >= 64) return;
+  for (std::size_t i = 0; i < masks.size(); ++i)
+    if ((masks[i] >> burst_length) != 0)
+      throw std::invalid_argument(
+          "BatchDecoder: burst " +
+          std::to_string(i / static_cast<std::size_t>(groups)) + " group " +
+          std::to_string(i % static_cast<std::size_t>(groups)) +
+          ": inversion mask has bits beyond burst length " +
+          std::to_string(burst_length));
+}
+
+[[noreturn]] void throw_bad_beat(std::size_t burst, int beat, int width) {
+  throw std::invalid_argument(
+      "BatchDecoder: burst " + std::to_string(burst) + " beat " +
+      std::to_string(beat) + ": transmitted word exceeds the width-" +
+      std::to_string(width) + " bus");
+}
+
+/// Splits `bursts` into one contiguous range per worker. Decoding
+/// threads no state, so the split is purely a load balancer and the
+/// output is bit-identical with or without the pool.
+template <typename Fn>
+void shard_bursts(std::size_t bursts, ShardPool* pool, const Fn& fn) {
+  constexpr std::size_t kMinBurstsPerWorker = 256;
+  const int workers = pool ? pool->workers() : 1;
+  if (!pool || workers <= 1 || bursts < 2 * kMinBurstsPerWorker) {
+    fn(std::size_t{0}, bursts);
+    return;
+  }
+  const auto w = static_cast<std::size_t>(workers);
+  const std::size_t per = (bursts + w - 1) / w;
+  pool->run(workers, [&](int r) {
+    const std::size_t b0 = static_cast<std::size_t>(r) * per;
+    if (b0 >= bursts) return;
+    fn(b0, std::min(per, bursts - b0));
+  });
+}
+
+}  // namespace
+
+void BatchDecoder::decode_range(std::span<const std::uint8_t> tx,
+                                std::span<const std::uint64_t> masks,
+                                const dbi::BusConfig& cfg,
+                                std::span<std::uint8_t> out) const {
+  const int bl = cfg.burst_length;
+  const auto bpb = static_cast<std::size_t>(cfg.bytes_per_beat());
+  const std::size_t bb = static_cast<std::size_t>(bl) * bpb;
+  const std::size_t n = tx.size() / bb;
+  const Word dq_mask = cfg.dq_mask();
+
+  if (bpb == 1) {
+    // Byte-per-beat lanes: 8 beats decode per 64-bit XOR. Sub-8-wide
+    // groups reuse the same path with the lane mask narrowed (their
+    // inverted beats toggle dq_mask, not 0xFF).
+    const std::uint64_t lane_mask = kL01 * static_cast<std::uint64_t>(dq_mask);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t m = masks[i];
+      const std::uint8_t* src = tx.data() + i * bb;
+      std::uint8_t* dst = out.data() + i * bb;
+      for (int t0 = 0; t0 < bl; t0 += 8) {
+        const int cnt = (bl - t0 < 8) ? (bl - t0) : 8;
+        std::uint64_t p = 0;
+        std::memcpy(&p, src + t0, static_cast<std::size_t>(cnt));
+        if (cfg.width < 8 && (p & ~lane_mask) != 0) {
+          for (int k = 0; k < cnt; ++k)
+            if ((src[t0 + k] & ~dq_mask) != 0) throw_bad_beat(i, t0 + k, cfg.width);
+        }
+        const std::uint64_t inv =
+            spread_bits_to_bytes((m >> t0) & 0xFFU) & lane_mask;
+        p ^= inv;
+        std::memcpy(dst + t0, &p, static_cast<std::size_t>(cnt));
+      }
+    }
+    return;
+  }
+
+  // 2- and 4-byte beats: XOR dq_mask into each flagged beat's
+  // little-endian bytes (validating the transmitted word like
+  // encode_packed does).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t m = masks[i];
+    const std::uint8_t* src = tx.data() + i * bb;
+    std::uint8_t* dst = out.data() + i * bb;
+    for (int t = 0; t < bl; ++t) {
+      Word w = 0;
+      for (std::size_t b = 0; b < bpb; ++b)
+        w |= static_cast<Word>(src[static_cast<std::size_t>(t) * bpb + b])
+             << (8 * b);
+      if ((w & ~dq_mask) != 0) throw_bad_beat(i, t, cfg.width);
+      if ((m >> t) & 1U) w ^= dq_mask;
+      for (std::size_t b = 0; b < bpb; ++b)
+        dst[static_cast<std::size_t>(t) * bpb + b] =
+            static_cast<std::uint8_t>(w >> (8 * b));
+    }
+  }
+}
+
+void BatchDecoder::decode_packed(std::span<const std::uint8_t> tx,
+                                 std::span<const std::uint64_t> masks,
+                                 const dbi::BusConfig& cfg,
+                                 std::span<std::uint8_t> out,
+                                 ShardPool* pool) const {
+  cfg.validate();
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  if (tx.size() % bb != 0)
+    throw std::invalid_argument(
+        "BatchDecoder::decode_packed: payload of " +
+        std::to_string(tx.size()) + " bytes is not a multiple of the " +
+        std::to_string(bb) + "-byte packed burst (width " +
+        std::to_string(cfg.width) + ", burst_length " +
+        std::to_string(cfg.burst_length) + ")");
+  const std::size_t n = tx.size() / bb;
+  if (masks.size() != n)
+    throw std::invalid_argument(
+        "BatchDecoder::decode_packed: " + std::to_string(n) +
+        " bursts need " + std::to_string(n) + " masks, got " +
+        std::to_string(masks.size()));
+  if (out.size() != tx.size())
+    throw std::invalid_argument(
+        "BatchDecoder::decode_packed: output of " +
+        std::to_string(out.size()) + " bytes != input of " +
+        std::to_string(tx.size()));
+  check_mask_tails(masks, cfg.burst_length, 1);
+
+  shard_bursts(n, pool, [&](std::size_t b0, std::size_t count) {
+    decode_range(tx.subspan(b0 * bb, count * bb), masks.subspan(b0, count),
+                 cfg, out.subspan(b0 * bb, count * bb));
+  });
+}
+
+void BatchDecoder::decode_range_wide(std::span<const std::uint8_t> tx,
+                                     std::span<const std::uint64_t> masks,
+                                     const dbi::WideBusConfig& cfg,
+                                     std::span<std::uint8_t> out) const {
+  const int groups = cfg.groups();
+  const int bl = cfg.burst_length;
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  const std::size_t n = tx.size() / bb;
+
+  // Start from the transmitted bytes; an exact alias decodes in place.
+  if (out.data() != tx.data()) std::memcpy(out.data(), tx.data(), tx.size());
+
+  if (groups == 8) {
+    // x64 fast path: all groups full, every beat is one aligned-enough
+    // u64 of the beat-major payload. Transposing the 8 group masks
+    // gives, per beat, the 8 group flags as one byte; spreading that
+    // byte to 0xFF lanes yields the beat's XOR word directly.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t* mk = masks.data() + i * 8;
+      std::uint8_t* base = out.data() + i * bb;
+      for (int t0 = 0; t0 < bl; t0 += 8) {
+        const int cnt = (bl - t0 < 8) ? (bl - t0) : 8;
+        std::uint64_t m8 = 0;
+        for (int g = 0; g < 8; ++g)
+          m8 |= ((mk[g] >> t0) & 0xFFULL) << (8 * g);
+        const std::uint64_t tile = transpose8(m8);
+        for (int k = 0; k < cnt; ++k) {
+          const std::uint64_t xorw =
+              spread_bits_to_bytes((tile >> (8 * k)) & 0xFFULL);
+          if (xorw == 0) continue;
+          std::uint64_t beat = 0;
+          std::uint8_t* p = base + static_cast<std::size_t>(t0 + k) * 8;
+          std::memcpy(&beat, p, 8);
+          beat ^= xorw;
+          std::memcpy(p, &beat, 8);
+        }
+      }
+    }
+    return;
+  }
+
+  // Generic group counts (including remainder groups): strided
+  // per-group conditional XOR with the group's own lane mask.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t* base = out.data() + i * bb;
+    for (int g = 0; g < groups; ++g) {
+      const auto gmask = static_cast<std::uint8_t>(cfg.group_mask(g));
+      const std::uint64_t m = masks[i * static_cast<std::size_t>(groups) +
+                                    static_cast<std::size_t>(g)];
+      const bool narrow_group = cfg.group_width(g) < 8;
+      for (int t = 0; t < bl; ++t) {
+        std::uint8_t& b = base[static_cast<std::size_t>(t) *
+                                   static_cast<std::size_t>(groups) +
+                               static_cast<std::size_t>(g)];
+        if (narrow_group && (b & ~gmask) != 0)
+          throw std::invalid_argument(
+              "BatchDecoder::decode_packed_wide: burst " + std::to_string(i) +
+              " beat " + std::to_string(t) +
+              ": transmitted byte exceeds the width-" +
+              std::to_string(cfg.group_width(g)) + " remainder group " +
+              std::to_string(g));
+        if ((m >> t) & 1U) b ^= gmask;
+      }
+    }
+  }
+}
+
+void BatchDecoder::decode_packed_wide(std::span<const std::uint8_t> tx,
+                                      std::span<const std::uint64_t> masks,
+                                      const dbi::WideBusConfig& cfg,
+                                      std::span<std::uint8_t> out,
+                                      ShardPool* pool) const {
+  cfg.validate();
+  const int groups = cfg.groups();
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  if (tx.size() % bb != 0)
+    throw std::invalid_argument(
+        "BatchDecoder::decode_packed_wide: payload of " +
+        std::to_string(tx.size()) + " bytes is not a multiple of the " +
+        std::to_string(bb) + "-byte packed wide burst (width " +
+        std::to_string(cfg.width) + ", " + std::to_string(groups) +
+        " groups, burst_length " + std::to_string(cfg.burst_length) + ")");
+  const std::size_t n = tx.size() / bb;
+  if (masks.size() != n * static_cast<std::size_t>(groups))
+    throw std::invalid_argument(
+        "BatchDecoder::decode_packed_wide: " + std::to_string(n) +
+        " bursts of " + std::to_string(groups) + " groups need " +
+        std::to_string(n * static_cast<std::size_t>(groups)) +
+        " masks, got " + std::to_string(masks.size()));
+  if (out.size() != tx.size())
+    throw std::invalid_argument(
+        "BatchDecoder::decode_packed_wide: output of " +
+        std::to_string(out.size()) + " bytes != input of " +
+        std::to_string(tx.size()));
+  check_mask_tails(masks, cfg.burst_length, groups);
+
+  const auto gs = static_cast<std::size_t>(groups);
+  shard_bursts(n, pool, [&](std::size_t b0, std::size_t count) {
+    decode_range_wide(tx.subspan(b0 * bb, count * bb),
+                      masks.subspan(b0 * gs, count * gs), cfg,
+                      out.subspan(b0 * bb, count * bb));
+  });
+}
+
+dbi::Burst BatchDecoder::decode_scalar(const dbi::BusConfig& cfg,
+                                       std::span<const dbi::Word> tx,
+                                       std::uint64_t mask) {
+  std::vector<Beat> beats;
+  beats.reserve(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i)
+    beats.push_back(Beat{tx[i], ((mask >> i) & 1U) == 0});
+  return dbi::EncodedBurst(cfg, std::move(beats)).decode();
+}
+
+}  // namespace dbi::engine

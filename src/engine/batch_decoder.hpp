@@ -1,0 +1,109 @@
+// BatchDecoder: line-rate receive side of the DBI code — the SWAR /
+// bit-plane twin of BatchEncoder for the decode direction.
+//
+// The receiver is scheme-blind: every scheme of the family (DC, AC,
+// ACDC, OPT, the ablations) transmits value-domain beats with the DBI
+// line low on inverted beats, so recovering the payload is one
+// flag-masked XOR per beat — the paper's core asymmetry (a trellis to
+// encode, an inverter and a handful of XOR gates to decode; see
+// hw/hw_dbi_decoder.cpp for the gate-level model this mirrors). DBI AC
+// *decides* in the transition domain, but that decision is resolved at
+// the transmitter and already folded into the inversion mask; the
+// receive path re-derives nothing. The per-scheme parity tests prove
+// this against EncodedBurst::decode for every scheme and geometry.
+//
+// Kernels:
+//   * byte groups (width == 8, the trace format's 1-byte-per-beat
+//     layout) decode 8 beats per 64-bit XOR: the mask bits spread to
+//     0xFF lane bytes with one multiply, so a burst costs two loads,
+//     two logic ops and a store;
+//   * other narrow widths XOR dq_mask() into each flagged beat's
+//     little-endian bytes (validating that transmitted beats fit the
+//     bus, like encode_packed);
+//   * wide multi-group payloads decode in the beat-major layout in
+//     place; the x64 fast path transposes the 8 group masks into
+//     per-beat XOR words (8x8 bit transpose + bit->byte spread), and
+//     every other group count takes a strided per-group pass with the
+//     remainder group's narrower mask.
+//
+// Because the conditional XOR is an involution, the same kernels apply
+// masks in the encode direction (payload -> transmitted stream):
+// apply_packed / apply_packed_wide are the documented aliases Session
+// and the encoded-trace sink use to materialise the wire stream.
+//
+// Decoding threads no line state, so bursts are independent and a
+// ShardPool splits any call into contiguous burst ranges (results are
+// identical with or without a pool).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/burst.hpp"
+#include "core/types.hpp"
+#include "engine/shard_pool.hpp"
+
+namespace dbi::engine {
+
+class BatchDecoder {
+ public:
+  BatchDecoder() = default;
+
+  /// Recovers the payload of `tx` (packed transmitted bursts in the
+  /// binary trace layout: burst_length beats of cfg.bytes_per_beat()
+  /// little-endian bytes each) given one inversion mask per burst.
+  /// `out` must be tx.size() bytes and may alias `tx` exactly (decode
+  /// in place). Transmitted beats outside cfg.dq_mask() and mask bits
+  /// at or beyond burst_length throw. With a pool, contiguous burst
+  /// ranges decode on different workers.
+  void decode_packed(std::span<const std::uint8_t> tx,
+                     std::span<const std::uint64_t> masks,
+                     const dbi::BusConfig& cfg, std::span<std::uint8_t> out,
+                     ShardPool* pool = nullptr) const;
+
+  /// Wide multi-group twin: `tx` holds beat-major packed wide bursts
+  /// (cfg.bytes_per_burst() bytes each, byte g of a beat = group g) and
+  /// `masks` one u64 per (burst, group) pair, burst-major / group-minor
+  /// — the engine's BurstResult order and the trace mask-stream order.
+  void decode_packed_wide(std::span<const std::uint8_t> tx,
+                          std::span<const std::uint64_t> masks,
+                          const dbi::WideBusConfig& cfg,
+                          std::span<std::uint8_t> out,
+                          ShardPool* pool = nullptr) const;
+
+  /// Encode-direction aliases: the conditional lane XOR is an
+  /// involution, so applying masks to a payload yields the transmitted
+  /// stream through the very same kernels.
+  void apply_packed(std::span<const std::uint8_t> payload,
+                    std::span<const std::uint64_t> masks,
+                    const dbi::BusConfig& cfg, std::span<std::uint8_t> out,
+                    ShardPool* pool = nullptr) const {
+    decode_packed(payload, masks, cfg, out, pool);
+  }
+  void apply_packed_wide(std::span<const std::uint8_t> payload,
+                         std::span<const std::uint64_t> masks,
+                         const dbi::WideBusConfig& cfg,
+                         std::span<std::uint8_t> out,
+                         ShardPool* pool = nullptr) const {
+    decode_packed_wide(payload, masks, cfg, out, pool);
+  }
+
+  /// Scalar reference twin (the pre-engine receive path): materialises
+  /// the physical beats as an EncodedBurst and decodes per beat. The
+  /// exhaustive ablation and the parity tests hold the kernels to this.
+  [[nodiscard]] static dbi::Burst decode_scalar(
+      const dbi::BusConfig& cfg, std::span<const dbi::Word> tx,
+      std::uint64_t mask);
+
+ private:
+  void decode_range(std::span<const std::uint8_t> tx,
+                    std::span<const std::uint64_t> masks,
+                    const dbi::BusConfig& cfg,
+                    std::span<std::uint8_t> out) const;
+  void decode_range_wide(std::span<const std::uint8_t> tx,
+                         std::span<const std::uint64_t> masks,
+                         const dbi::WideBusConfig& cfg,
+                         std::span<std::uint8_t> out) const;
+};
+
+}  // namespace dbi::engine

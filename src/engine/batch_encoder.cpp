@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/byte_utils.hpp"
+#include "engine/bits.hpp"
 
 namespace dbi::engine {
 namespace {
@@ -277,18 +278,6 @@ BurstResult encode_raw8(const Beats& beats, BusState& state) {
 //         tie or lose and the non-inverted beat wins regardless of
 //         s_prev, resetting the XOR chain to 0.
 //   ACDC: AC with the first flag replaced by the DC rule for beat 0.
-
-/// Transposes a u64 viewed as an 8x8 bit matrix (row k = byte k):
-/// result byte r bit k = input byte k bit r (Hacker's Delight 7-2).
-constexpr std::uint64_t transpose8(std::uint64_t x) {
-  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;
-  x ^= t ^ (t << 7);
-  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL;
-  x ^= t ^ (t << 14);
-  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL;
-  x ^= t ^ (t << 28);
-  return x;
-}
 
 /// Fills planes[b] (b < width) with bit b of every beat: bit i = bit b
 /// of beat i. Works in 8-beat x 8-line tiles via transpose8.

@@ -1,0 +1,22 @@
+// Shared SWAR primitives of the encode and decode kernels. These are
+// subtle enough that two private copies would silently diverge; both
+// BatchEncoder and BatchDecoder include this single definition.
+#pragma once
+
+#include <cstdint>
+
+namespace dbi::engine {
+
+/// Transposes a u64 viewed as an 8x8 bit matrix (row k = byte k):
+/// result byte r bit k = input byte k bit r (Hacker's Delight 7-2).
+constexpr std::uint64_t transpose8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAULL;
+  x ^= t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCULL;
+  x ^= t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ULL;
+  x ^= t ^ (t << 28);
+  return x;
+}
+
+}  // namespace dbi::engine

@@ -29,6 +29,10 @@ void binary_to_text(const TraceReader& reader, std::ostream& text) {
         "convert: the v1 text format is single-group only; wide "
         "multi-group traces replay through the engine instead "
         "(dbitool replay)");
+  if (reader.encoded())
+    throw TraceError(
+        "convert: encoded traces hold the transmitted stream; decode "
+        "first (dbitool decode)");
   const dbi::BusConfig& cfg = reader.config();
   text << "dbi-trace v1 " << cfg.width << ' ' << cfg.burst_length << '\n';
   text << std::hex;

@@ -19,12 +19,22 @@
 //                                  wide trace of ceil(width / 8) byte
 //                                  groups, one DBI line each, and the
 //                                  value must equal that group count)
-//     17  u8[15] reserved (zero)
+//     17  u8     enc_scheme       (encoded traces: 1 + Scheme enum value
+//                                  of the encoder that produced the
+//                                  masks; 0 = not recorded / not encoded)
+//     18  u16    enc_lanes        (encoded traces: lane interleave the
+//                                  masks were encoded with; 0 = not
+//                                  recorded / not encoded)
+//     20  u8     enc_policy       (encoded traces: 0 = line state
+//                                  threaded per lane, 1 = reset to the
+//                                  all-ones boundary per burst)
+//     21  u8[11] reserved (zero)
 //
 //   Chunk (repeated; at least one unless the trace is empty)
 //     0   u8[4]  magic "CHNK"
 //     4   u32    burst_count   (1 .. bursts_per_chunk)
-//     8   u32    chunk flags   (bit 0: payload is zero-run RLE)
+//     8   u32    chunk flags   (bit 0: payload is zero-run RLE;
+//                               bit 1: mask-stream chunk, see below)
 //     12  u32    payload_bytes (on-disk payload size)
 //     16  u8[payload_bytes]    payload
 //
@@ -36,6 +46,20 @@
 //   per beat (byte g of a beat = byte group g), so group g's stream is
 //   the payload read at stride dbi_groups — the engine's strided
 //   zero-copy unit.
+//
+//   Encoded traces (file flag bit 1): the payload chunks store the
+//   TRANSMITTED stream (the physical DQ values after inversion), and
+//   every payload chunk is immediately followed by exactly one
+//   mask-stream chunk (chunk flag bit 1) carrying the per-burst DBI
+//   decisions: burst_count x dbi-group little-endian u64 inversion
+//   masks (bit t set = beat t transmitted inverted, DBI low), burst-
+//   major / group-minor — the engine's BurstResult order. Mask chunks
+//   share the payload chunks' RLE option and ride between them in the
+//   file, but they are not counted in the footer's chunk_count or
+//   bursts (those describe the payload stream). Header bytes 17..20
+//   record how the trace was encoded (scheme / lanes / state policy)
+//   so a decoder or verifier can re-derive the masks without being
+//   told; byte 17 == 0 means "not recorded".
 //
 //   Footer (64 bytes)
 //     0   u8[4]  magic "DBTF"
@@ -80,7 +104,16 @@ inline constexpr std::size_t kChunkHeaderBytes = 16;
 inline constexpr std::size_t kFooterBytes = 64;
 
 inline constexpr std::uint16_t kFileFlagCompressed = 1U << 0;
+/// The payload chunks hold the transmitted (post-inversion) stream and
+/// each is followed by a mask-stream chunk with the DBI decisions.
+inline constexpr std::uint16_t kFileFlagEncoded = 1U << 1;
 inline constexpr std::uint32_t kChunkFlagRle = 1U << 0;
+/// Mask-stream chunk: burst_count x groups little-endian u64 inversion
+/// masks riding behind its payload chunk (encoded traces only).
+inline constexpr std::uint32_t kChunkFlagMask = 1U << 1;
+
+/// On-disk size of one burst's mask record (u64 per DBI group).
+inline constexpr std::size_t kMaskBytesPerBurst = 8;
 
 inline constexpr std::uint32_t kDefaultBurstsPerChunk = 4096;
 
@@ -160,13 +193,28 @@ struct TraceHeader {
   std::uint8_t groups = 0;  ///< header byte 16; 0 = single-group file
   std::uint16_t flags = 0;
   std::uint32_t bursts_per_chunk = kDefaultBurstsPerChunk;
+  /// Encode metadata (bytes 17..20), nonzero only in encoded traces:
+  /// 1 + Scheme enum value / lane interleave / state policy the masks
+  /// were produced with. enc_scheme == 0 means "not recorded".
+  std::uint8_t enc_scheme = 0;
+  std::uint16_t enc_lanes = 0;
+  std::uint8_t enc_policy = 0;
 
   /// True when the payload is the multi-group beat-major wide layout.
   [[nodiscard]] bool wide() const { return groups > 1; }
 
+  /// True when payload chunks carry the transmitted stream and each is
+  /// paired with a mask-stream chunk.
+  [[nodiscard]] bool encoded() const {
+    return (flags & kFileFlagEncoded) != 0;
+  }
+
   [[nodiscard]] dbi::WideBusConfig wide_config() const {
     return dbi::WideBusConfig{cfg.width, cfg.burst_length};
   }
+
+  /// DBI groups per burst (mask words per burst in encoded traces).
+  [[nodiscard]] int group_count() const { return wide() ? groups : 1; }
 
   /// On-disk payload size of one burst, either layout.
   [[nodiscard]] int bytes_per_burst() const {

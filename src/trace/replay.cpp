@@ -21,6 +21,10 @@ engine::StreamEncodeOptions stream_options(const ReplayOptions& opt) {
 engine::StreamEncoder make_stream(const TraceReader& reader,
                                   const engine::BatchEncoder& encoder,
                                   const ReplayOptions& opt) {
+  if (reader.encoded())
+    throw std::invalid_argument(
+        "replay: the trace holds an already-encoded (transmitted) stream; "
+        "decode it first or verify it instead of re-encoding it");
   return reader.wide()
              ? engine::StreamEncoder(encoder, reader.header().wide_config(),
                                      stream_options(opt))

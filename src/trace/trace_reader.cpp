@@ -136,6 +136,20 @@ void TraceReader::parse(bool verify_crc) {
   header_.flags = static_cast<std::uint16_t>(hdr.le(2));
   header_.bursts_per_chunk = static_cast<std::uint32_t>(hdr.le(4));
   header_.groups = static_cast<std::uint8_t>(hdr.le(1));
+  header_.enc_scheme = static_cast<std::uint8_t>(hdr.le(1));
+  header_.enc_lanes = static_cast<std::uint16_t>(hdr.le(2));
+  header_.enc_policy = static_cast<std::uint8_t>(hdr.le(1));
+  if (!header_.encoded() &&
+      (header_.enc_scheme != 0 || header_.enc_lanes != 0 ||
+       header_.enc_policy != 0))
+    throw TraceError(
+        "trace: encode metadata set in a trace without the encoded flag");
+  if (header_.enc_scheme > 7)
+    throw TraceError("trace: encode scheme tag " +
+                     std::to_string(header_.enc_scheme) + " out of range");
+  if (header_.enc_policy > 1)
+    throw TraceError("trace: encode state-policy byte " +
+                     std::to_string(header_.enc_policy) + " out of range");
   try {
     if (header_.groups == 0) {
       // Legacy single-group file: byte 16 was reserved-zero.
@@ -192,33 +206,77 @@ void TraceReader::parse(bool verify_crc) {
       std::min<std::uint64_t>(chunk_count, file.size() / kChunkHeaderBytes)));
   while (cur.remaining() > 0) {
     cur.expect_magic(kChunkMagic, "chunk");
-    ChunkInfo info;
-    info.burst_count = static_cast<std::uint32_t>(cur.le(4));
-    info.flags = static_cast<std::uint32_t>(cur.le(4));
-    info.payload_bytes = static_cast<std::uint32_t>(cur.le(4));
-    info.first_burst = bursts_seen;
-    if (info.burst_count < 1 || info.burst_count > header_.bursts_per_chunk)
+    const auto burst_count = static_cast<std::uint32_t>(cur.le(4));
+    const auto flags = static_cast<std::uint32_t>(cur.le(4));
+    const auto payload_bytes = static_cast<std::uint32_t>(cur.le(4));
+    if ((flags & ~(kChunkFlagRle | kChunkFlagMask)) != 0)
+      throw TraceError("trace: chunk carries unknown flag bits");
+    if (burst_count < 1 || burst_count > header_.bursts_per_chunk)
       throw TraceError("trace: chunk burst count " +
-                       std::to_string(info.burst_count) +
+                       std::to_string(burst_count) +
                        " outside [1, bursts_per_chunk]");
-    const std::uint64_t raw_bytes = info.burst_count * burst_bytes;
-    if (!info.compressed() && info.payload_bytes != raw_bytes)
+    const bool compressed = (flags & kChunkFlagRle) != 0;
+    const bool mask_chunk = (flags & kChunkFlagMask) != 0;
+    const std::uint64_t raw_bytes =
+        burst_count *
+        (mask_chunk ? static_cast<std::uint64_t>(header_.group_count()) *
+                          kMaskBytesPerBurst
+                    : burst_bytes);
+    if (!compressed && payload_bytes != raw_bytes)
       throw TraceError("trace: uncompressed chunk payload size mismatch");
-    if (info.compressed() && (header_.flags & kFileFlagCompressed) == 0)
+    if (compressed && (header_.flags & kFileFlagCompressed) == 0)
       throw TraceError("trace: compressed chunk in an uncompressed file");
     // Zero-run RLE expands at most 128x (one control byte per up to 128
     // zeros), so a decoded size beyond that bound can never be produced
     // by the writer — reject it here so chunk_payload never sizes its
     // scratch buffer from a lying header.
-    if (info.compressed() &&
-        raw_bytes > static_cast<std::uint64_t>(info.payload_bytes) * 128)
+    if (compressed &&
+        raw_bytes > static_cast<std::uint64_t>(payload_bytes) * 128)
       throw TraceError("trace: compressed chunk decoded size exceeds the "
                        "128x RLE expansion bound");
+
+    if (mask_chunk) {
+      // A mask-stream chunk is the rider of the payload chunk directly
+      // before it: out-of-order riders (mask first, two masks in a row,
+      // mask in a non-encoded file) are index corruption.
+      if (!header_.encoded())
+        throw TraceError(
+            "trace: mask-stream chunk in a trace without the encoded flag");
+      if (chunks_.empty() || chunks_.back().has_mask())
+        throw TraceError(
+            "trace: mask-stream chunk without a payload chunk directly "
+            "before it (out-of-order chunk index)");
+      ChunkInfo& owner = chunks_.back();
+      if (burst_count != owner.burst_count)
+        throw TraceError("trace: mask-stream burst count " +
+                         std::to_string(burst_count) +
+                         " != its payload chunk's " +
+                         std::to_string(owner.burst_count));
+      owner.mask_offset = cur.pos();
+      owner.mask_flags = flags;
+      owner.mask_bytes = payload_bytes;
+      (void)cur.bytes(payload_bytes);
+      continue;
+    }
+
+    if (header_.encoded() && !chunks_.empty() && !chunks_.back().has_mask())
+      throw TraceError(
+          "trace: encoded trace has consecutive payload chunks (chunk " +
+          std::to_string(chunks_.size() - 1) + " is missing its mask "
+          "stream)");
+    ChunkInfo info;
+    info.burst_count = burst_count;
+    info.flags = flags;
+    info.payload_bytes = payload_bytes;
+    info.first_burst = bursts_seen;
     info.payload_offset = cur.pos();
     (void)cur.bytes(info.payload_bytes);
     bursts_seen += info.burst_count;
     chunks_.push_back(info);
   }
+  if (header_.encoded() && !chunks_.empty() && !chunks_.back().has_mask())
+    throw TraceError(
+        "trace: encoded trace is missing the final mask-stream chunk");
   if (chunks_.size() != chunk_count)
     throw TraceError("trace: footer chunk count " +
                      std::to_string(chunk_count) + " != chunks present " +
@@ -227,6 +285,41 @@ void TraceReader::parse(bool verify_crc) {
     throw TraceError("trace: footer burst count " +
                      std::to_string(stats_.bursts) + " != bursts present " +
                      std::to_string(bursts_seen));
+  validate_chunk_index(footer_off);
+}
+
+void TraceReader::validate_chunk_index(std::size_t footer_off) const {
+  // Defense in depth for the offsets chunk_payload() / chunk_masks()
+  // trust for the reader's lifetime: every chunk's extent (header +
+  // payload, then its mask rider) must start after the previous extent
+  // ends and finish before the footer, in strictly increasing file
+  // order. The sequential walk above derives offsets from a bounded
+  // cursor, so a violation here means the index-construction invariant
+  // itself broke — fail loudly instead of serving overlapping views.
+  std::uint64_t prev_end = kHeaderBytes;
+  std::int64_t prev_first = -1;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const ChunkInfo& c = chunks_[i];
+    if (c.first_burst <= prev_first)
+      throw TraceError("trace: chunk " + std::to_string(i) +
+                       " first_burst out of order");
+    prev_first = c.first_burst;
+    if (c.payload_offset < prev_end + kChunkHeaderBytes ||
+        c.payload_offset + c.payload_bytes < c.payload_offset)
+      throw TraceError("trace: chunk " + std::to_string(i) +
+                       " payload offset overlaps the preceding chunk");
+    prev_end = c.payload_offset + c.payload_bytes;
+    if (c.has_mask()) {
+      if (c.mask_offset < prev_end + kChunkHeaderBytes ||
+          c.mask_offset + c.mask_bytes < c.mask_offset)
+        throw TraceError("trace: chunk " + std::to_string(i) +
+                         " mask offset overlaps its payload chunk");
+      prev_end = c.mask_offset + c.mask_bytes;
+    }
+    if (prev_end > footer_off)
+      throw TraceError("trace: chunk " + std::to_string(i) +
+                       " extends into the footer");
+  }
 }
 
 std::span<const std::uint8_t> TraceReader::chunk_payload(
@@ -241,6 +334,43 @@ std::span<const std::uint8_t> TraceReader::chunk_payload(
   scratch.resize(raw);
   rle_decompress(on_disk, scratch);
   return scratch;
+}
+
+std::span<const std::uint64_t> TraceReader::chunk_masks(
+    std::size_t i, std::vector<std::uint8_t>& scratch,
+    std::vector<std::uint64_t>& out) const {
+  const ChunkInfo& info = chunks_.at(i);
+  if (!info.has_mask())
+    throw TraceError(
+        "trace: chunk has no mask stream (not an encoded trace)");
+  const auto on_disk = file_.bytes().subspan(
+      static_cast<std::size_t>(info.mask_offset), info.mask_bytes);
+  const std::size_t raw = static_cast<std::size_t>(info.burst_count) *
+                          static_cast<std::size_t>(header_.group_count()) *
+                          kMaskBytesPerBurst;
+  std::span<const std::uint8_t> bytes = on_disk;
+  if ((info.mask_flags & kChunkFlagRle) != 0) {
+    scratch.resize(raw);
+    rle_decompress(on_disk, scratch);
+    bytes = scratch;
+  }
+  out.resize(raw / kMaskBytesPerBurst);
+  const int bl = header_.cfg.burst_length;
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    std::uint64_t m = 0;
+    for (std::size_t b = 0; b < kMaskBytesPerBurst; ++b)
+      m |= static_cast<std::uint64_t>(bytes[w * kMaskBytesPerBurst + b])
+           << (8 * b);
+    if (bl < 64 && (m >> bl) != 0) {
+      const auto groups = static_cast<std::size_t>(header_.group_count());
+      throw TraceError("trace: inversion mask of burst " +
+                       std::to_string(w / groups) + " group " +
+                       std::to_string(w % groups) +
+                       " has bits beyond burst length " + std::to_string(bl));
+    }
+    out[w] = m;
+  }
+  return out;
 }
 
 void TraceReader::unpack_burst_at(std::span<const std::uint8_t> payload,
@@ -261,6 +391,10 @@ workload::BurstTrace TraceReader::to_burst_trace() const {
     throw TraceError(
         "trace: wide multi-group traces cannot be materialised as a "
         "single-group BurstTrace; replay through the engine instead");
+  if (header_.encoded())
+    throw TraceError(
+        "trace: encoded traces hold the transmitted stream, not payload "
+        "bursts; decode first (dbitool decode / a kDecode Session)");
   workload::BurstTrace trace(header_.cfg);
   std::vector<std::uint8_t> scratch;
   std::vector<dbi::Word> words(

@@ -50,15 +50,23 @@ class MappedFile {
   std::vector<std::uint8_t> fallback_;  // owns the data when !mapped_
 };
 
-/// Location and shape of one chunk inside the file.
+/// Location and shape of one payload chunk inside the file. In encoded
+/// traces the mask-stream chunk riding behind it is folded into the
+/// same record (mask_* fields), so consumers index payload chunks only.
 struct ChunkInfo {
   std::uint64_t payload_offset = 0;  ///< file offset of the payload bytes
   std::uint32_t burst_count = 0;
   std::uint32_t flags = 0;
   std::uint32_t payload_bytes = 0;  ///< on-disk (possibly compressed) size
   std::int64_t first_burst = 0;     ///< global index of its first burst
+  std::uint64_t mask_offset = 0;    ///< file offset of the mask bytes
+  std::uint32_t mask_flags = 0;
+  std::uint32_t mask_bytes = 0;  ///< on-disk (possibly compressed) size
 
   [[nodiscard]] bool compressed() const { return (flags & kChunkFlagRle) != 0; }
+  [[nodiscard]] bool has_mask() const {
+    return (mask_flags & kChunkFlagMask) != 0;
+  }
 };
 
 class TraceReader {
@@ -79,6 +87,9 @@ class TraceReader {
   /// True when this is a wide multi-group trace (one DBI per byte
   /// group, beat-major payload).
   [[nodiscard]] bool wide() const { return header_.wide(); }
+  /// True when the payload chunks hold the transmitted (post-DBI)
+  /// stream and every chunk carries a mask stream (chunk_masks()).
+  [[nodiscard]] bool encoded() const { return header_.encoded(); }
   [[nodiscard]] const TraceHeader& header() const { return header_; }
   [[nodiscard]] const workload::TraceStats& stats() const { return stats_; }
   [[nodiscard]] std::int64_t bursts() const { return stats_.bursts; }
@@ -96,6 +107,17 @@ class TraceReader {
   [[nodiscard]] std::span<const std::uint8_t> chunk_payload(
       std::size_t i, std::vector<std::uint8_t>& scratch) const;
 
+  /// Inversion masks of chunk `i` (encoded traces only): one u64 per
+  /// (burst, group) pair in burst-major / group-minor order — burst j's
+  /// group g at [j * group_count + g], matching the engine's
+  /// BurstResult order. RLE'd mask streams decompress into `scratch`;
+  /// the little-endian words are assembled into `out` (resized), and
+  /// mask bits at or beyond burst_length throw. Both buffers are reused
+  /// across chunks; the returned span is valid until they are touched.
+  [[nodiscard]] std::span<const std::uint64_t> chunk_masks(
+      std::size_t i, std::vector<std::uint8_t>& scratch,
+      std::vector<std::uint64_t>& out) const;
+
   /// Decodes burst `j` of chunk `i` into `words` (burst_length slots).
   /// Convenience for inspection paths; streaming consumers should work
   /// on whole chunk payloads.
@@ -108,6 +130,7 @@ class TraceReader {
  private:
   explicit TraceReader(MappedFile file) : file_(std::move(file)) {}
   void parse(bool verify_crc);
+  void validate_chunk_index(std::size_t footer_off) const;
 
   MappedFile file_;
   TraceHeader header_;

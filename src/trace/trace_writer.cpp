@@ -1,5 +1,6 @@
 #include "trace/trace_writer.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace dbi::trace {
@@ -17,6 +18,17 @@ void put_magic(std::vector<std::uint8_t>& out, const std::uint8_t (&m)[4]) {
 void TraceWriterOptions::validate() const {
   if (bursts_per_chunk < 1)
     throw std::invalid_argument("TraceWriterOptions: bursts_per_chunk >= 1");
+  if (!encoded && (enc_scheme != 0 || enc_lanes != 0 || enc_policy != 0))
+    throw std::invalid_argument(
+        "TraceWriterOptions: encode metadata (enc_scheme / enc_lanes / "
+        "enc_policy) requires encoded = true");
+  if (enc_scheme > 7)
+    throw std::invalid_argument(
+        "TraceWriterOptions: enc_scheme must be 0 (not recorded) or "
+        "1 + Scheme enum value (<= 7)");
+  if (enc_policy > 1)
+    throw std::invalid_argument(
+        "TraceWriterOptions: enc_policy must be 0 (threaded) or 1 (reset)");
 }
 
 TraceWriter::TraceWriter(std::ostream& os, const dbi::BusConfig& cfg,
@@ -78,7 +90,11 @@ void TraceWriter::init() {
   // ever shrinks a kept payload, so bounding the raw chunk bounds both.
   const std::uint64_t max_chunk_bytes =
       static_cast<std::uint64_t>(opt_.bursts_per_chunk) *
-      static_cast<std::uint64_t>(bytes_per_burst());
+      std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(bytes_per_burst()),
+          opt_.encoded ? static_cast<std::uint64_t>(group_count()) *
+                             kMaskBytesPerBurst
+                       : 0);
   if (max_chunk_bytes > 0xFFFFFFFFULL)
     throw std::invalid_argument(
         "TraceWriter: bursts_per_chunk * bytes_per_burst exceeds the u32 "
@@ -92,13 +108,21 @@ void TraceWriter::init() {
   header.push_back(kLittleEndianTag);
   put_le(header, static_cast<std::uint64_t>(cfg_.width), 2);
   put_le(header, static_cast<std::uint64_t>(cfg_.burst_length), 2);
-  put_le(header, opt_.compress ? kFileFlagCompressed : 0, 2);
+  put_le(header,
+         (opt_.compress ? kFileFlagCompressed : 0) |
+             (opt_.encoded ? kFileFlagEncoded : 0),
+         2);
   put_le(header, opt_.bursts_per_chunk, 4);
   // Byte 16: DBI group count; single-group files keep the legacy
   // reserved zero, so they stay byte-identical to pre-wide writers.
   header.push_back(wide_mode_
                        ? static_cast<std::uint8_t>(wcfg_.groups())
                        : std::uint8_t{0});
+  // Bytes 17..20: encode metadata (zero for plain payload traces, so
+  // those stay byte-identical to pre-encoded writers).
+  header.push_back(opt_.enc_scheme);
+  put_le(header, opt_.enc_lanes, 2);
+  header.push_back(opt_.enc_policy);
   header.resize(kHeaderBytes, 0);
   emit(header);
 }
@@ -155,6 +179,48 @@ void TraceWriter::account_packed_wide(std::span<const std::uint8_t> burst) {
 }
 
 void TraceWriter::write_packed(std::span<const std::uint8_t> bytes) {
+  if (opt_.encoded)
+    throw std::invalid_argument(
+        "TraceWriter: encoded traces take write_encoded(bytes, masks), "
+        "not write_packed");
+  append_packed(bytes, nullptr);
+}
+
+void TraceWriter::write_encoded(std::span<const std::uint8_t> bytes,
+                                std::span<const std::uint64_t> masks) {
+  if (!opt_.encoded)
+    throw std::invalid_argument(
+        "TraceWriter: write_encoded needs TraceWriterOptions::encoded");
+  const std::size_t bb = bytes_per_burst();
+  if (bb != 0 && bytes.size() % bb != 0)
+    throw std::invalid_argument(
+        "TraceWriter::write_encoded: payload of " +
+        std::to_string(bytes.size()) + " bytes is not a multiple of the " +
+        std::to_string(bb) + "-byte packed burst");
+  const std::size_t bursts = bytes.size() / bb;
+  const auto groups = static_cast<std::size_t>(group_count());
+  if (masks.size() != bursts * groups)
+    throw std::invalid_argument(
+        "TraceWriter::write_encoded: " + std::to_string(bursts) +
+        " bursts of " + std::to_string(groups) + " DBI groups need " +
+        std::to_string(bursts * groups) + " masks, got " +
+        std::to_string(masks.size()));
+  const int bl = wide_mode_ ? wcfg_.burst_length : cfg_.burst_length;
+  if (bl < 64) {
+    for (std::size_t i = 0; i < masks.size(); ++i)
+      if ((masks[i] >> bl) != 0)
+        throw std::invalid_argument(
+            "TraceWriter::write_encoded: burst " +
+            std::to_string(i / groups) + " group " +
+            std::to_string(i % groups) +
+            ": inversion mask has bits beyond burst length " +
+            std::to_string(bl));
+  }
+  append_packed(bytes, masks.data());
+}
+
+void TraceWriter::append_packed(std::span<const std::uint8_t> bytes,
+                                const std::uint64_t* masks) {
   if (finished_) throw TraceError("TraceWriter: already finished");
   const std::size_t bb = bytes_per_burst();
   if (bytes.size() % bb != 0)
@@ -196,12 +262,22 @@ void TraceWriter::write_packed(std::span<const std::uint8_t> bytes) {
       account(words);
     }
     pending_.insert(pending_.end(), burst.begin(), burst.end());
+    if (masks) {
+      const auto groups = static_cast<std::size_t>(group_count());
+      for (std::size_t g = 0; g < groups; ++g)
+        put_le(pending_masks_, masks[i * groups + g],
+               static_cast<int>(kMaskBytesPerBurst));
+    }
     if (++pending_bursts_ == opt_.bursts_per_chunk) flush_chunk();
   }
 }
 
 void TraceWriter::write_words(std::span<const dbi::Word> words) {
   if (finished_) throw TraceError("TraceWriter: already finished");
+  if (opt_.encoded)
+    throw std::invalid_argument(
+        "TraceWriter: encoded traces take write_encoded(bytes, masks), "
+        "not Burst words");
   if (wide_mode_)
     throw std::invalid_argument(
         "TraceWriter: wide traces take write_packed(), not Burst words");
@@ -223,15 +299,14 @@ void TraceWriter::write_words(std::span<const dbi::Word> words) {
   }
 }
 
-void TraceWriter::flush_chunk() {
-  if (pending_bursts_ == 0) return;
-
-  std::uint32_t flags = 0;
-  std::span<const std::uint8_t> payload(pending_);
+void TraceWriter::emit_chunk(std::uint32_t bursts, std::uint32_t kind_flags,
+                             std::span<const std::uint8_t> raw) {
+  std::uint32_t flags = kind_flags;
+  std::span<const std::uint8_t> payload = raw;
   if (opt_.compress) {
     scratch_.clear();
-    rle_compress(pending_, scratch_);
-    if (scratch_.size() < pending_.size()) {
+    rle_compress(raw, scratch_);
+    if (scratch_.size() < raw.size()) {
       flags |= kChunkFlagRle;
       payload = scratch_;
     }
@@ -239,11 +314,23 @@ void TraceWriter::flush_chunk() {
 
   std::vector<std::uint8_t> header;
   put_magic(header, kChunkMagic);
-  put_le(header, pending_bursts_, 4);
+  put_le(header, bursts, 4);
   put_le(header, flags, 4);
   put_le(header, payload.size(), 4);
   emit(header);
   emit(payload);
+}
+
+void TraceWriter::flush_chunk() {
+  if (pending_bursts_ == 0) return;
+
+  emit_chunk(pending_bursts_, 0, pending_);
+  // The mask-stream chunk rides directly behind its payload chunk; it
+  // is not counted in chunks_ (the footer describes the payload stream).
+  if (opt_.encoded) {
+    emit_chunk(pending_bursts_, kChunkFlagMask, pending_masks_);
+    pending_masks_.clear();
+  }
 
   ++chunks_;
   pending_.clear();

@@ -26,6 +26,18 @@ namespace dbi::trace {
 struct TraceWriterOptions {
   std::uint32_t bursts_per_chunk = kDefaultBurstsPerChunk;
   bool compress = true;  ///< try zero-run RLE per chunk, keep if smaller
+  /// Encoded trace: payload chunks hold the transmitted (post-DBI)
+  /// stream and every payload chunk is followed by a mask-stream chunk
+  /// with the per-(burst, group) inversion decisions. Bursts are
+  /// appended with write_encoded() only.
+  bool encoded = false;
+  /// Encode metadata stamped into header bytes 17..20 (encoded traces
+  /// only): 1 + Scheme enum value, lane interleave and state policy the
+  /// masks were produced with, so decode / verify are self-describing.
+  /// enc_scheme == 0 leaves the metadata "not recorded".
+  std::uint8_t enc_scheme = 0;
+  std::uint16_t enc_lanes = 0;
+  std::uint8_t enc_policy = 0;
 
   void validate() const;
 };
@@ -74,6 +86,14 @@ class TraceWriter {
   /// index.
   void write_packed(std::span<const std::uint8_t> bytes);
 
+  /// Encoded-trace write path (TraceWriterOptions::encoded only):
+  /// `bytes` is the packed TRANSMITTED stream in the same layout as
+  /// write_packed, and `masks` holds one u64 inversion mask per
+  /// (burst, group) pair, burst-major / group-minor — the engine's
+  /// BurstResult order. Mask bits at or beyond burst_length throw.
+  void write_encoded(std::span<const std::uint8_t> bytes,
+                     std::span<const std::uint64_t> masks);
+
   /// Flushes the pending chunk and writes the footer. Idempotent; no
   /// bursts can be appended afterwards.
   void finish();
@@ -86,9 +106,16 @@ class TraceWriter {
   void init();
   void emit(std::span<const std::uint8_t> bytes);
   void flush_chunk();
+  void emit_chunk(std::uint32_t bursts, std::uint32_t kind_flags,
+                  std::span<const std::uint8_t> raw);
   void account(std::span<const dbi::Word> words);
   void account_packed_wide(std::span<const std::uint8_t> burst);
+  void append_packed(std::span<const std::uint8_t> bytes,
+                     const std::uint64_t* masks);
   [[nodiscard]] std::size_t bytes_per_burst() const;
+  [[nodiscard]] int group_count() const {
+    return wide_mode_ ? wcfg_.groups() : 1;
+  }
 
   dbi::BusConfig cfg_;
   dbi::WideBusConfig wcfg_{};
@@ -98,6 +125,7 @@ class TraceWriter {
   std::ostream* os_;
 
   std::vector<std::uint8_t> pending_;  // packed payload of open chunk
+  std::vector<std::uint8_t> pending_masks_;  // mask stream (encoded mode)
   std::uint32_t pending_bursts_ = 0;
   std::vector<std::uint8_t> scratch_;  // chunk header / RLE staging
   Crc32 crc_;

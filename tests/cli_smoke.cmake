@@ -53,6 +53,32 @@ run_dbitool(1 convert w64.dbt wide.txt)  # wide traces are binary-only
 run_dbitool(1 record --corpus float-tensor --width 65 --bursts 10
             -o bad.dbt)                  # width beyond the 64-lane bus
 
+# Encoded pipeline: record --encode -> inspect -> verify -> decode; the
+# decoded trace must carry the exact payload of a plain recording of the
+# same stream (checked through the lossless text conversion).
+run_dbitool(0 record --corpus float-tensor --bursts 2000 --seed 5
+            --encode ac --lanes 4 -o enc.dbt)
+run_dbitool(0 inspect enc.dbt)
+run_dbitool(0 verify enc.dbt)
+run_dbitool(0 decode enc.dbt -o dec.dbt)
+run_dbitool(0 verify t.dbt --scheme ac --lanes 4 --csv)  # round-trip mode
+run_dbitool(0 convert dec.dbt dec.txt)
+run_dbitool(0 convert t.dbt plain.txt)
+file(READ "${WORK_DIR}/dec.txt" text_dec)
+file(READ "${WORK_DIR}/plain.txt" text_plain)
+if(NOT text_dec STREQUAL text_plain)
+  message(FATAL_ERROR "record --encode -> decode changed the payload")
+endif()
+# Wide encoded round trip, reset state policy, and misuse errors.
+run_dbitool(0 record --corpus framebuffer --width 64 --bursts 500 --seed 9
+            --encode acdc --reset -o wenc.dbt)
+run_dbitool(0 verify wenc.dbt --workers 2)
+run_dbitool(0 decode wenc.dbt -o wdec.dbt --workers 2)
+run_dbitool(1 decode t.dbt -o nope.dbt)    # plain traces have no masks
+run_dbitool(1 replay enc.dbt)              # encoded traces don't re-encode
+run_dbitool(1 convert enc.dbt enc.txt)     # ... and don't convert to text
+run_dbitool(64 verify enc.dbt --lanse 4)   # unknown flag, named
+
 # Conversion both ways must agree with the original text trace.
 run_dbitool(0 convert trace.txt roundtrip.dbt)
 run_dbitool(0 convert roundtrip.dbt roundtrip.txt)

@@ -33,11 +33,15 @@ FILES = ("bench_engine_throughput.json", "bench_trace_replay.json")
 
 # Acceptance floors (independent of the baseline): the wide multi-group
 # kernels must stay >= 4x over the per-group scalar loop for the fixed
-# schemes at the x32 and x64 geometries, and the dbi::Session facade
-# may cost at most 2% throughput over the direct engine entry points.
+# schemes at the x32 and x64 geometries, the decode kernels >= 4x over
+# the scalar EncodedBurst receive path at x8 and x64, and the
+# dbi::Session facade may cost at most 2% throughput over the direct
+# engine entry points.
 FLOOR_SCHEMES = ("DBI DC", "DBI AC", "DBI ACDC")
 FLOOR_WIDTHS = (32, 64)
 FLOOR_SPEEDUP = 4.0
+DECODE_FLOOR_GEOMETRIES = ("x8", "wide_x64")
+DECODE_FLOOR = 4.0
 FACADE_FLOOR = 0.98
 
 
@@ -54,6 +58,10 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
         for row in doc.get("facade", []):
             metrics[f"facade_overhead/{row['case']}"] = (
                 row["session_vs_engine"]
+            )
+        for row in doc.get("decode", []):
+            metrics[f"decode_vs_scalar/{row['geometry']}/{row['scheme']}"] = (
+                row["decode_vs_scalar"]
             )
     elif name == "bench_trace_replay.json":
         for row in doc.get("schemes", []):
@@ -75,6 +83,10 @@ def floor_for(metric: str) -> float | None:
         for scheme in FLOOR_SCHEMES:
             if metric == f"wide_speedup/x{width}/{scheme}":
                 return FLOOR_SPEEDUP
+    for geometry in DECODE_FLOOR_GEOMETRIES:
+        for scheme in FLOOR_SCHEMES:
+            if metric == f"decode_vs_scalar/{geometry}/{scheme}":
+                return DECODE_FLOOR
     return None
 
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "api/verify.hpp"
 #include "core/encoder.hpp"
 #include "core/pareto.hpp"
 #include "engine/shard_pool.hpp"
@@ -72,8 +73,8 @@ struct Args {
 
 Args parse_args(int argc, char** argv) {
   // Flags that take no value; everything else spelled --key expects one.
-  static const std::set<std::string> kBoolFlags = {"no-compress",
-                                                  "no-double-buffer", "wide"};
+  static const std::set<std::string> kBoolFlags = {
+      "no-compress", "no-double-buffer", "wide", "reset"};
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -122,12 +123,14 @@ const std::map<std::string, std::set<std::string>>& allowed_flags() {
       {"verilog", {"design", "output"}},
       {"record", {"corpus", "source", "bursts", "seed", "width", "bl",
                   "chunk", "no-compress", "wide", "output", "p-one", "p-zero",
-                  "p-stay"}},
+                  "p-stay", "encode", "alpha", "lanes", "reset"}},
       {"replay", {"scheme", "alpha", "lanes", "workers", "no-double-buffer",
                   "pod", "cload-pf", "gbps"}},
       {"inspect", {}},
       {"convert", {"chunk", "no-compress"}},
       {"corpus", {"width", "bl", "bursts", "seed"}},
+      {"decode", {"output", "workers", "chunk", "no-compress"}},
+      {"verify", {"scheme", "alpha", "lanes", "workers", "reset"}},
   };
   return kAllowed;
 }
@@ -465,6 +468,68 @@ int cmd_record(const Args& args) {
     source = dbi::make_generator_source(std::move(generator), bursts);
   }
 
+  // Plain recording passes the payload through untouched (RAW scheme);
+  // --encode SCHEME runs the real encoder and writes an ENCODED trace:
+  // the transmitted stream plus the per-(burst, group) mask chunks,
+  // with the scheme / lanes / state policy stamped into the header so
+  // `decode` and `verify` are self-describing.
+  const bool encode = args.options.count("encode") != 0;
+  const bool reset = args.options.count("reset") != 0;
+  trace::TraceWriterOptions wopt = writer_options(args);
+  SessionSpec spec = session_spec(args, geometry, "raw");
+  spec.scheme = Scheme::kRaw;  // plain record never re-encodes the payload
+  if (encode) {
+    spec.scheme = parse_scheme(args.get("encode", "ac"));
+    spec.state_policy =
+        reset ? StatePolicy::kResetPerBurst : StatePolicy::kThread;
+    // The header stores the lane interleave as a u16; silently
+    // truncating 65536 -> 0 would make verify fall back to lanes=1 and
+    // reject a perfectly valid trace.
+    if (spec.lanes > 0xFFFF)
+      throw std::runtime_error(
+          "record --encode: --lanes must be <= 65535 (stored in the "
+          "trace header)");
+    wopt.encoded = true;
+    wopt.enc_scheme = scheme_to_tag(spec.scheme);
+    wopt.enc_lanes = static_cast<std::uint16_t>(spec.lanes);
+    wopt.enc_policy = reset ? 1 : 0;
+  }
+
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (geometry.is_wide())
+    writer = std::make_unique<trace::TraceWriter>(out, geometry.wide_bus(),
+                                                  wopt);
+  else
+    writer = std::make_unique<trace::TraceWriter>(out, geometry.bus(), wopt);
+  const auto sink = encode ? dbi::make_encoded_trace_sink(*writer)
+                           : dbi::make_trace_sink(*writer);
+
+  Session session(spec);
+  (void)session.run(*source, *sink);
+
+  std::cerr << "recorded " << writer->bursts_written() << " "
+            << geometry.to_string() << " bursts (" << source_name << ")"
+            << (encode ? " encoded with " +
+                             std::string(session.scheme_name())
+                       : std::string())
+            << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_decode(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("decode: expected an encoded binary trace file");
+  const auto reader = trace::TraceReader::open(args.positional[0]);
+  if (!reader.encoded())
+    throw std::runtime_error(
+        "decode: " + args.positional[0] +
+        " carries no mask stream (already a payload trace)");
+  const std::string out = args.get("output", "");
+  if (out.empty()) throw std::runtime_error("decode: -o OUTPUT.dbt is required");
+
+  const Geometry geometry = reader.wide()
+                                ? Geometry::of(reader.header().wide_config())
+                                : Geometry::of(reader.config());
   std::unique_ptr<trace::TraceWriter> writer;
   if (geometry.is_wide())
     writer = std::make_unique<trace::TraceWriter>(out, geometry.wide_bus(),
@@ -472,17 +537,81 @@ int cmd_record(const Args& args) {
   else
     writer = std::make_unique<trace::TraceWriter>(out, geometry.bus(),
                                                   writer_options(args));
-  const auto sink = dbi::make_trace_sink(*writer);
 
-  SessionSpec spec = session_spec(args, geometry, "raw");
-  spec.scheme = Scheme::kRaw;  // record never re-encodes the payload
+  SessionSpec spec;
+  spec.direction = Direction::kDecode;
+  spec.geometry = geometry;
+  spec.threads = static_cast<int>(args.get_long("workers", 0));
   Session session(spec);
-  (void)session.run(*source, *sink);
+  const auto source = dbi::make_trace_source(reader);
+  const auto sink = dbi::make_trace_sink(*writer);
+  const StreamStats totals = session.run(*source, *sink);
 
-  std::cerr << "recorded " << writer->bursts_written() << " "
-            << geometry.to_string() << " bursts (" << source_name << ") to "
-            << out << "\n";
+  std::cerr << "decoded " << totals.bursts << " " << geometry.to_string()
+            << " bursts to " << out << "\n";
   return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("verify: expected a binary trace file");
+  const auto reader = trace::TraceReader::open(args.positional[0]);
+  const Geometry geometry = reader.wide()
+                                ? Geometry::of(reader.header().wide_config())
+                                : Geometry::of(reader.config());
+
+  VerifyReport report;
+  std::string mode;
+  std::string scheme_name;
+  if (reader.encoded()) {
+    // Decode the transmitted stream, re-encode it and hold the
+    // re-derived DBI decisions against the stored mask stream: catches
+    // corrupted / misaligned masks (data-DBI coherence violations).
+    mode = "encoded trace (mask coherence)";
+    VerifyOptions opt;
+    if (args.options.count("scheme"))
+      opt.scheme = parse_scheme(args.get("scheme", "ac"));
+    opt.weights = CostWeights::ac_dc_tradeoff(args.get_double("alpha", 0.5));
+    if (args.options.count("lanes"))
+      opt.lanes = static_cast<int>(args.get_long("lanes", 1));
+    if (args.options.count("reset")) opt.reset_per_burst = true;
+    opt.threads = static_cast<int>(args.get_long("workers", 0));
+    report = verify_encoded_trace(reader, opt);
+    const auto scheme =
+        opt.scheme ? opt.scheme
+                   : scheme_from_tag(reader.header().enc_scheme);
+    scheme_name = scheme ? std::string(dbi::scheme_name(*scheme)) : "?";
+  } else {
+    // Payload trace: engine-speed end-to-end round trip — encode,
+    // materialise the wire, decode, compare bit-exactly.
+    mode = "payload trace (encode -> decode round trip)";
+    SessionSpec spec = session_spec(args, geometry, "opt");
+    spec.direction = Direction::kRoundTrip;
+    if (args.options.count("reset"))
+      spec.state_policy = StatePolicy::kResetPerBurst;
+    Session session(spec);
+    const auto source = dbi::make_trace_source(reader);
+    (void)session.run(*source);
+    report = session.verify_report();
+    scheme_name = std::string(session.scheme_name());
+  }
+
+  sim::Table table({"field", "value"});
+  table.add_row({"mode", mode});
+  table.add_row({"scheme", scheme_name});
+  table.add_row({"bursts", std::to_string(report.bursts)});
+  table.add_row({"mismatched units", std::to_string(report.mismatched_units)});
+  table.add_row({"mismatched beats", std::to_string(report.mismatched_beats)});
+  table.add_row({"verdict", report.ok() ? "bit-exact" : "MISMATCH"});
+  for (std::size_t i = 0; i < report.sites.size() && i < 8; ++i) {
+    const MismatchSite& s = report.sites[i];
+    std::ostringstream where;
+    where << "burst " << s.burst << " lane " << s.lane << " group "
+          << s.group << " beats 0x" << std::hex << s.beat_mask;
+    table.add_row({"site " + std::to_string(i), where.str()});
+  }
+  emit(table, args);
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_replay(const Args& args) {
@@ -541,6 +670,15 @@ int cmd_inspect(const Args& args) {
   table.add_row({"format", reader.wide()
                                ? "dbi-trace binary v2 (wide multi-group)"
                                : "dbi-trace binary v2"});
+  if (reader.encoded()) {
+    const auto scheme = scheme_from_tag(reader.header().enc_scheme);
+    table.add_row(
+        {"encoded",
+         (scheme ? std::string(dbi::scheme_name(*scheme)) : "yes") +
+             ", lanes " + std::to_string(reader.header().enc_lanes) +
+             (reader.header().enc_policy ? ", reset per burst"
+                                         : ", threaded state")});
+  }
   table.add_row({"width", std::to_string(reader.config().width)});
   table.add_row({"dbi groups", std::to_string(groups)});
   table.add_row({"burst length",
@@ -679,6 +817,18 @@ int usage() {
       "                  [--no-compress] [--wide] -o trace.dbt (binary v2;\n"
       "                  --wide or --width > 32 records a multi-group\n"
       "                  trace, one DBI line per byte group, width <= 64)\n"
+      "                  [--encode SCHEME [--lanes N] [--reset]\n"
+      "                  [--alpha 0.5]] records an ENCODED trace: the\n"
+      "                  transmitted stream + per-burst DBI mask chunks\n"
+      "  dbitool decode  ENCODED.dbt -o payload.dbt [--workers N]\n"
+      "                  [--chunk 4096] [--no-compress]  (recover the\n"
+      "                  payload of an encoded trace at engine speed)\n"
+      "  dbitool verify  TRACE.dbt [--scheme SCHEME] [--alpha 0.5]\n"
+      "                  [--lanes N] [--reset] [--workers N] [--csv]\n"
+      "                  (payload trace: encode->decode round trip must\n"
+      "                  be bit-exact; encoded trace: decode->re-encode\n"
+      "                  must reproduce the stored masks. exit 1 on\n"
+      "                  mismatch)\n"
       "  dbitool replay  TRACE.dbt [--scheme SCHEME] [--alpha 0.5]\n"
       "                  [--lanes 4] [--workers N] [--no-double-buffer]\n"
       "                  [--pod pod135] [--cload-pf 3] [--gbps 12] [--csv]\n"
@@ -736,6 +886,8 @@ int main(int argc, char** argv) {
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "convert") return cmd_convert(args);
     if (args.command == "corpus") return cmd_corpus(args);
+    if (args.command == "decode") return cmd_decode(args);
+    if (args.command == "verify") return cmd_verify(args);
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {
       (void)usage();

@@ -381,6 +381,147 @@ DecodeReport run_decode_wide(Scheme scheme, int bursts, int repeats) {
   return rep;
 }
 
+// Per-ISA kernel section: every registered kernel variant (the
+// portable "swar" reference, AVX2, AVX-512, NEON where compiled in)
+// measured on the four hot paths it can serve — narrow x8 fixed-scheme
+// encode, wide x64 byte-group encode, x8 decode, wide x64 decode — all
+// through the public set_kernel dispatch, same payload, same threaded
+// states. Ratios are reported against the portable reference measured
+// in the same process; tools/bench_compare.py holds the SIMD encode
+// ratios to a hard 1.5x floor (and everything to >= 1x) on hardware
+// that has the ISA, and records a skipped-isa status where CI does not.
+struct KernelCaseReport {
+  const engine::KernelVariant* variant = nullptr;
+  bool available = false;
+  double encode_x8 = 0;      // mega-bursts/s, narrow x8 BL8 ACDC
+  double encode_wide_x64 = 0;  // mega-bursts/s, wide x64 BL8 ACDC
+  double decode_x8 = 0;
+  double decode_wide_x64 = 0;
+};
+
+struct KernelWorkload {
+  BusConfig narrow_cfg{8, 8};
+  WideBusConfig wide_cfg{64, 8};
+  std::vector<std::uint8_t> narrow_payload;
+  std::vector<std::uint8_t> wide_payload;
+  std::vector<std::uint64_t> narrow_masks;
+  std::vector<std::uint64_t> wide_masks;
+  std::vector<std::uint8_t> narrow_tx;
+  std::vector<std::uint8_t> wide_tx;
+
+  explicit KernelWorkload(int bursts) {
+    narrow_payload.resize(static_cast<std::size_t>(bursts) *
+                          static_cast<std::size_t>(
+                              narrow_cfg.bytes_per_burst()));
+    wide_payload.resize(static_cast<std::size_t>(bursts) *
+                        static_cast<std::size_t>(wide_cfg.bytes_per_burst()));
+    workload::Xoshiro256 rng(31);
+    for (std::uint8_t& b : narrow_payload)
+      b = static_cast<std::uint8_t>(rng.next());
+    for (std::uint8_t& b : wide_payload)
+      b = static_cast<std::uint8_t>(rng.next());
+
+    // Untimed: materialise masks and wire bytes once, via the portable
+    // reference, for the decode measurements.
+    const engine::BatchEncoder enc(Scheme::kAcDc);
+    std::vector<engine::BurstResult> results(static_cast<std::size_t>(bursts));
+    BusState state = BusState::all_ones(narrow_cfg);
+    (void)enc.encode_packed(narrow_payload, narrow_cfg, state, results.data());
+    for (const auto& r : results) narrow_masks.push_back(r.invert_mask);
+    std::vector<engine::BurstResult> wide_results(
+        static_cast<std::size_t>(bursts) *
+        static_cast<std::size_t>(wide_cfg.groups()));
+    std::vector<BusState> states(static_cast<std::size_t>(wide_cfg.groups()));
+    for (int g = 0; g < wide_cfg.groups(); ++g)
+      states[static_cast<std::size_t>(g)] =
+          BusState::all_ones(wide_cfg.group_config(g));
+    (void)enc.encode_packed_wide(wide_payload, wide_cfg, states,
+                                 wide_results.data());
+    for (const auto& r : wide_results) wide_masks.push_back(r.invert_mask);
+    const engine::BatchDecoder dec;
+    narrow_tx.resize(narrow_payload.size());
+    dec.apply_packed(narrow_payload, narrow_masks, narrow_cfg, narrow_tx);
+    wide_tx.resize(wide_payload.size());
+    dec.apply_packed_wide(wide_payload, wide_masks, wide_cfg, wide_tx);
+  }
+};
+
+KernelCaseReport run_kernel(const engine::KernelVariant& k,
+                            const KernelWorkload& wl, int repeats) {
+  KernelCaseReport rep;
+  rep.variant = &k;
+  rep.available = engine::isa_available(k.isa());
+  if (!rep.available) return rep;
+
+  const auto bursts = static_cast<double>(wl.narrow_masks.size());
+  engine::BatchEncoder enc(Scheme::kAcDc);
+  enc.set_kernel(k);
+  engine::BatchDecoder dec;
+  dec.set_kernel(k);
+
+  // Best-of-3 trials per path: these ratios carry hard floors in the
+  // CI gate, so the noise floor has to sit well under the tolerance.
+  for (int trial = 0; trial < 3; ++trial) {
+    {
+      std::int64_t sink = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        BusState state = BusState::all_ones(wl.narrow_cfg);
+        const BurstStats s =
+            enc.encode_packed(wl.narrow_payload, wl.narrow_cfg, state);
+        sink += s.zeros + s.transitions;
+      }
+      const double dt = seconds_since(t0);
+      if (sink == 42) std::puts("");
+      rep.encode_x8 = std::max(rep.encode_x8, bursts * repeats / dt / 1e6);
+    }
+    {
+      std::vector<BusState> states(
+          static_cast<std::size_t>(wl.wide_cfg.groups()));
+      std::int64_t sink = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        for (int g = 0; g < wl.wide_cfg.groups(); ++g)
+          states[static_cast<std::size_t>(g)] =
+              BusState::all_ones(wl.wide_cfg.group_config(g));
+        const BurstStats s =
+            enc.encode_packed_wide(wl.wide_payload, wl.wide_cfg, states);
+        sink += s.zeros + s.transitions;
+      }
+      const double dt = seconds_since(t0);
+      if (sink == 42) std::puts("");
+      rep.encode_wide_x64 =
+          std::max(rep.encode_wide_x64, bursts * repeats / dt / 1e6);
+    }
+    {
+      std::vector<std::uint8_t> out(wl.narrow_tx.size());
+      std::int64_t sink = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        dec.decode_packed(wl.narrow_tx, wl.narrow_masks, wl.narrow_cfg, out);
+        sink += out[0];
+      }
+      const double dt = seconds_since(t0);
+      if (sink == 42) std::puts("");
+      rep.decode_x8 = std::max(rep.decode_x8, bursts * repeats / dt / 1e6);
+    }
+    {
+      std::vector<std::uint8_t> out(wl.wide_tx.size());
+      std::int64_t sink = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        dec.decode_packed_wide(wl.wide_tx, wl.wide_masks, wl.wide_cfg, out);
+        sink += out[0];
+      }
+      const double dt = seconds_since(t0);
+      if (sink == 42) std::puts("");
+      rep.decode_wide_x64 =
+          std::max(rep.decode_wide_x64, bursts * repeats / dt / 1e6);
+    }
+  }
+  return rep;
+}
+
 // Facade tax: Session::run vs the direct engine entry point on the
 // same payload. These are the only direct BatchEncoder calls in the
 // bench — they exist as the overhead reference the CI gate compares
@@ -597,6 +738,51 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n  ],\n");
+
+  // Per-ISA kernel variants vs the portable reference, same payload and
+  // dispatch surface. Unavailable ISAs report available=false and zero
+  // throughput; the gate records them as skipped-isa instead of
+  // failing.
+  {
+    const KernelWorkload wl(bursts_per_lane);
+    const int repeats = static_cast<int>(
+        std::max<std::int64_t>(8, 2'000'000 / bursts_per_lane));
+    KernelCaseReport swar_rep;
+    std::vector<KernelCaseReport> reports;
+    for (const engine::KernelVariant* k : engine::registered_kernels()) {
+      reports.push_back(run_kernel(*k, wl, repeats));
+      if (k == &engine::portable_kernel()) swar_rep = reports.back();
+    }
+    const auto ratio = [](double cur, double ref) {
+      return ref > 0 ? cur / ref : 0.0;
+    };
+    std::printf("  \"kernels\": [\n");
+    first = true;
+    for (const KernelCaseReport& r : reports) {
+      const bool selected = r.variant == &engine::default_kernel();
+      std::printf(
+          "%s    {\"kernel\": \"%s\", \"isa\": \"%s\", \"available\": %s, "
+          "\"selected\": %s,\n"
+          "     \"encode_x8_mbursts_per_s\": %.2f, "
+          "\"encode_wide_x64_mbursts_per_s\": %.2f, "
+          "\"decode_x8_mbursts_per_s\": %.2f, "
+          "\"decode_wide_x64_mbursts_per_s\": %.2f,\n"
+          "     \"encode_x8_vs_swar\": %.2f, "
+          "\"encode_wide_x64_vs_swar\": %.2f, \"decode_x8_vs_swar\": %.2f, "
+          "\"decode_wide_x64_vs_swar\": %.2f}",
+          first ? "" : ",\n",
+          std::string(r.variant->name()).c_str(),
+          std::string(engine::isa_name(r.variant->isa())).c_str(),
+          r.available ? "true" : "false", selected ? "true" : "false",
+          r.encode_x8, r.encode_wide_x64, r.decode_x8, r.decode_wide_x64,
+          ratio(r.encode_x8, swar_rep.encode_x8),
+          ratio(r.encode_wide_x64, swar_rep.encode_wide_x64),
+          ratio(r.decode_x8, swar_rep.decode_x8),
+          ratio(r.decode_wide_x64, swar_rep.decode_wide_x64));
+      first = false;
+    }
+    std::printf("\n  ],\n");
+  }
 
   // Facade overhead: Session vs the direct engine entry points. Gated
   // at >= 0.98 (<= 2% tax) by tools/bench_compare.py.

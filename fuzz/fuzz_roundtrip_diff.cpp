@@ -1,10 +1,12 @@
 // libFuzzer target: differential encode -> decode round trip. The
-// input bytes pick a scheme, geometry and payload; the property under
-// test is
+// input bytes pick a scheme, geometry, kernel variant and payload; the
+// properties under test are
 //   decode(apply(payload, encode(payload))) == payload   (identity)
-// for the engine kernels at every geometry the bytes can reach, plus
-// scalar-reference parity (mask and decoded payload) on a bounded
-// prefix of the stream. A mismatch aborts; sanitizers catch UB.
+// for the engine kernels at every geometry the bytes can reach,
+// bit-exact parity of the drawn kernel variant against the portable
+// "swar" reference (masks, stats, threaded state, decoded bytes — the
+// SIMD differential), plus scalar-reference parity on a bounded prefix
+// of the stream. A mismatch aborts; sanitizers catch UB.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +17,7 @@
 #include "core/encoder.hpp"
 #include "engine/batch_decoder.hpp"
 #include "engine/batch_encoder.hpp"
+#include "engine/kernel_registry.hpp"
 
 namespace {
 
@@ -29,6 +32,15 @@ constexpr Scheme kSchemes[] = {Scheme::kRaw,  Scheme::kDc,
   std::abort();
 }
 
+/// Picks a registered kernel variant from a fuzz byte; unavailable ISAs
+/// (corpus replayed on a smaller host) degrade to the portable
+/// reference so every input keeps exercising the full pipeline.
+const engine::KernelVariant& draw_kernel(std::uint8_t byte) {
+  const auto kernels = engine::registered_kernels();
+  const engine::KernelVariant* k = kernels[byte % kernels.size()];
+  return engine::isa_available(k->isa()) ? *k : engine::portable_kernel();
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -37,13 +49,20 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const Scheme scheme = kSchemes[data[0] % 6];
   const bool wide = (data[3] & 1) != 0;
   const bool reset = (data[3] & 2) != 0;
+  const engine::KernelVariant& variant = draw_kernel(data[3] >> 2);
   const int width = wide ? 1 + data[1] % 64 : 1 + data[1] % 32;
   const int bl = 1 + data[2] % 64;
   data += 4;
   size -= 4;
 
-  const engine::BatchEncoder engine(scheme, CostWeights{0.56, 0.44});
-  const engine::BatchDecoder decoder;
+  engine::BatchEncoder engine(scheme, CostWeights{0.56, 0.44});
+  engine.set_kernel(variant);
+  engine::BatchEncoder swar(scheme, CostWeights{0.56, 0.44});
+  swar.set_kernel(engine::portable_kernel());
+  engine::BatchDecoder decoder;
+  decoder.set_kernel(variant);
+  engine::BatchDecoder swar_decoder;
+  swar_decoder.set_kernel(engine::portable_kernel());
   const auto scalar = make_encoder(scheme, CostWeights{0.56, 0.44});
 
   if (!wide) {
@@ -59,18 +78,27 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
             static_cast<std::uint8_t>(cfg.dq_mask() >> (8 * b));
 
     std::vector<engine::BurstResult> results(bursts);
+    std::vector<engine::BurstResult> ref_results(bursts);
     std::vector<std::uint64_t> masks(bursts);
     BusState state = BusState::all_ones(cfg);
+    BusState ref_state = BusState::all_ones(cfg);
     if (reset) {
       for (std::size_t i = 0; i < bursts; ++i) {
         state = BusState::all_ones(cfg);
-        (void)engine.encode_packed(
-            std::span<const std::uint8_t>(payload).subspan(i * bb, bb), cfg,
-            state, results.data() + i);
+        ref_state = BusState::all_ones(cfg);
+        const auto burst =
+            std::span<const std::uint8_t>(payload).subspan(i * bb, bb);
+        (void)engine.encode_packed(burst, cfg, state, results.data() + i);
+        (void)swar.encode_packed(burst, cfg, ref_state, ref_results.data() + i);
       }
     } else {
       (void)engine.encode_packed(payload, cfg, state, results.data());
+      (void)swar.encode_packed(payload, cfg, ref_state, ref_results.data());
     }
+    if (results != ref_results)
+      fail("narrow kernel variant diverges from the portable reference");
+    if (!(state == ref_state))
+      fail("narrow kernel variant leaves a diverged line state");
     for (std::size_t i = 0; i < bursts; ++i) masks[i] = results[i].invert_mask;
 
     std::vector<std::uint8_t> tx(payload.size());
@@ -78,6 +106,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     std::vector<std::uint8_t> out(payload.size());
     decoder.decode_packed(tx, masks, cfg, out);
     if (out != payload) fail("narrow engine round trip is not identity");
+    std::vector<std::uint8_t> swar_out(payload.size());
+    swar_decoder.decode_packed(tx, masks, cfg, swar_out);
+    if (swar_out != out)
+      fail("narrow decode variant diverges from the portable reference");
 
     // Scalar-reference parity on a bounded prefix.
     const std::size_t check = bursts < 4 ? bursts : 4;
@@ -115,22 +147,38 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
   std::vector<engine::BurstResult> results(
       bursts * static_cast<std::size_t>(groups));
+  std::vector<engine::BurstResult> ref_results(results.size());
   std::vector<BusState> states(static_cast<std::size_t>(groups));
+  std::vector<BusState> ref_states(static_cast<std::size_t>(groups));
   for (int g = 0; g < groups; ++g)
-    states[static_cast<std::size_t>(g)] =
-        BusState::all_ones(cfg.group_config(g));
+    states[static_cast<std::size_t>(g)] = ref_states[static_cast<std::size_t>(
+        g)] = BusState::all_ones(cfg.group_config(g));
   if (reset) {
     for (std::size_t i = 0; i < bursts; ++i) {
       for (int g = 0; g < groups; ++g)
         states[static_cast<std::size_t>(g)] =
-            BusState::all_ones(cfg.group_config(g));
+            ref_states[static_cast<std::size_t>(g)] =
+                BusState::all_ones(cfg.group_config(g));
+      const auto burst =
+          std::span<const std::uint8_t>(payload).subspan(i * bb, bb);
       (void)engine.encode_packed_wide(
-          std::span<const std::uint8_t>(payload).subspan(i * bb, bb), cfg,
-          states, results.data() + i * static_cast<std::size_t>(groups));
+          burst, cfg, states,
+          results.data() + i * static_cast<std::size_t>(groups));
+      (void)swar.encode_packed_wide(
+          burst, cfg, ref_states,
+          ref_results.data() + i * static_cast<std::size_t>(groups));
     }
   } else {
     (void)engine.encode_packed_wide(payload, cfg, states, results.data());
+    (void)swar.encode_packed_wide(payload, cfg, ref_states,
+                                  ref_results.data());
   }
+  if (results != ref_results)
+    fail("wide kernel variant diverges from the portable reference");
+  for (int g = 0; g < groups; ++g)
+    if (!(states[static_cast<std::size_t>(g)] ==
+          ref_states[static_cast<std::size_t>(g)]))
+      fail("wide kernel variant leaves a diverged group state");
   std::vector<std::uint64_t> masks(results.size());
   for (std::size_t i = 0; i < results.size(); ++i)
     masks[i] = results[i].invert_mask;
@@ -140,5 +188,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   std::vector<std::uint8_t> out(payload.size());
   decoder.decode_packed_wide(tx, masks, cfg, out);
   if (out != payload) fail("wide engine round trip is not identity");
+  std::vector<std::uint8_t> swar_out(payload.size());
+  swar_decoder.decode_packed_wide(tx, masks, cfg, swar_out);
+  if (swar_out != out)
+    fail("wide decode variant diverges from the portable reference");
   return 0;
 }

@@ -1,0 +1,41 @@
+#include "api/kernels.hpp"
+
+#include "engine/kernel_registry.hpp"
+
+namespace dbi {
+
+std::vector<KernelInfo> available_kernels() {
+  const engine::KernelVariant& selected = engine::default_kernel();
+  std::vector<KernelInfo> out;
+  for (const engine::KernelVariant* k : engine::registered_kernels()) {
+    KernelInfo info;
+    info.name = k->name();
+    info.isa = engine::isa_name(k->isa());
+    info.available = engine::isa_available(k->isa());
+    info.selected = (k == &selected);
+    info.envelope = k->envelope();
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::string KernelReport::to_string() const {
+  std::string out;
+  out += "kernel: ";
+  out += variant;
+  out += " (";
+  out += isa;
+  out += ")\n";
+  out += "  fixed encode:  ";
+  out += fixed_encode;
+  out += "\n  planar encode: ";
+  out += planar_encode;
+  out += "\n  trellis:       ";
+  out += trellis;
+  out += "\n  decode:        ";
+  out += decode;
+  out += "\n";
+  return out;
+}
+
+}  // namespace dbi

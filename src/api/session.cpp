@@ -38,6 +38,25 @@ void SessionSpec::validate() const {
 Session::Session(const SessionSpec& spec)
     : spec_(spec), engine_(spec_.scheme, spec_.weights) {
   spec_.validate();
+  // Kernel selection: resolve the spec's pin (unknown names and absent
+  // ISAs throw there, naming the candidates), hand the variant to both
+  // engine directions, then reject a pin whose envelope covers no path
+  // of this scheme and geometry — a session that silently ran the
+  // portable fallback everywhere would make the pin a no-op lie.
+  const engine::KernelVariant& kernel = engine::resolve_kernel(spec_.kernel);
+  engine_.set_kernel(kernel);
+  decoder_.set_kernel(kernel);
+  if (!spec_.kernel.empty() && spec_.kernel != "auto" &&
+      kernel.isa() != engine::KernelIsa::kPortable) {
+    const KernelReport rep = kernel_report();
+    if (rep.fixed_encode != kernel.name() && rep.decode != kernel.name())
+      throw std::invalid_argument(
+          "SessionSpec: kernel '" + spec_.kernel +
+          "' supports no path of scheme " + std::string(engine_.name()) +
+          " on " + spec_.geometry.to_string() +
+          " (this spec runs entirely on the portable reference; candidates: " +
+          engine::kernel_candidates() + ")");
+  }
   if (!spec_.pool && spec_.threads >= 2)
     owned_pool_ = std::make_unique<engine::ShardPool>(spec_.threads);
   // The incremental-write surface exists for channel-shaped sessions
@@ -53,6 +72,58 @@ std::string_view Session::scheme_name() const { return engine_.name(); }
 
 const dbi::Encoder& Session::scalar_encoder() const {
   return engine_.scalar_twin();
+}
+
+KernelReport Session::kernel_report() const {
+  const engine::KernelVariant& k = engine_.kernel();
+  KernelReport rep;
+  rep.variant = k.name();
+  rep.isa = engine::isa_name(k.isa());
+
+  const int bl = spec_.geometry.burst_length();
+  const int width = spec_.geometry.width();
+  const bool wide = spec_.geometry.is_wide();
+  // Which encode kernels this scheme/geometry exercises: full byte
+  // groups take the packed fixed kernels, a narrow non-8 width or a
+  // wide remainder group takes the bit-plane kernel, OPT schemes the
+  // trellis, and kExhaustive bypasses the engine kernels entirely.
+  const bool has_byte_group = wide ? width >= 8 : width == 8;
+  const bool has_narrow_group = wide ? width % 8 != 0 : width != 8;
+  const auto rule = engine::fixed8_rule(spec_.scheme);
+  if (rule) {
+    rep.fixed_encode =
+        !has_byte_group ? "n/a"
+        : k.supports_fixed8(*rule, bl) ? k.name()
+                                       : engine::portable_kernel().name();
+    rep.planar_encode =
+        has_narrow_group ? engine::portable_kernel().name() : "n/a";
+    rep.trellis = "n/a";
+  } else if (spec_.scheme == Scheme::kOpt ||
+             spec_.scheme == Scheme::kOptFixed) {
+    rep.fixed_encode = "n/a";
+    rep.planar_encode = "n/a";
+    rep.trellis = engine::portable_kernel().name();
+  } else {  // kExhaustive: the scalar ablation encoder
+    rep.fixed_encode = "n/a";
+    rep.planar_encode = "n/a";
+    rep.trellis = "n/a";
+  }
+
+  // The receive direction is scheme-blind, so the decode path depends
+  // on geometry alone: byte-per-beat lanes and the full-group wide fast
+  // path go through the variant, everything else through the portable
+  // strided loops.
+  if (!wide) {
+    rep.decode = width <= 8 && k.supports_decode8(spec_.geometry.bus())
+                     ? k.name()
+                     : engine::portable_kernel().name();
+  } else {
+    rep.decode = spec_.geometry.groups() == 8 && width % 8 == 0 &&
+                         k.supports_decode_wide8(bl)
+                     ? k.name()
+                     : engine::portable_kernel().name();
+  }
+  return rep;
 }
 
 void Session::require_channel_geometry(const char* what) const {

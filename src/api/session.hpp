@@ -28,12 +28,14 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include <functional>
 
 #include "api/geometry.hpp"
+#include "api/kernels.hpp"
 #include "api/sink.hpp"
 #include "api/source.hpp"
 #include "api/stream_stats.hpp"
@@ -87,6 +89,17 @@ struct SessionSpec {
   /// `threads`; the pool must outlive the session).
   engine::ShardPool* pool = nullptr;
   StatePolicy state_policy = StatePolicy::kThread;
+  /// Kernel variant for the hot fixed-scheme encode / decode paths:
+  /// "" or "auto" picks the best available variant for this host (the
+  /// DBI_KERNEL environment variable overrides the automatic choice);
+  /// a registry name ("swar", "avx2-fixed8", "avx512-fixed8",
+  /// "neon-fixed8") pins that variant. Construction throws, naming the
+  /// candidates, when the name is unknown, the host lacks the required
+  /// instruction set, or the variant's envelope covers no path of this
+  /// spec's scheme and geometry. See api/kernels.hpp and
+  /// Session::kernel_report(). Selection never changes results — every
+  /// variant is bit-exact against "swar".
+  std::string kernel;
   /// Trace-backed sources: overlap chunk preparation with encoding.
   bool double_buffer = true;
   Direction direction = Direction::kEncode;
@@ -121,6 +134,12 @@ class Session {
   /// The scalar encoder this session is bit-exact against (the paper's
   /// per-burst reference implementation).
   [[nodiscard]] const dbi::Encoder& scalar_encoder() const;
+
+  /// Which kernel variant serves each engine path under this spec:
+  /// the resolved variant (spec.kernel / DBI_KERNEL / auto) where its
+  /// envelope covers the path, the portable "swar" reference where it
+  /// does not, "n/a" for paths the scheme and geometry never exercise.
+  [[nodiscard]] KernelReport kernel_report() const;
 
   /// Streams the whole source into the sink once and returns the
   /// 64-bit totals (also handed to sink.finish()). Restartable: every

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "core/encoding.hpp"
-#include "engine/bits.hpp"
 
 namespace dbi::engine {
 namespace {
@@ -15,20 +14,6 @@ namespace {
 using dbi::Beat;
 using dbi::BusConfig;
 using dbi::Word;
-
-constexpr std::uint64_t kL01 = 0x0101010101010101ULL;
-constexpr std::uint64_t kL7F = 0x7F7F7F7F7F7F7F7FULL;
-constexpr std::uint64_t kL80 = 0x8080808080808080ULL;
-
-/// Spreads the low 8 bits to full bytes: byte k of the result is 0xFF
-/// iff bit k of `bits8` is set. One multiply selects bit k into byte k
-/// (at position k), the +0x7F carry turns any nonzero byte into a high
-/// bit, and the final multiply widens the 0/1 bytes to 0x00/0xFF.
-constexpr std::uint64_t spread_bits_to_bytes(std::uint64_t bits8) {
-  const std::uint64_t sel =
-      (bits8 * kL01) & 0x8040201008040201ULL;
-  return (((sel + kL7F) & kL80) >> 7) * 0xFFULL;
-}
 
 void check_mask_tails(std::span<const std::uint64_t> masks, int burst_length,
                       int groups) {
@@ -83,28 +68,13 @@ void BatchDecoder::decode_range(std::span<const std::uint8_t> tx,
   const Word dq_mask = cfg.dq_mask();
 
   if (bpb == 1) {
-    // Byte-per-beat lanes: 8 beats decode per 64-bit XOR. Sub-8-wide
-    // groups reuse the same path with the lane mask narrowed (their
-    // inverted beats toggle dq_mask, not 0xFF).
-    const std::uint64_t lane_mask = kL01 * static_cast<std::uint64_t>(dq_mask);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t m = masks[i];
-      const std::uint8_t* src = tx.data() + i * bb;
-      std::uint8_t* dst = out.data() + i * bb;
-      for (int t0 = 0; t0 < bl; t0 += 8) {
-        const int cnt = (bl - t0 < 8) ? (bl - t0) : 8;
-        std::uint64_t p = 0;
-        std::memcpy(&p, src + t0, static_cast<std::size_t>(cnt));
-        if (cfg.width < 8 && (p & ~lane_mask) != 0) {
-          for (int k = 0; k < cnt; ++k)
-            if ((src[t0 + k] & ~dq_mask) != 0) throw_bad_beat(i, t0 + k, cfg.width);
-        }
-        const std::uint64_t inv =
-            spread_bits_to_bytes((m >> t0) & 0xFFU) & lane_mask;
-        p ^= inv;
-        std::memcpy(dst + t0, &p, static_cast<std::size_t>(cnt));
-      }
-    }
+    // Byte-per-beat lanes go through the selected kernel variant
+    // (portable reference outside its envelope): 8+ beats decode per
+    // flag-masked XOR word, sub-8-wide groups with the lane mask
+    // narrowed.
+    const KernelVariant& k =
+        kernel_->supports_decode8(cfg) ? *kernel_ : portable_kernel();
+    k.decode_fixed8(tx.data(), masks.data(), n, cfg, out.data());
     return;
   }
 
@@ -174,32 +144,13 @@ void BatchDecoder::decode_range_wide(std::span<const std::uint8_t> tx,
   // Start from the transmitted bytes; an exact alias decodes in place.
   if (out.data() != tx.data()) std::memcpy(out.data(), tx.data(), tx.size());
 
-  if (groups == 8) {
-    // x64 fast path: all groups full, every beat is one aligned-enough
-    // u64 of the beat-major payload. Transposing the 8 group masks
-    // gives, per beat, the 8 group flags as one byte; spreading that
-    // byte to 0xFF lanes yields the beat's XOR word directly.
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t* mk = masks.data() + i * 8;
-      std::uint8_t* base = out.data() + i * bb;
-      for (int t0 = 0; t0 < bl; t0 += 8) {
-        const int cnt = (bl - t0 < 8) ? (bl - t0) : 8;
-        std::uint64_t m8 = 0;
-        for (int g = 0; g < 8; ++g)
-          m8 |= ((mk[g] >> t0) & 0xFFULL) << (8 * g);
-        const std::uint64_t tile = transpose8(m8);
-        for (int k = 0; k < cnt; ++k) {
-          const std::uint64_t xorw =
-              spread_bits_to_bytes((tile >> (8 * k)) & 0xFFULL);
-          if (xorw == 0) continue;
-          std::uint64_t beat = 0;
-          std::uint8_t* p = base + static_cast<std::size_t>(t0 + k) * 8;
-          std::memcpy(&beat, p, 8);
-          beat ^= xorw;
-          std::memcpy(p, &beat, 8);
-        }
-      }
-    }
+  if (groups == 8 && cfg.width % 8 == 0) {
+    // x64 fast path (all groups full) through the selected kernel
+    // variant: per beat, the 8 group flags become one XOR word over the
+    // beat-major payload (8x8 mask transpose + bit->byte spread).
+    const KernelVariant& k =
+        kernel_->supports_decode_wide8(bl) ? *kernel_ : portable_kernel();
+    k.decode_wide8(out.data(), masks.data(), n, bl);
     return;
   }
 

@@ -41,13 +41,22 @@
 
 #include "core/burst.hpp"
 #include "core/types.hpp"
+#include "engine/kernel_registry.hpp"
 #include "engine/shard_pool.hpp"
 
 namespace dbi::engine {
 
 class BatchDecoder {
  public:
-  BatchDecoder() = default;
+  BatchDecoder() : kernel_(&default_kernel()) {}
+
+  /// The kernel variant serving the hot decode paths (byte-per-beat
+  /// lanes and the groups==8 wide fast path). Defaults to the
+  /// registry's auto selection; geometries outside the variant's
+  /// envelope fall back to the portable "swar" reference, so decode is
+  /// bit-exact under every variant.
+  void set_kernel(const KernelVariant& kernel) { kernel_ = &kernel; }
+  [[nodiscard]] const KernelVariant& kernel() const { return *kernel_; }
 
   /// Recovers the payload of `tx` (packed transmitted bursts in the
   /// binary trace layout: burst_length beats of cfg.bytes_per_beat()
@@ -104,6 +113,8 @@ class BatchDecoder {
                          std::span<const std::uint64_t> masks,
                          const dbi::WideBusConfig& cfg,
                          std::span<std::uint8_t> out) const;
+
+  const KernelVariant* kernel_;  // never null
 };
 
 }  // namespace dbi::engine

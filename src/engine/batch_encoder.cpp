@@ -7,6 +7,7 @@
 
 #include "core/byte_utils.hpp"
 #include "engine/bits.hpp"
+#include "engine/kernels_portable.hpp"
 
 namespace dbi::engine {
 namespace {
@@ -19,9 +20,16 @@ using dbi::BusState;
 using dbi::Scheme;
 using dbi::Word;
 
-// ------------------------------------------------------------------ SWAR
-// Bit-parallel helpers on packed byte lanes: 8 beats of a width-8 group
-// per 64-bit machine word, beat k in byte k.
+// The SWAR and bit-plane fixed-scheme kernels live in
+// kernels_portable.hpp (shared with the registry's "swar" variant and
+// the SIMD variant TUs); this TU keeps the trellis kernel, the generic
+// mask accounting, and the dispatch glue.
+using kernels::encode_fixed8;
+using kernels::encode_planar;
+using kernels::encode_raw8;
+using kernels::PlanarRule;
+using kernels::StridedBeats;
+using kernels::WordBeats;
 
 /// Lower-case hex of a beat word, for geometry diagnostics.
 std::string to_hex(Word w) {
@@ -32,397 +40,6 @@ std::string to_hex(Word w) {
     w >>= 4;
   } while (w != 0);
   return out;
-}
-
-constexpr std::uint64_t kL01 = 0x0101010101010101ULL;
-constexpr std::uint64_t kL0F = 0x0F0F0F0F0F0F0F0FULL;
-constexpr std::uint64_t kL33 = 0x3333333333333333ULL;
-constexpr std::uint64_t kL55 = 0x5555555555555555ULL;
-constexpr std::uint64_t kL80 = 0x8080808080808080ULL;
-
-/// Per-byte popcount: byte k of the result = popcount(byte k of v).
-constexpr std::uint64_t byte_popcount(std::uint64_t v) {
-  v -= (v >> 1) & kL55;
-  v = (v & kL33) + ((v >> 2) & kL33);
-  return (v + (v >> 4)) & kL0F;
-}
-
-/// Packs bytes that are each 0 or 1 into the low 8 bits (byte k -> bit k).
-constexpr std::uint64_t movemask01(std::uint64_t bytes01) {
-  return (bytes01 * 0x0102040810204080ULL) >> 56;
-}
-
-/// Per-byte flag (0/1): 1 iff byte k of `counts` >= `threshold`.
-/// Valid for counts <= 127 per byte; ours are popcounts <= 9.
-constexpr std::uint64_t byte_ge(std::uint64_t counts, int threshold) {
-  const std::uint64_t bias =
-      static_cast<std::uint64_t>(0x80 - threshold) * kL01;
-  return ((counts + bias) & kL80) >> 7;
-}
-
-/// Spreads per-byte 0/1 flags to 0x00 / 0xFF full-byte masks.
-constexpr std::uint64_t spread01(std::uint64_t bytes01) {
-  return bytes01 * 0xFFULL;
-}
-
-/// Byte-granular prefix XOR: byte k of the result = XOR of bytes 0..k.
-constexpr std::uint64_t byte_prefix_xor(std::uint64_t v) {
-  v ^= v << 8;
-  v ^= v << 16;
-  v ^= v << 32;
-  return v;
-}
-
-/// Beat sources for the packed kernels: all expose size(), operator[]
-/// and pack8(i0, m) — up to 8 consecutive beats' low bytes packed into
-/// one 64-bit lane word, beat i0+k in byte k. pack8_col(i0, m, c) is
-/// the generalisation the bit-plane transpose uses: byte column c
-/// (payload bits 8c..8c+7) of up to 8 consecutive beats.
-struct WordBeats {
-  std::span<const Word> words;
-
-  [[nodiscard]] int size() const { return static_cast<int>(words.size()); }
-  [[nodiscard]] Word operator[](int i) const {
-    return words[static_cast<std::size_t>(i)];
-  }
-  [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
-    return pack8_col(i0, m, 0);
-  }
-  [[nodiscard]] std::uint64_t pack8_col(int i0, int m, int c) const {
-    std::uint64_t p = 0;
-    for (int k = 0; k < m; ++k)
-      p |= static_cast<std::uint64_t>(
-               (words[static_cast<std::size_t>(i0 + k)] >> (8 * c)) & 0xFFU)
-           << (8 * k);
-    return p;
-  }
-};
-
-/// One byte per beat, the binary trace format's width-8 payload layout:
-/// the packed lane word is a straight (little-endian) 8-byte load, so
-/// mmap'd trace chunks feed the SWAR kernels with no widening pass.
-struct ByteBeats {
-  const std::uint8_t* bytes;
-  int n;
-
-  [[nodiscard]] int size() const { return n; }
-  [[nodiscard]] Word operator[](int i) const {
-    return static_cast<Word>(bytes[i]);
-  }
-  [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
-    if constexpr (std::endian::native == std::endian::little) {
-      std::uint64_t p = 0;
-      std::memcpy(&p, bytes + i0, static_cast<std::size_t>(m));
-      return p;
-    } else {
-      std::uint64_t p = 0;
-      for (int k = 0; k < m; ++k)
-        p |= static_cast<std::uint64_t>(bytes[i0 + k]) << (8 * k);
-      return p;
-    }
-  }
-  [[nodiscard]] std::uint64_t pack8_col(int i0, int m, int /*c*/) const {
-    return pack8(i0, m);  // one byte per beat: column 0 only
-  }
-};
-
-/// One byte per beat at a fixed stride — group g of a wide beat-major
-/// payload (stride = groups(), offset g applied by the caller). This is
-/// how the kernels consume mmap'd wide trace chunks in place: no
-/// widening or de-interleaving pass, just strided byte gathers.
-struct StridedBeats {
-  const std::uint8_t* bytes;  ///< first beat's byte of this group
-  int n;
-  int stride;  ///< bytes per beat of the enclosing wide payload
-
-  [[nodiscard]] int size() const { return n; }
-  [[nodiscard]] Word operator[](int i) const {
-    return static_cast<Word>(bytes[static_cast<std::size_t>(i) *
-                                   static_cast<std::size_t>(stride)]);
-  }
-  [[nodiscard]] std::uint64_t pack8(int i0, int m) const {
-    std::uint64_t p = 0;
-    for (int k = 0; k < m; ++k)
-      p |= static_cast<std::uint64_t>(
-               bytes[static_cast<std::size_t>(i0 + k) *
-                     static_cast<std::size_t>(stride)])
-           << (8 * k);
-    return p;
-  }
-  [[nodiscard]] std::uint64_t pack8_col(int i0, int m, int /*c*/) const {
-    return pack8(i0, m);  // one byte per beat: column 0 only
-  }
-};
-
-// ------------------------------------------------- width-8 fixed schemes
-//
-// The fixed schemes decide whole 64-bit lane words at a time:
-//   DC:   invert beat iff popcount(byte) <= 3        (2 * zeros > 9)
-//   AC:   with h = hd(raw prev word, raw cur word), the transmitted
-//         comparison collapses to invert = (h >= 5) XOR s_prev, because
-//         t_keep + t_inv == 9 on the 9 lines of a byte group; the scan
-//         over beats is therefore a prefix XOR of the (h >= 5) flags.
-//   ACDC: AC with the first flag replaced by the DC rule for beat 0.
-// Stats (zeros, DQ + DBI transitions) come from whole-word popcounts of
-// the packed transmitted chunk against its shifted self.
-
-enum class Fixed8 { kDc, kAc, kAcDc };
-
-template <typename Beats>
-BurstResult encode_fixed8(Fixed8 rule, const Beats& beats, BusState& state) {
-  const int n = beats.size();
-  BurstResult r;
-  // Carries threaded between 8-beat chunks.
-  std::uint64_t prev_raw = state.last.dq & 0xFFU;  // raw word of beat i-1
-  std::uint64_t prev_tx = state.last.dq & 0xFFU;   // transmitted word
-  bool prev_s = false;      // inversion state of beat i-1 (pre-burst: none)
-  bool prev_dbi = state.last.dbi;  // physical DBI value of beat i-1
-
-  for (int i0 = 0; i0 < n; i0 += 8) {
-    const int m = (n - i0 < 8) ? (n - i0) : 8;
-    const std::uint64_t valid =
-        (m == 8) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * m)) - 1);
-    const std::uint64_t valid_bits = (std::uint64_t{1} << m) - 1;
-    const std::uint64_t p = beats.pack8(i0, m);
-
-    // Per-byte inversion decisions as 0/1 flags.
-    std::uint64_t s01;
-    if (rule == Fixed8::kDc) {
-      s01 = (byte_ge(byte_popcount(p), 4) ^ kL01) & kL01 & valid;
-    } else {
-      const std::uint64_t d = p ^ ((p << 8) | prev_raw);
-      std::uint64_t g01 = byte_ge(byte_popcount(d), 5) & kL01;
-      if (i0 == 0) {
-        // Beat 0 sees the pre-burst bus state, not a raw predecessor.
-        bool g0;
-        if (rule == Fixed8::kAcDc) {
-          g0 = std::popcount(static_cast<std::uint32_t>(p & 0xFF)) <= 3;
-        } else {
-          const int t0 = std::popcount(static_cast<std::uint32_t>(
-                             (p ^ prev_raw) & 0xFF)) +
-                         (state.last.dbi != true ? 1 : 0);
-          g0 = t0 >= 5;
-        }
-        g01 = (g01 & ~std::uint64_t{0xFF}) | (g0 ? 1 : 0);
-      }
-      // s_i = g_i XOR s_{i-1}: prefix XOR, then fold in the chunk carry.
-      s01 = byte_prefix_xor(g01);
-      if (prev_s) s01 ^= kL01;
-      s01 &= kL01 & valid;
-    }
-
-    const std::uint64_t inv_bytes = spread01(s01) & valid;
-    const std::uint64_t tx = (p ^ inv_bytes) & valid;
-    const std::uint64_t s_bits = movemask01(s01) & valid_bits;
-    r.invert_mask |= s_bits << i0;
-
-    // Zeros: 8 per beat minus transmitted ones, plus the DBI-low beats.
-    r.stats.zeros += 8 * m - std::popcount(tx) +
-                     std::popcount(s_bits);
-    // DQ transitions: packed chunk vs itself shifted one beat.
-    const std::uint64_t adj = tx ^ ((tx << 8) | prev_tx);
-    r.stats.transitions += std::popcount(adj & valid);
-    // DBI transitions: physical DBI is !s; pre-chunk value is prev_dbi.
-    const std::uint64_t dbi_bits = ~s_bits & valid_bits;
-    const std::uint64_t dbi_adj =
-        (dbi_bits ^ ((dbi_bits << 1) | (prev_dbi ? 1 : 0))) & valid_bits;
-    r.stats.transitions += std::popcount(dbi_adj);
-
-    prev_raw = (p >> (8 * (m - 1))) & 0xFF;
-    prev_tx = (tx >> (8 * (m - 1))) & 0xFF;
-    prev_s = (s_bits >> (m - 1)) & 1;
-    prev_dbi = !prev_s;
-  }
-
-  state.last = Beat{static_cast<Word>(prev_tx), prev_dbi};
-  return r;
-}
-
-/// RAW on a packed byte lane: no DBI wire, data as-is.
-template <typename Beats>
-BurstResult encode_raw8(const Beats& beats, BusState& state) {
-  const int n = beats.size();
-  BurstResult r;
-  std::uint64_t prev_tx = state.last.dq & 0xFFU;
-  for (int i0 = 0; i0 < n; i0 += 8) {
-    const int m = (n - i0 < 8) ? (n - i0) : 8;
-    const std::uint64_t valid =
-        (m == 8) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * m)) - 1);
-    const std::uint64_t p = beats.pack8(i0, m);
-    r.stats.zeros += 8 * m - std::popcount(p & valid);
-    r.stats.transitions += std::popcount((p ^ ((p << 8) | prev_tx)) & valid);
-    prev_tx = (p >> (8 * (m - 1))) & 0xFF;
-  }
-  // RAW beats carry an idle-high DBI value (see RawEncoder).
-  state.last = Beat{static_cast<Word>(prev_tx), true};
-  return r;
-}
-
-// ------------------------------------------------- bit-plane fixed kernel
-//
-// Width-generic twin of the width-8 SWAR kernels, for every other group
-// width (1..32). The burst is transposed into one 64-bit plane per DQ
-// line (bit i of plane b = bit b of beat i; a burst is at most 64 beats,
-// so one word per line always suffices). Per-beat popcounts — ones for
-// the DC rule, Hamming distances for the AC rule — come from bit-sliced
-// vertical counters over the planes, threshold tests from a carry
-// ripple over the slices, and the AC decision recurrence from a 64-bit
-// prefix XOR (even widths) or a 64-step flag scan that also handles the
-// odd-width tie reset. The decision rules are the scalar encoders'
-// exactly:
-//   DC:   invert iff 2 * zeros > width + 1      <=>  ones < width / 2
-//   AC:   invert iff the inverted beat toggles strictly fewer of the
-//         width + 1 lines; against the raw predecessor with Hamming
-//         distance h this is g = (2h > width + 1) XOR s_prev — except
-//         when 2h == width + 1 (odd widths only), where BOTH choices
-//         tie or lose and the non-inverted beat wins regardless of
-//         s_prev, resetting the XOR chain to 0.
-//   ACDC: AC with the first flag replaced by the DC rule for beat 0.
-
-/// Fills planes[b] (b < width) with bit b of every beat: bit i = bit b
-/// of beat i. Works in 8-beat x 8-line tiles via transpose8.
-template <typename Beats>
-void fill_planes(const Beats& beats, int width, std::uint64_t* planes) {
-  const int n = beats.size();
-  const int cols = (width + 7) / 8;
-  for (int b = 0; b < 8 * cols; ++b) planes[b] = 0;
-  for (int i0 = 0; i0 < n; i0 += 8) {
-    const int m = (n - i0 < 8) ? (n - i0) : 8;
-    for (int c = 0; c < cols; ++c) {
-      const std::uint64_t tile = transpose8(beats.pack8_col(i0, m, c));
-      for (int r = 0; r < 8; ++r)
-        planes[8 * c + r] |= ((tile >> (8 * r)) & 0xFFULL) << i0;
-    }
-  }
-}
-
-/// Bit-sliced per-beat counter: slice j holds bit j of 64 independent
-/// sums (one per beat column). Sums stay <= 33 (width + 1), so six
-/// slices are plenty.
-struct BeatCounts {
-  std::uint64_t s[6] = {};
-
-  /// Adds the 0/1 plane `x` to every beat's sum (ripple full-adder).
-  void add(std::uint64_t x) {
-    for (int j = 0; j < 6 && x != 0; ++j) {
-      const std::uint64_t carry = s[j] & x;
-      s[j] ^= x;
-      x = carry;
-    }
-  }
-
-  /// Mask of beats whose sum >= c, via the carry-out of sum + (64 - c).
-  [[nodiscard]] std::uint64_t ge(int c) const {
-    if (c <= 0) return ~std::uint64_t{0};
-    const auto k = static_cast<std::uint64_t>(64 - c);
-    std::uint64_t carry = 0;
-    for (int j = 0; j < 6; ++j) {
-      const std::uint64_t a = ((k >> j) & 1U) ? ~std::uint64_t{0} : 0;
-      carry = (s[j] & a) | (carry & (s[j] ^ a));
-    }
-    return carry;
-  }
-};
-
-/// Whole-word prefix XOR over bits: bit i of the result = XOR of bits
-/// 0..i — the beat-granular twin of byte_prefix_xor.
-constexpr std::uint64_t bit_prefix_xor(std::uint64_t v) {
-  v ^= v << 1;
-  v ^= v << 2;
-  v ^= v << 4;
-  v ^= v << 8;
-  v ^= v << 16;
-  v ^= v << 32;
-  return v;
-}
-
-enum class PlanarRule { kRaw, kDc, kAc, kAcDc };
-
-template <typename Beats>
-BurstResult encode_planar(PlanarRule rule, const Beats& beats,
-                          const BusConfig& cfg, BusState& state) {
-  const int n = beats.size();
-  const int width = cfg.width;
-  const Word mask = cfg.dq_mask();
-  const std::uint64_t valid =
-      (n >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
-
-  std::uint64_t planes[32];
-  fill_planes(beats, width, planes);
-
-  std::uint64_t s_bits = 0;  // bit i: beat i transmitted inverted
-  if (rule == PlanarRule::kDc) {
-    BeatCounts ones;
-    for (int b = 0; b < width; ++b) ones.add(planes[b]);
-    s_bits = ~ones.ge(width / 2) & valid;
-  } else if (rule == PlanarRule::kAc || rule == PlanarRule::kAcDc) {
-    // Hamming distance of each beat against its raw predecessor; beat
-    // 0's column is garbage here and is overwritten by the scalar
-    // boundary decision below (columns are independent).
-    BeatCounts h;
-    for (int b = 0; b < width; ++b) {
-      const std::uint64_t prev_bit = (state.last.dq >> b) & 1U;
-      h.add((planes[b] ^ ((planes[b] << 1) | prev_bit)) & valid);
-    }
-    std::uint64_t g01 = h.ge((width + 3) / 2) & valid;
-    // Odd widths can tie (2h == width + 1): both choices toggle the
-    // same number of lines, keep wins and the inversion state resets.
-    std::uint64_t eq01 = 0;
-    if (width & 1)
-      eq01 = (h.ge((width + 1) / 2) & ~h.ge((width + 1) / 2 + 1)) & valid;
-
-    // Beat 0 decides against the physical bus state (transmitted DQ
-    // values + DBI line), not a raw predecessor.
-    const Word w0 = static_cast<Word>(beats[0]) & mask;
-    bool g0;
-    if (rule == PlanarRule::kAcDc) {
-      const int zeros0 = width - std::popcount(w0);
-      g0 = 2 * zeros0 > width + 1;
-    } else {
-      const int h0 = std::popcount((state.last.dq ^ w0) & mask);
-      g0 = 2 * h0 > width + (state.last.dbi ? 1 : -1);
-    }
-    g01 = (g01 & ~std::uint64_t{1}) | (g0 ? 1 : 0);
-    eq01 &= ~std::uint64_t{1};
-
-    if (eq01 == 0) {
-      s_bits = bit_prefix_xor(g01) & valid;
-    } else {
-      std::uint64_t s = 0;
-      for (int i = 0; i < n; ++i) {
-        s = (((g01 >> i) ^ s) & 1U) & ~((eq01 >> i) & 1U);
-        s_bits |= s << i;
-      }
-    }
-  }
-
-  // Stats + final state from the transmitted planes, like apply_mask
-  // but popcounting whole lines at a time.
-  BurstResult r;
-  r.invert_mask = s_bits;
-  Word last_dq = 0;
-  int zeros = 0;
-  int transitions = 0;
-  for (int b = 0; b < width; ++b) {
-    const std::uint64_t tx = planes[b] ^ s_bits;
-    const std::uint64_t prev_bit = (state.last.dq >> b) & 1U;
-    zeros += n - std::popcount(tx);
-    transitions += std::popcount((tx ^ ((tx << 1) | prev_bit)) & valid);
-    last_dq |= static_cast<Word>((tx >> (n - 1)) & 1U) << b;
-  }
-  r.stats.zeros = zeros;
-  r.stats.transitions = transitions;
-  bool last_dbi = true;  // RAW beats carry an idle-high DBI value
-  if (rule != PlanarRule::kRaw) {
-    r.stats.zeros += std::popcount(s_bits);
-    const std::uint64_t dbi_bits = ~s_bits & valid;
-    const std::uint64_t prev_dbi = state.last.dbi ? 1 : 0;
-    r.stats.transitions +=
-        std::popcount((dbi_bits ^ ((dbi_bits << 1) | prev_dbi)) & valid);
-    last_dbi = ((s_bits >> (n - 1)) & 1U) == 0;
-  }
-  state.last = Beat{last_dq, last_dbi};
-  return r;
 }
 
 // -------------------------------------------------- flat trellis kernel
@@ -488,7 +105,7 @@ std::uint64_t trellis_mask_flat(const Beats& words, const BusConfig& cfg,
 }
 
 /// Stats + state update for an arbitrary (width, mask) pair; the
-/// generic twin of the packed chunk accounting above.
+/// generic twin of the packed chunk accounting in the fixed kernels.
 template <typename Beats>
 BurstStats apply_mask(const Beats& words, const BusConfig& cfg,
                       std::uint64_t mask, BusState& state) {
@@ -511,7 +128,10 @@ BurstStats apply_mask(const Beats& words, const BusConfig& cfg,
 }  // namespace
 
 BatchEncoder::BatchEncoder(Scheme scheme, const dbi::CostWeights& w)
-    : scheme_(scheme), weights_(w), fallback_(dbi::make_encoder(scheme, w)) {
+    : scheme_(scheme),
+      weights_(w),
+      fallback_(dbi::make_encoder(scheme, w)),
+      kernel_(&default_kernel()) {
   w.validate();
 }
 
@@ -530,15 +150,15 @@ BurstResult BatchEncoder::encode_span(std::span<const Word> words,
       return encode_planar(PlanarRule::kRaw, WordBeats{words}, cfg, state);
     case Scheme::kDc:
       if (cfg.width == 8)
-        return encode_fixed8(Fixed8::kDc, WordBeats{words}, state);
+        return encode_fixed8(Fixed8Rule::kDc, WordBeats{words}, state);
       return encode_planar(PlanarRule::kDc, WordBeats{words}, cfg, state);
     case Scheme::kAc:
       if (cfg.width == 8)
-        return encode_fixed8(Fixed8::kAc, WordBeats{words}, state);
+        return encode_fixed8(Fixed8Rule::kAc, WordBeats{words}, state);
       return encode_planar(PlanarRule::kAc, WordBeats{words}, cfg, state);
     case Scheme::kAcDc:
       if (cfg.width == 8)
-        return encode_fixed8(Fixed8::kAcDc, WordBeats{words}, state);
+        return encode_fixed8(Fixed8Rule::kAcDc, WordBeats{words}, state);
       return encode_planar(PlanarRule::kAcDc, WordBeats{words}, cfg, state);
     case Scheme::kOpt: {
       BurstResult r;
@@ -606,36 +226,29 @@ BurstStats BatchEncoder::encode_packed(std::span<const std::uint8_t> bytes,
 
   // Width-8 schemes consume the packed bytes in place — the trace
   // payload layout is the SWAR lane-word layout, so there is no
-  // widening pass at all (and every byte value is a valid beat).
+  // widening pass at all (and every byte value is a valid beat). The
+  // fixed schemes run through the selected kernel variant; geometries
+  // outside its envelope take the portable reference.
   if (cfg.width == 8 && scheme_ != Scheme::kExhaustive) {
     const int ibl = cfg.burst_length;
+    if (const auto rule = fixed8_rule(scheme_)) {
+      const KernelVariant& k = kernel_->supports_fixed8(*rule, ibl)
+                                   ? *kernel_
+                                   : portable_kernel();
+      return k.encode_fixed8(*rule, p, n, ibl, /*stride=*/1, state, results,
+                             /*results_stride=*/1);
+    }
     for (std::size_t i = 0; i < n; ++i, p += burst_bytes) {
-      const ByteBeats beats{p, ibl};
+      const kernels::ByteBeats beats{p, ibl};
       BurstResult r;
-      switch (scheme_) {
-        case Scheme::kRaw:
-          r = encode_raw8(beats, state);
-          break;
-        case Scheme::kDc:
-          r = encode_fixed8(Fixed8::kDc, beats, state);
-          break;
-        case Scheme::kAc:
-          r = encode_fixed8(Fixed8::kAc, beats, state);
-          break;
-        case Scheme::kAcDc:
-          r = encode_fixed8(Fixed8::kAcDc, beats, state);
-          break;
-        case Scheme::kOpt:
-          r.invert_mask = trellis_mask_flat<double>(beats, cfg, state.last,
-                                                    weights_);
-          r.stats = apply_mask(beats, cfg, r.invert_mask, state);
-          break;
-        default:  // kOptFixed
-          r.invert_mask = trellis_mask_flat<std::int64_t>(
-              beats, cfg, state.last, dbi::IntCostWeights{1, 1});
-          r.stats = apply_mask(beats, cfg, r.invert_mask, state);
-          break;
+      if (scheme_ == Scheme::kOpt) {
+        r.invert_mask =
+            trellis_mask_flat<double>(beats, cfg, state.last, weights_);
+      } else {  // kOptFixed
+        r.invert_mask = trellis_mask_flat<std::int64_t>(
+            beats, cfg, state.last, dbi::IntCostWeights{1, 1});
       }
+      r.stats = apply_mask(beats, cfg, r.invert_mask, state);
       totals += r.stats;
       if (results) results[i] = r;
     }
@@ -689,8 +302,23 @@ BurstStats BatchEncoder::encode_packed_group(
   const BusConfig gcfg = cfg.group_config(group);
   const Word gmask = gcfg.dq_mask();
 
-  BurstStats totals;
   const std::uint8_t* p = bytes.data() + group;
+
+  // Full byte groups under a fixed scheme: the strided wide kernel of
+  // the selected variant (stride = groups()), portable outside its
+  // envelope. Every byte value is a valid width-8 beat, so no
+  // validation pass is needed.
+  if (gw == 8 && scheme_ != Scheme::kExhaustive) {
+    if (const auto rule = fixed8_rule(scheme_)) {
+      const KernelVariant& k = kernel_->supports_fixed8(*rule, bl)
+                                   ? *kernel_
+                                   : portable_kernel();
+      return k.encode_fixed8(*rule, p, n, bl, groups, state, results,
+                             results_stride);
+    }
+  }
+
+  BurstStats totals;
   for (std::size_t i = 0; i < n; ++i, p += burst_bytes) {
     const StridedBeats beats{p, bl, groups};
     // Full byte groups accept every byte value; a remainder group's
@@ -711,15 +339,15 @@ BurstStats BatchEncoder::encode_packed_group(
                     : encode_planar(PlanarRule::kRaw, beats, gcfg, state);
         break;
       case Scheme::kDc:
-        r = gw == 8 ? encode_fixed8(Fixed8::kDc, beats, state)
+        r = gw == 8 ? encode_fixed8(Fixed8Rule::kDc, beats, state)
                     : encode_planar(PlanarRule::kDc, beats, gcfg, state);
         break;
       case Scheme::kAc:
-        r = gw == 8 ? encode_fixed8(Fixed8::kAc, beats, state)
+        r = gw == 8 ? encode_fixed8(Fixed8Rule::kAc, beats, state)
                     : encode_planar(PlanarRule::kAc, beats, gcfg, state);
         break;
       case Scheme::kAcDc:
-        r = gw == 8 ? encode_fixed8(Fixed8::kAcDc, beats, state)
+        r = gw == 8 ? encode_fixed8(Fixed8Rule::kAcDc, beats, state)
                     : encode_planar(PlanarRule::kAcDc, beats, gcfg, state);
         break;
       case Scheme::kOpt:

@@ -46,20 +46,10 @@
 #include "core/encoder.hpp"
 #include "core/encoding.hpp"
 #include "core/types.hpp"
+#include "engine/kernel_registry.hpp"
 #include "engine/shard_pool.hpp"
 
 namespace dbi::engine {
-
-/// Compact encode result for one burst: the per-beat inversion
-/// decisions plus the zero / transition counts against the pre-burst
-/// bus state (DBI line included for every scheme except RAW).
-struct BurstResult {
-  std::uint64_t invert_mask = 0;
-  dbi::BurstStats stats;
-
-  friend constexpr bool operator==(const BurstResult&, const BurstResult&) =
-      default;
-};
 
 /// One lane's unit of work for encode_lanes(): an ordered burst stream,
 /// the lane's bus state (threaded through and updated in place), and a
@@ -95,6 +85,16 @@ class BatchEncoder {
 
   [[nodiscard]] dbi::Scheme scheme() const { return scheme_; }
   [[nodiscard]] std::string_view name() const;
+
+  /// The kernel variant serving this encoder's hot width-8 fixed-scheme
+  /// paths (encode_packed / encode_packed_group full byte groups).
+  /// Defaults to the registry's auto selection (CPUID detection plus
+  /// the DBI_KERNEL environment override); geometries outside the
+  /// variant's envelope fall back to the portable "swar" reference, so
+  /// results are bit-exact under every variant. The bit-plane and
+  /// trellis paths always run the portable kernels.
+  void set_kernel(const KernelVariant& kernel) { kernel_ = &kernel; }
+  [[nodiscard]] const KernelVariant& kernel() const { return *kernel_; }
 
   /// The scalar encoder the engine is bit-exact against (also the
   /// slow-path implementation). Lets engine-backed callers expose a
@@ -195,6 +195,7 @@ class BatchEncoder {
   dbi::Scheme scheme_;
   dbi::CostWeights weights_;
   std::unique_ptr<dbi::Encoder> fallback_;  // scalar twin / slow path
+  const KernelVariant* kernel_;             // never null
 };
 
 }  // namespace dbi::engine

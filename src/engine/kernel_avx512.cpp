@@ -1,0 +1,304 @@
+// The "avx512-fixed8" kernel variant: AVX-512 (F+BW+DQ+VL, the
+// Skylake-server baseline) implementations of the hot fixed-scheme
+// paths. This TU is compiled with per-file -mavx512* flags (see the
+// DBI_SIMD block in CMakeLists.txt) and registers itself only when
+// CMake defined DBI_HAVE_AVX512 for it; the registry additionally gates
+// selection on runtime CPUID, so the binary stays portable.
+//
+// Envelope (everything else falls back to the portable reference):
+//   * encode_fixed8: DC / AC / ACDC at burst_length 8 — 8 bursts per
+//     zmm. Per-byte popcounts via the nibble LUT + shuffle, decision
+//     flags straight into __mmask64 compares, mask -> 0xFF lane spread
+//     with vpmovm2b, per-burst ones/transition counts from vpsadbw
+//     against the byte-shifted stream. The AC beat-0 boundary (previous
+//     transmitted byte + DBI value) and the 8-bit decision prefix XOR
+//     stay scalar per burst: that recurrence is serial across bursts by
+//     construction, but it is ~10 cheap ops against a vectorised rest.
+//   * decode_fixed8: width 8, burst_length % 8 == 0 — mask bits to XOR
+//     bytes with vpmovm2b, 64 transmitted bytes per step.
+//   * decode_wide8: burst_length % 8 == 0 — the 8x8 mask-tile transpose
+//     feeds vpmovm2b directly, one zmm per 8 wide beats.
+//
+// Bit-exactness vs the SWAR reference is structural: the flags computed
+// here are the same per-byte popcount thresholds, the prefix XOR is the
+// same recurrence, and stats come from the same popcount identities —
+// the parity suite and the differential fuzzer hold every path to that.
+#include "engine/kernel_variants.hpp"
+
+#if defined(DBI_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+#include "engine/kernels_portable.hpp"
+
+namespace dbi::engine {
+namespace {
+
+/// Per-byte popcount of 64 bytes: nibble LUT + vpshufb, twice.
+inline __m512i byte_popcount512(__m512i v) {
+  // (Not _mm512_broadcast_i32x4: its _mm512_undefined_epi32 pass-through
+  // trips gcc 12's -Wmaybe-uninitialized under -Werror.)
+  const __m512i lut = _mm512_set_epi8(
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0);
+  const __m512i nib = _mm512_set1_epi8(0x0F);
+  const __m512i lo = _mm512_and_si512(v, nib);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), nib);
+  return _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                         _mm512_shuffle_epi8(lut, hi));
+}
+
+/// 8-bit in-register prefix XOR: bit k of the result = XOR of bits 0..k.
+inline std::uint8_t prefix_xor8(std::uint8_t g) {
+  g = static_cast<std::uint8_t>(g ^ (g << 1));
+  g = static_cast<std::uint8_t>(g ^ (g << 2));
+  g = static_cast<std::uint8_t>(g ^ (g << 4));
+  return g;
+}
+
+class Avx512Kernel final : public KernelVariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "avx512-fixed8";
+  }
+  [[nodiscard]] KernelIsa isa() const override { return KernelIsa::kAvx512; }
+  [[nodiscard]] std::string_view envelope() const override {
+    return "DC/AC/ACDC encode at burst length 8 (8 bursts per vector); "
+           "width-8 and full-group wide decode at burst lengths divisible "
+           "by 8";
+  }
+
+  [[nodiscard]] bool supports_fixed8(Fixed8Rule rule,
+                                     int burst_length) const override {
+    return rule != Fixed8Rule::kRaw && burst_length == 8;
+  }
+  [[nodiscard]] bool supports_decode8(const dbi::BusConfig& cfg)
+      const override {
+    return cfg.width == 8 && cfg.burst_length % 8 == 0;
+  }
+  [[nodiscard]] bool supports_decode_wide8(int burst_length) const override {
+    return burst_length % 8 == 0;
+  }
+
+  dbi::BurstStats encode_fixed8(Fixed8Rule rule, const std::uint8_t* bytes,
+                                std::size_t bursts, int burst_length,
+                                int stride, dbi::BusState& state,
+                                BurstResult* results,
+                                std::size_t results_stride) const override {
+    if (burst_length != 8 || rule == Fixed8Rule::kRaw) {
+      // Outside the vector envelope (callers normally pre-check with
+      // supports_fixed8): portable reference.
+      return portable_kernel().encode_fixed8(rule, bytes, bursts, burst_length,
+                                             stride, state, results,
+                                             results_stride);
+    }
+
+    dbi::BurstStats totals;
+    std::uint64_t prev_tx = state.last.dq & 0xFFU;
+    bool prev_dbi = state.last.dbi;
+    const std::uint8_t* p = bytes;
+    std::size_t i = 0;
+
+    alignas(64) std::uint8_t gbuf[64];
+    // Byte-shift-with-carry scratch for the transition stream: the
+    // block's transmitted bytes at sc+8, the carried previous byte at
+    // sc+7, so an unaligned reload at sc+7 is "every byte's
+    // predecessor" — valid across burst boundaries because bursts are
+    // time-consecutive on the wire.
+    alignas(64) std::uint8_t sc[72];
+    alignas(64) std::uint64_t txq[8];
+    alignas(64) std::uint64_t txpop[8];
+    alignas(64) std::uint64_t adjpop[8];
+
+    for (; i + 8 <= bursts; i += 8, p += std::size_t{64} * stride) {
+      const std::uint8_t* b = p;
+      if (stride != 1) {
+        for (int k = 0; k < 64; ++k)
+          gbuf[k] = p[static_cast<std::size_t>(k) *
+                      static_cast<std::size_t>(stride)];
+        b = gbuf;
+      }
+      const __m512i v = _mm512_loadu_si512(b);
+      const __m512i pop = byte_popcount512(v);
+
+      std::uint64_t s64;
+      if (rule == Fixed8Rule::kDc) {
+        // DC: invert iff popcount(byte) <= 3; no recurrence at all.
+        s64 = _mm512_cmple_epu8_mask(pop, _mm512_set1_epi8(3));
+      } else {
+        // AC / ACDC: h-flags for beats 1..7 of every burst in one
+        // compare. The lane-local byte shift corrupts only each lane's
+        // byte 0 — beat 0 of a burst, whose flag the boundary rule
+        // overwrites anyway.
+        const __m512i h =
+            byte_popcount512(_mm512_xor_si512(v, _mm512_bslli_epi128(v, 1)));
+        const std::uint64_t g_bits =
+            _mm512_cmp_epu8_mask(h, _mm512_set1_epi8(5), _MM_CMPINT_NLT);
+        std::uint64_t dc_bits = 0;
+        if (rule == Fixed8Rule::kAcDc)
+          dc_bits = _mm512_cmple_epu8_mask(pop, _mm512_set1_epi8(3));
+
+        // Serial per-burst fixup: beat 0 decides against the physical
+        // bus state, then the burst's 8 decision bits collapse with a
+        // register prefix XOR. Threads a local (tx, dbi) shadow of the
+        // carry chain; the stats pass below recomputes the same values.
+        std::uint64_t ptx = prev_tx;
+        bool pdbi = prev_dbi;
+        s64 = 0;
+        for (int j = 0; j < 8; ++j) {
+          std::uint8_t gb =
+              static_cast<std::uint8_t>((g_bits >> (8 * j)) & 0xFE);
+          bool g0;
+          if (rule == Fixed8Rule::kAcDc) {
+            g0 = ((dc_bits >> (8 * j)) & 1U) != 0;
+          } else {
+            const int t0 =
+                std::popcount(static_cast<std::uint32_t>(
+                    (b[8 * j] ^ ptx) & 0xFFU)) +
+                (pdbi ? 0 : 1);
+            g0 = t0 >= 5;
+          }
+          const std::uint8_t sb =
+              prefix_xor8(static_cast<std::uint8_t>(gb | (g0 ? 1 : 0)));
+          s64 |= static_cast<std::uint64_t>(sb) << (8 * j);
+          ptx = b[8 * j + 7] ^ ((sb & 0x80U) ? 0xFFU : 0U);
+          pdbi = (sb & 0x80U) == 0;
+        }
+      }
+
+      const __m512i tx =
+          _mm512_xor_si512(v, _mm512_movm_epi8(static_cast<__mmask64>(s64)));
+      _mm512_store_si512(txq, tx);
+      _mm512_store_si512(txpop,
+                         _mm512_sad_epu8(byte_popcount512(tx),
+                                         _mm512_setzero_si512()));
+      sc[7] = static_cast<std::uint8_t>(prev_tx);
+      _mm512_storeu_si512(sc + 8, tx);
+      const __m512i prevv = _mm512_loadu_si512(sc + 7);
+      _mm512_store_si512(
+          adjpop, _mm512_sad_epu8(byte_popcount512(_mm512_xor_si512(tx, prevv)),
+                                  _mm512_setzero_si512()));
+
+      for (int j = 0; j < 8; ++j) {
+        const auto sb = static_cast<std::uint32_t>((s64 >> (8 * j)) & 0xFFU);
+        dbi::BurstStats st;
+        st.zeros = 64 - static_cast<int>(txpop[j]) +
+                   std::popcount(sb);
+        const std::uint32_t dbi_bits = ~sb & 0xFFU;
+        const std::uint32_t dbi_adj =
+            (dbi_bits ^ ((dbi_bits << 1) | (prev_dbi ? 1U : 0U))) & 0xFFU;
+        st.transitions =
+            static_cast<int>(adjpop[j]) + std::popcount(dbi_adj);
+        totals += st;
+        if (results)
+          results[(i + static_cast<std::size_t>(j)) * results_stride] =
+              BurstResult{sb, st};
+        prev_tx = (txq[j] >> 56) & 0xFFU;
+        prev_dbi = (sb & 0x80U) == 0;
+      }
+    }
+
+    state.last = dbi::Beat{static_cast<dbi::Word>(prev_tx), prev_dbi};
+    // Tail bursts (< 8): the shared portable per-burst kernel, carrying
+    // the threaded state — bit-exact by construction.
+    for (; i < bursts; ++i, p += std::size_t{8} * stride) {
+      BurstResult r;
+      if (stride == 1) {
+        r = kernels::encode_burst8(rule, kernels::ByteBeats{p, 8}, state);
+      } else {
+        r = kernels::encode_burst8(rule, kernels::StridedBeats{p, 8, stride},
+                                   state);
+      }
+      totals += r.stats;
+      if (results) results[i * results_stride] = r;
+    }
+    return totals;
+  }
+
+  void decode_fixed8(const std::uint8_t* tx, const std::uint64_t* masks,
+                     std::size_t bursts, const dbi::BusConfig& cfg,
+                     std::uint8_t* out) const override {
+    if (cfg.width != 8 || cfg.burst_length % 8 != 0) {
+      portable_kernel().decode_fixed8(tx, masks, bursts, cfg, out);
+      return;
+    }
+    // Width 8: every 8 consecutive transmitted bytes are one 8-beat
+    // block whose flags are one byte of its burst's mask. Eight blocks
+    // make a zmm regardless of where the burst boundaries fall.
+    const auto bpb = static_cast<std::size_t>(cfg.burst_length) / 8;
+    const std::size_t blocks = bursts * bpb;
+    std::size_t bk = 0;
+    for (; bk + 8 <= blocks; bk += 8) {
+      std::uint64_t m64 = 0;
+      for (std::size_t j = 0; j < 8; ++j) {
+        const std::size_t block = bk + j;
+        m64 |= ((masks[block / bpb] >> (8 * (block % bpb))) & 0xFFULL)
+               << (8 * j);
+      }
+      const __m512i v = _mm512_loadu_si512(tx + bk * 8);
+      _mm512_storeu_si512(
+          out + bk * 8,
+          _mm512_xor_si512(v, _mm512_movm_epi8(static_cast<__mmask64>(m64))));
+    }
+    for (; bk < blocks; ++bk) {
+      const std::uint64_t inv = kernels::spread_bits_to_bytes(
+          (masks[bk / bpb] >> (8 * (bk % bpb))) & 0xFFULL);
+      std::uint64_t p = 0;
+      std::memcpy(&p, tx + bk * 8, 8);
+      p ^= inv;
+      std::memcpy(out + bk * 8, &p, 8);
+    }
+  }
+
+  void decode_wide8(std::uint8_t* data, const std::uint64_t* masks,
+                    std::size_t bursts, int burst_length) const override {
+    if (burst_length % 8 != 0) {
+      portable_kernel().decode_wide8(data, masks, bursts, burst_length);
+      return;
+    }
+    // Full 8-group beats: transposing the 8 group-mask bytes of an
+    // 8-beat chunk yields, bit (8k + g), "invert group g of beat k" —
+    // exactly vpmovm2b's lane order over the beat-major payload.
+    const int bl = burst_length;
+    const auto bb = static_cast<std::size_t>(bl) * 8;
+    for (std::size_t i = 0; i < bursts; ++i) {
+      const std::uint64_t* mk = masks + i * 8;
+      std::uint8_t* base = data + i * bb;
+      for (int t0 = 0; t0 < bl; t0 += 8) {
+        std::uint64_t m8 = 0;
+        for (int g = 0; g < 8; ++g)
+          m8 |= ((mk[g] >> t0) & 0xFFULL) << (8 * g);
+        const std::uint64_t tile = transpose8(m8);
+        std::uint8_t* p = base + static_cast<std::size_t>(t0) * 8;
+        const __m512i v = _mm512_loadu_si512(p);
+        _mm512_storeu_si512(
+            p,
+            _mm512_xor_si512(v, _mm512_movm_epi8(static_cast<__mmask64>(tile))));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const KernelVariant* avx512_kernel() {
+  static const Avx512Kernel kernel;
+  return &kernel;
+}
+
+}  // namespace dbi::engine
+
+#else  // !DBI_HAVE_AVX512
+
+namespace dbi::engine {
+
+const KernelVariant* avx512_kernel() { return nullptr; }
+
+}  // namespace dbi::engine
+
+#endif

@@ -1,0 +1,22 @@
+// Internal registration hooks between the kernel registry and the
+// per-ISA variant TUs. Each TU always defines its hook; the body
+// returns nullptr unless the TU was compiled with the matching
+// DBI_HAVE_* definition (set per-file by CMake together with the -m
+// flags), so the registry never references symbols that do not exist
+// and the binary stays portable.
+#pragma once
+
+#include "engine/kernel_registry.hpp"
+
+namespace dbi::engine {
+
+/// AVX2 variant ("avx2-fixed8"); nullptr when not compiled in.
+const KernelVariant* avx2_kernel();
+
+/// AVX-512 variant ("avx512-fixed8"); nullptr when not compiled in.
+const KernelVariant* avx512_kernel();
+
+/// NEON variant ("neon-fixed8"); nullptr when not compiled in.
+const KernelVariant* neon_kernel();
+
+}  // namespace dbi::engine

@@ -89,6 +89,25 @@ if(NOT text_a STREQUAL text_b)
   message(FATAL_ERROR "text -> binary -> text round trip changed the trace")
 endif()
 
+# Kernel registry surface: the listing must name the always-available
+# portable reference, a pinned portable kernel must replay bit-exactly,
+# and a typo'd kernel name is a usage error (exit 64), not a runtime one.
+run_dbitool(0 kernels)
+run_dbitool(0 kernels --csv)
+execute_process(
+  COMMAND ${DBITOOL} kernels --csv
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE kernels_rc
+  OUTPUT_VARIABLE kernels_out)
+if(NOT kernels_out MATCHES "swar")
+  message(FATAL_ERROR "dbitool kernels does not list the portable 'swar' "
+          "variant:\n${kernels_out}")
+endif()
+run_dbitool(0 replay t.dbt --kernel swar --lanes 2)
+run_dbitool(0 replay w64.dbt --kernel auto --workers 2)
+run_dbitool(64 replay t.dbt --kernel frobnicate)   # unknown kernel name
+run_dbitool(64 kernels --kernel swar)              # kernels takes no flags
+
 # Documented failure modes, each with its own exit code.
 run_dbitool(2)                           # no command: usage
 run_dbitool(64 frobnicate)               # unknown command: distinct code

@@ -1,0 +1,480 @@
+// The kernel registry's contract: resolution order and overrides are
+// deterministic, misuse throws with the candidate list, and — the core
+// guarantee — every compiled-in variant is bit-exact against the
+// portable "swar" reference on every path: same masks, same stats, same
+// threaded state, same decoded bytes, with or without a pool.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/kernels.hpp"
+#include "api/session.hpp"
+#include "core/encoder.hpp"
+#include "engine/batch_decoder.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/kernel_registry.hpp"
+#include "engine/shard_pool.hpp"
+#include "workload/rng.hpp"
+
+namespace dbi {
+namespace {
+
+using engine::KernelVariant;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  workload::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+/// Variants actually usable on this host (ISA present). Always contains
+/// at least the portable reference.
+std::vector<const KernelVariant*> usable_variants() {
+  std::vector<const KernelVariant*> out;
+  for (const KernelVariant* k : engine::registered_kernels())
+    if (engine::isa_available(k->isa())) out.push_back(k);
+  return out;
+}
+
+// ------------------------------------------------------------ resolution
+
+TEST(KernelRegistry, PortableIsRegisteredLastAndAlwaysAvailable) {
+  const auto kernels = engine::registered_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.back(), &engine::portable_kernel());
+  EXPECT_EQ(engine::portable_kernel().name(), "swar");
+  EXPECT_TRUE(engine::isa_available(engine::KernelIsa::kPortable));
+  // Priority order is most-specialised first: portable appears once,
+  // at the end, so the auto scan always terminates on it.
+  for (const KernelVariant* k : kernels.first(kernels.size() - 1))
+    EXPECT_NE(k->isa(), engine::KernelIsa::kPortable) << k->name();
+}
+
+TEST(KernelRegistry, FindAndResolveByName) {
+  for (const KernelVariant* k : engine::registered_kernels())
+    EXPECT_EQ(engine::find_kernel(k->name()), k);
+  EXPECT_EQ(engine::find_kernel("frobnicate"), nullptr);
+  EXPECT_EQ(&engine::resolve_kernel("swar"), &engine::portable_kernel());
+  // "" and "auto" resolve to the hardware default: the first variant
+  // whose ISA the host reports.
+  const KernelVariant& autok = engine::resolve_kernel("auto");
+  EXPECT_EQ(&engine::resolve_kernel(""), &autok);
+  EXPECT_EQ(usable_variants().front(), &autok);
+}
+
+TEST(KernelRegistry, UnknownNameThrowsWithCandidates) {
+  try {
+    static_cast<void>(engine::resolve_kernel("frobnicate"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("frobnicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("swar"), std::string::npos)
+        << "candidate list missing: " << msg;
+  }
+}
+
+TEST(KernelRegistry, EnvOverrideForcesAndReleases) {
+  // DBI_KERNEL is read per default_kernel() call, so a test can force
+  // the portable reference (the SIMD force-off switch) and release it.
+  ASSERT_EQ(setenv("DBI_KERNEL", "swar", 1), 0);
+  EXPECT_EQ(&engine::default_kernel(), &engine::portable_kernel());
+  ASSERT_EQ(setenv("DBI_KERNEL", "no-such-kernel", 1), 0);
+  EXPECT_THROW(static_cast<void>(engine::default_kernel()),
+               std::invalid_argument);
+  ASSERT_EQ(unsetenv("DBI_KERNEL"), 0);
+  EXPECT_EQ(&engine::default_kernel(), usable_variants().front());
+}
+
+TEST(KernelRegistry, AvailableKernelsMirrorsRegistry) {
+  const std::vector<KernelInfo> infos = available_kernels();
+  const auto kernels = engine::registered_kernels();
+  ASSERT_EQ(infos.size(), kernels.size());
+  int selected = 0;
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i].name, kernels[i]->name());
+    EXPECT_EQ(infos[i].isa, engine::isa_name(kernels[i]->isa()));
+    EXPECT_FALSE(infos[i].envelope.empty());
+    if (infos[i].selected) {
+      ++selected;
+      EXPECT_TRUE(infos[i].available);
+    }
+  }
+  EXPECT_EQ(selected, 1);
+  EXPECT_TRUE(infos.back().available);  // the portable reference
+}
+
+// ------------------------------------------------------- encode parity
+
+constexpr Scheme kFixedSchemes[] = {Scheme::kRaw, Scheme::kDc, Scheme::kAc,
+                                    Scheme::kAcDc};
+
+/// Narrow packed-stream parity: variant vs portable, same bytes, same
+/// threaded state, burst by burst.
+void expect_packed_parity(const KernelVariant& variant, Scheme scheme,
+                          const BusConfig& cfg, int bursts, bool reset,
+                          std::uint64_t seed) {
+  engine::BatchEncoder ref(scheme);
+  ref.set_kernel(engine::portable_kernel());
+  engine::BatchEncoder dut(scheme);
+  dut.set_kernel(variant);
+
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  const auto bytes =
+      random_bytes(static_cast<std::size_t>(bursts) * bb, seed);
+  std::vector<engine::BurstResult> want(static_cast<std::size_t>(bursts));
+  std::vector<engine::BurstResult> got(static_cast<std::size_t>(bursts));
+
+  BusState ref_state = BusState::all_ones(cfg);
+  BusState dut_state = BusState::all_ones(cfg);
+  BurstStats ref_totals, dut_totals;
+  for (int i = 0; i < bursts; ++i) {
+    if (reset) {
+      ref_state = BusState::all_ones(cfg);
+      dut_state = BusState::all_ones(cfg);
+    }
+    const std::span<const std::uint8_t> burst(bytes.data() +
+                                                  static_cast<std::size_t>(i) *
+                                                      bb,
+                                              bb);
+    ref_totals += ref.encode_packed(burst, cfg, ref_state,
+                                    want.data() + i);
+    dut_totals += dut.encode_packed(burst, cfg, dut_state,
+                                    got.data() + i);
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].invert_mask,
+              want[static_cast<std::size_t>(i)].invert_mask)
+        << variant.name() << " " << scheme_name(scheme) << " burst " << i
+        << " bl " << cfg.burst_length;
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].stats,
+              want[static_cast<std::size_t>(i)].stats)
+        << variant.name() << " " << scheme_name(scheme) << " burst " << i;
+    ASSERT_EQ(dut_state, ref_state)
+        << variant.name() << " " << scheme_name(scheme) << " state after "
+        << i;
+  }
+  EXPECT_EQ(dut_totals, ref_totals);
+
+  // Whole-stream call (the vector path sees 8+ bursts at once, with a
+  // tail) must agree with the burst-by-burst loop above.
+  if (!reset) {
+    BusState stream_state = BusState::all_ones(cfg);
+    std::vector<engine::BurstResult> stream(static_cast<std::size_t>(bursts));
+    const BurstStats stream_totals =
+        dut.encode_packed(bytes, cfg, stream_state, stream.data());
+    EXPECT_EQ(stream_totals, ref_totals) << variant.name();
+    EXPECT_EQ(stream_state, ref_state) << variant.name();
+    for (int i = 0; i < bursts; ++i) {
+      ASSERT_EQ(stream[static_cast<std::size_t>(i)].invert_mask,
+                want[static_cast<std::size_t>(i)].invert_mask)
+          << variant.name() << " stream burst " << i;
+      ASSERT_EQ(stream[static_cast<std::size_t>(i)].stats,
+                want[static_cast<std::size_t>(i)].stats)
+          << variant.name() << " stream burst " << i;
+    }
+  }
+}
+
+TEST(KernelParity, NarrowPackedAllVariantsSchemesPolicies) {
+  for (const KernelVariant* v : usable_variants())
+    for (Scheme s : kFixedSchemes)
+      for (bool reset : {false, true}) {
+        // In-envelope (bl 8) and envelope-fallback (bl 12) geometries;
+        // 67 bursts leaves a 3-burst tail after the 8-wide blocks.
+        expect_packed_parity(*v, s, BusConfig{8, 8}, 67, reset, 11);
+        expect_packed_parity(*v, s, BusConfig{8, 12}, 20, reset, 13);
+      }
+}
+
+/// Wide packed-stream parity (x12 exercises the remainder group, x16
+/// and x64 the strided full-group kernels).
+void expect_wide_parity(const KernelVariant& variant, Scheme scheme,
+                        const WideBusConfig& cfg, int bursts,
+                        std::uint64_t seed) {
+  engine::BatchEncoder ref(scheme);
+  ref.set_kernel(engine::portable_kernel());
+  engine::BatchEncoder dut(scheme);
+  dut.set_kernel(variant);
+
+  const auto groups = static_cast<std::size_t>(cfg.groups());
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  auto bytes = random_bytes(static_cast<std::size_t>(bursts) * bb, seed);
+  // Remainder-group bytes must fit the group's narrower mask.
+  if (cfg.width % 8 != 0)
+    for (std::size_t i = groups - 1; i < bytes.size(); i += groups)
+      bytes[i] &= static_cast<std::uint8_t>(
+          cfg.group_mask(cfg.groups() - 1));
+
+  const std::size_t slots = static_cast<std::size_t>(bursts) * groups;
+  std::vector<engine::BurstResult> want(slots), got(slots);
+  std::vector<BusState> ref_states(groups), dut_states(groups);
+  for (std::size_t g = 0; g < groups; ++g)
+    ref_states[g] = dut_states[g] =
+        BusState::all_ones(cfg.group_config(static_cast<int>(g)));
+
+  const BurstStats want_totals =
+      ref.encode_packed_wide(bytes, cfg, ref_states, want.data());
+  const BurstStats got_totals =
+      dut.encode_packed_wide(bytes, cfg, dut_states, got.data());
+  EXPECT_EQ(got_totals, want_totals) << variant.name();
+  for (std::size_t g = 0; g < groups; ++g)
+    ASSERT_EQ(dut_states[g], ref_states[g]) << variant.name() << " group "
+                                            << g;
+  for (std::size_t i = 0; i < slots; ++i) {
+    ASSERT_EQ(got[i].invert_mask, want[i].invert_mask)
+        << variant.name() << " " << scheme_name(scheme) << " slot " << i;
+    ASSERT_EQ(got[i].stats, want[i].stats)
+        << variant.name() << " " << scheme_name(scheme) << " slot " << i;
+  }
+}
+
+TEST(KernelParity, WidePackedAllVariantsAcrossGeometries) {
+  for (const KernelVariant* v : usable_variants())
+    for (Scheme s : kFixedSchemes) {
+      expect_wide_parity(*v, s, WideBusConfig{12, 8}, 33, 17);
+      expect_wide_parity(*v, s, WideBusConfig{16, 8}, 33, 19);
+      expect_wide_parity(*v, s, WideBusConfig{64, 8}, 33, 23);
+      expect_wide_parity(*v, s, WideBusConfig{64, 16}, 9, 29);
+    }
+}
+
+// ------------------------------------------------------- decode parity
+
+TEST(KernelParity, NarrowDecodeAllVariantsMatchesPortableAndRoundTrips) {
+  for (const KernelVariant* v : usable_variants())
+    for (const BusConfig cfg : {BusConfig{8, 8}, BusConfig{8, 16},
+                                BusConfig{8, 12}, BusConfig{5, 8}}) {
+      engine::BatchEncoder enc(Scheme::kAcDc);
+      enc.set_kernel(engine::portable_kernel());
+      engine::BatchDecoder ref;
+      ref.set_kernel(engine::portable_kernel());
+      engine::BatchDecoder dut;
+      dut.set_kernel(*v);
+
+      const int bursts = 37;
+      const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+      auto payload =
+          random_bytes(static_cast<std::size_t>(bursts) * bb, 101);
+      if (cfg.width < 8)
+        for (auto& b : payload)
+          b &= static_cast<std::uint8_t>(cfg.dq_mask());
+
+      BusState state = BusState::all_ones(cfg);
+      std::vector<engine::BurstResult> results(
+          static_cast<std::size_t>(bursts));
+      enc.encode_packed(payload, cfg, state, results.data());
+      std::vector<std::uint64_t> masks;
+      for (const auto& r : results) masks.push_back(r.invert_mask);
+
+      // Materialise the wire stream, then decode it with both kernels.
+      std::vector<std::uint8_t> tx(payload.size());
+      ref.apply_packed(payload, masks, cfg, tx);
+      std::vector<std::uint8_t> want(tx.size()), got(tx.size());
+      ref.decode_packed(tx, masks, cfg, want);
+      dut.decode_packed(tx, masks, cfg, got);
+      ASSERT_EQ(got, want) << v->name() << " width " << cfg.width << " bl "
+                           << cfg.burst_length;
+      ASSERT_EQ(got, payload) << v->name() << " round trip";
+
+      // In-place decode (out aliases tx exactly).
+      dut.decode_packed(tx, masks, cfg, tx);
+      ASSERT_EQ(tx, payload) << v->name() << " in-place";
+    }
+}
+
+TEST(KernelParity, WideDecodeAllVariantsMatchesPortableAndRoundTrips) {
+  for (const KernelVariant* v : usable_variants())
+    for (const WideBusConfig cfg :
+         {WideBusConfig{64, 8}, WideBusConfig{64, 16}, WideBusConfig{32, 8},
+          WideBusConfig{60, 8}}) {
+      engine::BatchEncoder enc(Scheme::kAc);
+      enc.set_kernel(engine::portable_kernel());
+      engine::BatchDecoder ref;
+      ref.set_kernel(engine::portable_kernel());
+      engine::BatchDecoder dut;
+      dut.set_kernel(*v);
+
+      const int bursts = 21;
+      const auto groups = static_cast<std::size_t>(cfg.groups());
+      const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+      auto payload =
+          random_bytes(static_cast<std::size_t>(bursts) * bb, 211);
+      if (cfg.width % 8 != 0)
+        for (std::size_t i = groups - 1; i < payload.size(); i += groups)
+          payload[i] &= static_cast<std::uint8_t>(
+              cfg.group_mask(cfg.groups() - 1));
+
+      std::vector<BusState> states(groups);
+      for (std::size_t g = 0; g < groups; ++g)
+        states[g] = BusState::all_ones(cfg.group_config(static_cast<int>(g)));
+      std::vector<engine::BurstResult> results(
+          static_cast<std::size_t>(bursts) * groups);
+      enc.encode_packed_wide(payload, cfg, states, results.data());
+      std::vector<std::uint64_t> masks;
+      for (const auto& r : results) masks.push_back(r.invert_mask);
+
+      std::vector<std::uint8_t> tx(payload.size());
+      ref.apply_packed_wide(payload, masks, cfg, tx);
+      std::vector<std::uint8_t> want(tx.size()), got(tx.size());
+      ref.decode_packed_wide(tx, masks, cfg, want);
+      dut.decode_packed_wide(tx, masks, cfg, got);
+      ASSERT_EQ(got, want) << v->name() << " width " << cfg.width;
+      ASSERT_EQ(got, payload) << v->name() << " round trip width "
+                              << cfg.width;
+    }
+}
+
+// The width-60 case above is also a regression guard: 8 groups with a
+// narrow remainder used to take the all-groups-full fast path, XORing
+// a full 0xFF into the width-4 remainder group's flagged beats.
+
+// ------------------------------------------------- pool determinism
+
+TEST(KernelParity, PooledDecodeIsDeterministicPerVariant) {
+  // Enough bursts that shard_bursts actually splits (>= 2 * 256).
+  const BusConfig cfg{8, 8};
+  const int bursts = 2048;
+  const auto bb = static_cast<std::size_t>(cfg.bytes_per_burst());
+  const auto tx = random_bytes(static_cast<std::size_t>(bursts) * bb, 307);
+  std::vector<std::uint64_t> masks;
+  workload::Xoshiro256 rng(308);
+  for (int i = 0; i < bursts; ++i) masks.push_back(rng.next() & 0xFFU);
+
+  engine::ShardPool pool(4);
+  for (const KernelVariant* v : usable_variants()) {
+    engine::BatchDecoder dec;
+    dec.set_kernel(*v);
+    std::vector<std::uint8_t> serial(tx.size()), pooled(tx.size());
+    dec.decode_packed(tx, masks, cfg, serial, nullptr);
+    dec.decode_packed(tx, masks, cfg, pooled, &pool);
+    ASSERT_EQ(pooled, serial) << v->name();
+  }
+}
+
+TEST(KernelParity, PooledWideEncodeIsDeterministicPerVariant) {
+  const WideBusConfig cfg{64, 8};
+  const int bursts = 512;
+  const auto bytes = random_bytes(
+      static_cast<std::size_t>(bursts) *
+          static_cast<std::size_t>(cfg.bytes_per_burst()),
+      401);
+  engine::ShardPool pool(3);
+  for (const KernelVariant* v : usable_variants()) {
+    engine::BatchEncoder enc(Scheme::kAcDc);
+    enc.set_kernel(*v);
+
+    auto run = [&](engine::ShardPool* p) {
+      std::vector<BusState> states(8);
+      for (int g = 0; g < 8; ++g)
+        states[static_cast<std::size_t>(g)] =
+            BusState::all_ones(cfg.group_config(g));
+      engine::WideLaneTask task;
+      task.bytes = bytes;
+      task.states = states;
+      std::vector<engine::WideLaneTask> lanes{task};
+      enc.encode_wide_lanes(cfg, lanes, p);
+      return lanes[0].totals;
+    };
+    const BurstStats serial = run(nullptr);
+    const BurstStats pooled = run(&pool);
+    ASSERT_EQ(pooled, serial) << v->name();
+  }
+}
+
+// ----------------------------------------------------- session surface
+
+TEST(KernelSession, SpecPinsVariantAndReportNamesIt) {
+  for (const KernelVariant* v : usable_variants()) {
+    SessionSpec spec;
+    spec.scheme = Scheme::kAcDc;
+    spec.geometry = Geometry::narrow(8, 8);
+    spec.kernel = std::string(v->name());
+    // NEON's encode envelope is empty, but its decode envelope covers
+    // this geometry, so construction succeeds for every usable variant.
+    Session session(spec);
+    const KernelReport rep = session.kernel_report();
+    EXPECT_EQ(rep.variant, v->name());
+    EXPECT_EQ(rep.isa, engine::isa_name(v->isa()));
+    EXPECT_EQ(rep.trellis, "n/a");
+    const bool enc8 = v->supports_fixed8(engine::Fixed8Rule::kAcDc, 8);
+    EXPECT_EQ(rep.fixed_encode, enc8 ? v->name() : "swar");
+    EXPECT_EQ(rep.planar_encode, "n/a");
+  }
+}
+
+TEST(KernelSession, ReportCoversTrellisAndPlanarPaths) {
+  SessionSpec spec;
+  spec.scheme = Scheme::kOpt;
+  spec.geometry = Geometry::narrow(8, 8);
+  const Session opt(spec);
+  EXPECT_EQ(opt.kernel_report().trellis, "swar");
+  EXPECT_EQ(opt.kernel_report().fixed_encode, "n/a");
+
+  spec.scheme = Scheme::kAc;
+  spec.geometry = Geometry::narrow(5, 8);
+  const Session planar(spec);
+  EXPECT_EQ(planar.kernel_report().planar_encode, "swar");
+  EXPECT_EQ(planar.kernel_report().fixed_encode, "n/a");
+}
+
+TEST(KernelSession, UnknownKernelThrowsWithCandidates) {
+  SessionSpec spec;
+  spec.kernel = "frobnicate";
+  try {
+    Session session(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("swar"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KernelSession, EnvelopeMismatchThrows) {
+  // Pinning a SIMD variant onto a spec it cannot serve at all (trellis
+  // scheme on a non-8 width: no fixed-encode path, no decode path) must
+  // throw rather than silently run the portable fallback everywhere.
+  for (const KernelVariant* v : usable_variants()) {
+    if (v->isa() == engine::KernelIsa::kPortable) continue;
+    SessionSpec spec;
+    spec.scheme = Scheme::kOpt;
+    spec.geometry = Geometry::narrow(5, 6);
+    spec.kernel = std::string(v->name());
+    EXPECT_THROW(Session{spec}, std::invalid_argument) << v->name();
+  }
+  // The portable reference pins everywhere.
+  SessionSpec spec;
+  spec.scheme = Scheme::kOpt;
+  spec.geometry = Geometry::narrow(5, 6);
+  spec.kernel = "swar";
+  EXPECT_NO_THROW(Session{spec});
+}
+
+TEST(KernelSession, WriteStreamIdenticalAcrossVariants) {
+  // The channel write surface routes through the wide in-place encoder;
+  // stats must not depend on the selected variant.
+  const auto data = random_bytes(8 * 8 * 64, 509);
+  StreamStats want;
+  bool first = true;
+  for (const KernelVariant* v : usable_variants()) {
+    SessionSpec spec;
+    spec.scheme = Scheme::kAc;
+    spec.geometry = Geometry::narrow(8, 8);
+    spec.lanes = 8;
+    spec.kernel = std::string(v->name());
+    Session session(spec);
+    const StreamStats got = session.write_stream(data);
+    if (first) {
+      want = got;
+      first = false;
+    } else {
+      EXPECT_EQ(got.transitions, want.transitions) << v->name();
+      EXPECT_EQ(got.zeros, want.zeros) << v->name();
+      EXPECT_EQ(got.bursts, want.bursts) << v->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbi

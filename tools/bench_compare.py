@@ -43,6 +43,14 @@ FLOOR_SPEEDUP = 4.0
 DECODE_FLOOR_GEOMETRIES = ("x8", "wide_x64")
 DECODE_FLOOR = 4.0
 FACADE_FLOOR = 0.98
+# Kernel-variant floors, vs the portable "swar" reference in the same
+# process: the SIMD fixed-scheme encode kernels must earn their keep
+# (>= 1.5x), and no variant the registry would auto-select may be
+# slower than the portable reference on any path it serves (>= 1x).
+# Variants whose ISA the bench machine lacks are reported as
+# skipped-isa, never failed.
+KERNEL_ENCODE_FLOOR = 1.5
+KERNEL_FLOOR = 1.0
 
 
 def extract_metrics(name: str, doc: dict) -> dict[str, float]:
@@ -63,6 +71,14 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
             metrics[f"decode_vs_scalar/{row['geometry']}/{row['scheme']}"] = (
                 row["decode_vs_scalar"]
             )
+        for row in doc.get("kernels", []):
+            if row["kernel"] == "swar" or not row["available"]:
+                continue  # the reference itself / ISA absent on this host
+            for path in ("encode_x8", "encode_wide_x64", "decode_x8",
+                         "decode_wide_x64"):
+                metrics[f"kernel_vs_swar/{row['kernel']}/{path}"] = (
+                    row[f"{path}_vs_swar"]
+                )
     elif name == "bench_trace_replay.json":
         for row in doc.get("schemes", []):
             metrics[f"replay_vs_stream/{row['scheme']}"] = (
@@ -87,7 +103,17 @@ def floor_for(metric: str) -> float | None:
         for scheme in FLOOR_SCHEMES:
             if metric == f"decode_vs_scalar/{geometry}/{scheme}":
                 return DECODE_FLOOR
+    if metric.startswith("kernel_vs_swar/"):
+        if "/encode_" in metric and "/avx" in metric:
+            return KERNEL_ENCODE_FLOOR
+        return KERNEL_FLOOR
     return None
+
+
+def skipped_kernels(doc: dict) -> set[str]:
+    """Kernel variants the current machine cannot run (ISA absent)."""
+    return {row["kernel"] for row in doc.get("kernels", [])
+            if not row["available"]}
 
 
 def load(path: str) -> dict:
@@ -117,11 +143,20 @@ def main() -> int:
         if not os.path.exists(current_path):
             failures.append(f"{name}: missing current run {current_path}")
             continue
+        current_doc = load(current_path)
         baseline = extract_metrics(name, load(baseline_path))
-        current = extract_metrics(name, load(current_path))
+        current = extract_metrics(name, current_doc)
+        skipped = skipped_kernels(current_doc)
 
         for metric, base_value in sorted(baseline.items()):
             if metric not in current:
+                if (metric.startswith("kernel_vs_swar/")
+                        and metric.split("/")[1] in skipped):
+                    # Baselined on a machine with the ISA, gated on one
+                    # without it: documented skip, not a regression.
+                    rows.append((name, metric, base_value, float("nan"),
+                                 "skipped-isa"))
+                    continue
                 failures.append(
                     f"{metric}: present in baseline but missing from the "
                     f"current run (bench output shape changed?)")

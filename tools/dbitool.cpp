@@ -25,10 +25,12 @@
 #include <string>
 #include <vector>
 
+#include "api/kernels.hpp"
 #include "api/session.hpp"
 #include "api/verify.hpp"
 #include "core/encoder.hpp"
 #include "core/pareto.hpp"
+#include "engine/kernel_registry.hpp"
 #include "engine/shard_pool.hpp"
 #include "hw/fault_study.hpp"
 #include "hw/hw_design.hpp"
@@ -47,6 +49,13 @@
 namespace {
 
 using namespace dbi;
+
+/// A bad invocation distinct from bad data: reported like an unknown
+/// flag (message + usage on stderr, exit 64 / EX_USAGE), so scripts can
+/// tell a typo'd kernel name from a runtime failure.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::string command;
@@ -123,14 +132,15 @@ const std::map<std::string, std::set<std::string>>& allowed_flags() {
       {"verilog", {"design", "output"}},
       {"record", {"corpus", "source", "bursts", "seed", "width", "bl",
                   "chunk", "no-compress", "wide", "output", "p-one", "p-zero",
-                  "p-stay", "encode", "alpha", "lanes", "reset"}},
+                  "p-stay", "encode", "alpha", "lanes", "reset", "kernel"}},
       {"replay", {"scheme", "alpha", "lanes", "workers", "no-double-buffer",
-                  "pod", "cload-pf", "gbps"}},
+                  "pod", "cload-pf", "gbps", "kernel"}},
       {"inspect", {}},
       {"convert", {"chunk", "no-compress"}},
       {"corpus", {"width", "bl", "bursts", "seed"}},
       {"decode", {"output", "workers", "chunk", "no-compress"}},
       {"verify", {"scheme", "alpha", "lanes", "workers", "reset"}},
+      {"kernels", {}},
   };
   return kAllowed;
 }
@@ -233,8 +243,29 @@ SessionSpec session_spec(const Args& args, const Geometry& geometry,
   spec.lanes = static_cast<int>(args.get_long("lanes", 1));
   spec.threads = static_cast<int>(args.get_long("workers", 0));
   spec.double_buffer = args.options.count("no-double-buffer") == 0;
+  spec.kernel = args.get("kernel", "");
+  // A typo'd kernel name is a usage error (exit 64, like an unknown
+  // flag); an unavailable ISA or an envelope mismatch is left to the
+  // Session to diagnose at runtime (exit 1).
+  if (!spec.kernel.empty() && spec.kernel != "auto" &&
+      engine::find_kernel(spec.kernel) == nullptr)
+    throw UsageError("unknown kernel '" + spec.kernel +
+                     "' (candidates: " + engine::kernel_candidates() + ")");
   spec.validate();
   return spec;
+}
+
+/// `dbitool kernels`: the compiled-in kernel variants, their ISA
+/// requirements, host availability and which one auto-selection picks
+/// right now (the DBI_KERNEL environment override included).
+int cmd_kernels(const Args& args) {
+  sim::Table table({"kernel", "isa", "available", "selected", "envelope"});
+  for (const KernelInfo& k : available_kernels())
+    table.add_row({std::string(k.name), std::string(k.isa),
+                   k.available ? "yes" : "no", k.selected ? "yes" : "no",
+                   std::string(k.envelope)});
+  emit(table, args);
+  return 0;
 }
 
 int cmd_gen(const Args& args) {
@@ -831,8 +862,13 @@ int usage() {
       "                  mismatch)\n"
       "  dbitool replay  TRACE.dbt [--scheme SCHEME] [--alpha 0.5]\n"
       "                  [--lanes 4] [--workers N] [--no-double-buffer]\n"
-      "                  [--pod pod135] [--cload-pf 3] [--gbps 12] [--csv]\n"
+      "                  [--pod pod135] [--cload-pf 3] [--gbps 12]\n"
+      "                  [--kernel auto|swar|avx2-fixed8|...] [--csv]\n"
       "                  (wide traces shard per lane x byte group)\n"
+      "  dbitool kernels [--csv]   (compiled-in kernel variants: ISA,\n"
+      "                  availability on this host, auto selection; the\n"
+      "                  DBI_KERNEL env var overrides auto, --kernel on\n"
+      "                  replay/record pins a session)\n"
       "  dbitool inspect TRACE.dbt [--csv]\n"
       "  dbitool convert INPUT OUTPUT [--chunk 4096] [--no-compress]\n"
       "                  (text <-> binary, direction by sniffing INPUT;\n"
@@ -888,12 +924,17 @@ int main(int argc, char** argv) {
     if (args.command == "corpus") return cmd_corpus(args);
     if (args.command == "decode") return cmd_decode(args);
     if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "kernels") return cmd_kernels(args);
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {
       (void)usage();
       return 0;
     }
     return unknown_command(args.command);
+  } catch (const UsageError& e) {
+    std::cerr << "dbitool: " << e.what() << "\n\n";
+    (void)usage();
+    return 64;
   } catch (const std::exception& e) {
     std::cerr << "dbitool: " << e.what() << "\n";
     return 1;

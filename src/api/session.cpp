@@ -59,6 +59,21 @@ Session::Session(const SessionSpec& spec)
   }
   if (!spec_.pool && spec_.threads >= 2)
     owned_pool_ = std::make_unique<engine::ShardPool>(spec_.threads);
+  // Observability: a caller-owned observer wins (so e.g. dbitool's
+  // scheme sweeps aggregate several sessions into one registry); an
+  // ObsConfig above kOff makes the session own one. Either way the
+  // engine directions and the pool report into it.
+  if (spec_.observer) {
+    obs_ = spec_.observer;
+  } else if (spec_.obs.level != obs::ObsLevel::kOff) {
+    owned_obs_ = std::make_unique<obs::Observer>(spec_.obs);
+    obs_ = owned_obs_.get();
+  }
+  if (obs_) {
+    engine_.set_observer(obs_);
+    decoder_.set_observer(obs_);
+    if (engine::ShardPool* p = pool()) obs_->attach_pool(*p);
+  }
   // The incremental-write surface exists for channel-shaped sessions
   // (byte lanes side by side); set up its persistent line states now
   // so write()/write_stream()/reset() agree on them.
@@ -66,6 +81,24 @@ Session::Session(const SessionSpec& spec)
       spec_.lanes <= 64)
     lane_states_.assign(static_cast<std::size_t>(spec_.lanes),
                         dbi::BusState::all_ones(spec_.geometry.bus()));
+}
+
+Session::~Session() {
+  // A session-owned observer dies with the session: detach it from the
+  // caller-owned pool (the owned pool is destroyed here anyway). A
+  // caller-owned observer's attachment is the caller's to manage.
+  if (owned_obs_ && spec_.pool) spec_.pool->set_observer(nullptr);
+}
+
+void Session::publish_stats(const StreamStats& delta, bool whole_run) const {
+  if (!obs_) return;
+  const auto byte_count =
+      static_cast<std::uint64_t>(delta.bursts) *
+      static_cast<std::uint64_t>(spec_.geometry.bytes_per_burst());
+  if (whole_run)
+    obs_->count_run(delta, byte_count);
+  else
+    obs_->count_stats(delta, byte_count);
 }
 
 std::string_view Session::scheme_name() const { return engine_.name(); }
@@ -178,6 +211,7 @@ StreamStats Session::write(std::span<const std::uint8_t> data,
   }
   delta.writes = 1;
   stats_ += delta;
+  publish_stats(delta, /*whole_run=*/false);
   return delta;
 }
 
@@ -226,6 +260,7 @@ StreamStats Session::write_stream(std::span<const std::uint8_t> data,
     delta.zeros = wide_writer_->zeros() - zeros_before;
     delta.transitions = wide_writer_->transitions() - transitions_before;
     stats_ += delta;
+    publish_stats(delta, /*whole_run=*/false);
     return delta;
   }
 
@@ -289,6 +324,7 @@ StreamStats Session::write_stream(std::span<const std::uint8_t> data,
     delta.transitions += s.transitions;
   }
   stats_ += delta;
+  publish_stats(delta, /*whole_run=*/false);
   return delta;
 }
 
@@ -307,6 +343,7 @@ StreamStats Session::run_replay(const trace::TraceReader& reader,
       spec_.state_policy == StatePolicy::kResetPerBurst;
   opt.pool = pool();
   opt.double_buffer = spec_.double_buffer;
+  opt.obs = obs_;
   if (sink.wants_results()) {
     const int groups = spec_.geometry.groups();
     opt.on_results = [&sink, groups](
@@ -321,7 +358,32 @@ StreamStats Session::run_replay(const trace::TraceReader& reader,
       sink.consume(chunk);
     };
   }
-  return trace::replay_trace(reader, engine_, opt);
+
+  // RLE volume is tallied per reader; fold only this run's delta into
+  // the monotonic counters so repeated runs don't double-count.
+  const trace::ReaderMetrics& rm = reader.metrics();
+  const std::uint64_t rle_chunks0 = rm.rle_chunks.load();
+  const std::uint64_t rle_in0 = rm.rle_bytes_compressed.load();
+  const std::uint64_t rle_out0 = rm.rle_bytes_expanded.load();
+
+  const StreamStats totals = trace::replay_trace(reader, engine_, opt);
+
+  if (obs_) {
+    obs_->rle_chunks.add(rm.rle_chunks.load() - rle_chunks0);
+    const std::uint64_t rle_in = rm.rle_bytes_compressed.load() - rle_in0;
+    const std::uint64_t rle_out = rm.rle_bytes_expanded.load() - rle_out0;
+    obs_->rle_bytes_compressed.add(rle_in);
+    obs_->rle_bytes_expanded.add(rle_out);
+    obs_->trace_file_bytes.set(static_cast<double>(reader.file_bytes()));
+    obs_->trace_payload_bytes.set(
+        static_cast<double>(reader.bursts()) *
+        static_cast<double>(spec_.geometry.bytes_per_burst()));
+    obs_->trace_crc_ns.set(static_cast<double>(rm.crc_ns));
+    if (rle_in > 0)
+      obs_->trace_rle_expand_ratio.set(static_cast<double>(rle_out) /
+                                       static_cast<double>(rle_in));
+  }
+  return totals;
 }
 
 StreamStats Session::run_bursts(std::span<const dbi::Burst> bursts) {
@@ -347,6 +409,7 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
   so.reset_state_per_burst =
       spec_.state_policy == StatePolicy::kResetPerBurst;
   so.pool = pool();
+  so.obs = obs_;
 
   const bool collect = sink.wants_results();
   const bool pass_payload = sink.wants_payload();
@@ -354,6 +417,9 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
 
   auto deliver = [&](std::int64_t first_burst, const SourceChunk& c,
                      std::span<const engine::BurstResult> results) {
+    obs::ScopedSpan span(obs_, obs::Stage::kSinkWrite, first_burst,
+                         static_cast<std::int32_t>(std::min<std::int64_t>(
+                             c.bursts, INT32_MAX)));
     SinkChunk chunk;
     chunk.first_burst = first_burst;
     chunk.bursts = c.bursts;
@@ -372,10 +438,15 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
                       : std::numeric_limits<std::int64_t>::max();
   const auto bb = static_cast<std::size_t>(spec_.geometry.bytes_per_burst());
 
+  auto next_chunk = [&] {
+    obs::ScopedSpan span(obs_, obs::Stage::kSourceRead);
+    return source.next();
+  };
+
   auto encode_all = [&](engine::StreamEncoder& enc) {
     StreamStats totals;
     std::int64_t first_burst = 0;
-    while (const auto c = source.next()) {
+    while (const auto c = next_chunk()) {
       if (!c->masks.empty())
         throw std::invalid_argument(
             "Session::run: the source is already encoded (mask-carrying); "
@@ -419,7 +490,11 @@ StreamStats Session::run_decode(Source& source, Sink& sink) {
   StreamStats totals;
   std::vector<std::uint8_t> decoded;
   std::int64_t first_burst = 0;
-  while (const auto c = source.next()) {
+  auto next_chunk = [&] {
+    obs::ScopedSpan span(obs_, obs::Stage::kSourceRead);
+    return source.next();
+  };
+  while (const auto c = next_chunk()) {
     if (c->bursts == 0) continue;
     if (c->masks.size() !=
         static_cast<std::size_t>(c->bursts) * static_cast<std::size_t>(groups))
@@ -430,12 +505,19 @@ StreamStats Session::run_decode(Source& source, Sink& sink) {
           std::to_string(c->bursts) + " bursts of " +
           std::to_string(groups) + " groups");
     decoded.resize(static_cast<std::size_t>(c->bursts) * bb);
-    if (spec_.geometry.is_wide())
-      decoder_.decode_packed_wide(c->bytes, c->masks,
-                                  spec_.geometry.wide_bus(), decoded, pool());
-    else
-      decoder_.decode_packed(c->bytes, c->masks, spec_.geometry.bus(),
-                             decoded, pool());
+    {
+      obs::ScopedSpan span(obs_, obs::Stage::kDecodeChunk, first_burst,
+                           static_cast<std::int32_t>(std::min<std::int64_t>(
+                               c->bursts, INT32_MAX)));
+      if (obs_) obs_->chunks.inc();
+      if (spec_.geometry.is_wide())
+        decoder_.decode_packed_wide(c->bytes, c->masks,
+                                    spec_.geometry.wide_bus(), decoded,
+                                    pool());
+      else
+        decoder_.decode_packed(c->bytes, c->masks, spec_.geometry.bus(),
+                               decoded, pool());
+    }
     SinkChunk chunk;
     chunk.first_burst = first_burst;
     chunk.bursts = c->bursts;
@@ -454,6 +536,7 @@ StreamStats Session::run_roundtrip(Source& source, Sink& sink) {
   so.reset_state_per_burst =
       spec_.state_policy == StatePolicy::kResetPerBurst;
   so.pool = pool();
+  so.obs = obs_;
 
   const bool pass_payload = sink.wants_payload();
   const bool pass_results = sink.wants_results();
@@ -580,6 +663,7 @@ StreamStats Session::run(Source& source, Sink& sink) {
           "Session::run: kDecode needs an encoded trace (this one has no "
           "mask stream)");
     totals = run_decode(source, sink);
+    publish_stats(totals, /*whole_run=*/true);
     sink.finish(totals);
     return totals;
   }
@@ -590,6 +674,7 @@ StreamStats Session::run(Source& source, Sink& sink) {
         "transmitted stream");
   if (spec_.direction == Direction::kRoundTrip) {
     totals = run_roundtrip(source, sink);
+    publish_stats(totals, /*whole_run=*/true);
     sink.finish(totals);
     return totals;
   }
@@ -608,6 +693,7 @@ StreamStats Session::run(Source& source, Sink& sink) {
   } else {
     totals = run_chunks(source, sink);
   }
+  publish_stats(totals, /*whole_run=*/true);
   sink.finish(totals);
   return totals;
 }

@@ -47,6 +47,7 @@
 #include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
 #include "engine/stream_encoder.hpp"
+#include "obs/observer.hpp"
 
 namespace dbi {
 
@@ -117,6 +118,16 @@ struct SessionSpec {
                      std::span<std::uint8_t> tx,
                      std::span<std::uint64_t> masks)>
       fault_injector;
+  /// Observability: kOff (the default) adds no instrumentation at all —
+  /// the hot paths see a null observer and skip every counter. kCounters
+  /// makes the session own an obs::Observer (metrics via
+  /// Session::metrics_report()); kFull adds stage-span tracing
+  /// (Chrome trace_event JSON via Session::observer()). See src/obs/.
+  obs::ObsConfig obs{};
+  /// Non-null: share this caller-owned observer instead (overrides
+  /// `obs`; must outlive the session). Lets several sessions aggregate
+  /// into one metrics registry / trace, e.g. dbitool's scheme sweeps.
+  obs::Observer* observer = nullptr;
 
   void validate() const;
 };
@@ -124,6 +135,7 @@ struct SessionSpec {
 class Session {
  public:
   explicit Session(const SessionSpec& spec);
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -156,6 +168,16 @@ class Session {
   /// bit-exact flag plus the first mismatching (burst, lane, group)
   /// sites with their beat masks.
   [[nodiscard]] const VerifyReport& verify_report() const { return verify_; }
+
+  /// Aggregated metrics snapshot of this session's observer (empty when
+  /// observability is off). Exact on deterministic runs:
+  /// dbi_bursts_total / dbi_bytes_total equal the summed StreamStats.
+  [[nodiscard]] obs::Snapshot metrics_report() const {
+    return obs_ ? obs_->snapshot() : obs::Snapshot{};
+  }
+
+  /// The live observer (session-owned or spec.observer), null when off.
+  [[nodiscard]] obs::Observer* observer() const { return obs_; }
 
   // ------------------------------------------------- incremental writes
   //
@@ -194,6 +216,9 @@ class Session {
     return spec_.pool ? spec_.pool : owned_pool_.get();
   }
   void require_channel_geometry(const char* what) const;
+  /// Folds a completed surface's delta into the observer counters
+  /// (bytes derived as bursts x geometry.bytes_per_burst()).
+  void publish_stats(const StreamStats& delta, bool whole_run) const;
   StreamStats run_chunks(Source& source, Sink& sink);
   StreamStats run_bursts(std::span<const dbi::Burst> bursts);
   StreamStats run_replay(const trace::TraceReader& reader, Sink& sink);
@@ -205,6 +230,8 @@ class Session {
   engine::BatchDecoder decoder_;
   VerifyReport verify_;
   std::unique_ptr<engine::ShardPool> owned_pool_;
+  std::unique_ptr<obs::Observer> owned_obs_;
+  obs::Observer* obs_ = nullptr;  // owned_obs_ or spec_.observer; nullable
 
   // Incremental-write surface (lazily set up on first use): persistent
   // per-lane states shared by write() and write_stream()'s wide

@@ -5,10 +5,12 @@
 #include <stdexcept>
 #include <string>
 
+#include "api/stream_stats.hpp"
 #include "engine/batch_decoder.hpp"
 #include "engine/batch_encoder.hpp"
 #include "engine/shard_pool.hpp"
 #include "engine/stream_encoder.hpp"
+#include "obs/observer.hpp"
 #include "trace/trace_reader.hpp"
 
 namespace dbi {
@@ -53,13 +55,17 @@ VerifyReport verify_encoded_trace(const trace::TraceReader& reader,
   std::unique_ptr<engine::ShardPool> pool;
   if (options.threads >= 2)
     pool = std::make_unique<engine::ShardPool>(options.threads);
+  if (options.obs && pool) options.obs->attach_pool(*pool);
 
-  const engine::BatchEncoder engine(*scheme, options.weights);
-  const engine::BatchDecoder decoder;
+  engine::BatchEncoder engine(*scheme, options.weights);
+  engine::BatchDecoder decoder;
+  engine.set_observer(options.obs);
+  decoder.set_observer(options.obs);
   engine::StreamEncodeOptions so;
   so.lanes = lanes;
   so.reset_state_per_burst = reset;
   so.pool = pool.get();
+  so.obs = options.obs;
   auto stream =
       h.wide() ? std::make_unique<engine::StreamEncoder>(
                      engine, h.wide_config(), so)
@@ -96,6 +102,14 @@ VerifyReport verify_encoded_trace(const trace::TraceReader& reader,
       }
     }
     report.bursts += info.burst_count;
+    // dbi_chunks_total is bumped by the re-encode's encode_chunk call.
+  }
+  if (options.obs) {
+    StreamStats delta;
+    delta.bursts = report.bursts;
+    options.obs->count_run(delta,
+                           static_cast<std::uint64_t>(report.bursts) *
+                               h.bytes_per_burst());
   }
   return report;
 }

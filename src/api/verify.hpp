@@ -26,6 +26,9 @@
 namespace dbi::trace {
 class TraceReader;
 }  // namespace dbi::trace
+namespace dbi::obs {
+class Observer;
+}  // namespace dbi::obs
 
 namespace dbi {
 
@@ -67,6 +70,9 @@ struct VerifyOptions {
   /// >= 2: shard the re-encode (and decode ranges) across an internal
   /// pool of this many workers.
   int threads = 0;
+  /// Non-null: kernel dispatch counters, stage spans and run totals of
+  /// the verify pass land in this observer (must outlive the call).
+  obs::Observer* obs = nullptr;
 };
 
 /// Decodes `reader`'s transmitted stream, re-encodes it and compares

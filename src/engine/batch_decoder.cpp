@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/encoding.hpp"
+#include "obs/observer.hpp"
 
 namespace dbi::engine {
 namespace {
@@ -74,6 +75,7 @@ void BatchDecoder::decode_range(std::span<const std::uint8_t> tx,
     // narrowed.
     const KernelVariant& k =
         kernel_->supports_decode8(cfg) ? *kernel_ : portable_kernel();
+    if (obs_) obs_->count_decode_dispatch(k, &k != kernel_);
     k.decode_fixed8(tx.data(), masks.data(), n, cfg, out.data());
     return;
   }
@@ -150,6 +152,7 @@ void BatchDecoder::decode_range_wide(std::span<const std::uint8_t> tx,
     // beat-major payload (8x8 mask transpose + bit->byte spread).
     const KernelVariant& k =
         kernel_->supports_decode_wide8(bl) ? *kernel_ : portable_kernel();
+    if (obs_) obs_->count_decode_wide_dispatch(k, &k != kernel_);
     k.decode_wide8(out.data(), masks.data(), n, bl);
     return;
   }

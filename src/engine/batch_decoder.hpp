@@ -58,6 +58,11 @@ class BatchDecoder {
   void set_kernel(const KernelVariant& kernel) { kernel_ = &kernel; }
   [[nodiscard]] const KernelVariant& kernel() const { return *kernel_; }
 
+  /// Attaches per-variant dispatch / fallback counters to the hot
+  /// decode paths (nullptr detaches; the observer must outlive the
+  /// decoder or be detached first).
+  void set_observer(const obs::Observer* obs) { obs_ = obs; }
+
   /// Recovers the payload of `tx` (packed transmitted bursts in the
   /// binary trace layout: burst_length beats of cfg.bytes_per_beat()
   /// little-endian bytes each) given one inversion mask per burst.
@@ -114,7 +119,8 @@ class BatchDecoder {
                          const dbi::WideBusConfig& cfg,
                          std::span<std::uint8_t> out) const;
 
-  const KernelVariant* kernel_;  // never null
+  const KernelVariant* kernel_;         // never null
+  const obs::Observer* obs_ = nullptr;  // dispatch counters; nullable
 };
 
 }  // namespace dbi::engine

@@ -8,6 +8,7 @@
 #include "core/byte_utils.hpp"
 #include "engine/bits.hpp"
 #include "engine/kernels_portable.hpp"
+#include "obs/observer.hpp"
 
 namespace dbi::engine {
 namespace {
@@ -235,6 +236,7 @@ BurstStats BatchEncoder::encode_packed(std::span<const std::uint8_t> bytes,
       const KernelVariant& k = kernel_->supports_fixed8(*rule, ibl)
                                    ? *kernel_
                                    : portable_kernel();
+      if (obs_) obs_->count_encode_dispatch(k, &k != kernel_);
       return k.encode_fixed8(*rule, p, n, ibl, /*stride=*/1, state, results,
                              /*results_stride=*/1);
     }
@@ -313,6 +315,7 @@ BurstStats BatchEncoder::encode_packed_group(
       const KernelVariant& k = kernel_->supports_fixed8(*rule, bl)
                                    ? *kernel_
                                    : portable_kernel();
+      if (obs_) obs_->count_encode_dispatch(k, &k != kernel_);
       return k.encode_fixed8(*rule, p, n, bl, groups, state, results,
                              results_stride);
     }

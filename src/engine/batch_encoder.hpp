@@ -96,6 +96,11 @@ class BatchEncoder {
   void set_kernel(const KernelVariant& kernel) { kernel_ = &kernel; }
   [[nodiscard]] const KernelVariant& kernel() const { return *kernel_; }
 
+  /// Attaches per-variant dispatch / fallback counters to the hot
+  /// encode paths (nullptr detaches; the observer must outlive the
+  /// engine or be detached first).
+  void set_observer(const obs::Observer* obs) { obs_ = obs; }
+
   /// The scalar encoder the engine is bit-exact against (also the
   /// slow-path implementation). Lets engine-backed callers expose a
   /// dbi::Encoder without constructing a second one.
@@ -196,6 +201,7 @@ class BatchEncoder {
   dbi::CostWeights weights_;
   std::unique_ptr<dbi::Encoder> fallback_;  // scalar twin / slow path
   const KernelVariant* kernel_;             // never null
+  const obs::Observer* obs_ = nullptr;      // dispatch counters; nullable
 };
 
 }  // namespace dbi::engine

@@ -1,9 +1,41 @@
 #include "engine/shard_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/observer.hpp"
+
 namespace dbi::engine {
+
+namespace {
+
+/// Names the calling worker thread "dbi-shard-N" so external profilers
+/// (perf, Perfetto) attribute samples legibly. Best-effort; the Linux
+/// limit is 15 visible characters, which this fits up to 7-digit ids.
+void name_worker_thread(int worker_id) {
+#if defined(__linux__)
+  char name[16];
+  std::snprintf(name, sizeof name, "dbi-shard-%d", worker_id);
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)worker_id;
+#endif
+}
+
+std::uint64_t busy_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ShardPool::ShardPool(int workers) {
   const int n = std::max(workers, 1);
@@ -31,6 +63,9 @@ void ShardPool::run(int shards, const std::function<void(int)>& fn) {
   if (shards < 0) throw std::invalid_argument("ShardPool::run: shards < 0");
   if (shards == 0) return;
 
+  if (const obs::Observer* obs = observer_.load(std::memory_order_acquire))
+    obs->count_pool_run(shards);
+
   std::unique_lock<std::mutex> lock(mu_);
   if (fn_) throw std::logic_error("ShardPool::run: reentrant call");
   std::fill(errors_.begin(), errors_.end(), nullptr);
@@ -46,6 +81,7 @@ void ShardPool::run(int shards, const std::function<void(int)>& fn) {
 }
 
 void ShardPool::worker_loop(int worker_id) {
+  name_worker_thread(worker_id);
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int)>* fn = nullptr;
@@ -60,10 +96,26 @@ void ShardPool::worker_loop(int worker_id) {
       fn = fn_;
       shards = shards_;
     }
-    try {
-      for (int s = worker_id; s < shards; s += workers()) (*fn)(s);
-    } catch (...) {
-      errors_[static_cast<std::size_t>(worker_id)] = std::current_exception();
+    const obs::Observer* obs = observer_.load(std::memory_order_acquire);
+    {
+      // Span + busy accounting close before the done signal below, so a
+      // trace dump right after run() returns never races a record.
+      const std::uint64_t busy_start = obs ? busy_clock_ns() : 0;
+      int shards_done = 0;
+      obs::ScopedSpan span(obs, obs::Stage::kPoolRun, worker_id);
+      try {
+        for (int s = worker_id; s < shards; s += workers()) {
+          (*fn)(s);
+          ++shards_done;
+        }
+      } catch (...) {
+        errors_[static_cast<std::size_t>(worker_id)] =
+            std::current_exception();
+      }
+      if (obs) {
+        span.set_args(worker_id, shards_done);
+        obs->count_worker_busy(worker_id, busy_clock_ns() - busy_start);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -10,6 +10,7 @@
 // own BusState and result span), which keeps the pool barrier-free.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -17,6 +18,10 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace dbi::obs {
+class Observer;
+}
 
 namespace dbi::engine {
 
@@ -41,8 +46,17 @@ class ShardPool {
   /// A good default worker count for this machine.
   [[nodiscard]] static int default_workers();
 
+  /// Points run() / worker accounting at an observer (nullptr detaches).
+  /// The observer must outlive the pool or be detached first; normally
+  /// set through obs::Observer::attach_pool().
+  void set_observer(const obs::Observer* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
  private:
   void worker_loop(int worker_id);
+
+  std::atomic<const obs::Observer*> observer_{nullptr};
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a new generation

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/observer.hpp"
+
 namespace dbi::engine {
 
 namespace {
@@ -99,6 +101,7 @@ void StreamEncoder::encode_unit_slice(int unit, std::int64_t first_burst,
   const dbi::BusConfig cfg = unit_config(unit);
   const int lane = unit / groups_;
   const int group = unit % groups_;
+  obs::ScopedSpan unit_span(opt_.obs, obs::Stage::kEncodeUnit, lane, group);
   const std::size_t bb = bytes_per_burst_;
   const int L = opt_.lanes;
   StreamUnit& us = units_[static_cast<std::size_t>(unit)];
@@ -129,6 +132,7 @@ void StreamEncoder::encode_unit_slice(int unit, std::int64_t first_burst,
     bytes = payload;
     in_place_wide = wide_;
   } else if (!wide_) {
+    obs::ScopedSpan gather_span(opt_.obs, obs::Stage::kGather, lane, group);
     us.bytes.resize(mine * bb);
     std::uint8_t* dst = us.bytes.data();
     const std::uint8_t* src = payload.data();
@@ -140,6 +144,7 @@ void StreamEncoder::encode_unit_slice(int unit, std::int64_t first_burst,
   } else {
     // Gather only this unit's group slice (1 byte per beat), so the L
     // x groups units never copy a byte twice.
+    obs::ScopedSpan gather_span(opt_.obs, obs::Stage::kGather, lane, group);
     us.bytes.resize(mine * slice_bb);
     std::uint8_t* dst = us.bytes.data();
     const std::uint8_t* src = payload.data();
@@ -205,6 +210,10 @@ std::span<const BurstResult> StreamEncoder::encode_chunk(
         std::to_string(bytes_per_burst_) + " packed bytes");
   if (collect_results)
     chunk_results_.resize(burst_count * static_cast<std::size_t>(groups_));
+  obs::ScopedSpan chunk_span(opt_.obs, obs::Stage::kEncodeChunk, first_burst,
+                             static_cast<std::int32_t>(std::min<std::size_t>(
+                                 burst_count, INT32_MAX)));
+  if (opt_.obs) opt_.obs->chunks.inc();
   const auto unit_count = static_cast<int>(units_.size());
   auto run_unit = [this, first_burst, payload, burst_count,
                    collect_results](int unit) {

@@ -34,6 +34,9 @@ struct StreamEncodeOptions {
   /// Shard (lane, group) units across this pool; null encodes serially.
   /// Results are identical either way.
   ShardPool* pool = nullptr;
+  /// Chunk counters + stage spans (encode_chunk / unit / gather); null
+  /// disables. Must outlive the StreamEncoder or be detached first.
+  const obs::Observer* obs = nullptr;
 
   void validate() const;
 };

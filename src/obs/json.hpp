@@ -1,0 +1,43 @@
+// Minimal JSON DOM parser — just enough to read back the metrics
+// snapshots and Chrome trace files this layer emits (dbitool stats,
+// test_obs well-formedness checks). Throws std::runtime_error with a
+// byte offset on malformed input.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dbi::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+  /// Member's string value, or `fallback` when absent / not a string.
+  [[nodiscard]] std::string_view get_string(std::string_view key,
+                                            std::string_view fallback =
+                                                "") const;
+  /// Member's numeric value, or `fallback` when absent / not a number.
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0) const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace dbi::obs::json

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/observer.hpp"
+
 namespace dbi::trace {
 
 namespace {
@@ -15,6 +17,7 @@ engine::StreamEncodeOptions stream_options(const ReplayOptions& opt) {
   so.lanes = opt.lanes;
   so.reset_state_per_burst = opt.reset_state_per_burst;
   so.pool = opt.pool;
+  so.obs = opt.obs;
   return so;
 }
 
@@ -83,16 +86,25 @@ ReplayTotals ReplayPipeline::run() {
           Slot& s = slots[c % 2];
           {
             std::unique_lock<std::mutex> lk(mu);
+            // Producer starved of a free slot: encoding is the
+            // bottleneck for this chunk.
+            if (opt_.obs && s.ready && !abort)
+              opt_.obs->replay_producer_starved.inc();
             cv.wait(lk, [&] { return !s.ready || abort; });
             if (abort) return;
           }
-          s.payload = reader_.chunk_payload(c, s.storage);
-          if (!reader_.chunk(c).compressed()) {
-            // Touch one byte per page so the consumer never stalls on
-            // a major fault mid-encode.
-            volatile std::uint8_t sink = 0;
-            for (std::size_t off = 0; off < s.payload.size(); off += 4096)
-              sink = sink ^ s.payload[off];
+          {
+            obs::ScopedSpan prep_span(opt_.obs, obs::Stage::kChunkPrepare,
+                                      static_cast<std::int64_t>(c),
+                                      reader_.chunk(c).compressed() ? 1 : 0);
+            s.payload = reader_.chunk_payload(c, s.storage);
+            if (!reader_.chunk(c).compressed()) {
+              // Touch one byte per page so the consumer never stalls on
+              // a major fault mid-encode.
+              volatile std::uint8_t sink = 0;
+              for (std::size_t off = 0; off < s.payload.size(); off += 4096)
+                sink = sink ^ s.payload[off];
+            }
           }
           {
             std::lock_guard<std::mutex> lk(mu);
@@ -115,6 +127,10 @@ ReplayTotals ReplayPipeline::run() {
         Slot& s = slots[c % 2];
         {
           std::unique_lock<std::mutex> lk(mu);
+          // Consumer starved of a prepared chunk: preparation (I/O,
+          // RLE expand) is the bottleneck for this chunk.
+          if (opt_.obs && !s.ready && !abort)
+            opt_.obs->replay_consumer_starved.inc();
           cv.wait(lk, [&] { return s.ready || abort; });
           if (abort) break;
         }

@@ -42,6 +42,10 @@ struct ReplayOptions {
   engine::ShardPool* pool = nullptr;
   /// Overlap chunk preparation with encoding via a producer thread.
   bool double_buffer = true;
+  /// Double-buffer stall counters (producer- vs consumer-starved) and
+  /// chunk-prepare spans; forwarded to the StreamEncoder core too.
+  /// Null disables; must outlive the pipeline.
+  const obs::Observer* obs = nullptr;
   /// Optional per-chunk observer: called in trace order with the global
   /// index of the chunk's first burst and one BurstResult per
   /// (burst, group) pair — burst j's group g at results[j * groups + g]

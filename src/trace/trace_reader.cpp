@@ -1,6 +1,7 @@
 #include "trace/trace_reader.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -189,7 +190,12 @@ void TraceReader::parse(bool verify_crc) {
     throw TraceError("trace: negative burst count in footer");
 
   if (verify_crc) {
+    const auto crc_start = std::chrono::steady_clock::now();
     const std::uint32_t got = crc32(file.first(footer_off + kFooterBytes - 8));
+    metrics_->crc_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - crc_start)
+            .count());
     if (got != stored_crc)
       throw TraceError("trace: CRC mismatch (file corrupted or truncated)");
   }
@@ -333,6 +339,10 @@ std::span<const std::uint8_t> TraceReader::chunk_payload(
       static_cast<std::size_t>(header_.bytes_per_burst());
   scratch.resize(raw);
   rle_decompress(on_disk, scratch);
+  metrics_->rle_chunks.fetch_add(1, std::memory_order_relaxed);
+  metrics_->rle_bytes_compressed.fetch_add(on_disk.size(),
+                                           std::memory_order_relaxed);
+  metrics_->rle_bytes_expanded.fetch_add(raw, std::memory_order_relaxed);
   return scratch;
 }
 
@@ -352,6 +362,10 @@ std::span<const std::uint64_t> TraceReader::chunk_masks(
   if ((info.mask_flags & kChunkFlagRle) != 0) {
     scratch.resize(raw);
     rle_decompress(on_disk, scratch);
+    metrics_->rle_chunks.fetch_add(1, std::memory_order_relaxed);
+    metrics_->rle_bytes_compressed.fetch_add(on_disk.size(),
+                                             std::memory_order_relaxed);
+    metrics_->rle_bytes_expanded.fetch_add(raw, std::memory_order_relaxed);
     bytes = scratch;
   }
   out.resize(raw / kMaskBytesPerBurst);

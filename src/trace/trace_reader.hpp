@@ -9,7 +9,9 @@
 // across chunks — no per-burst allocation anywhere.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -69,6 +71,16 @@ struct ChunkInfo {
   }
 };
 
+/// Running I/O-side tallies of one reader: RLE expansion volume
+/// (updated as chunks are served, from any thread) and the one-time CRC
+/// verification cost. Heap-held so the reader stays movable.
+struct ReaderMetrics {
+  std::atomic<std::uint64_t> rle_chunks{0};
+  std::atomic<std::uint64_t> rle_bytes_compressed{0};  // on-disk bytes
+  std::atomic<std::uint64_t> rle_bytes_expanded{0};
+  std::uint64_t crc_ns = 0;  // set once in parse(); 0 when CRC skipped
+};
+
 class TraceReader {
  public:
   /// Maps and fully validates `path`: magics, version, geometry, chunk
@@ -99,6 +111,7 @@ class TraceReader {
   }
   [[nodiscard]] std::size_t file_bytes() const { return file_.bytes().size(); }
   [[nodiscard]] bool is_mmap() const { return file_.is_mmap(); }
+  [[nodiscard]] const ReaderMetrics& metrics() const { return *metrics_; }
 
   /// Unpacked-on-disk payload of chunk `i`: burst_count bursts of
   /// bytes_per_burst() packed little-endian bytes. Uncompressed chunks
@@ -136,6 +149,7 @@ class TraceReader {
   TraceHeader header_;
   workload::TraceStats stats_;
   std::vector<ChunkInfo> chunks_;
+  std::unique_ptr<ReaderMetrics> metrics_ = std::make_unique<ReaderMetrics>();
 };
 
 }  // namespace dbi::trace

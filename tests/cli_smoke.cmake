@@ -108,6 +108,71 @@ run_dbitool(0 replay w64.dbt --kernel auto --workers 2)
 run_dbitool(64 replay t.dbt --kernel frobnicate)   # unknown kernel name
 run_dbitool(64 kernels --kernel swar)              # kernels takes no flags
 
+# Observability surface: --metrics / --trace-json on the engine
+# subcommands must leave non-empty files behind, `stats` must render a
+# metrics snapshot, and inspect --json must emit machine-readable
+# metadata.
+run_dbitool(0 replay t.dbt --scheme opt --lanes 2 --workers 2
+            --metrics obs.json --trace-json obs_trace.json)
+foreach(artifact obs.json obs_trace.json)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "replay did not write ${artifact}")
+  endif()
+  file(SIZE "${WORK_DIR}/${artifact}" artifact_size)
+  if(artifact_size EQUAL 0)
+    message(FATAL_ERROR "replay wrote an empty ${artifact}")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/obs.json" obs_json)
+if(NOT obs_json MATCHES "dbi_bursts_total")
+  message(FATAL_ERROR "metrics snapshot lacks dbi_bursts_total:\n${obs_json}")
+endif()
+file(READ "${WORK_DIR}/obs_trace.json" obs_trace)
+if(NOT obs_trace MATCHES "traceEvents")
+  message(FATAL_ERROR "span trace is not Chrome trace_event JSON")
+endif()
+run_dbitool(0 stats obs.json)            # snapshot renders as a table
+run_dbitool(0 stats obs.json --csv)
+run_dbitool(0 verify enc.dbt --metrics vm.prom)
+file(READ "${WORK_DIR}/vm.prom" verify_prom)
+if(NOT verify_prom MATCHES "# TYPE dbi_runs_total counter")
+  message(FATAL_ERROR ".prom metrics are not Prometheus text:\n${verify_prom}")
+endif()
+run_dbitool(0 record --source uniform --bursts 200 --seed 2 -o om.dbt
+            --metrics rec_metrics.json)
+run_dbitool(0 decode enc.dbt -o obsdec.dbt --metrics dec_metrics.json
+            --trace-json dec_trace.json)
+run_dbitool(64 gen --metrics m.json --source uniform --bursts 1 -o g.txt)
+
+# inspect --json: machine-readable, stable keys.
+execute_process(
+  COMMAND ${DBITOOL} inspect enc.dbt --json
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE inspect_rc
+  OUTPUT_VARIABLE inspect_json)
+if(NOT inspect_rc EQUAL 0)
+  message(FATAL_ERROR "inspect --json failed: ${inspect_rc}")
+endif()
+foreach(key "\"format\": \"dbt2\"" "\"bursts\": 2000" "\"encoded\": {"
+        "\"crc\": \"ok\"")
+  if(NOT inspect_json MATCHES "${key}")
+    message(FATAL_ERROR "inspect --json lacks ${key}:\n${inspect_json}")
+  endif()
+endforeach()
+
+# Zero-burst corpus sweep: ratios must print 0, never nan (regression).
+execute_process(
+  COMMAND ${DBITOOL} corpus --width 32 --bursts 0
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE corpus_rc
+  OUTPUT_VARIABLE corpus_out)
+if(NOT corpus_rc EQUAL 0)
+  message(FATAL_ERROR "corpus --bursts 0 failed: ${corpus_rc}")
+endif()
+if(corpus_out MATCHES "nan")
+  message(FATAL_ERROR "corpus --bursts 0 printed nan:\n${corpus_out}")
+endif()
+
 # Documented failure modes, each with its own exit code.
 run_dbitool(2)                           # no command: usage
 run_dbitool(64 frobnicate)               # unknown command: distinct code

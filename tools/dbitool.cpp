@@ -15,6 +15,7 @@
 // Every subcommand prints an aligned table (or CSV with --csv) so the
 // tool slots into shell pipelines and plotting scripts.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -36,6 +37,8 @@
 #include "hw/hw_design.hpp"
 #include "hw/synthesis.hpp"
 #include "netlist/export.hpp"
+#include "obs/json.hpp"
+#include "obs/observer.hpp"
 #include "power/interface_energy.hpp"
 #include "sim/experiments.hpp"
 #include "sim/table.hpp"
@@ -83,7 +86,7 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   // Flags that take no value; everything else spelled --key expects one.
   static const std::set<std::string> kBoolFlags = {
-      "no-compress", "no-double-buffer", "wide", "reset"};
+      "no-compress", "no-double-buffer", "wide", "reset", "json"};
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -132,14 +135,18 @@ const std::map<std::string, std::set<std::string>>& allowed_flags() {
       {"verilog", {"design", "output"}},
       {"record", {"corpus", "source", "bursts", "seed", "width", "bl",
                   "chunk", "no-compress", "wide", "output", "p-one", "p-zero",
-                  "p-stay", "encode", "alpha", "lanes", "reset", "kernel"}},
+                  "p-stay", "encode", "alpha", "lanes", "reset", "kernel",
+                  "metrics", "trace-json"}},
       {"replay", {"scheme", "alpha", "lanes", "workers", "no-double-buffer",
-                  "pod", "cload-pf", "gbps", "kernel"}},
-      {"inspect", {}},
+                  "pod", "cload-pf", "gbps", "kernel", "metrics",
+                  "trace-json"}},
+      {"inspect", {"json"}},
       {"convert", {"chunk", "no-compress"}},
       {"corpus", {"width", "bl", "bursts", "seed"}},
-      {"decode", {"output", "workers", "chunk", "no-compress"}},
-      {"verify", {"scheme", "alpha", "lanes", "workers", "reset"}},
+      {"decode", {"output", "workers", "chunk", "no-compress", "metrics",
+                  "trace-json"}},
+      {"verify", {"scheme", "alpha", "lanes", "workers", "reset", "metrics",
+                  "trace-json"}},
       {"kernels", {}},
   };
   return kAllowed;
@@ -255,6 +262,55 @@ SessionSpec session_spec(const Args& args, const Geometry& geometry,
   return spec;
 }
 
+/// --metrics FILE / --trace-json FILE support shared by the engine
+/// subcommands (record / replay / decode / verify): owns one
+/// obs::Observer for the whole command — kCounters when only metrics
+/// were asked for, kFull when a span trace was — so scheme sweeps
+/// aggregate into a single registry / trace. finish() writes the
+/// requested files: Prometheus text when the metrics path ends in
+/// ".prom", the JSON snapshot otherwise, and Chrome trace_event JSON
+/// for --trace-json.
+struct ObsOutput {
+  std::string metrics_path;
+  std::string trace_path;
+  std::unique_ptr<obs::Observer> observer;
+
+  explicit ObsOutput(const Args& args)
+      : metrics_path(args.get("metrics", "")),
+        trace_path(args.get("trace-json", "")) {
+    if (metrics_path.empty() && trace_path.empty()) return;
+    obs::ObsConfig cfg;
+    cfg.level = trace_path.empty() ? obs::ObsLevel::kCounters
+                                   : obs::ObsLevel::kFull;
+    observer = std::make_unique<obs::Observer>(cfg);
+  }
+
+  [[nodiscard]] obs::Observer* get() const { return observer.get(); }
+
+  void apply(SessionSpec& spec) const {
+    if (observer) spec.observer = observer.get();
+  }
+
+  /// Call once, after every session of the command has run.
+  void finish() const {
+    if (!observer) return;
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      if (!os) throw std::runtime_error("cannot write " + metrics_path);
+      if (metrics_path.size() >= 5 &&
+          metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0)
+        observer->write_metrics_prometheus(os);
+      else
+        observer->write_metrics_json(os);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      if (!os) throw std::runtime_error("cannot write " + trace_path);
+      observer->write_trace_json(os);
+    }
+  }
+};
+
 /// `dbitool kernels`: the compiled-in kernel variants, their ISA
 /// requirements, host availability and which one auto-selection picks
 /// right now (the DBI_KERNEL environment override included).
@@ -290,7 +346,62 @@ int cmd_gen(const Args& args) {
   return 0;
 }
 
+/// Renders a `--metrics` JSON snapshot (as written by record / replay /
+/// decode / verify) as the usual aligned table: counters and gauges one
+/// row each, histograms as count / p50 / p90 / p99 / max.
+int metrics_stats(const std::string& path, const Args& args) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const obs::json::Value doc = obs::json::parse(buffer.str());
+  const obs::json::Value* metrics = doc.get("metrics");
+  if (metrics == nullptr || !metrics->is_array())
+    throw std::runtime_error(path + ": no \"metrics\" array (not a dbitool "
+                                    "metrics snapshot?)");
+
+  const auto fmt_num = [](double v) {
+    // Counters are integral; print them without a fraction.
+    if (v == static_cast<double>(static_cast<long long>(v)))
+      return std::to_string(static_cast<long long>(v));
+    return sim::fmt(v, 3);
+  };
+  sim::Table table({"metric", "type", "value", "p50", "p90", "p99", "max"});
+  for (const obs::json::Value& m : metrics->array) {
+    if (!m.is_object()) continue;
+    std::string name(m.get_string("name"));
+    const std::string_view labels = m.get_string("labels");
+    if (!labels.empty()) {
+      name += "{";
+      name += labels;
+      name += "}";
+    }
+    const std::string_view type = m.get_string("type");
+    if (type == "histogram") {
+      table.add_row({name, std::string(type),
+                     fmt_num(m.get_number("count")),
+                     fmt_num(m.get_number("p50")),
+                     fmt_num(m.get_number("p90")),
+                     fmt_num(m.get_number("p99")),
+                     fmt_num(m.get_number("max"))});
+    } else {
+      table.add_row({name, std::string(type),
+                     fmt_num(m.get_number("value")), "", "", "", ""});
+    }
+  }
+  emit(table, args);
+  return 0;
+}
+
 int cmd_stats(const Args& args) {
+  // Sniff the argument: a metrics snapshot starts with '{', a burst
+  // trace with its "dbi-trace" text header.
+  if (!args.positional.empty()) {
+    std::ifstream probe(args.positional[0]);
+    if (!probe) throw std::runtime_error("cannot open " + args.positional[0]);
+    char first = 0;
+    probe >> std::ws >> first;
+    if (first == '{') return metrics_stats(args.positional[0], args);
+  }
   const auto trace = load_trace(args);
   const auto s = trace.stats();
   sim::Table table({"metric", "value"});
@@ -535,8 +646,11 @@ int cmd_record(const Args& args) {
   const auto sink = encode ? dbi::make_encoded_trace_sink(*writer)
                            : dbi::make_trace_sink(*writer);
 
+  const ObsOutput obs(args);
+  obs.apply(spec);
   Session session(spec);
   (void)session.run(*source, *sink);
+  obs.finish();
 
   std::cerr << "recorded " << writer->bursts_written() << " "
             << geometry.to_string() << " bursts (" << source_name << ")"
@@ -573,10 +687,13 @@ int cmd_decode(const Args& args) {
   spec.direction = Direction::kDecode;
   spec.geometry = geometry;
   spec.threads = static_cast<int>(args.get_long("workers", 0));
+  const ObsOutput obs(args);
+  obs.apply(spec);
   Session session(spec);
   const auto source = dbi::make_trace_source(reader);
   const auto sink = dbi::make_trace_sink(*writer);
   const StreamStats totals = session.run(*source, *sink);
+  obs.finish();
 
   std::cerr << "decoded " << totals.bursts << " " << geometry.to_string()
             << " bursts to " << out << "\n";
@@ -591,6 +708,7 @@ int cmd_verify(const Args& args) {
                                 ? Geometry::of(reader.header().wide_config())
                                 : Geometry::of(reader.config());
 
+  const ObsOutput obs(args);
   VerifyReport report;
   std::string mode;
   std::string scheme_name;
@@ -607,6 +725,7 @@ int cmd_verify(const Args& args) {
       opt.lanes = static_cast<int>(args.get_long("lanes", 1));
     if (args.options.count("reset")) opt.reset_per_burst = true;
     opt.threads = static_cast<int>(args.get_long("workers", 0));
+    opt.obs = obs.get();
     report = verify_encoded_trace(reader, opt);
     const auto scheme =
         opt.scheme ? opt.scheme
@@ -620,12 +739,14 @@ int cmd_verify(const Args& args) {
     spec.direction = Direction::kRoundTrip;
     if (args.options.count("reset"))
       spec.state_policy = StatePolicy::kResetPerBurst;
+    obs.apply(spec);
     Session session(spec);
     const auto source = dbi::make_trace_source(reader);
     (void)session.run(*source);
     report = session.verify_report();
     scheme_name = std::string(session.scheme_name());
   }
+  obs.finish();
 
   sim::Table table({"field", "value"});
   table.add_row({"mode", mode});
@@ -658,6 +779,10 @@ int cmd_replay(const Args& args) {
   spec.lanes = static_cast<int>(args.get_long("lanes", 4));
   spec.threads = static_cast<int>(
       args.get_long("workers", engine::ShardPool::default_workers()));
+  // One observer across the whole scheme sweep: the metrics file and
+  // trace aggregate every scheme's run.
+  const ObsOutput obs(args);
+  obs.apply(spec);
 
   sim::Table table({"scheme", "zeros/burst", "transitions/burst",
                     "interface_pj/burst"});
@@ -675,6 +800,7 @@ int cmd_replay(const Args& args) {
     table.add_row({std::string(session.scheme_name()), sim::fmt(s.zeros, 3),
                    sim::fmt(s.transitions, 3), sim::fmt(s.interface_pj, 4)});
   }
+  obs.finish();
   emit(table, args);
   return 0;
 }
@@ -697,6 +823,64 @@ int cmd_inspect(const Args& args) {
 
   const int groups =
       reader.wide() ? reader.header().wide_config().groups() : 1;
+
+  if (args.options.count("json") != 0) {
+    // Machine-readable metadata: stable key names, numbers unquoted,
+    // `encoded` null for plain payload traces.
+    const auto esc = [](std::string_view s) {
+      std::string out;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+          continue;
+        }
+        out += c;
+      }
+      return out;
+    };
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"file\": \"" << esc(args.positional[0]) << "\",\n"
+       << "  \"format\": \"dbt2\",\n"
+       << "  \"wide\": " << (reader.wide() ? "true" : "false") << ",\n";
+    if (reader.encoded()) {
+      const auto scheme = scheme_from_tag(reader.header().enc_scheme);
+      os << "  \"encoded\": {\"scheme\": \""
+         << (scheme ? esc(dbi::scheme_name(*scheme)) : std::string("?"))
+         << "\", \"lanes\": " << reader.header().enc_lanes
+         << ", \"reset_per_burst\": "
+         << (reader.header().enc_policy ? "true" : "false") << "},\n";
+    } else {
+      os << "  \"encoded\": null,\n";
+    }
+    os << "  \"width\": " << reader.config().width << ",\n"
+       << "  \"groups\": " << groups << ",\n"
+       << "  \"burst_length\": " << reader.config().burst_length << ",\n"
+       << "  \"bursts\": " << s.bursts << ",\n"
+       << "  \"chunks\": " << reader.chunk_count() << ",\n"
+       << "  \"compressed_chunks\": " << compressed_chunks << ",\n"
+       << "  \"file_bytes\": " << reader.file_bytes() << ",\n"
+       << "  \"payload_bytes\": " << payload_on_disk << ",\n"
+       << "  \"payload_raw_bytes\": " << payload_raw << ",\n"
+       << "  \"compression\": "
+       << (payload_raw > 0
+               ? sim::fmt(static_cast<double>(payload_on_disk) /
+                              static_cast<double>(payload_raw),
+                          3)
+               : std::string("null"))
+       << ",\n"
+       << "  \"payload_zeros\": " << s.payload_zeros << ",\n"
+       << "  \"zero_fraction\": " << sim::fmt(s.zero_fraction(), 4) << ",\n"
+       << "  \"raw_transitions\": " << s.raw_transitions << ",\n"
+       << "  \"crc\": \"ok\"\n"
+       << "}\n";
+    std::cout << os.str();
+    return 0;
+  }
+
   sim::Table table({"field", "value"});
   table.add_row({"format", reader.wide()
                                ? "dbi-trace binary v2 (wide multi-group)"
@@ -806,10 +990,14 @@ int cmd_corpus(const Args& args) {
     const StreamStats raw_totals = raw.run(*raw_source);
     const StreamStats ac_totals = ac.run(*ac_source);
     const auto n = static_cast<double>(bursts);
+    // --bursts 0 is a legal (if pointless) sweep: guard the 0/0 so the
+    // table prints 0 instead of nan.
     const double bits = n * geometry.width() * geometry.burst_length();
     table.add_row(
         {std::string(s.name),
-         sim::fmt(static_cast<double>(raw_totals.zeros) / bits, 4),
+         sim::fmt(bits > 0 ? static_cast<double>(raw_totals.zeros) / bits
+                           : 0.0,
+                  4),
          sim::fmt(raw_totals.transitions_per_burst(), 2),
          sim::fmt(ac_totals.transitions_per_burst(), 2),
          sim::fmt(raw_totals.transitions > 0
@@ -831,7 +1019,8 @@ int usage() {
       "                  [--bl 8] [-o trace.txt]\n"
       "          KIND: uniform|biased|sparse|counter|gray|walking-ones|\n"
       "                text|float|markov|framebuffer|tensor\n"
-      "  dbitool stats   TRACE [--csv]\n"
+      "  dbitool stats   TRACE [--csv]   (burst trace: payload stats;\n"
+      "                  a --metrics JSON snapshot: metric table)\n"
       "  dbitool encode  TRACE [--scheme raw|dc|ac|acdc|opt|opt-fixed]\n"
       "                  [--alpha 0.5] [--csv]\n"
       "  dbitool sweep   TRACE [--steps 21] [--csv]        (Fig. 3/4)\n"
@@ -865,11 +1054,18 @@ int usage() {
       "                  [--pod pod135] [--cload-pf 3] [--gbps 12]\n"
       "                  [--kernel auto|swar|avx2-fixed8|...] [--csv]\n"
       "                  (wide traces shard per lane x byte group)\n"
+      "          record / replay / decode / verify also take\n"
+      "                  [--metrics FILE] (metrics snapshot: Prometheus\n"
+      "                  text if FILE ends in .prom, JSON otherwise;\n"
+      "                  render with `dbitool stats FILE`) and\n"
+      "                  [--trace-json FILE] (Chrome trace_event spans,\n"
+      "                  open in Perfetto / chrome://tracing)\n"
       "  dbitool kernels [--csv]   (compiled-in kernel variants: ISA,\n"
       "                  availability on this host, auto selection; the\n"
       "                  DBI_KERNEL env var overrides auto, --kernel on\n"
       "                  replay/record pins a session)\n"
-      "  dbitool inspect TRACE.dbt [--csv]\n"
+      "  dbitool inspect TRACE.dbt [--csv] [--json]  (--json prints\n"
+      "                  machine-readable metadata on stdout)\n"
       "  dbitool convert INPUT OUTPUT [--chunk 4096] [--no-compress]\n"
       "                  (text <-> binary, direction by sniffing INPUT;\n"
       "                  wide traces are binary-only)\n"

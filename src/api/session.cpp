@@ -26,6 +26,7 @@ constexpr std::int64_t kGatherBlockWrites = 1024;
 void SessionSpec::validate() const {
   geometry.validate();
   weights.validate();
+  policy.validate();
   if (lanes < 1 || lanes > 65536)
     throw std::invalid_argument("SessionSpec: lanes must be in [1, 65536]");
   if (threads < 0 || threads > 1024)
@@ -33,11 +34,33 @@ void SessionSpec::validate() const {
   if (fault_injector && direction != Direction::kRoundTrip)
     throw std::invalid_argument(
         "SessionSpec: fault_injector only applies to kRoundTrip sessions");
+  if (resolved_policy().adaptive() && direction != Direction::kEncode)
+    throw std::invalid_argument(
+        "SessionSpec: adaptive scheme policies are encode-only (decode and "
+        "round-trip take their schemes from the trace's tags)");
 }
 
+namespace {
+
+/// The scheme the session's own BatchEncoder runs: the pinned policy
+/// scheme when one is set, else the deprecated spec.scheme slot.
+/// Adaptive sessions spin up per-candidate engines in run_adaptive and
+/// use this one only for kernel introspection and decode.
+Scheme session_engine_scheme(const SessionSpec& spec) {
+  const SchemePolicy p = spec.resolved_policy();
+  return p.mode() == SchemePolicy::Mode::kFixed ? p.fixed_scheme()
+                                                : spec.scheme;
+}
+
+}  // namespace
+
 Session::Session(const SessionSpec& spec)
-    : spec_(spec), engine_(spec_.scheme, spec_.weights) {
+    : spec_(spec), engine_(session_engine_scheme(spec_), spec_.weights) {
   spec_.validate();
+  // Keep the deprecated scheme slot coherent with a pinned policy so
+  // kernel_report() and pre-policy readers agree with what runs.
+  if (spec_.policy.mode() == SchemePolicy::Mode::kFixed)
+    spec_.scheme = spec_.policy.fixed_scheme();
   // Kernel selection: resolve the spec's pin (unknown names and absent
   // ISAs throw there, naming the candidates), hand the variant to both
   // engine directions, then reject a pin whose envelope covers no path
@@ -46,8 +69,11 @@ Session::Session(const SessionSpec& spec)
   const engine::KernelVariant& kernel = engine::resolve_kernel(spec_.kernel);
   engine_.set_kernel(kernel);
   decoder_.set_kernel(kernel);
+  // Adaptive sessions exercise every candidate scheme, so the
+  // single-scheme envelope strictness below does not apply to them.
   if (!spec_.kernel.empty() && spec_.kernel != "auto" &&
-      kernel.isa() != engine::KernelIsa::kPortable) {
+      kernel.isa() != engine::KernelIsa::kPortable &&
+      !spec_.resolved_policy().adaptive()) {
     const KernelReport rep = kernel_report();
     if (rep.fixed_encode != kernel.name() && rep.decode != kernel.name())
       throw std::invalid_argument(
@@ -101,7 +127,16 @@ void Session::publish_stats(const StreamStats& delta, bool whole_run) const {
     obs_->count_stats(delta, byte_count);
 }
 
-std::string_view Session::scheme_name() const { return engine_.name(); }
+std::string_view Session::scheme_name() const {
+  switch (spec_.resolved_policy().mode()) {
+    case SchemePolicy::Mode::kAdaptiveExact:
+      return "adaptive-exact";
+    case SchemePolicy::Mode::kAdaptivePredicted:
+      return "adaptive-predicted";
+    default:
+      return engine_.name();
+  }
+}
 
 const dbi::Encoder& Session::scalar_encoder() const {
   return engine_.scalar_twin();
@@ -160,6 +195,11 @@ KernelReport Session::kernel_report() const {
 }
 
 void Session::require_channel_geometry(const char* what) const {
+  if (spec_.resolved_policy().adaptive())
+    throw std::logic_error(
+        std::string("Session::") + what +
+        ": the incremental write surface encodes with one fixed scheme; "
+        "adaptive policies run through Session::run()");
   if (spec_.geometry.is_wide() || spec_.geometry.width() != 8 ||
       spec_.lanes > 64)
     throw std::logic_error(
@@ -650,6 +690,98 @@ StreamStats Session::run_roundtrip(Source& source, Sink& sink) {
   return totals;
 }
 
+StreamStats Session::run_adaptive(Source& source, Sink& sink) {
+  const SchemePolicy policy = spec_.resolved_policy();
+  selection_ = select::SelectionReport{};
+
+  select::ChunkSelector::Config scfg;
+  scfg.policy = policy;
+  scfg.geometry = spec_.geometry;
+  scfg.weights = spec_.weights;
+  scfg.lanes = spec_.lanes;
+  scfg.reset_state_per_burst =
+      spec_.state_policy == StatePolicy::kResetPerBurst;
+  scfg.pool = pool();
+  scfg.obs = obs_;
+  scfg.kernel = &engine_.kernel();
+  select::ChunkSelector selector(scfg);
+
+  const bool pass_payload = sink.wants_payload();
+  const int groups = spec_.geometry.groups();
+  const auto bb = static_cast<std::size_t>(spec_.geometry.bytes_per_burst());
+  const auto block_bursts = static_cast<std::int64_t>(policy.block_bursts());
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(static_cast<std::size_t>(block_bursts) * bb);
+  std::int64_t buffered = 0;
+  std::int64_t first_burst = 0;
+
+  auto flush_block = [&](std::span<const std::uint8_t> bytes,
+                         std::int64_t n) {
+    const select::ChunkSelector::BlockResult r = selector.encode_block(
+        first_burst, bytes, static_cast<std::size_t>(n));
+    obs::ScopedSpan span(obs_, obs::Stage::kSinkWrite, first_burst,
+                         static_cast<std::int32_t>(std::min<std::int64_t>(
+                             n, INT32_MAX)));
+    SinkChunk chunk;
+    chunk.first_burst = first_burst;
+    chunk.bursts = n;
+    chunk.groups = groups;
+    if (pass_payload) chunk.payload = bytes;
+    chunk.results = r.results;
+    chunk.scheme = r.scheme;
+    sink.consume(chunk);
+    first_burst += n;
+  };
+
+  auto next_chunk = [&] {
+    obs::ScopedSpan span(obs_, obs::Stage::kSourceRead);
+    return source.next();
+  };
+
+  // Re-block the source's chunks to the policy's selection granularity:
+  // full blocks landing on a buffer boundary encode straight from the
+  // source's view, partial ones gather into `buf` first.
+  while (const auto c = next_chunk()) {
+    if (!c->masks.empty())
+      throw std::invalid_argument(
+          "Session::run: the source is already encoded (mask-carrying); "
+          "run a kDecode session instead of re-encoding it");
+    std::span<const std::uint8_t> rest = c->bytes;
+    std::int64_t left = c->bursts;
+    while (left > 0) {
+      if (buffered == 0 && left >= block_bursts) {
+        flush_block(
+            rest.subspan(0, static_cast<std::size_t>(block_bursts) * bb),
+            block_bursts);
+        rest = rest.subspan(static_cast<std::size_t>(block_bursts) * bb);
+        left -= block_bursts;
+        continue;
+      }
+      const std::int64_t take = std::min(block_bursts - buffered, left);
+      const auto take_bytes = static_cast<std::size_t>(take) * bb;
+      buf.insert(buf.end(), rest.begin(),
+                 rest.begin() + static_cast<std::ptrdiff_t>(take_bytes));
+      rest = rest.subspan(take_bytes);
+      buffered += take;
+      left -= take;
+      if (buffered == block_bursts) {
+        flush_block(buf, buffered);
+        buf.clear();
+        buffered = 0;
+      }
+    }
+  }
+  if (buffered > 0) flush_block(buf, buffered);
+
+  selection_ = selector.report();
+  StreamStats totals;
+  totals.bursts = selector.bursts();
+  totals.zeros = selector.zeros();
+  totals.transitions = selector.transitions();
+  return totals;
+}
+
 StreamStats Session::run(Source& source, Sink& sink) {
   source.bind(spec_.geometry);
   sink.begin(spec_.geometry, spec_.lanes);
@@ -678,6 +810,12 @@ StreamStats Session::run(Source& source, Sink& sink) {
     sink.finish(totals);
     return totals;
   }
+  if (spec_.resolved_policy().adaptive()) {
+    totals = run_adaptive(source, sink);
+    publish_stats(totals, /*whole_run=*/true);
+    sink.finish(totals);
+    return totals;
+  }
 
   const std::span<const dbi::Burst> burst_span = source.bursts();
   if (reader && !sink.wants_payload()) {
@@ -701,6 +839,35 @@ StreamStats Session::run(Source& source, Sink& sink) {
 StreamStats Session::run(Source& source) {
   const std::unique_ptr<Sink> sink = make_stats_sink();
   return run(source, *sink);
+}
+
+SessionReport Session::report() const {
+  SessionReport rep;
+  rep.scheme = std::string(scheme_name());
+  rep.policy = spec_.resolved_policy().describe();
+  rep.kernel = kernel_report();
+  rep.adaptive = spec_.resolved_policy().adaptive();
+  rep.selection = selection_;
+  rep.metrics = metrics_report();
+  return rep;
+}
+
+std::string SessionReport::to_json() const {
+  auto field = [](std::string_view v) { return std::string(v); };
+  std::string out = "{\"scheme\":\"" + scheme + "\"";
+  out += ",\"policy\":\"" + policy + "\"";
+  out += ",\"kernel\":{\"variant\":\"" + field(kernel.variant) + "\"";
+  out += ",\"isa\":\"" + field(kernel.isa) + "\"";
+  out += ",\"fixed_encode\":\"" + field(kernel.fixed_encode) + "\"";
+  out += ",\"planar_encode\":\"" + field(kernel.planar_encode) + "\"";
+  out += ",\"trellis\":\"" + field(kernel.trellis) + "\"";
+  out += ",\"decode\":\"" + field(kernel.decode) + "\"}";
+  out += ",\"adaptive\":";
+  out += adaptive ? "true" : "false";
+  out += ",\"selection\":" + selection.to_json();
+  out += ",\"metrics\":" + metrics.to_json();
+  out += "}";
+  return out;
 }
 
 }  // namespace dbi

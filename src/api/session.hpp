@@ -48,6 +48,8 @@
 #include "engine/shard_pool.hpp"
 #include "engine/stream_encoder.hpp"
 #include "obs/observer.hpp"
+#include "select/scheme_policy.hpp"
+#include "select/selector.hpp"
 
 namespace dbi {
 
@@ -76,7 +78,17 @@ enum class Direction {
 };
 
 struct SessionSpec {
+  /// Deprecated shim: the pre-policy scheme slot. Still assignable —
+  /// with a default-constructed `policy` it governs exactly as before.
+  /// New code should set `policy` instead.
   Scheme scheme = Scheme::kOpt;
+  /// How the session chooses the encoding scheme. The default
+  /// (SchemePolicy::Mode::kFollowScheme) defers to `scheme` above;
+  /// SchemePolicy::fixed() pins one scheme; the adaptive modes
+  /// re-select per block of policy.block_bursts() bursts ("mixed-block"
+  /// coding; encode-direction runs only). A bare Scheme converts
+  /// implicitly, so `spec.policy = Scheme::kAc;` also works.
+  SchemePolicy policy{};
   Geometry geometry{};  ///< narrow x8 BL8 by default
   /// Interleaved lane streams: burst g of a run() source goes to lane
   /// g % lanes; write()/write_stream() treat lanes as byte lanes side
@@ -129,7 +141,32 @@ struct SessionSpec {
   /// into one metrics registry / trace, e.g. dbitool's scheme sweeps.
   obs::Observer* observer = nullptr;
 
+  /// The policy this spec effectively runs: `policy` when set, else the
+  /// deprecated `scheme` slot wrapped as a fixed policy.
+  [[nodiscard]] SchemePolicy resolved_policy() const {
+    return policy.mode() == SchemePolicy::Mode::kFollowScheme
+               ? SchemePolicy::fixed(scheme)
+               : policy;
+  }
+
   void validate() const;
+};
+
+/// One unified report of everything a session can tell about itself —
+/// scheme / policy, kernel routing, adaptive selection outcome and the
+/// observer's metrics snapshot — with a single JSON rendering (the
+/// dbitool --report payload). The older kernel_report() /
+/// metrics_report() / selection_report() accessors remain as thin views
+/// of the same data.
+struct SessionReport {
+  std::string scheme;           ///< Session::scheme_name()
+  std::string policy;           ///< SchemePolicy::describe()
+  KernelReport kernel;
+  bool adaptive = false;        ///< selection below is meaningful
+  select::SelectionReport selection;
+  obs::Snapshot metrics;        ///< empty when observability is off
+
+  [[nodiscard]] std::string to_json() const;
 };
 
 class Session {
@@ -151,7 +188,21 @@ class Session {
   /// the resolved variant (spec.kernel / DBI_KERNEL / auto) where its
   /// envelope covers the path, the portable "swar" reference where it
   /// does not, "n/a" for paths the scheme and geometry never exercise.
+  /// Prefer report().kernel — this remains as a thin view.
   [[nodiscard]] KernelReport kernel_report() const;
+
+  /// Everything the session knows about itself in one struct (with
+  /// to_json()): scheme / policy, kernel routing, the latest adaptive
+  /// selection outcome and the metrics snapshot.
+  [[nodiscard]] SessionReport report() const;
+
+  /// Selection outcome of the latest adaptive run (per-candidate chosen
+  /// counts, costs, probe accuracy). Empty (blocks == 0) on
+  /// fixed-scheme sessions or before the first run. Prefer
+  /// report().selection — this remains as a thin view.
+  [[nodiscard]] const select::SelectionReport& selection_report() const {
+    return selection_;
+  }
 
   /// Streams the whole source into the sink once and returns the
   /// 64-bit totals (also handed to sink.finish()). Restartable: every
@@ -172,6 +223,7 @@ class Session {
   /// Aggregated metrics snapshot of this session's observer (empty when
   /// observability is off). Exact on deterministic runs:
   /// dbi_bursts_total / dbi_bytes_total equal the summed StreamStats.
+  /// Prefer report().metrics — this remains as a thin view.
   [[nodiscard]] obs::Snapshot metrics_report() const {
     return obs_ ? obs_->snapshot() : obs::Snapshot{};
   }
@@ -224,6 +276,7 @@ class Session {
   StreamStats run_replay(const trace::TraceReader& reader, Sink& sink);
   StreamStats run_decode(Source& source, Sink& sink);
   StreamStats run_roundtrip(Source& source, Sink& sink);
+  StreamStats run_adaptive(Source& source, Sink& sink);
 
   SessionSpec spec_;
   engine::BatchEncoder engine_;
@@ -239,6 +292,7 @@ class Session {
   std::vector<dbi::BusState> lane_states_;
   std::unique_ptr<engine::StreamEncoder> wide_writer_;
   StreamStats stats_;
+  select::SelectionReport selection_;  // latest adaptive run's outcome
 };
 
 }  // namespace dbi

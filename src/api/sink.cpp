@@ -117,6 +117,14 @@ class EncodedTraceWriterSink final : public Sink {
   }
 
   void consume(const SinkChunk& chunk) override {
+    if (writer_.per_chunk_schemes()) {
+      if (!chunk.scheme)
+        throw std::invalid_argument(
+            "encoded trace sink: the writer records per-chunk schemes but "
+            "this chunk carries none (mixed traces need an adaptive "
+            "session)");
+      writer_.set_chunk_scheme(*chunk.scheme);
+    }
     masks_.resize(chunk.results.size());
     for (std::size_t i = 0; i < chunk.results.size(); ++i)
       masks_[i] = chunk.results[i].invert_mask;

@@ -11,11 +11,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "api/geometry.hpp"
 #include "api/stream_stats.hpp"
+#include "core/encoder.hpp"
 #include "engine/batch_encoder.hpp"
 
 namespace dbi::trace {
@@ -35,6 +37,11 @@ struct SinkChunk {
   int groups = 1;
   std::span<const std::uint8_t> payload;
   std::span<const engine::BurstResult> results;
+  /// Adaptive (mixed-block) sessions: the scheme this chunk's results
+  /// were encoded under. Unset on fixed-scheme runs, where the
+  /// session-wide scheme governs. The encoded trace sink forwards it
+  /// into the per-chunk v3 scheme tag.
+  std::optional<Scheme> scheme;
 };
 
 class Sink {

@@ -1,9 +1,11 @@
 #include "api/verify.hpp"
 
+#include <array>
 #include <bit>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "api/stream_stats.hpp"
 #include "engine/batch_decoder.hpp"
@@ -40,12 +42,19 @@ VerifyReport verify_encoded_trace(const trace::TraceReader& reader,
         "a kRoundTrip session instead");
   const trace::TraceHeader& h = reader.header();
 
+  const bool mixed = h.mixed();
   std::optional<Scheme> scheme = options.scheme;
-  if (!scheme) scheme = scheme_from_tag(h.enc_scheme);
-  if (!scheme)
+  if (mixed && options.scheme)
     throw std::invalid_argument(
-        "verify: the trace header does not record its encode scheme; "
-        "pass one explicitly");
+        "verify: a mixed-scheme (v3) trace carries per-chunk scheme tags; "
+        "a single-scheme override does not apply");
+  if (!mixed) {
+    if (!scheme) scheme = scheme_from_tag(h.enc_scheme);
+    if (!scheme)
+      throw std::invalid_argument(
+          "verify: the trace header does not record its encode scheme; "
+          "pass one explicitly");
+  }
   const int lanes =
       options.lanes.value_or(h.enc_lanes > 0 ? h.enc_lanes : 1);
   const bool reset =
@@ -57,19 +66,46 @@ VerifyReport verify_encoded_trace(const trace::TraceReader& reader,
     pool = std::make_unique<engine::ShardPool>(options.threads);
   if (options.obs && pool) options.obs->attach_pool(*pool);
 
-  engine::BatchEncoder engine(*scheme, options.weights);
   engine::BatchDecoder decoder;
-  engine.set_observer(options.obs);
   decoder.set_observer(options.obs);
   engine::StreamEncodeOptions so;
   so.lanes = lanes;
   so.reset_state_per_burst = reset;
   so.pool = pool.get();
   so.obs = options.obs;
-  auto stream =
-      h.wide() ? std::make_unique<engine::StreamEncoder>(
-                     engine, h.wide_config(), so)
-               : std::make_unique<engine::StreamEncoder>(engine, h.cfg, so);
+
+  // Mixed traces re-encode each chunk with its tagged scheme. All the
+  // per-scheme stream encoders share ONE caller-owned line-state array,
+  // so the bus history threads across chunk boundaries exactly as the
+  // adaptive session that recorded the trace threaded it.
+  std::vector<dbi::BusState> shared_states;
+  if (mixed) {
+    const int units = lanes * (h.wide() ? groups : 1);
+    shared_states.reserve(static_cast<std::size_t>(units));
+    for (int u = 0; u < units; ++u)
+      shared_states.push_back(dbi::BusState::all_ones(
+          h.wide() ? h.wide_config().group_config(u % groups) : h.cfg));
+  }
+  std::array<std::unique_ptr<engine::BatchEncoder>, 8> engines;
+  std::array<std::unique_ptr<engine::StreamEncoder>, 8> streams;
+  auto stream_for = [&](std::uint8_t tag,
+                        std::span<dbi::BusState> states)
+      -> engine::StreamEncoder& {
+    std::unique_ptr<engine::StreamEncoder>& s = streams[tag];
+    if (!s) {
+      const std::optional<Scheme> tagged =
+          tag == 0 ? scheme : scheme_from_tag(tag);
+      engines[tag] = std::make_unique<engine::BatchEncoder>(*tagged,
+                                                            options.weights);
+      engines[tag]->set_observer(options.obs);
+      s = h.wide() ? std::make_unique<engine::StreamEncoder>(
+                         *engines[tag], h.wide_config(), so, states)
+                   : std::make_unique<engine::StreamEncoder>(*engines[tag],
+                                                             h.cfg, so,
+                                                             states);
+    }
+    return *s;
+  };
 
   VerifyReport report;
   std::vector<std::uint8_t> scratch;
@@ -86,7 +122,10 @@ VerifyReport verify_encoded_trace(const trace::TraceReader& reader,
                                  pool.get());
     else
       decoder.decode_packed(tx, stored, h.cfg, payload, pool.get());
-    const auto rederived = stream->encode_chunk(
+    engine::StreamEncoder& stream =
+        mixed ? stream_for(info.scheme_tag, shared_states)
+              : stream_for(0, {});
+    const auto rederived = stream.encode_chunk(
         info.first_burst, payload, info.burst_count,
         /*collect_results=*/true);
     for (std::size_t j = 0; j < info.burst_count; ++j) {

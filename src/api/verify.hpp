@@ -77,8 +77,10 @@ struct VerifyOptions {
 
 /// Decodes `reader`'s transmitted stream, re-encodes it and compares
 /// the re-derived inversion masks against the stored mask stream.
-/// Throws std::invalid_argument when the trace is not encoded or no
-/// scheme is available.
+/// Mixed-scheme (format v3) traces re-encode each chunk with its own
+/// scheme tag, all tags sharing one threaded line history — no scheme
+/// override applies there. Throws std::invalid_argument when the trace
+/// is not encoded or no scheme is available.
 [[nodiscard]] VerifyReport verify_encoded_trace(
     const trace::TraceReader& reader, const VerifyOptions& options = {});
 

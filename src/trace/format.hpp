@@ -1,12 +1,12 @@
-// Binary trace format v2: the on-disk layout shared by TraceWriter and
-// TraceReader, plus the small codecs (CRC-32, zero-run RLE, packed
+// Binary trace format v2/v3: the on-disk layout shared by TraceWriter
+// and TraceReader, plus the small codecs (CRC-32, zero-run RLE, packed
 // little-endian beat words) both sides use.
 //
 // File layout (all integers little-endian):
 //
 //   Header (32 bytes)
 //     0   u8[4]  magic "DBT2"
-//     4   u8     version (2)
+//     4   u8     version (2, or 3 for mixed-scheme encoded traces)
 //     5   u8     endianness tag (1 = little endian payload words)
 //     6   u16    width            (total DQ lines; 1..32 single-group,
 //                                  1..64 wide multi-group)
@@ -61,6 +61,17 @@
 //   so a decoder or verifier can re-derive the masks without being
 //   told; byte 17 == 0 means "not recorded".
 //
+//   Mixed-scheme encoded traces (version 3): an adaptive session picks
+//   the scheme per chunk, so no single header byte can describe the
+//   masks. Such traces carry version 3, header enc_scheme = 0xFF
+//   ("per-chunk"), and every payload chunk sets chunk flag bit 2 with
+//   the chunk's scheme tag (1 + Scheme enum value, same mapping as
+//   header byte 17) stored in flag bits 8..15. Version 3 is emitted
+//   ONLY for mixed traces — every fixed-scheme or plain trace stays a
+//   byte-identical version-2 file — and a version-3 file must be
+//   encoded, carry the 0xFF sentinel, and tag every payload chunk;
+//   readers reject tag bits in v2 files and missing/invalid tags in v3.
+//
 //   Footer (64 bytes)
 //     0   u8[4]  magic "DBTF"
 //     4   u32    reserved (zero)
@@ -97,6 +108,8 @@ inline constexpr std::uint8_t kChunkMagic[4] = {'C', 'H', 'N', 'K'};
 inline constexpr std::uint8_t kFooterMagic[4] = {'D', 'B', 'T', 'F'};
 inline constexpr std::uint8_t kEndMagic[4] = {'2', 'T', 'B', 'D'};
 inline constexpr std::uint8_t kFormatVersion = 2;
+/// Mixed-scheme encoded traces (per-chunk scheme tags) only.
+inline constexpr std::uint8_t kFormatVersionMixed = 3;
 inline constexpr std::uint8_t kLittleEndianTag = 1;
 
 inline constexpr std::size_t kHeaderBytes = 32;
@@ -111,6 +124,15 @@ inline constexpr std::uint32_t kChunkFlagRle = 1U << 0;
 /// Mask-stream chunk: burst_count x groups little-endian u64 inversion
 /// masks riding behind its payload chunk (encoded traces only).
 inline constexpr std::uint32_t kChunkFlagMask = 1U << 1;
+/// Version-3 payload chunk carrying its scheme tag in flag bits 8..15
+/// (mixed-scheme encoded traces only; never set in v2 files).
+inline constexpr std::uint32_t kChunkFlagSchemeTag = 1U << 2;
+inline constexpr int kChunkSchemeTagShift = 8;
+inline constexpr std::uint32_t kChunkSchemeTagMask = 0xFFU
+                                                    << kChunkSchemeTagShift;
+/// Header enc_scheme sentinel of a mixed-scheme (v3) trace: the scheme
+/// varies per chunk; consult the chunk tags.
+inline constexpr std::uint8_t kEncSchemeMixed = 0xFF;
 
 /// On-disk size of one burst's mask record (u64 per DBI group).
 inline constexpr std::size_t kMaskBytesPerBurst = 8;
@@ -195,10 +217,15 @@ struct TraceHeader {
   std::uint32_t bursts_per_chunk = kDefaultBurstsPerChunk;
   /// Encode metadata (bytes 17..20), nonzero only in encoded traces:
   /// 1 + Scheme enum value / lane interleave / state policy the masks
-  /// were produced with. enc_scheme == 0 means "not recorded".
+  /// were produced with. enc_scheme == 0 means "not recorded";
+  /// enc_scheme == kEncSchemeMixed (v3) means "per-chunk — see the
+  /// chunk scheme tags".
   std::uint8_t enc_scheme = 0;
   std::uint16_t enc_lanes = 0;
   std::uint8_t enc_policy = 0;
+  /// Header byte 4 as parsed (kFormatVersion, or kFormatVersionMixed
+  /// for mixed-scheme traces).
+  std::uint8_t version = kFormatVersion;
 
   /// True when the payload is the multi-group beat-major wide layout.
   [[nodiscard]] bool wide() const { return groups > 1; }
@@ -207,6 +234,12 @@ struct TraceHeader {
   /// paired with a mask-stream chunk.
   [[nodiscard]] bool encoded() const {
     return (flags & kFileFlagEncoded) != 0;
+  }
+
+  /// True for a version-3 mixed-scheme trace: the encode scheme varies
+  /// per chunk (ChunkInfo::scheme_tag), enc_scheme is the sentinel.
+  [[nodiscard]] bool mixed() const {
+    return encoded() && enc_scheme == kEncSchemeMixed;
   }
 
   [[nodiscard]] dbi::WideBusConfig wide_config() const {
@@ -229,5 +262,12 @@ struct ChunkHeader {
 
   [[nodiscard]] bool compressed() const { return (flags & kChunkFlagRle) != 0; }
 };
+
+/// Flag bits a v3 payload chunk carries for scheme tag `tag`
+/// (1 + Scheme enum value, the header-byte-17 mapping).
+[[nodiscard]] constexpr std::uint32_t chunk_scheme_flags(std::uint8_t tag) {
+  return kChunkFlagSchemeTag |
+         (static_cast<std::uint32_t>(tag) << kChunkSchemeTagShift);
+}
 
 }  // namespace dbi::trace

@@ -126,8 +126,9 @@ void TraceReader::parse(bool verify_crc) {
   ByteReader hdr(file, "trace header");
   hdr.expect_magic(kFileMagic, "file");
   const auto version = static_cast<std::uint8_t>(hdr.le(1));
-  if (version != kFormatVersion)
+  if (version != kFormatVersion && version != kFormatVersionMixed)
     throw TraceError("trace: unsupported version " + std::to_string(version));
+  header_.version = version;
   const auto endianness = static_cast<std::uint8_t>(hdr.le(1));
   if (endianness != kLittleEndianTag)
     throw TraceError("trace: unsupported endianness tag " +
@@ -145,9 +146,17 @@ void TraceReader::parse(bool verify_crc) {
        header_.enc_policy != 0))
     throw TraceError(
         "trace: encode metadata set in a trace without the encoded flag");
-  if (header_.enc_scheme > 7)
+  if (version == kFormatVersionMixed) {
+    // Version 3 exists only for mixed-scheme encoded traces: it must
+    // carry the per-chunk sentinel, and every payload chunk its tag.
+    if (!header_.encoded() || header_.enc_scheme != kEncSchemeMixed)
+      throw TraceError(
+          "trace: a version-3 file must be an encoded mixed-scheme trace "
+          "(enc_scheme = 0xFF)");
+  } else if (header_.enc_scheme > 7) {
     throw TraceError("trace: encode scheme tag " +
                      std::to_string(header_.enc_scheme) + " out of range");
+  }
   if (header_.enc_policy > 1)
     throw TraceError("trace: encode state-policy byte " +
                      std::to_string(header_.enc_policy) + " out of range");
@@ -215,8 +224,20 @@ void TraceReader::parse(bool verify_crc) {
     const auto burst_count = static_cast<std::uint32_t>(cur.le(4));
     const auto flags = static_cast<std::uint32_t>(cur.le(4));
     const auto payload_bytes = static_cast<std::uint32_t>(cur.le(4));
-    if ((flags & ~(kChunkFlagRle | kChunkFlagMask)) != 0)
+    // Scheme-tag bits are legal only in v3 files (payload chunks);
+    // anything else is an unknown-flag rejection, so v2 stays strict.
+    const std::uint32_t known_flags =
+        kChunkFlagRle | kChunkFlagMask |
+        (header_.version == kFormatVersionMixed
+             ? kChunkFlagSchemeTag | kChunkSchemeTagMask
+             : 0U);
+    if ((flags & ~known_flags) != 0)
       throw TraceError("trace: chunk carries unknown flag bits");
+    if ((flags & kChunkSchemeTagMask) != 0 &&
+        (flags & kChunkFlagSchemeTag) == 0)
+      throw TraceError(
+          "trace: chunk carries scheme-tag bits without the scheme-tag "
+          "flag");
     if (burst_count < 1 || burst_count > header_.bursts_per_chunk)
       throw TraceError("trace: chunk burst count " +
                        std::to_string(burst_count) +
@@ -240,6 +261,23 @@ void TraceReader::parse(bool verify_crc) {
         raw_bytes > static_cast<std::uint64_t>(payload_bytes) * 128)
       throw TraceError("trace: compressed chunk decoded size exceeds the "
                        "128x RLE expansion bound");
+
+    std::uint8_t scheme_tag = 0;
+    if (header_.version == kFormatVersionMixed && !mask_chunk) {
+      if ((flags & kChunkFlagSchemeTag) == 0)
+        throw TraceError(
+            "trace: mixed-scheme (v3) payload chunk is missing its scheme "
+            "tag");
+      scheme_tag =
+          static_cast<std::uint8_t>(flags >> kChunkSchemeTagShift);
+      if (scheme_tag < 1 || scheme_tag > 7)
+        throw TraceError("trace: chunk scheme tag " +
+                         std::to_string(scheme_tag) + " out of range");
+    }
+    if (mask_chunk && (flags & kChunkFlagSchemeTag) != 0)
+      throw TraceError(
+          "trace: mask-stream chunk carries a scheme tag (tags belong to "
+          "payload chunks)");
 
     if (mask_chunk) {
       // A mask-stream chunk is the rider of the payload chunk directly
@@ -274,6 +312,7 @@ void TraceReader::parse(bool verify_crc) {
     info.burst_count = burst_count;
     info.flags = flags;
     info.payload_bytes = payload_bytes;
+    info.scheme_tag = scheme_tag;
     info.first_burst = bursts_seen;
     info.payload_offset = cur.pos();
     (void)cur.bytes(info.payload_bytes);

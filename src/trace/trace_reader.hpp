@@ -1,5 +1,6 @@
 // TraceReader: mmap-backed, zero-copy reader for the binary trace
-// format v2.
+// format v2/v3 (v3 = mixed-scheme encoded traces with per-chunk
+// scheme tags; see trace/format.hpp).
 //
 // open() maps the whole file read-only (falling back to a buffered read
 // on platforms without mmap), validates header, chunk index, footer and
@@ -64,11 +65,16 @@ struct ChunkInfo {
   std::uint64_t mask_offset = 0;    ///< file offset of the mask bytes
   std::uint32_t mask_flags = 0;
   std::uint32_t mask_bytes = 0;  ///< on-disk (possibly compressed) size
+  /// Mixed-scheme (v3) traces: this chunk's scheme tag (1 + Scheme enum
+  /// value, the header-byte-17 mapping, validated 1..7 at parse).
+  /// 0 in v2 traces — consult the header's enc_scheme there.
+  std::uint8_t scheme_tag = 0;
 
   [[nodiscard]] bool compressed() const { return (flags & kChunkFlagRle) != 0; }
   [[nodiscard]] bool has_mask() const {
     return (mask_flags & kChunkFlagMask) != 0;
   }
+  [[nodiscard]] bool has_scheme_tag() const { return scheme_tag != 0; }
 };
 
 /// Running I/O-side tallies of one reader: RLE expansion volume

@@ -22,10 +22,21 @@ void TraceWriterOptions::validate() const {
     throw std::invalid_argument(
         "TraceWriterOptions: encode metadata (enc_scheme / enc_lanes / "
         "enc_policy) requires encoded = true");
-  if (enc_scheme > 7)
+  if (!encoded && per_chunk_schemes)
+    throw std::invalid_argument(
+        "TraceWriterOptions: per_chunk_schemes (mixed-scheme v3 trace) "
+        "requires encoded = true");
+  if (per_chunk_schemes) {
+    if (enc_scheme != 0 && enc_scheme != kEncSchemeMixed)
+      throw std::invalid_argument(
+          "TraceWriterOptions: a mixed-scheme trace records its schemes "
+          "per chunk; enc_scheme must be left 0 (the writer stamps the "
+          "0xFF sentinel)");
+  } else if (enc_scheme > 7) {
     throw std::invalid_argument(
         "TraceWriterOptions: enc_scheme must be 0 (not recorded) or "
         "1 + Scheme enum value (<= 7)");
+  }
   if (enc_policy > 1)
     throw std::invalid_argument(
         "TraceWriterOptions: enc_policy must be 0 (threaded) or 1 (reset)");
@@ -104,7 +115,10 @@ void TraceWriter::init() {
 
   std::vector<std::uint8_t> header;
   put_magic(header, kFileMagic);
-  header.push_back(kFormatVersion);
+  // Version 3 marks ONLY mixed-scheme traces; everything else stays a
+  // byte-identical version-2 file.
+  header.push_back(opt_.per_chunk_schemes ? kFormatVersionMixed
+                                          : kFormatVersion);
   header.push_back(kLittleEndianTag);
   put_le(header, static_cast<std::uint64_t>(cfg_.width), 2);
   put_le(header, static_cast<std::uint64_t>(cfg_.burst_length), 2);
@@ -119,8 +133,10 @@ void TraceWriter::init() {
                        ? static_cast<std::uint8_t>(wcfg_.groups())
                        : std::uint8_t{0});
   // Bytes 17..20: encode metadata (zero for plain payload traces, so
-  // those stay byte-identical to pre-encoded writers).
-  header.push_back(opt_.enc_scheme);
+  // those stay byte-identical to pre-encoded writers). Mixed traces
+  // stamp the per-chunk sentinel.
+  header.push_back(opt_.per_chunk_schemes ? kEncSchemeMixed
+                                          : opt_.enc_scheme);
   put_le(header, opt_.enc_lanes, 2);
   header.push_back(opt_.enc_policy);
   header.resize(kHeaderBytes, 0);
@@ -219,9 +235,23 @@ void TraceWriter::write_encoded(std::span<const std::uint8_t> bytes,
   append_packed(bytes, masks.data());
 }
 
+void TraceWriter::set_chunk_scheme(dbi::Scheme scheme) {
+  if (!opt_.per_chunk_schemes)
+    throw std::invalid_argument(
+        "TraceWriter::set_chunk_scheme: the writer was not opened with "
+        "per_chunk_schemes (mixed-scheme v3 mode)");
+  if (finished_) throw TraceError("TraceWriter: already finished");
+  if (chunk_scheme_ && *chunk_scheme_ != scheme) flush_chunk();
+  chunk_scheme_ = scheme;
+}
+
 void TraceWriter::append_packed(std::span<const std::uint8_t> bytes,
                                 const std::uint64_t* masks) {
   if (finished_) throw TraceError("TraceWriter: already finished");
+  if (opt_.per_chunk_schemes && !chunk_scheme_)
+    throw std::invalid_argument(
+        "TraceWriter: a mixed-scheme trace needs set_chunk_scheme() "
+        "before its first burst");
   const std::size_t bb = bytes_per_burst();
   if (bytes.size() % bb != 0)
     throw std::invalid_argument(
@@ -324,7 +354,11 @@ void TraceWriter::emit_chunk(std::uint32_t bursts, std::uint32_t kind_flags,
 void TraceWriter::flush_chunk() {
   if (pending_bursts_ == 0) return;
 
-  emit_chunk(pending_bursts_, 0, pending_);
+  std::uint32_t payload_flags = 0;
+  if (opt_.per_chunk_schemes)
+    payload_flags = chunk_scheme_flags(
+        static_cast<std::uint8_t>(1 + static_cast<int>(*chunk_scheme_)));
+  emit_chunk(pending_bursts_, payload_flags, pending_);
   // The mask-stream chunk rides directly behind its payload chunk; it
   // is not counted in chunks_ (the footer describes the payload stream).
   if (opt_.encoded) {

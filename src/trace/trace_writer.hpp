@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/burst.hpp"
+#include "core/encoder.hpp"
 #include "core/types.hpp"
 #include "trace/format.hpp"
 #include "workload/trace.hpp"
@@ -38,6 +40,12 @@ struct TraceWriterOptions {
   std::uint8_t enc_scheme = 0;
   std::uint16_t enc_lanes = 0;
   std::uint8_t enc_policy = 0;
+  /// Mixed-scheme trace (format v3): the encode scheme varies per
+  /// chunk. Requires encoded; the writer stamps version 3 and the
+  /// enc_scheme = kEncSchemeMixed sentinel, and every chunk must be
+  /// preceded by a set_chunk_scheme() call so its tag is known. Leave
+  /// false for single-scheme traces, which stay byte-identical v2.
+  bool per_chunk_schemes = false;
 
   void validate() const;
 };
@@ -94,6 +102,17 @@ class TraceWriter {
   void write_encoded(std::span<const std::uint8_t> bytes,
                      std::span<const std::uint64_t> masks);
 
+  /// Mixed-scheme traces only (TraceWriterOptions::per_chunk_schemes):
+  /// declares the scheme of the bursts appended from here on. Changing
+  /// the scheme flushes the open chunk, so every on-disk chunk is
+  /// scheme-uniform and carries one v3 tag. Must be called before the
+  /// first burst; throws on single-scheme writers.
+  void set_chunk_scheme(dbi::Scheme scheme);
+
+  [[nodiscard]] bool per_chunk_schemes() const {
+    return opt_.per_chunk_schemes;
+  }
+
   /// Flushes the pending chunk and writes the footer. Idempotent; no
   /// bursts can be appended afterwards.
   void finish();
@@ -127,6 +146,8 @@ class TraceWriter {
   std::vector<std::uint8_t> pending_;  // packed payload of open chunk
   std::vector<std::uint8_t> pending_masks_;  // mask stream (encoded mode)
   std::uint32_t pending_bursts_ = 0;
+  /// Scheme of the open chunk (mixed mode; nullopt until declared).
+  std::optional<dbi::Scheme> chunk_scheme_;
   std::vector<std::uint8_t> scratch_;  // chunk header / RLE staging
   Crc32 crc_;
   workload::TraceStats stats_;

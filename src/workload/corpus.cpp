@@ -70,7 +70,37 @@ class CachelineMemcpySource final : public BurstSource {
   std::size_t pos_ = record_.size();  // refill on first beat
 };
 
-constexpr std::array<CorpusScenario, 7> kScenarios{{
+/// Block-interleaved mix of the extremes of the coding-gain spectrum —
+/// sparse-zeros, ascii-text, float-tensor and high-entropy phases of
+/// 256 bursts each. No single scheme is optimal across the phases (DC
+/// wins the zero-heavy and noise-like phases on combined energy, AC
+/// the low-toggle text), so this is the scenario adaptive
+/// "mixed-block" selection is measured on; the phase length matches
+/// the default selection block size.
+class MixedPhaseSource final : public BurstSource {
+ public:
+  MixedPhaseSource(const BusConfig& cfg, std::uint64_t seed)
+      : BurstSource(cfg) {
+    parts_[0] = make_sparse_source(cfg, 0.85, seed);
+    parts_[1] = make_text_source(cfg, seed + 1);
+    parts_[2] = make_tensor_source(cfg, seed + 2);
+    parts_[3] = make_uniform_source(cfg, seed + 3);
+  }
+  [[nodiscard]] std::string_view name() const override { return "mixed"; }
+
+  [[nodiscard]] Burst next() override {
+    const auto phase =
+        static_cast<std::size_t>(bursts_++ / kPhaseBursts) % parts_.size();
+    return parts_[phase]->next();
+  }
+
+ private:
+  static constexpr std::int64_t kPhaseBursts = 256;
+  std::array<std::unique_ptr<BurstSource>, 4> parts_;
+  std::int64_t bursts_ = 0;
+};
+
+constexpr std::array<CorpusScenario, 8> kScenarios{{
     {"cacheline-memcpy",
      "heap-object copies: pointers, small ints, sparse flags"},
     {"sparse-zeros", "zero-dominated pages (85% zero words)"},
@@ -79,6 +109,9 @@ constexpr std::array<CorpusScenario, 7> kScenarios{{
     {"high-entropy", "pre-compressed / encrypted data (uniform bits)"},
     {"address-stream", "cache-line-strided addresses (counter, stride 64)"},
     {"framebuffer", "ARGB8888 scanline gradients with dithering noise"},
+    {"mixed",
+     "block-interleaved sparse-zeros / ascii-text / float-tensor / "
+     "high-entropy phases"},
 }};
 
 }  // namespace
@@ -97,6 +130,7 @@ std::unique_ptr<BurstSource> make_corpus_source(std::string_view name,
   if (name == "address-stream")
     return make_counter_source(cfg, seed * 64, 64);
   if (name == "framebuffer") return make_framebuffer_source(cfg, seed);
+  if (name == "mixed") return std::make_unique<MixedPhaseSource>(cfg, seed);
 
   std::string known;
   for (const CorpusScenario& s : kScenarios) {

@@ -160,6 +160,72 @@ foreach(key "\"format\": \"dbt2\"" "\"bursts\": 2000" "\"encoded\": {"
   endif()
 endforeach()
 
+# Adaptive scheme selection: record --select writes a self-describing
+# mixed trace (format v3) that inspect / verify / decode all accept,
+# replay and corpus take the same flags, and --report leaves a JSON
+# session report behind. Value errors in the new flags are usage
+# errors (exit 64), not runtime ones.
+run_dbitool(0 record --corpus mixed --bursts 2048 --seed 11
+            --select exact:dc,ac --cost energy -o sel.dbt
+            --report sel_report.json)
+run_dbitool(0 inspect sel.dbt)
+run_dbitool(0 verify sel.dbt)
+run_dbitool(0 decode sel.dbt -o sel_dec.dbt)
+run_dbitool(0 record --corpus mixed --bursts 2048 --seed 11 -o sel_plain.dbt)
+run_dbitool(0 convert sel_dec.dbt sel_dec.txt)
+run_dbitool(0 convert sel_plain.dbt sel_plain.txt)
+file(READ "${WORK_DIR}/sel_dec.txt" text_sel_dec)
+file(READ "${WORK_DIR}/sel_plain.txt" text_sel_plain)
+if(NOT text_sel_dec STREQUAL text_sel_plain)
+  message(FATAL_ERROR "record --select -> decode changed the payload")
+endif()
+execute_process(
+  COMMAND ${DBITOOL} inspect sel.dbt --json
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE sel_inspect_rc
+  OUTPUT_VARIABLE sel_inspect_json)
+if(NOT sel_inspect_rc EQUAL 0)
+  message(FATAL_ERROR "inspect --json on a mixed trace failed")
+endif()
+if(NOT sel_inspect_json MATCHES "\"scheme\": \"mixed\"")
+  message(FATAL_ERROR "inspect --json does not flag the mixed trace:\n"
+          "${sel_inspect_json}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/sel_report.json")
+  message(FATAL_ERROR "record --report did not write sel_report.json")
+endif()
+file(READ "${WORK_DIR}/sel_report.json" sel_report)
+foreach(key "\"policy\"" "\"selection\"" "\"selected_cost\""
+        "\"cost_model\":\"energy\"")
+  if(NOT sel_report MATCHES "${key}")
+    message(FATAL_ERROR "session report lacks ${key}:\n${sel_report}")
+  endif()
+endforeach()
+run_dbitool(0 replay sel_plain.dbt --select predict:dc,ac,acdc
+            --cost transitions --report pred_report.json)
+file(READ "${WORK_DIR}/pred_report.json" pred_report)
+if(NOT pred_report MATCHES "\"mode\":\"adaptive-predicted\"")
+  message(FATAL_ERROR "replay --select predict report is not predicted:\n"
+          "${pred_report}")
+endif()
+run_dbitool(0 replay sel_plain.dbt --select exact --csv)
+run_dbitool(0 corpus --width 16 --bursts 512 --select exact:dc,ac
+            --cost energy)
+run_dbitool(64 record --corpus mixed --bursts 8 --select frobnicate
+            -o x.dbt)                         # unknown selection mode
+run_dbitool(64 record --corpus mixed --bursts 8 --select exact:dc,nope
+            -o x.dbt)                         # unknown candidate scheme
+run_dbitool(64 record --corpus mixed --bursts 8 --select exact:dc
+            -o x.dbt)                         # one candidate is not a menu
+run_dbitool(64 record --corpus mixed --bursts 8 --select exact
+            --cost frobnicate -o x.dbt)       # unknown cost model
+run_dbitool(64 record --corpus mixed --bursts 8 --cost energy
+            -o x.dbt)                         # --cost without --select
+run_dbitool(64 record --corpus mixed --bursts 8 --select exact
+            --encode ac -o x.dbt)             # --select conflicts --encode
+run_dbitool(64 replay sel_plain.dbt --select exact --scheme ac)
+run_dbitool(64 corpus --select exact)         # corpus --select needs --width
+
 # Zero-burst corpus sweep: ratios must print 0, never nan (regression).
 execute_process(
   COMMAND ${DBITOOL} corpus --width 32 --bursts 0

@@ -55,6 +55,16 @@ KERNEL_FLOOR = 1.0
 # the default strides: per-chunk stages exact, per-unit stages sampled)
 # may cost at most 2% throughput over the uninstrumented run.
 OBS_FLOOR = 0.98
+# Adaptive mixed-block selection, vs the fixed-scheme throughput floor
+# (the slowest single-scheme row in the "select" section): exact mode
+# encodes every candidate per block, so its budget is 1/len(candidates)
+# of the floor (the candidate count is the cN suffix of the label);
+# predicted mode encodes one candidate on non-probe blocks and must
+# stay within 0.8x. Exact mode keeps the per-block minimum, so its
+# energy-saved ratio vs the best fixed candidate can never sit below
+# 1.0 (0.999 allows float rounding in the report).
+SELECT_PREDICTED_FLOOR = 0.8
+SELECT_EXACT_ENERGY_FLOOR = 0.999
 
 
 def extract_metrics(name: str, doc: dict) -> dict[str, float]:
@@ -83,6 +93,13 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
                 metrics[f"kernel_vs_swar/{row['kernel']}/{path}"] = (
                     row[f"{path}_vs_swar"]
                 )
+        for row in doc.get("select", []):
+            if row["mode"] == "fixed":
+                continue  # absolute rows, trend-only
+            metrics[f"select_vs_fixed/{row['label']}"] = row["vs_fixed_floor"]
+            metrics[f"select_energy_saved/{row['label']}"] = (
+                row["energy_saved_ratio"]
+            )
     elif name == "bench_trace_replay.json":
         for row in doc.get("schemes", []):
             metrics[f"replay_vs_stream/{row['scheme']}"] = (
@@ -116,6 +133,12 @@ def floor_for(metric: str) -> float | None:
         return KERNEL_FLOOR
     if metric == "obs_overhead":
         return OBS_FLOOR
+    if metric.startswith("select_vs_fixed/exact/c"):
+        return 1.0 / int(metric.rsplit("/c", 1)[1])
+    if metric.startswith("select_vs_fixed/predicted/"):
+        return SELECT_PREDICTED_FLOOR
+    if metric.startswith("select_energy_saved/exact/"):
+        return SELECT_EXACT_ENERGY_FLOOR
     return None
 
 

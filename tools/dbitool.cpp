@@ -136,15 +136,15 @@ const std::map<std::string, std::set<std::string>>& allowed_flags() {
       {"record", {"corpus", "source", "bursts", "seed", "width", "bl",
                   "chunk", "no-compress", "wide", "output", "p-one", "p-zero",
                   "p-stay", "encode", "alpha", "lanes", "reset", "kernel",
-                  "metrics", "trace-json"}},
+                  "metrics", "trace-json", "select", "cost", "report"}},
       {"replay", {"scheme", "alpha", "lanes", "workers", "no-double-buffer",
                   "pod", "cload-pf", "gbps", "kernel", "metrics",
-                  "trace-json"}},
+                  "trace-json", "select", "cost", "report"}},
       {"inspect", {"json"}},
       {"convert", {"chunk", "no-compress"}},
-      {"corpus", {"width", "bl", "bursts", "seed"}},
+      {"corpus", {"width", "bl", "bursts", "seed", "select", "cost"}},
       {"decode", {"output", "workers", "chunk", "no-compress", "metrics",
-                  "trace-json"}},
+                  "trace-json", "report"}},
       {"verify", {"scheme", "alpha", "lanes", "workers", "reset", "metrics",
                   "trace-json"}},
       {"kernels", {}},
@@ -213,6 +213,68 @@ Scheme parse_scheme(const std::string& name) {
                            " (raw|dc|ac|acdc|opt|opt-fixed)");
 }
 
+CostModel parse_cost_model(const std::string& name) {
+  if (name == "transitions") return CostModel::kTransitions;
+  if (name == "energy") return CostModel::kEnergy;
+  if (name == "bytes") return CostModel::kBytes;
+  throw UsageError("unknown cost model '" + name +
+                   "' (transitions|energy|bytes)");
+}
+
+/// --select exact[:dc,ac,...] / --select predict[:dc,ac,...] with an
+/// optional --cost MODEL: an adaptive mixed-block SchemePolicy, or
+/// nullopt when neither flag was given. A typo'd mode, scheme or cost
+/// model is a usage error (exit 64), like an unknown flag.
+std::optional<SchemePolicy> parse_select_policy(const Args& args) {
+  if (args.options.count("select") == 0) {
+    if (args.options.count("cost") != 0)
+      throw UsageError("--cost only applies together with --select");
+    return std::nullopt;
+  }
+  const std::string sel = args.get("select", "");
+  std::string mode = sel;
+  std::vector<Scheme> candidates;
+  if (const auto colon = sel.find(':'); colon != std::string::npos) {
+    mode = sel.substr(0, colon);
+    std::stringstream list(sel.substr(colon + 1));
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      if (token.empty()) continue;
+      try {
+        candidates.push_back(parse_scheme(token));
+      } catch (const std::exception& e) {
+        throw UsageError("--select: " + std::string(e.what()));
+      }
+    }
+  }
+  if (candidates.empty()) candidates = SchemePolicy::default_candidates();
+  const CostModel cost = parse_cost_model(args.get("cost", "transitions"));
+  SchemePolicy policy;
+  if (mode == "exact")
+    policy = SchemePolicy::adaptive_exact(std::move(candidates), cost);
+  else if (mode == "predict")
+    policy = SchemePolicy::adaptive_predicted(std::move(candidates), cost);
+  else
+    throw UsageError("unknown --select mode '" + mode +
+                     "' (exact[:dc,ac,...]|predict[:dc,ac,...])");
+  try {
+    policy.validate();
+  } catch (const std::exception& e) {
+    throw UsageError("--select: " + std::string(e.what()));
+  }
+  return policy;
+}
+
+/// --report FILE: the unified SessionReport JSON (policy, kernel
+/// routing, adaptive selection outcome, metrics snapshot).
+void write_report(const Session& session, const Args& args) {
+  const std::string path = args.get("report", "");
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << session.report().to_json() << "\n";
+}
+
 power::PodParams parse_pod(const Args& args) {
   const std::string pod = args.get("pod", "pod135");
   const double cload = args.get_double("cload-pf", 3.0) * 1e-12;
@@ -243,7 +305,8 @@ Geometry parse_geometry(const Args& args, int default_width = 8) {
 SessionSpec session_spec(const Args& args, const Geometry& geometry,
                          const std::string& default_scheme = "opt") {
   SessionSpec spec;
-  spec.scheme = parse_scheme(args.get("scheme", default_scheme));
+  spec.policy = SchemePolicy::fixed(parse_scheme(args.get("scheme",
+                                                          default_scheme)));
   spec.geometry = geometry;
   spec.weights =
       CostWeights::ac_dc_tradeoff(args.get_double("alpha", 0.5));
@@ -614,14 +677,27 @@ int cmd_record(const Args& args) {
   // --encode SCHEME runs the real encoder and writes an ENCODED trace:
   // the transmitted stream plus the per-(burst, group) mask chunks,
   // with the scheme / lanes / state policy stamped into the header so
-  // `decode` and `verify` are self-describing.
-  const bool encode = args.options.count("encode") != 0;
+  // `decode` and `verify` are self-describing. --select replaces the
+  // fixed scheme with adaptive mixed-block selection and records a
+  // format-v3 trace whose chunks carry their own scheme tags.
+  const std::optional<SchemePolicy> select = parse_select_policy(args);
+  if (select && args.options.count("encode") != 0)
+    throw UsageError(
+        "record: --encode SCHEME and --select are mutually exclusive "
+        "(adaptive selection picks the scheme per chunk)");
+  const bool encode = args.options.count("encode") != 0 || select.has_value();
   const bool reset = args.options.count("reset") != 0;
   trace::TraceWriterOptions wopt = writer_options(args);
   SessionSpec spec = session_spec(args, geometry, "raw");
-  spec.scheme = Scheme::kRaw;  // plain record never re-encodes the payload
+  spec.policy = Scheme::kRaw;  // plain record never re-encodes the payload
   if (encode) {
-    spec.scheme = parse_scheme(args.get("encode", "ac"));
+    if (select) {
+      spec.policy = *select;
+      wopt.per_chunk_schemes = true;  // format v3: chunk-tagged schemes
+    } else {
+      spec.policy = parse_scheme(args.get("encode", "ac"));
+      wopt.enc_scheme = scheme_to_tag(spec.policy.fixed_scheme());
+    }
     spec.state_policy =
         reset ? StatePolicy::kResetPerBurst : StatePolicy::kThread;
     // The header stores the lane interleave as a u16; silently
@@ -632,7 +708,6 @@ int cmd_record(const Args& args) {
           "record --encode: --lanes must be <= 65535 (stored in the "
           "trace header)");
     wopt.encoded = true;
-    wopt.enc_scheme = scheme_to_tag(spec.scheme);
     wopt.enc_lanes = static_cast<std::uint16_t>(spec.lanes);
     wopt.enc_policy = reset ? 1 : 0;
   }
@@ -651,11 +726,13 @@ int cmd_record(const Args& args) {
   Session session(spec);
   (void)session.run(*source, *sink);
   obs.finish();
+  write_report(session, args);
 
   std::cerr << "recorded " << writer->bursts_written() << " "
             << geometry.to_string() << " bursts (" << source_name << ")"
             << (encode ? " encoded with " +
-                             std::string(session.scheme_name())
+                             (select ? select->describe()
+                                     : std::string(session.scheme_name()))
                        : std::string())
             << " to " << out << "\n";
   return 0;
@@ -694,6 +771,7 @@ int cmd_decode(const Args& args) {
   const auto sink = dbi::make_trace_sink(*writer);
   const StreamStats totals = session.run(*source, *sink);
   obs.finish();
+  write_report(session, args);
 
   std::cerr << "decoded " << totals.bursts << " " << geometry.to_string()
             << " bursts to " << out << "\n";
@@ -727,10 +805,14 @@ int cmd_verify(const Args& args) {
     opt.threads = static_cast<int>(args.get_long("workers", 0));
     opt.obs = obs.get();
     report = verify_encoded_trace(reader, opt);
-    const auto scheme =
-        opt.scheme ? opt.scheme
-                   : scheme_from_tag(reader.header().enc_scheme);
-    scheme_name = scheme ? std::string(dbi::scheme_name(*scheme)) : "?";
+    if (reader.header().mixed()) {
+      scheme_name = "mixed (per-chunk tags)";
+    } else {
+      const auto scheme =
+          opt.scheme ? opt.scheme
+                     : scheme_from_tag(reader.header().enc_scheme);
+      scheme_name = scheme ? std::string(dbi::scheme_name(*scheme)) : "?";
+    }
   } else {
     // Payload trace: engine-speed end-to-end round trip — encode,
     // materialise the wire, decode, compare bit-exactly.
@@ -775,6 +857,9 @@ int cmd_replay(const Args& args) {
                                 : Geometry::of(reader.config());
 
   const power::PodParams pod = parse_pod(args);
+  const std::optional<SchemePolicy> select = parse_select_policy(args);
+  if (select && args.options.count("scheme") != 0)
+    throw UsageError("replay: --scheme and --select are mutually exclusive");
   SessionSpec spec = session_spec(args, geometry);
   spec.lanes = static_cast<int>(args.get_long("lanes", 4));
   spec.threads = static_cast<int>(
@@ -787,20 +872,30 @@ int cmd_replay(const Args& args) {
   sim::Table table({"scheme", "zeros/burst", "transitions/burst",
                     "interface_pj/burst"});
   const std::vector<std::string> names =
-      args.options.count("scheme")
+      select ? std::vector<std::string>{"adaptive"}
+      : args.options.count("scheme")
           ? std::vector<std::string>{args.get("scheme", "opt")}
           : std::vector<std::string>{"raw", "dc", "ac", "acdc", "opt-fixed",
                                      "opt"};
+  std::unique_ptr<Session> session;
   for (const std::string& name : names) {
-    spec.scheme = parse_scheme(name);
-    Session session(spec);
+    if (select)
+      spec.policy = *select;
+    else
+      spec.policy = parse_scheme(name);
+    session = std::make_unique<Session>(spec);
     const auto source = dbi::make_trace_source(reader);
-    const StreamStats totals = session.run(*source);
+    const StreamStats totals = session->run(*source);
     const sim::ReplaySummary s = sim::summarize_replay(totals, &pod);
-    table.add_row({std::string(session.scheme_name()), sim::fmt(s.zeros, 3),
-                   sim::fmt(s.transitions, 3), sim::fmt(s.interface_pj, 4)});
+    table.add_row({select ? select->describe()
+                          : std::string(session->scheme_name()),
+                   sim::fmt(s.zeros, 3), sim::fmt(s.transitions, 3),
+                   sim::fmt(s.interface_pj, 4)});
   }
   obs.finish();
+  // With a scheme sweep the report reflects the last session (the
+  // shared observer aggregates the metrics of every run).
+  if (session) write_report(*session, args);
   emit(table, args);
   return 0;
 }
@@ -849,7 +944,9 @@ int cmd_inspect(const Args& args) {
     if (reader.encoded()) {
       const auto scheme = scheme_from_tag(reader.header().enc_scheme);
       os << "  \"encoded\": {\"scheme\": \""
-         << (scheme ? esc(dbi::scheme_name(*scheme)) : std::string("?"))
+         << (reader.header().mixed()
+                 ? std::string("mixed")
+                 : scheme ? esc(dbi::scheme_name(*scheme)) : std::string("?"))
          << "\", \"lanes\": " << reader.header().enc_lanes
          << ", \"reset_per_burst\": "
          << (reader.header().enc_policy ? "true" : "false") << "},\n";
@@ -882,14 +979,19 @@ int cmd_inspect(const Args& args) {
   }
 
   sim::Table table({"field", "value"});
+  const std::string format_name =
+      "dbi-trace binary v" +
+      std::to_string(static_cast<int>(reader.header().version));
   table.add_row({"format", reader.wide()
-                               ? "dbi-trace binary v2 (wide multi-group)"
-                               : "dbi-trace binary v2"});
+                               ? format_name + " (wide multi-group)"
+                               : format_name});
   if (reader.encoded()) {
     const auto scheme = scheme_from_tag(reader.header().enc_scheme);
     table.add_row(
         {"encoded",
-         (scheme ? std::string(dbi::scheme_name(*scheme)) : "yes") +
+         (reader.header().mixed()
+              ? std::string("mixed (per-chunk scheme tags)")
+              : scheme ? std::string(dbi::scheme_name(*scheme)) : "yes") +
              ", lanes " + std::to_string(reader.header().enc_lanes) +
              (reader.header().enc_policy ? ", reset per burst"
                                          : ", threaded state")});
@@ -956,7 +1058,12 @@ int cmd_corpus(const Args& args) {
   // Plain listing without --width; with --width, sample every scenario
   // at that wide geometry and report its payload statistics plus the
   // Session-encoded AC transition rate (one DBI per byte group).
+  // --select adds an adaptive mixed-block column next to the fixed AC
+  // baseline.
+  const std::optional<SchemePolicy> select = parse_select_policy(args);
   if (args.options.count("width") == 0) {
+    if (select)
+      throw UsageError("corpus: --select requires --width (the sweep mode)");
     sim::Table table({"scenario", "description"});
     for (const workload::CorpusScenario& s : workload::corpus_scenarios())
       table.add_row({std::string(s.name), std::string(s.description)});
@@ -972,14 +1079,26 @@ int cmd_corpus(const Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
 
   SessionSpec raw_spec = session_spec(args, geometry, "raw");
-  raw_spec.scheme = Scheme::kRaw;
+  raw_spec.policy = Scheme::kRaw;
   SessionSpec ac_spec = raw_spec;
-  ac_spec.scheme = Scheme::kAc;
+  ac_spec.policy = Scheme::kAc;
   Session raw(raw_spec);
   Session ac(ac_spec);
+  std::unique_ptr<Session> sel;
+  if (select) {
+    SessionSpec sel_spec = raw_spec;
+    sel_spec.policy = *select;
+    sel = std::make_unique<Session>(sel_spec);
+  }
 
-  sim::Table table({"scenario", "zero_frac", "raw_trans/burst",
-                    "ac_trans/burst", "ac_saving"});
+  std::vector<std::string> columns = {"scenario", "zero_frac",
+                                      "raw_trans/burst", "ac_trans/burst",
+                                      "ac_saving"};
+  if (select) {
+    columns.push_back("sel_trans/burst");
+    columns.push_back("sel_saving");
+  }
+  sim::Table table(columns);
   for (const workload::CorpusScenario& s : workload::corpus_scenarios()) {
     // Both schemes must see identical data, and corpus sources reseed
     // per bind(), so each run pulls a fresh, identical stream.
@@ -993,18 +1112,28 @@ int cmd_corpus(const Args& args) {
     // --bursts 0 is a legal (if pointless) sweep: guard the 0/0 so the
     // table prints 0 instead of nan.
     const double bits = n * geometry.width() * geometry.burst_length();
-    table.add_row(
-        {std::string(s.name),
-         sim::fmt(bits > 0 ? static_cast<double>(raw_totals.zeros) / bits
-                           : 0.0,
-                  4),
-         sim::fmt(raw_totals.transitions_per_burst(), 2),
-         sim::fmt(ac_totals.transitions_per_burst(), 2),
-         sim::fmt(raw_totals.transitions > 0
-                      ? 1.0 - static_cast<double>(ac_totals.transitions) /
-                                  static_cast<double>(raw_totals.transitions)
-                      : 0.0,
-                  3)});
+    const auto saving = [&](const StreamStats& t) {
+      return raw_totals.transitions > 0
+                 ? 1.0 - static_cast<double>(t.transitions) /
+                             static_cast<double>(raw_totals.transitions)
+                 : 0.0;
+    };
+    std::vector<std::string> row = {
+        std::string(s.name),
+        sim::fmt(bits > 0 ? static_cast<double>(raw_totals.zeros) / bits
+                          : 0.0,
+                 4),
+        sim::fmt(raw_totals.transitions_per_burst(), 2),
+        sim::fmt(ac_totals.transitions_per_burst(), 2),
+        sim::fmt(saving(ac_totals), 3)};
+    if (sel) {
+      auto sel_source = dbi::make_corpus_source(std::string(s.name), bursts,
+                                                seed);
+      const StreamStats sel_totals = sel->run(*sel_source);
+      row.push_back(sim::fmt(sel_totals.transitions_per_burst(), 2));
+      row.push_back(sim::fmt(saving(sel_totals), 3));
+    }
+    table.add_row(row);
   }
   emit(table, args);
   return 0;
@@ -1039,7 +1168,12 @@ int usage() {
       "                  trace, one DBI line per byte group, width <= 64)\n"
       "                  [--encode SCHEME [--lanes N] [--reset]\n"
       "                  [--alpha 0.5]] records an ENCODED trace: the\n"
-      "                  transmitted stream + per-burst DBI mask chunks\n"
+      "                  transmitted stream + per-burst DBI mask chunks;\n"
+      "                  [--select exact[:dc,ac,...]|predict[:dc,ac,...]\n"
+      "                  [--cost transitions|energy|bytes]] instead picks\n"
+      "                  the scheme adaptively per chunk (mixed-block\n"
+      "                  coding) and records a format-v3 trace whose\n"
+      "                  chunks carry their own scheme tags\n"
       "  dbitool decode  ENCODED.dbt -o payload.dbt [--workers N]\n"
       "                  [--chunk 4096] [--no-compress]  (recover the\n"
       "                  payload of an encoded trace at engine speed)\n"
@@ -1053,7 +1187,13 @@ int usage() {
       "                  [--lanes 4] [--workers N] [--no-double-buffer]\n"
       "                  [--pod pod135] [--cload-pf 3] [--gbps 12]\n"
       "                  [--kernel auto|swar|avx2-fixed8|...] [--csv]\n"
+      "                  [--select exact[:LIST]|predict[:LIST]\n"
+      "                  [--cost MODEL]] (adaptive mixed-block row\n"
+      "                  instead of the fixed-scheme sweep)\n"
       "                  (wide traces shard per lane x byte group)\n"
+      "          record / replay / decode also take [--report FILE]\n"
+      "                  (unified session report JSON: policy, kernel\n"
+      "                  routing, adaptive selection outcome, metrics)\n"
       "          record / replay / decode / verify also take\n"
       "                  [--metrics FILE] (metrics snapshot: Prometheus\n"
       "                  text if FILE ends in .prom, JSON otherwise;\n"
@@ -1071,8 +1211,11 @@ int usage() {
       "                  wide traces are binary-only)\n"
       "  dbitool corpus  [--csv]   (list recordable scenarios)\n"
       "  dbitool corpus  --width 32 [--bl 8] [--bursts 4096] [--seed S]\n"
-      "                  (sample every scenario at a wide geometry and\n"
-      "                  report zero fraction + AC coding gain)\n";
+      "                  [--select exact[:LIST]|predict[:LIST]\n"
+      "                  [--cost MODEL]] (sample every scenario at a wide\n"
+      "                  geometry and report zero fraction + AC coding\n"
+      "                  gain; --select adds the adaptive mixed-block\n"
+      "                  column)\n";
   return 2;
 }
 

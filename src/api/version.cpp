@@ -1,0 +1,33 @@
+#include "api/version.hpp"
+
+// CMake stamps DBI_BUILD_VERSION on this translation unit only (a
+// set_source_files_properties compile definition), so touching the
+// version string rebuilds one file, not the whole tree.
+#ifndef DBI_BUILD_VERSION
+#define DBI_BUILD_VERSION "unknown"
+#endif
+
+namespace dbi {
+
+std::string_view build_version() { return DBI_BUILD_VERSION; }
+
+std::string_view build_compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown compiler";
+#endif
+}
+
+std::string build_info() {
+  std::string out = "dbi ";
+  out += build_version();
+  out += " (";
+  out += build_compiler();
+  out += ")";
+  return out;
+}
+
+}  // namespace dbi

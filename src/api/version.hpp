@@ -1,0 +1,24 @@
+// Build identity: the git-describe string stamped at configure time.
+//
+// Surfaced in three places so a running binary can always be matched
+// to a commit: `dbitool --version`, the dbid hello frame (the server
+// reports its build to every connecting client), and the
+// dbi_build_info{version=...} gauge every metrics export carries.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dbi {
+
+/// The configure-time `git describe --always --dirty` string, or
+/// "unknown" when the build tree had no git metadata.
+[[nodiscard]] std::string_view build_version();
+
+/// Compiler identification of the build ("gcc 13.2.0"-style).
+[[nodiscard]] std::string_view build_compiler();
+
+/// One-line human rendering: "dbi <version> (<compiler>)".
+[[nodiscard]] std::string build_info();
+
+}  // namespace dbi

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "api/stream_stats.hpp"
+#include "api/version.hpp"
 #include "engine/kernel_registry.hpp"
 #include "engine/shard_pool.hpp"
 
@@ -53,6 +54,10 @@ Observer::Observer(ObsConfig cfg)
   spans_dropped = r.gauge("dbi_trace_spans_dropped");
 
   pool_queue_depth = r.histogram("dbi_pool_queue_depth");
+
+  // Build identity: the Prometheus build-info convention — constant 1,
+  // with the interesting bits in the labels.
+  r.gauge("dbi_build_info", label("version", build_version())).set(1);
 
   for (const engine::KernelVariant* v : engine::registered_kernels()) {
     KernelCounters kc;

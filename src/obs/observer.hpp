@@ -19,7 +19,10 @@
 //   dbi_stage_duration_ns{stage=}, dbi_trace_file_bytes,
 //   dbi_trace_payload_bytes, dbi_trace_crc_ns, dbi_trace_rle_expand_ratio,
 //   dbi_trace_rle_chunks_total, dbi_trace_rle_bytes_compressed_total,
-//   dbi_trace_rle_bytes_expanded_total, dbi_trace_spans_dropped.
+//   dbi_trace_rle_bytes_expanded_total, dbi_trace_spans_dropped,
+//   dbi_build_info{version=}.
+// The serving layer registers its per-tenant dbi_serve_* series on top
+// of this catalog (see src/serve/server.cpp and README "Serving").
 #pragma once
 
 #include <cstdint>

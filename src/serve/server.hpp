@@ -1,0 +1,165 @@
+// serve::Server — the multi-tenant dbid daemon core.
+//
+// A long-running server on a Unix-domain socket speaking the framed
+// protocol of serve/protocol.hpp. Every connection belongs to one
+// tenant (fixed by its hello frame); tenants keep their Session-style
+// state — scheme, geometry, kernel pin and the threaded per-(lane,
+// group) BusState history — alive across requests and reconnects, so
+// a stream chunked over many small requests encodes bit-identically
+// to one offline `dbitool record` pass.
+//
+// Scheduling: connection reader threads only parse and admit; all
+// engine work runs on one scheduler thread that drains the per-tenant
+// admission queues with deficit round-robin (quantum in bursts), so a
+// hot tenant cannot starve its neighbours, and coalesces consecutive
+// small encode requests of one tenant into a single engine-sized
+// StreamEncoder chunk over the shared ShardPool. Queues are bounded:
+// when a tenant's queue is full, new requests are rejected right at
+// admission with a typed kBusy frame (the engine never sees them).
+//
+// Observability reuses obs::Registry: per-tenant request / busy /
+// burst counters, queue-depth and request-latency histograms
+// (p50/p90/p99 via the log2 buckets), the dbi_build_info gauge, and a
+// kStats frame returning Snapshot::to_prometheus() — the socket twin
+// of a GET /metrics endpoint.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/geometry.hpp"
+#include "engine/batch_decoder.hpp"
+#include "engine/batch_encoder.hpp"
+#include "engine/shard_pool.hpp"
+#include "engine/stream_encoder.hpp"
+#include "obs/observer.hpp"
+#include "serve/protocol.hpp"
+
+namespace dbi::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Shared ShardPool workers for the engine calls; 0 or 1 = serial.
+  int workers = 0;
+  /// Per-tenant admission bound, in queued requests; a full queue
+  /// rejects with kBusy.
+  std::size_t max_queue_requests = 64;
+  /// Coalescing cap: one engine call handles at most this many bursts.
+  std::size_t max_batch_bursts = 8192;
+  /// Deficit-round-robin quantum, in bursts per tenant per round.
+  std::int64_t quantum_bursts = 2048;
+  /// Registry slab cells (per-tenant series cost ~140 cells each).
+  std::size_t max_cells = 65536;
+  /// Test hook: stall this long before each scheduled batch, so soak
+  /// tests can force queueing and observe backpressure deterministically.
+  std::chrono::nanoseconds batch_delay{0};
+  /// Fault hook for kVerify requests, the daemon-side twin of
+  /// SessionSpec::fault_injector: called between encode and decode
+  /// with the materialised wire bytes and masks (both mutable), keyed
+  /// by tenant so soak tests can corrupt a subset of tenants.
+  std::function<void(std::string_view tenant, std::int64_t first_burst,
+                     std::span<std::uint8_t> tx,
+                     std::span<std::uint64_t> masks)>
+      fault_injector;
+
+  void validate() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket, spawns the accept and scheduler threads.
+  /// Throws std::system_error when the path cannot be bound.
+  void start();
+
+  /// Asks the server to stop (idempotent, async-signal-unsafe but
+  /// thread-safe): admissions close, stop() / wait_stop_requested()
+  /// observers wake. Also triggered by a client kShutdown frame.
+  void request_stop();
+
+  /// True once request_stop() ran; waits up to `d` for it.
+  bool wait_stop_requested(std::chrono::milliseconds d);
+
+  /// Graceful drain: stops admissions, finishes every already-admitted
+  /// request (responses are written), joins all threads, unlinks the
+  /// socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return started_ && !stopped_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] obs::Observer& observer() { return *obs_; }
+  [[nodiscard]] obs::Snapshot metrics() const { return obs_->snapshot(); }
+
+ private:
+  struct Connection;
+  struct Request;
+  struct Tenant;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void scheduler_loop();
+  /// One parsed request frame from `conn`; `tenant` is the
+  /// connection's hello-bound tenant (null before hello).
+  void handle_frame(const std::shared_ptr<Connection>& conn, Tenant*& tenant,
+                    Frame& frame);
+  Tenant* hello(const std::shared_ptr<Connection>& conn, const Frame& frame);
+  void admit(const std::shared_ptr<Connection>& conn, Tenant& tenant,
+             Frame& frame);
+  void process_batch(Tenant& tenant, std::vector<Request>& batch);
+  void process_encode_run(Tenant& tenant, std::span<Request> run,
+                          std::size_t total_bursts);
+  void process_decode(Tenant& tenant, Request& rq);
+  void process_verify(Tenant& tenant, Request& rq);
+  void respond(Tenant& tenant, Request& rq, Frame&& frame);
+  void fail_batch(Tenant& tenant, std::span<Request> run, StatusCode status,
+                  std::string_view message);
+
+  ServerOptions options_;
+  std::unique_ptr<obs::Observer> obs_;
+  std::unique_ptr<engine::ShardPool> pool_;  // null = serial engine calls
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread scheduler_thread_;
+
+  mutable std::mutex mu_;  // tenants_, queues, active_, conns_, flags
+  std::condition_variable sched_cv_;  // scheduler wakeups
+  std::condition_variable stop_cv_;   // request_stop() observers
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::deque<Tenant*> active_;  // tenants with queued work, RR order
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> reader_threads_;
+  bool started_ = false;
+  bool stop_requested_ = false;  // admissions closed
+  bool drain_ = false;           // scheduler exits once queues empty
+  bool stopped_ = false;
+
+  // Fleet-wide metric handles.
+  obs::Counter connections_, batches_;
+  obs::Histogram batch_bursts_;
+  obs::Gauge tenants_gauge_;
+};
+
+/// dbid main body: runs a Server on `options` until SIGTERM/SIGINT or
+/// a client kShutdown frame, then drains. Returns a process exit code.
+/// `ready_fd` (when >= 0) receives one byte once the socket is bound —
+/// the readiness handshake `dbitool serve --fork` and the smoke tests
+/// wait on.
+int run_daemon(const ServerOptions& options, int ready_fd = -1);
+
+}  // namespace dbi::serve

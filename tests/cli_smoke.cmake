@@ -239,6 +239,102 @@ if(corpus_out MATCHES "nan")
   message(FATAL_ERROR "corpus --bursts 0 printed nan:\n${corpus_out}")
 endif()
 
+# Serving daemon: `serve --fork` returns only after the readiness
+# handshake, a served `client` encode writes byte-for-byte the same
+# encoded trace the offline `record --encode` pipeline does, served
+# decode round-trips, `client --stats` renders Prometheus text, a
+# zero-queue daemon maps kBusy to exit 75 (EX_TEMPFAIL), misuse is a
+# usage error (64), and both shutdown paths — client --shutdown and
+# SIGTERM via the pidfile — drain and remove the socket.
+set(SOCK "${WORK_DIR}/dbid.sock")
+run_dbitool(0 serve --socket "${SOCK}" --fork --pidfile dbid.pid)
+if(NOT EXISTS "${WORK_DIR}/dbid.pid")
+  message(FATAL_ERROR "serve --fork did not write the pidfile")
+endif()
+# Same corpus / seed / scheme / lanes as enc.dbt above: the daemon path
+# must reproduce the offline encoded trace exactly.
+run_dbitool(0 client --socket "${SOCK}" --tenant smoke
+            --corpus float-tensor --bursts 2000 --seed 5
+            --scheme ac --lanes 4 --req-bursts 512 -o served.dbt)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files served.dbt enc.dbt
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE served_cmp)
+if(NOT served_cmp EQUAL 0)
+  message(FATAL_ERROR "served encode differs from offline record --encode")
+endif()
+# Served verify of the same stream must report a bit-exact round trip
+# (fresh tenant: session state persists per tenant name).
+run_dbitool(0 client --socket "${SOCK}" --tenant smoke-verify
+            --corpus float-tensor --bursts 2000 --seed 5
+            --scheme ac --lanes 4 --verify)
+# Served decode of the offline encoded trace must recover the payload
+# (checked through the lossless text conversion against dec.txt).
+run_dbitool(0 client --socket "${SOCK}" --tenant smoke-dec --decode enc.dbt
+            -o served_dec.dbt)
+run_dbitool(0 convert served_dec.dbt served_dec.txt)
+file(READ "${WORK_DIR}/served_dec.txt" text_served_dec)
+if(NOT text_served_dec STREQUAL text_dec)
+  message(FATAL_ERROR "served decode changed the payload")
+endif()
+# Stats frame: Prometheus text with the build-info gauge and the
+# tenants this smoke test created.
+execute_process(
+  COMMAND ${DBITOOL} client --socket "${SOCK}" --stats
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE stats_rc
+  OUTPUT_VARIABLE stats_out)
+if(NOT stats_rc EQUAL 0)
+  message(FATAL_ERROR "client --stats failed: ${stats_rc}")
+endif()
+foreach(needle "dbi_build_info" "tenant=\"smoke\"")
+  if(NOT stats_out MATCHES "${needle}")
+    message(FATAL_ERROR "client --stats lacks ${needle}:\n${stats_out}")
+  endif()
+endforeach()
+# Misuse: both subcommands require --socket; --verify conflicts with
+# -o; unknown flags are named. All usage errors (64), never crashes.
+run_dbitool(64 serve)
+run_dbitool(64 client)
+run_dbitool(64 client --socket "${SOCK}" --tenant x --verify -o y.dbt)
+run_dbitool(64 serve --socket "${SOCK}" --lanse 4)
+# Graceful drain via the protocol: --shutdown acks, then the daemon
+# removes its socket on the way out.
+run_dbitool(0 client --socket "${SOCK}" --shutdown)
+foreach(attempt RANGE 50)
+  if(NOT EXISTS "${SOCK}")
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(EXISTS "${SOCK}")
+  message(FATAL_ERROR "daemon did not remove its socket after --shutdown")
+endif()
+# Backpressure: a zero-queue daemon rejects every data request with a
+# typed kBusy frame, which the client maps to exit 75 (EX_TEMPFAIL).
+set(BUSY_SOCK "${WORK_DIR}/dbid-busy.sock")
+run_dbitool(0 serve --socket "${BUSY_SOCK}" --queue 0 --fork
+            --pidfile busy.pid)
+run_dbitool(75 client --socket "${BUSY_SOCK}" --tenant starved
+            --source uniform --bursts 64 --seed 1)
+# SIGTERM drain via the pidfile — the daemonized process must exit and
+# clean up exactly like the protocol shutdown.
+file(READ "${WORK_DIR}/busy.pid" busy_pid)
+string(STRIP "${busy_pid}" busy_pid)
+execute_process(COMMAND kill -TERM ${busy_pid} RESULT_VARIABLE kill_rc)
+if(NOT kill_rc EQUAL 0)
+  message(FATAL_ERROR "kill -TERM ${busy_pid} failed: ${kill_rc}")
+endif()
+foreach(attempt RANGE 50)
+  if(NOT EXISTS "${BUSY_SOCK}")
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(EXISTS "${BUSY_SOCK}")
+  message(FATAL_ERROR "daemon did not remove its socket after SIGTERM")
+endif()
+
 # Documented failure modes, each with its own exit code.
 run_dbitool(2)                           # no command: usage
 run_dbitool(64 frobnicate)               # unknown command: distinct code

@@ -94,7 +94,8 @@ TEST(Metrics, HistogramExactUnderConcurrency) {
         h.observe(static_cast<std::uint64_t>(t + 1));
     });
   for (std::thread& w : workers) w.join();
-  const MetricPoint* p = r.snapshot().find("conc_ns");
+  const Snapshot s = r.snapshot();
+  const MetricPoint* p = s.find("conc_ns");
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->count, static_cast<std::uint64_t>(kThreads) * kPerThread);
   double sum = 0;
@@ -290,6 +291,45 @@ TEST(Observer, PoolMetricsPublishedOnThreadedReplay) {
   // dependent, existence and kind are not).
   EXPECT_NE(s.find("dbi_pool_worker_busy_ns_total", "worker=\"0\""), nullptr);
   EXPECT_NE(s.find("dbi_pool_worker_busy_ns_total", "worker=\"1\""), nullptr);
+}
+
+TEST(Observer, SharedExternalObserverAggregatesConcurrentSessions) {
+  // Several sessions on separate threads share one caller-owned
+  // observer (SessionSpec::observer) — the multi-tenant daemon's
+  // arrangement. The registry must aggregate exactly under that
+  // concurrency: totals equal the summed per-session StreamStats.
+  obs::ObsConfig cfg;
+  cfg.level = ObsLevel::kCounters;
+  obs::Observer shared(cfg);
+
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kBursts = 256;
+  std::vector<StreamStats> stats(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      const auto reader = make_trace(kBursts, 64);
+      SessionSpec spec;
+      spec.scheme = Scheme::kAc;
+      spec.observer = &shared;
+      Session session(spec);
+      ASSERT_EQ(session.observer(), &shared);
+      const auto source = make_trace_source(reader);
+      stats[t] = session.run(*source);
+    });
+  for (std::thread& w : workers) w.join();
+
+  std::int64_t bursts = 0, zeros = 0, transitions = 0;
+  for (const StreamStats& s : stats) {
+    bursts += s.bursts;
+    zeros += s.zeros;
+    transitions += s.transitions;
+  }
+  const obs::Snapshot s = shared.snapshot();
+  EXPECT_EQ(s.value("dbi_runs_total"), static_cast<double>(kThreads));
+  EXPECT_EQ(s.value("dbi_bursts_total"), static_cast<double>(bursts));
+  EXPECT_EQ(s.value("dbi_zeros_total"), static_cast<double>(zeros));
+  EXPECT_EQ(s.value("dbi_transitions_total"), static_cast<double>(transitions));
 }
 
 TEST(Observer, TraceJsonFromFullSessionParsesAndNamesStages) {

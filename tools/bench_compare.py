@@ -17,9 +17,15 @@ Usage:
       --baseline-dir bench/baselines --current-dir . \
       [--tolerance 0.15] [--trend bench_trend.csv]
 
+Most metrics are floors (higher is better). Metrics listed by
+is_ceiling() are CEILINGS (lower is better, e.g. served tail-latency
+amplification): for those the relative check inverts and ceiling_for()
+supplies a hard cap instead of a floor.
+
 Re-baselining after an intentional perf change:
   ./build/bench_engine_throughput 8192 8 4 > bench/baselines/bench_engine_throughput.json
   ./build/bench_trace_replay 131072 8 4 > bench/baselines/bench_trace_replay.json
+  ./build/bench_serve > bench/baselines/bench_serve.json
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ import json
 import os
 import sys
 
-FILES = ("bench_engine_throughput.json", "bench_trace_replay.json")
+FILES = ("bench_engine_throughput.json", "bench_trace_replay.json",
+         "bench_serve.json")
 
 # Acceptance floors (independent of the baseline): the wide multi-group
 # kernels must stay >= 4x over the per-group scalar loop for the fixed
@@ -65,6 +72,15 @@ OBS_FLOOR = 0.98
 # 1.0 (0.999 allows float rounding in the report).
 SELECT_PREDICTED_FLOOR = 0.8
 SELECT_EXACT_ENERGY_FLOOR = 0.999
+# Serving daemon: aggregate served throughput at 8 pipelined tenants
+# must reach 0.7x the single-stream engine pass (protocol, scheduling
+# and per-tenant state may cost at most 30%).
+SERVE_FLOOR = 0.7
+# Tail-latency amplification at 8 tenants is a CEILING metric — lower
+# is better — with a generous hard cap as the genuine-pathology
+# tripwire (DRR keeps per-request waits to one round of quanta, so a
+# blow-up here means fairness broke, not that the machine is slow).
+SERVE_P99_AMPLIFICATION_CEILING = 64.0
 
 
 def extract_metrics(name: str, doc: dict) -> dict[str, float]:
@@ -100,6 +116,14 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
             metrics[f"select_energy_saved/{row['label']}"] = (
                 row["energy_saved_ratio"]
             )
+    elif name == "bench_serve.json":
+        for row in doc.get("rows", []):
+            tenants = row["tenants"]
+            metrics[f"serve_vs_session/{tenants}t"] = row["serve_vs_session"]
+            if "p99_amplification" in row:
+                metrics[f"serve_p99_amplification/{tenants}t"] = (
+                    row["p99_amplification"]
+                )
     elif name == "bench_trace_replay.json":
         for row in doc.get("schemes", []):
             metrics[f"replay_vs_stream/{row['scheme']}"] = (
@@ -139,6 +163,21 @@ def floor_for(metric: str) -> float | None:
         return SELECT_PREDICTED_FLOOR
     if metric.startswith("select_energy_saved/exact/"):
         return SELECT_EXACT_ENERGY_FLOOR
+    if metric == "serve_vs_session/8t":
+        return SERVE_FLOOR
+    return None
+
+
+def is_ceiling(metric: str) -> bool:
+    """Ceiling metrics are lower-is-better: the relative check inverts
+    (current may not rise more than --tolerance above baseline) and
+    ceiling_for() supplies the hard cap."""
+    return metric.startswith("serve_p99_amplification/")
+
+
+def ceiling_for(metric: str) -> float | None:
+    if metric.startswith("serve_p99_amplification/"):
+        return SERVE_P99_AMPLIFICATION_CEILING
     return None
 
 
@@ -194,19 +233,36 @@ def main() -> int:
                     f"current run (bench output shape changed?)")
                 continue
             cur_value = current[metric]
-            allowed = base_value * (1.0 - args.tolerance)
             status = "ok"
-            if cur_value < allowed:
-                status = "REGRESSED"
-                failures.append(
-                    f"{metric}: {cur_value:.3f} < {allowed:.3f} "
-                    f"(baseline {base_value:.3f} - {args.tolerance:.0%})")
-            floor = floor_for(metric)
-            if floor is not None and cur_value < floor:
-                status = "BELOW-FLOOR"
-                failures.append(
-                    f"{metric}: {cur_value:.3f} below the hard acceptance "
-                    f"floor {floor:.2f}")
+            if is_ceiling(metric):
+                # Lower is better: regression means rising above the
+                # baseline allowance, failure means topping the cap.
+                allowed = base_value * (1.0 + args.tolerance)
+                if cur_value > allowed:
+                    status = "REGRESSED"
+                    failures.append(
+                        f"{metric}: {cur_value:.3f} > {allowed:.3f} "
+                        f"(baseline {base_value:.3f} + {args.tolerance:.0%},"
+                        f" ceiling metric)")
+                ceiling = ceiling_for(metric)
+                if ceiling is not None and cur_value > ceiling:
+                    status = "ABOVE-CEILING"
+                    failures.append(
+                        f"{metric}: {cur_value:.3f} above the hard "
+                        f"acceptance ceiling {ceiling:.2f}")
+            else:
+                allowed = base_value * (1.0 - args.tolerance)
+                if cur_value < allowed:
+                    status = "REGRESSED"
+                    failures.append(
+                        f"{metric}: {cur_value:.3f} < {allowed:.3f} "
+                        f"(baseline {base_value:.3f} - {args.tolerance:.0%})")
+                floor = floor_for(metric)
+                if floor is not None and cur_value < floor:
+                    status = "BELOW-FLOOR"
+                    failures.append(
+                        f"{metric}: {cur_value:.3f} below the hard "
+                        f"acceptance floor {floor:.2f}")
             rows.append((name, metric, base_value, cur_value, status))
 
         for metric in sorted(set(current) - set(baseline)):
@@ -217,6 +273,12 @@ def main() -> int:
                 failures.append(
                     f"{metric}: {current[metric]:.3f} below the hard "
                     f"acceptance floor {floor:.2f} (new metric)")
+            ceiling = ceiling_for(metric)
+            if ceiling is not None and current[metric] > ceiling:
+                status = "ABOVE-CEILING"
+                failures.append(
+                    f"{metric}: {current[metric]:.3f} above the hard "
+                    f"acceptance ceiling {ceiling:.2f} (new metric)")
             rows.append((name, metric, float("nan"), current[metric], status))
 
     sha = os.environ.get("GITHUB_SHA", "local")

@@ -1,0 +1,83 @@
+// dbid — the standalone multi-tenant DBI serving daemon.
+//
+// Thin main over serve::run_daemon: bind a Unix-domain socket, serve
+// framed encode/decode/verify/stats requests until SIGTERM/SIGINT or a
+// client shutdown frame, then drain gracefully. `dbitool serve` wraps
+// the same body with the rest of the CLI (including --fork); this
+// binary exists so deployments can ship the daemon without the tooling.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "api/version.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--workers N] [--queue N] [--quantum N]\n"
+      "          [--batch N]\n"
+      "\n"
+      "  --socket PATH   Unix-domain socket to bind (required)\n"
+      "  --workers N     shared ShardPool workers (default: serial)\n"
+      "  --queue N       per-tenant admission bound, requests (default 64)\n"
+      "  --quantum N     deficit-round-robin quantum, bursts (default 2048)\n"
+      "  --batch N       coalescing cap, bursts per engine call "
+      "(default 8192)\n"
+      "  --version       print the build version and exit\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbi::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--version") {
+      std::printf("%s\n", dbi::build_info().c_str());
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (i + 1 >= argc) return usage(argv[0]);
+    const std::string value = argv[++i];
+    try {
+      if (arg == "--socket") {
+        options.socket_path = value;
+      } else if (arg == "--workers" || arg == "--queue" || arg == "--batch") {
+        const long n = std::stol(value);
+        if (n < 0) throw std::invalid_argument("negative");
+        if (arg == "--workers")
+          options.workers = static_cast<int>(n);
+        else if (arg == "--queue")
+          options.max_queue_requests = static_cast<std::size_t>(n);
+        else
+          options.max_batch_bursts = static_cast<std::size_t>(n);
+      } else if (arg == "--quantum") {
+        options.quantum_bursts = std::stol(value);
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "dbid: bad value for %s: %s\n", arg.c_str(),
+                   value.c_str());
+      return 64;
+    }
+  }
+  if (options.socket_path.empty()) return usage(argv[0]);
+
+  try {
+    return dbi::serve::run_daemon(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dbid: %s\n", e.what());
+    return 1;
+  }
+}

@@ -14,7 +14,12 @@
 //
 // Every subcommand prints an aligned table (or CSV with --csv) so the
 // tool slots into shell pipelines and plotting scripts.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,6 +34,7 @@
 #include "api/kernels.hpp"
 #include "api/session.hpp"
 #include "api/verify.hpp"
+#include "api/version.hpp"
 #include "core/encoder.hpp"
 #include "core/pareto.hpp"
 #include "engine/kernel_registry.hpp"
@@ -39,6 +45,8 @@
 #include "netlist/export.hpp"
 #include "obs/json.hpp"
 #include "obs/observer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "power/interface_energy.hpp"
 #include "sim/experiments.hpp"
 #include "sim/table.hpp"
@@ -57,6 +65,13 @@ using namespace dbi;
 /// flag (message + usage on stderr, exit 64 / EX_USAGE), so scripts can
 /// tell a typo'd kernel name from a runtime failure.
 struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Transient server-side rejection (a kBusy frame): exit 75
+/// (EX_TEMPFAIL), so scripts can tell backpressure from hard failures
+/// and retry.
+struct TempFailError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
@@ -86,7 +101,9 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   // Flags that take no value; everything else spelled --key expects one.
   static const std::set<std::string> kBoolFlags = {
-      "no-compress", "no-double-buffer", "wide", "reset", "json"};
+      "no-compress", "no-double-buffer", "wide",     "reset",
+      "json",        "fork",             "verify",   "stats",
+      "shutdown",    "decode"};
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -148,6 +165,13 @@ const std::map<std::string, std::set<std::string>>& allowed_flags() {
       {"verify", {"scheme", "alpha", "lanes", "workers", "reset", "metrics",
                   "trace-json"}},
       {"kernels", {}},
+      {"serve", {"socket", "workers", "queue", "quantum", "batch", "fork",
+                 "pidfile"}},
+      {"client", {"socket", "tenant", "scheme", "alpha", "width", "bl",
+                  "wide", "lanes", "reset", "kernel", "corpus", "source",
+                  "bursts", "seed", "req-bursts", "chunk", "no-compress",
+                  "output", "verify", "stats", "shutdown", "decode", "p-one",
+                  "p-zero", "p-stay"}},
   };
   return kAllowed;
 }
@@ -1139,6 +1163,334 @@ int cmd_corpus(const Args& args) {
   return 0;
 }
 
+// --- serving (dbid daemon + client) ----------------------------------
+
+serve::ServerOptions server_options(const Args& args) {
+  serve::ServerOptions options;
+  options.socket_path = args.get("socket", "");
+  if (options.socket_path.empty())
+    throw UsageError("serve: --socket PATH is required");
+  const long workers = args.get_long("workers", 0);
+  const long queue = args.get_long("queue", 64);
+  const long batch = args.get_long("batch", 8192);
+  if (workers < 0 || queue < 0 || batch < 0)
+    throw UsageError("serve: --workers/--queue/--batch must be >= 0");
+  options.workers = static_cast<int>(workers);
+  options.max_queue_requests = static_cast<std::size_t>(queue);
+  options.quantum_bursts = args.get_long("quantum", 2048);
+  options.max_batch_bursts = static_cast<std::size_t>(batch);
+  options.validate();
+  return options;
+}
+
+int cmd_serve(const Args& args) {
+  const serve::ServerOptions options = server_options(args);
+  const std::string pidfile = args.get("pidfile", "");
+  if (args.options.count("fork") == 0) {
+    if (!pidfile.empty()) {
+      std::ofstream os(pidfile);
+      if (!os) throw std::runtime_error("cannot write " + pidfile);
+      os << ::getpid() << "\n";
+    }
+    std::cerr << "dbid (" << build_version() << ") listening on "
+              << options.socket_path << "\n";
+    return serve::run_daemon(options);
+  }
+
+  // --fork: daemonize with a readiness handshake — the parent only
+  // exits 0 once the child has the socket bound, so scripts can
+  // connect immediately after.
+  int ready[2];
+  if (::pipe(ready) != 0)
+    throw std::system_error(errno, std::generic_category(), "serve: pipe");
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::system_error(errno, std::generic_category(), "serve: fork");
+  if (pid == 0) {
+    ::close(ready[0]);
+    ::setsid();
+    // Detach stdio: the daemon must not hold the invoker's pipes open
+    // (a capturing caller would otherwise never see EOF after the
+    // parent exits).
+    const int null_fd = ::open("/dev/null", O_RDWR);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDIN_FILENO);
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::dup2(null_fd, STDERR_FILENO);
+      if (null_fd > STDERR_FILENO) ::close(null_fd);
+    }
+    int rc = 1;
+    try {
+      rc = serve::run_daemon(options, ready[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dbid: %s\n", e.what());
+    }
+    std::_Exit(rc);
+  }
+  ::close(ready[1]);
+  char byte = 0;
+  ssize_t n;
+  do {
+    n = ::read(ready[0], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  ::close(ready[0]);
+  if (n != 1) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    throw std::runtime_error("serve: daemon failed to start");
+  }
+  if (!pidfile.empty()) {
+    std::ofstream os(pidfile);
+    if (!os) throw std::runtime_error("cannot write " + pidfile);
+    os << pid << "\n";
+  }
+  std::cout << pid << "\n";
+  std::cerr << "dbid forked (pid " << pid << ") on " << options.socket_path
+            << "\n";
+  return 0;
+}
+
+/// Shared by the client data modes: per-request wall-clock latencies,
+/// summarised as p50/p99.
+struct LatencyTracker {
+  std::vector<std::uint64_t> ns;
+
+  void add(std::chrono::steady_clock::time_point since) {
+    ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count()));
+  }
+  [[nodiscard]] double quantile(double q) {
+    if (ns.empty()) return 0;
+    std::sort(ns.begin(), ns.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(ns.size() - 1) + 0.5);
+    return static_cast<double>(ns[idx]) / 1e3;  // us
+  }
+};
+
+[[noreturn]] void throw_busy(std::uint32_t limit) {
+  throw TempFailError("server busy (per-tenant queue of " +
+                      std::to_string(limit) +
+                      " requests is full; retry later)");
+}
+
+int client_data(const Args& args, const std::string& socket) {
+  const Geometry geometry = parse_geometry(args);
+  const long total_bursts = args.get_long("bursts", 1000);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const long req_bursts = args.get_long("req-bursts", 1024);
+  if (req_bursts < 1)
+    throw UsageError("client: --req-bursts must be >= 1");
+  const bool do_verify = args.options.count("verify") != 0;
+  const Scheme scheme = parse_scheme(args.get("scheme", "ac"));
+  const int lanes = static_cast<int>(args.get_long("lanes", 1));
+  const bool reset = args.options.count("reset") != 0;
+  const std::string out = args.get("output", "");
+  if (do_verify && !out.empty())
+    throw UsageError("client: -o only applies to the encode mode");
+
+  serve::Client::Options copt;
+  copt.socket_path = socket;
+  copt.tenant = args.get("tenant", "cli");
+  copt.scheme = scheme;
+  copt.geometry = geometry;
+  copt.lanes = lanes;
+  copt.reset_state_per_burst = reset;
+  copt.kernel = args.get("kernel", "");
+  if (!copt.kernel.empty() && copt.kernel != "auto" &&
+      engine::find_kernel(copt.kernel) == nullptr)
+    throw UsageError("unknown kernel '" + copt.kernel +
+                     "' (candidates: " + engine::kernel_candidates() + ")");
+  auto client = serve::Client::connect(copt);
+
+  // Same corpus / generator wiring as `record`, so the offline and
+  // served streams are burst-identical for one (scenario, seed).
+  std::unique_ptr<Source> source;
+  std::string source_name;
+  const BusConfig generator_cfg =
+      geometry.is_wide() ? BusConfig{8, geometry.burst_length()}
+                         : geometry.bus();
+  if (args.options.count("corpus")) {
+    source_name = args.get("corpus", "");
+    source = dbi::make_corpus_source(source_name, total_bursts, seed);
+  } else {
+    auto generator =
+        make_source(args.get("source", "uniform"), generator_cfg, seed, args);
+    source_name = std::string(generator->name());
+    source = dbi::make_generator_source(std::move(generator), total_bursts);
+  }
+  source->bind(geometry);
+
+  // Encode mode with -o: write the same encoded trace `record
+  // --encode` would — masks from the daemon, wire bytes applied
+  // locally (the involution kernels), header metadata identical.
+  std::unique_ptr<trace::TraceWriter> writer;
+  engine::BatchDecoder applier;
+  if (!out.empty()) {
+    trace::TraceWriterOptions wopt = writer_options(args);
+    wopt.encoded = true;
+    wopt.enc_scheme = scheme_to_tag(scheme);
+    wopt.enc_lanes = static_cast<std::uint16_t>(lanes);
+    wopt.enc_policy = reset ? 1 : 0;
+    if (geometry.is_wide())
+      writer = std::make_unique<trace::TraceWriter>(out, geometry.wide_bus(),
+                                                    wopt);
+    else
+      writer = std::make_unique<trace::TraceWriter>(out, geometry.bus(), wopt);
+  }
+
+  const auto bpb = static_cast<std::size_t>(geometry.bytes_per_burst());
+  LatencyTracker latency;
+  std::vector<std::uint8_t> tx;
+  std::uint64_t zeros = 0, transitions = 0, mismatched = 0;
+  std::int64_t bursts_done = 0;
+  bool all_ok = true;
+  while (auto chunk = source->next()) {
+    std::int64_t off = 0;
+    while (off < chunk->bursts) {
+      const auto n = std::min<std::int64_t>(req_bursts, chunk->bursts - off);
+      const std::span<const std::uint8_t> slice = chunk->bytes.subspan(
+          static_cast<std::size_t>(off) * bpb, static_cast<std::size_t>(n) * bpb);
+      const auto t0 = std::chrono::steady_clock::now();
+      if (do_verify) {
+        const auto r =
+            client.verify(slice, static_cast<std::uint32_t>(n));
+        if (r.outcome == serve::Client::Outcome::kBusy)
+          throw_busy(client.max_queue_requests());
+        latency.add(t0);
+        zeros += r.ack.zeros;
+        transitions += r.ack.transitions;
+        mismatched += r.ack.mismatched_bytes;
+        all_ok = all_ok && r.ack.ok;
+      } else {
+        const auto r = client.encode(slice, static_cast<std::uint32_t>(n));
+        if (r.outcome == serve::Client::Outcome::kBusy)
+          throw_busy(client.max_queue_requests());
+        latency.add(t0);
+        zeros += r.ack.zeros;
+        transitions += r.ack.transitions;
+        if (writer) {
+          tx.resize(slice.size());
+          if (geometry.is_wide())
+            applier.apply_packed_wide(slice, r.ack.masks, geometry.wide_bus(),
+                                      tx);
+          else
+            applier.apply_packed(slice, r.ack.masks, geometry.bus(), tx);
+          writer->write_encoded(tx, r.ack.masks);
+        }
+      }
+      bursts_done += n;
+      off += n;
+    }
+  }
+  if (writer) writer->finish();
+
+  std::cerr << (do_verify ? "verified " : "encoded ") << bursts_done << " "
+            << geometry.to_string() << " bursts (" << source_name
+            << ") via dbid " << client.server_build() << " as tenant '"
+            << copt.tenant << "'\n"
+            << "  zeros " << zeros << "  transitions " << transitions
+            << "  request p50 " << latency.quantile(0.5) << " us  p99 "
+            << latency.quantile(0.99) << " us\n";
+  if (writer) std::cerr << "  encoded trace written to " << out << "\n";
+  if (do_verify) {
+    std::cerr << "  round trip "
+              << (all_ok ? "bit-exact"
+                         : "MISMATCHED (" + std::to_string(mismatched) +
+                               " bytes)")
+              << "\n";
+    return all_ok ? 0 : 1;
+  }
+  return 0;
+}
+
+int client_decode(const Args& args, const std::string& socket) {
+  if (args.positional.empty())
+    throw UsageError("client: --decode expects an ENCODED.dbt argument");
+  const auto reader = trace::TraceReader::open(args.positional[0]);
+  if (!reader.encoded())
+    throw std::runtime_error("client: " + args.positional[0] +
+                             " carries no mask stream");
+  const std::string out = args.get("output", "");
+  if (out.empty())
+    throw std::runtime_error("client: --decode requires -o OUTPUT.dbt");
+  const Geometry geometry = reader.wide()
+                                ? Geometry::of(reader.header().wide_config())
+                                : Geometry::of(reader.config());
+  const long req_bursts = args.get_long("req-bursts", 1024);
+  if (req_bursts < 1)
+    throw UsageError("client: --req-bursts must be >= 1");
+
+  serve::Client::Options copt;
+  copt.socket_path = socket;
+  copt.tenant = args.get("tenant", "cli");
+  copt.geometry = geometry;
+  copt.kernel = args.get("kernel", "");
+  auto client = serve::Client::connect(copt);
+
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (geometry.is_wide())
+    writer = std::make_unique<trace::TraceWriter>(out, geometry.wide_bus(),
+                                                  writer_options(args));
+  else
+    writer = std::make_unique<trace::TraceWriter>(out, geometry.bus(),
+                                                  writer_options(args));
+
+  auto source = make_trace_source(reader);
+  source->bind(geometry);
+  const auto bpb = static_cast<std::size_t>(geometry.bytes_per_burst());
+  const auto groups = static_cast<std::size_t>(geometry.groups());
+  LatencyTracker latency;
+  std::int64_t bursts_done = 0;
+  while (auto chunk = source->next()) {
+    std::int64_t off = 0;
+    while (off < chunk->bursts) {
+      const auto n = std::min<std::int64_t>(req_bursts, chunk->bursts - off);
+      const auto tx = chunk->bytes.subspan(
+          static_cast<std::size_t>(off) * bpb, static_cast<std::size_t>(n) * bpb);
+      const auto masks = chunk->masks.subspan(
+          static_cast<std::size_t>(off) * groups,
+          static_cast<std::size_t>(n) * groups);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r =
+          client.decode(tx, masks, static_cast<std::uint32_t>(n));
+      if (r.outcome == serve::Client::Outcome::kBusy)
+        throw_busy(client.max_queue_requests());
+      latency.add(t0);
+      writer->write_packed(r.payload);
+      bursts_done += n;
+      off += n;
+    }
+  }
+  writer->finish();
+  std::cerr << "decoded " << bursts_done << " " << geometry.to_string()
+            << " bursts via dbid " << client.server_build() << " to " << out
+            << "\n"
+            << "  request p50 " << latency.quantile(0.5) << " us  p99 "
+            << latency.quantile(0.99) << " us\n";
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) throw UsageError("client: --socket PATH is required");
+  if (args.options.count("stats") != 0) {
+    auto client = serve::Client::connect_control(socket);
+    std::cout << client.stats();
+    return 0;
+  }
+  if (args.options.count("shutdown") != 0) {
+    auto client = serve::Client::connect_control(socket);
+    client.shutdown_server();
+    std::cerr << "dbid acknowledged shutdown (draining)\n";
+    return 0;
+  }
+  if (args.options.count("decode") != 0) return client_decode(args, socket);
+  return client_data(args, socket);
+}
+
 int usage() {
   std::cerr <<
       "dbitool — optimal DC/AC data bus inversion toolkit\n"
@@ -1215,7 +1567,29 @@ int usage() {
       "                  [--cost MODEL]] (sample every scenario at a wide\n"
       "                  geometry and report zero fraction + AC coding\n"
       "                  gain; --select adds the adaptive mixed-block\n"
-      "                  column)\n";
+      "                  column)\n"
+      "  dbitool serve   --socket PATH [--workers N] [--queue N]\n"
+      "                  [--quantum N] [--batch N] [--fork]\n"
+      "                  [--pidfile FILE]  (run the dbid multi-tenant\n"
+      "                  serving daemon; --fork daemonizes and exits 0\n"
+      "                  once the socket is accepting)\n"
+      "  dbitool client  --socket PATH [--tenant NAME] [--scheme SCHEME]\n"
+      "                  [--width 8] [--bl 8] [--wide] [--lanes N]\n"
+      "                  [--reset] [--kernel K]\n"
+      "                  (--corpus SCENARIO | --source KIND) [--bursts N]\n"
+      "                  [--seed S] [--req-bursts 1024] [--verify]\n"
+      "                  [-o trace.dbt]  (stream bursts through the\n"
+      "                  daemon; -o writes the same encoded trace\n"
+      "                  `record --encode` would; --verify round-trips\n"
+      "                  server-side and exits 1 on mismatch)\n"
+      "  dbitool client  --socket PATH --decode ENCODED.dbt -o out.dbt\n"
+      "                  [--req-bursts 1024]  (served payload recovery)\n"
+      "  dbitool client  --socket PATH --stats     (Prometheus text)\n"
+      "  dbitool client  --socket PATH --shutdown  (drain and exit)\n"
+      "          a kBusy rejection (per-tenant queue full) exits 75\n"
+      "                  (EX_TEMPFAIL) so scripts can retry\n"
+      "  dbitool version | --version  (build identity, also in the\n"
+      "                  serve hello ack and dbi_build_info metric)\n";
   return 2;
 }
 
@@ -1264,6 +1638,12 @@ int main(int argc, char** argv) {
     if (args.command == "decode") return cmd_decode(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "kernels") return cmd_kernels(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "client") return cmd_client(args);
+    if (args.command == "version" || args.command == "--version") {
+      std::cout << dbi::build_info() << "\n";
+      return 0;
+    }
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {
       (void)usage();
@@ -1274,6 +1654,9 @@ int main(int argc, char** argv) {
     std::cerr << "dbitool: " << e.what() << "\n\n";
     (void)usage();
     return 64;
+  } catch (const TempFailError& e) {
+    std::cerr << "dbitool: " << e.what() << "\n";
+    return 75;
   } catch (const std::exception& e) {
     std::cerr << "dbitool: " << e.what() << "\n";
     return 1;

@@ -1,11 +1,14 @@
 #include "serve/server.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -59,6 +62,8 @@ void ServerOptions::validate() const {
     throw std::invalid_argument("serve: max_batch_bursts must be positive");
   if (quantum_bursts <= 0)
     throw std::invalid_argument("serve: quantum_bursts must be positive");
+  if (send_timeout.count() < 0)
+    throw std::invalid_argument("serve: send_timeout must be >= 0");
 }
 
 /// One accepted socket. Reader and scheduler threads both write
@@ -72,13 +77,31 @@ struct Server::Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
+  /// Sends one frame. The socket carries SO_SNDTIMEO: a write that
+  /// cannot progress within the timeout (the peer stopped reading while
+  /// flooding requests) marks the connection dead and shuts it down, so
+  /// later responses fail fast instead of each paying the timeout — a
+  /// slow consumer costs the scheduler one bounded wait, never a hang.
   void send(const Frame& frame) {
     std::lock_guard<std::mutex> lk(write_mu);
-    write_frame(fd, frame);
+    if (dead.load(std::memory_order_relaxed))
+      throw std::system_error(EPIPE, std::generic_category(),
+                              "serve: connection dropped (slow consumer)");
+    try {
+      write_frame(fd, frame);
+    } catch (const std::system_error& e) {
+      const int err = e.code().value();
+      if (err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT) {
+        dead.store(true, std::memory_order_relaxed);
+        ::shutdown(fd, SHUT_RDWR);  // also unblocks the reader thread
+      }
+      throw;
+    }
   }
 
   int fd;
   std::mutex write_mu;
+  std::atomic<bool> dead{false};
 };
 
 /// One admitted request. It owns the raw wire frame payload (moved in
@@ -209,13 +232,19 @@ void Server::stop() {
   sched_cv_.notify_all();
   if (scheduler_thread_.joinable()) scheduler_thread_.join();
 
-  // 3. Unblock and join the readers.
+  // 3. Unblock and join the readers — the live ones and any that
+  // already exited and parked their handles for reaping.
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lk(mu_);
     conns.swap(conns_);
-    readers.swap(reader_threads_);
+    readers.reserve(reader_threads_.size() + finished_readers_.size());
+    for (auto& [conn, thread] : reader_threads_)
+      readers.push_back(std::move(thread));
+    reader_threads_.clear();
+    for (auto& thread : finished_readers_) readers.push_back(std::move(thread));
+    finished_readers_.clear();
   }
   for (const auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
   for (auto& t : readers)
@@ -227,10 +256,28 @@ void Server::stop() {
 
 void Server::accept_loop() {
   for (;;) {
+    reap_readers();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket shut down (or broken): stop accepting
+      const int err = errno;
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Transient resource exhaustion: exiting here would leave a
+        // daemon that looks healthy but never accepts again. Back off
+        // and retry until stop is requested.
+        if (wait_stop_requested(std::chrono::milliseconds(50))) return;
+        continue;
+      }
+      return;  // listen socket shut down (stop()) or fatally broken
+    }
+    if (options_.send_timeout.count() > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.send_timeout.count() / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.send_timeout.count() % 1000) *
+          1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -240,11 +287,27 @@ void Server::accept_loop() {
       }
       auto conn = std::make_shared<Connection>(fd);
       conns_.push_back(conn);
-      reader_threads_.emplace_back(
-          [this, conn]() mutable { reader_loop(std::move(conn)); });
+      Connection* key = conn.get();
+      reader_threads_.emplace(
+          key, std::thread([this, conn]() mutable {
+            reader_loop(std::move(conn));
+          }));
     }
     connections_.inc();
   }
+}
+
+void Server::reap_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done.swap(finished_readers_);
+  }
+  // These threads have already left reader_loop's frame-processing loop
+  // (they parked their handles as their last locked action), so each
+  // join returns almost immediately.
+  for (auto& t : done)
+    if (t.joinable()) t.join();
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
@@ -252,9 +315,9 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   Frame frame;
   for (;;) {
     try {
-      if (!read_frame(conn->fd, frame)) return;  // clean EOF
+      if (!read_frame(conn->fd, frame)) break;  // clean EOF
     } catch (const std::exception&) {
-      return;  // malformed stream / reset: drop the connection
+      break;  // malformed stream / reset: drop the connection
     }
     try {
       handle_frame(conn, tenant, frame);
@@ -264,9 +327,24 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       try {
         conn->send(make_error(frame.seq, StatusCode::kBadFrame, e.what()));
       } catch (const std::exception&) {
-        return;
+        break;
       }
     }
+  }
+  // Self-reap: forget the connection (the fd closes once any queued
+  // requests release their references) and park this thread's handle
+  // for the accept loop / stop() to join. Without this a long-running
+  // daemon leaks one fd and one thread handle per disconnect.
+  std::lock_guard<std::mutex> lk(mu_);
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [&](const std::shared_ptr<Connection>& c) {
+                                return c.get() == conn.get();
+                              }),
+               conns_.end());
+  auto it = reader_threads_.find(conn.get());
+  if (it != reader_threads_.end()) {
+    finished_readers_.push_back(std::move(it->second));
+    reader_threads_.erase(it);
   }
 }
 
@@ -307,6 +385,52 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
   }
 }
 
+std::unique_ptr<Server::Tenant> Server::make_tenant(
+    const HelloRequest& h, const engine::KernelVariant* kernel) {
+  auto t = std::make_unique<Tenant>();
+  t->name = h.tenant;
+  t->geometry = h.geometry;
+  t->scheme = h.scheme;
+  t->lanes = h.lanes;
+  t->reset_per_burst = h.reset_state_per_burst;
+  t->kernel = kernel;
+  t->groups = h.geometry.groups();
+  t->bytes_per_burst =
+      static_cast<std::size_t>(h.geometry.bytes_per_burst());
+  t->encoder = std::make_unique<engine::BatchEncoder>(h.scheme);
+  t->encoder->set_kernel(*kernel);
+  t->encoder->set_observer(obs_.get());
+  t->decoder.set_kernel(*kernel);
+  t->decoder.set_observer(obs_.get());
+  engine::StreamEncodeOptions sopt;
+  sopt.lanes = h.lanes;
+  sopt.reset_state_per_burst = h.reset_state_per_burst;
+  sopt.pool = pool_.get();
+  sopt.obs = obs_.get();
+  if (h.geometry.is_wide())
+    t->stream = std::make_unique<engine::StreamEncoder>(
+        *t->encoder, h.geometry.wide_bus(), sopt);
+  else
+    t->stream = std::make_unique<engine::StreamEncoder>(
+        *t->encoder, h.geometry.bus(), sopt);
+
+  obs::Registry& r = obs_->registry();
+  const std::string tl = label("tenant", t->name);
+  t->req_encode =
+      r.counter("dbi_serve_requests_total", tl + "," + label("op", "encode"));
+  t->req_decode =
+      r.counter("dbi_serve_requests_total", tl + "," + label("op", "decode"));
+  t->req_verify =
+      r.counter("dbi_serve_requests_total", tl + "," + label("op", "verify"));
+  t->busy = r.counter("dbi_serve_busy_total", tl);
+  t->errors = r.counter("dbi_serve_errors_total", tl);
+  t->bursts_total = r.counter("dbi_serve_bursts_total", tl);
+  t->bytes_total = r.counter("dbi_serve_bytes_total", tl);
+  t->latency = r.histogram("dbi_serve_request_latency_ns", tl);
+  t->queue_depth = r.histogram("dbi_serve_queue_depth", tl);
+  return t;
+}
+
 Server::Tenant* Server::hello(const std::shared_ptr<Connection>& conn,
                               const Frame& frame) {
   HelloRequest h;
@@ -331,81 +455,53 @@ Server::Tenant* Server::hello(const std::shared_ptr<Connection>& conn,
     return nullptr;
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
-  if (stop_requested_) {
-    conn->send(make_error(frame.seq, StatusCode::kShuttingDown,
-                          "server is draining"));
-    return nullptr;
-  }
-  auto it = tenants_.find(h.tenant);
-  if (it == tenants_.end()) {
-    auto t = std::make_unique<Tenant>();
-    t->name = h.tenant;
-    t->geometry = h.geometry;
-    t->scheme = h.scheme;
-    t->lanes = h.lanes;
-    t->reset_per_burst = h.reset_state_per_burst;
-    t->kernel = kernel;
-    t->groups = h.geometry.groups();
-    t->bytes_per_burst =
-        static_cast<std::size_t>(h.geometry.bytes_per_burst());
-    t->encoder = std::make_unique<engine::BatchEncoder>(h.scheme);
-    t->encoder->set_kernel(*kernel);
-    t->encoder->set_observer(obs_.get());
-    t->decoder.set_kernel(*kernel);
-    t->decoder.set_observer(obs_.get());
-    engine::StreamEncodeOptions sopt;
-    sopt.lanes = h.lanes;
-    sopt.reset_state_per_burst = h.reset_state_per_burst;
-    sopt.pool = pool_.get();
-    sopt.obs = obs_.get();
-    try {
-      if (h.geometry.is_wide())
-        t->stream = std::make_unique<engine::StreamEncoder>(
-            *t->encoder, h.geometry.wide_bus(), sopt);
-      else
-        t->stream = std::make_unique<engine::StreamEncoder>(
-            *t->encoder, h.geometry.bus(), sopt);
-
-      obs::Registry& r = obs_->registry();
-      const std::string tl = label("tenant", t->name);
-      t->req_encode =
-          r.counter("dbi_serve_requests_total", tl + "," + label("op", "encode"));
-      t->req_decode =
-          r.counter("dbi_serve_requests_total", tl + "," + label("op", "decode"));
-      t->req_verify =
-          r.counter("dbi_serve_requests_total", tl + "," + label("op", "verify"));
-      t->busy = r.counter("dbi_serve_busy_total", tl);
-      t->errors = r.counter("dbi_serve_errors_total", tl);
-      t->bursts_total = r.counter("dbi_serve_bursts_total", tl);
-      t->bytes_total = r.counter("dbi_serve_bytes_total", tl);
-      t->latency = r.histogram("dbi_serve_request_latency_ns", tl);
-      t->queue_depth = r.histogram("dbi_serve_queue_depth", tl);
-    } catch (const std::exception& e) {
-      conn->send(make_error(frame.seq, StatusCode::kInternal, e.what()));
-      return nullptr;
-    }
-    it = tenants_.emplace(t->name, std::move(t)).first;
-    tenants_gauge_.set(static_cast<double>(tenants_.size()));
-  } else {
-    // Reconnect: the spec must match the live session bit for bit.
-    Tenant& t = *it->second;
-    if (t.geometry != h.geometry || t.scheme != h.scheme ||
-        t.lanes != h.lanes || t.reset_per_burst != h.reset_state_per_burst ||
-        t.kernel != kernel) {
-      conn->send(make_error(
-          frame.seq, StatusCode::kBadState,
-          "tenant '" + h.tenant + "' exists with a different spec"));
-      return nullptr;
+  // The reply frame is built under mu_ and sent after release — a
+  // socket write can block on a slow peer and must never pin the lock
+  // that admissions and the scheduler share.
+  Frame reply;
+  Tenant* result = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_requested_) {
+      reply = make_error(frame.seq, StatusCode::kShuttingDown,
+                         "server is draining");
+    } else {
+      auto it = tenants_.find(h.tenant);
+      if (it == tenants_.end()) {
+        try {
+          auto t = make_tenant(h, kernel);
+          it = tenants_.emplace(t->name, std::move(t)).first;
+          tenants_gauge_.set(static_cast<double>(tenants_.size()));
+          result = it->second.get();
+        } catch (const std::exception& e) {
+          reply = make_error(frame.seq, StatusCode::kInternal, e.what());
+        }
+      } else {
+        // Reconnect: the spec must match the live session bit for bit.
+        Tenant& t = *it->second;
+        if (t.geometry != h.geometry || t.scheme != h.scheme ||
+            t.lanes != h.lanes ||
+            t.reset_per_burst != h.reset_state_per_burst ||
+            t.kernel != kernel) {
+          reply = make_error(
+              frame.seq, StatusCode::kBadState,
+              "tenant '" + h.tenant + "' exists with a different spec");
+        } else {
+          result = it->second.get();
+        }
+      }
     }
   }
 
-  HelloAck ack;
-  ack.build = std::string(build_version());
-  ack.max_queue_requests =
-      static_cast<std::uint32_t>(options_.max_queue_requests);
-  conn->send(make_frame(FrameType::kHelloAck, frame.seq, ack.to_payload()));
-  return it->second.get();
+  if (result != nullptr) {
+    HelloAck ack;
+    ack.build = std::string(build_version());
+    ack.max_queue_requests =
+        static_cast<std::uint32_t>(options_.max_queue_requests);
+    reply = make_frame(FrameType::kHelloAck, frame.seq, ack.to_payload());
+  }
+  conn->send(reply);
+  return result;
 }
 
 void Server::admit(const std::shared_ptr<Connection>& conn, Tenant& tenant,
@@ -435,6 +531,21 @@ void Server::admit(const std::shared_ptr<Connection>& conn, Tenant& tenant,
         throw ProtocolError("payload size does not match burst_count");
       if (e.burst_count == 0)
         throw ProtocolError("empty request (burst_count 0)");
+      if (frame.type == FrameType::kEncode) {
+        // An ack echoing masks (+ tx with kWantTx) can exceed the frame
+        // cap even though the request fits — reject here with a typed
+        // error instead of discovering an unsendable response later.
+        const std::uint64_t ack_size =
+            28ull +
+            static_cast<std::uint64_t>(e.burst_count) *
+                static_cast<std::uint64_t>(tenant.groups) * 8ull +
+            (((e.flags & EncodeRequest::kWantTx) != 0) ? e.payload.size()
+                                                       : 0ull);
+        if (ack_size > kMaxPayload)
+          throw ProtocolError(
+              "response would exceed the 64 MiB frame cap; split the "
+              "request");
+      }
       rq.raw = std::move(frame.payload);
       rq.data = e.payload;
     }
@@ -444,34 +555,42 @@ void Server::admit(const std::shared_ptr<Connection>& conn, Tenant& tenant,
     return;
   }
 
+  // Decide under mu_, send after release: rejection frames must not
+  // block the lock on a peer that is not reading.
   rq.enqueued = std::chrono::steady_clock::now();
+  Frame reject;
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stop_requested_) {
-      conn->send(make_error(frame.seq, StatusCode::kShuttingDown,
-                            "server is draining"));
-      return;
-    }
-    if (tenant.queue.size() >= options_.max_queue_requests) {
+      reject = make_error(frame.seq, StatusCode::kShuttingDown,
+                          "server is draining");
+      rejected = true;
+    } else if (tenant.queue.size() >= options_.max_queue_requests) {
       // Backpressure: bounded queue, typed rejection, engine untouched.
       tenant.busy.inc();
       BusyInfo info{static_cast<std::uint32_t>(tenant.queue.size()),
                     static_cast<std::uint32_t>(options_.max_queue_requests)};
-      conn->send(make_frame(FrameType::kBusy, frame.seq, info.to_payload(),
-                            StatusCode::kBusy));
-      return;
+      reject = make_frame(FrameType::kBusy, frame.seq, info.to_payload(),
+                          StatusCode::kBusy);
+      rejected = true;
+    } else {
+      switch (frame.type) {
+        case FrameType::kEncode: tenant.req_encode.inc(); break;
+        case FrameType::kDecode: tenant.req_decode.inc(); break;
+        default: tenant.req_verify.inc(); break;
+      }
+      tenant.queue.push_back(std::move(rq));
+      tenant.queue_depth.observe(tenant.queue.size());
+      if (!tenant.in_active) {
+        tenant.in_active = true;
+        active_.push_back(&tenant);
+      }
     }
-    switch (frame.type) {
-      case FrameType::kEncode: tenant.req_encode.inc(); break;
-      case FrameType::kDecode: tenant.req_decode.inc(); break;
-      default: tenant.req_verify.inc(); break;
-    }
-    tenant.queue.push_back(std::move(rq));
-    tenant.queue_depth.observe(tenant.queue.size());
-    if (!tenant.in_active) {
-      tenant.in_active = true;
-      active_.push_back(&tenant);
-    }
+  }
+  if (rejected) {
+    conn->send(reject);
+    return;
   }
   sched_cv_.notify_one();
 }
@@ -698,6 +817,15 @@ void Server::respond(Tenant& tenant, Request& rq, Frame&& frame) {
   if (frame.type == FrameType::kError) tenant.errors.inc();
   try {
     rq.conn->send(frame);
+  } catch (const ProtocolError& e) {
+    // An over-cap response slipped past the admission-time size check.
+    // The client is still connected and waiting, so answer with a typed
+    // error (small, always sendable) instead of silence.
+    tenant.errors.inc();
+    try {
+      rq.conn->send(make_error(rq.seq, StatusCode::kInternal, e.what()));
+    } catch (const std::exception&) {
+    }
   } catch (const std::exception&) {
     // Client went away before its response; the work is still done and
     // counted. Nothing to clean up — the connection closes with the
@@ -723,18 +851,34 @@ int run_daemon(const ServerOptions& options, int ready_fd) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
-  Server server(options);
-  server.start();
+  std::unique_ptr<Server> server;
+  try {
+    server = std::make_unique<Server>(options);
+    server->start();
+  } catch (const std::exception& e) {
+    // Startup failed (bad options, bind error, …). Under `dbitool serve
+    // --fork` stderr is already /dev/null, so the reason travels back
+    // to the invoking parent through the readiness pipe: status byte 1
+    // followed by the message (a clean start sends status byte 0).
+    if (ready_fd >= 0) {
+      const char failed = 1;
+      (void)!::write(ready_fd, &failed, 1);
+      (void)!::write(ready_fd, e.what(), std::strlen(e.what()));
+      ::close(ready_fd);
+    }
+    std::fprintf(stderr, "dbid: %s\n", e.what());
+    return 1;
+  }
   if (ready_fd >= 0) {
-    const char byte = 1;
-    (void)!::write(ready_fd, &byte, 1);
+    const char ok = 0;
+    (void)!::write(ready_fd, &ok, 1);
     ::close(ready_fd);
   }
   // Wait for SIGTERM/SIGINT or a client kShutdown frame, then drain.
-  while (g_signal == 0 && !server.wait_stop_requested(
+  while (g_signal == 0 && !server->wait_stop_requested(
                               std::chrono::milliseconds(100))) {
   }
-  server.stop();
+  server->stop();
   return 0;
 }
 

@@ -60,6 +60,11 @@ struct ServerOptions {
   std::int64_t quantum_bursts = 2048;
   /// Registry slab cells (per-tenant series cost ~140 cells each).
   std::size_t max_cells = 65536;
+  /// SO_SNDTIMEO on accepted sockets: a response write that cannot make
+  /// progress for this long (the client stopped reading) drops the
+  /// connection, so a slow consumer costs the scheduler at most one
+  /// timeout instead of pinning it forever. 0 disables the timeout.
+  std::chrono::milliseconds send_timeout{5000};
   /// Test hook: stall this long before each scheduled batch, so soak
   /// tests can force queueing and observe backpressure deterministically.
   std::chrono::nanoseconds batch_delay{0};
@@ -112,7 +117,12 @@ class Server {
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
+  /// Joins reader threads whose connections have closed (they park
+  /// their own handles in finished_readers_ on exit).
+  void reap_readers();
   void scheduler_loop();
+  std::unique_ptr<Tenant> make_tenant(const HelloRequest& h,
+                                      const engine::KernelVariant* kernel);
   /// One parsed request frame from `conn`; `tenant` is the
   /// connection's hello-bound tenant (null before hello).
   void handle_frame(const std::shared_ptr<Connection>& conn, Tenant*& tenant,
@@ -142,8 +152,9 @@ class Server {
   std::condition_variable stop_cv_;   // request_stop() observers
   std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_;
   std::deque<Tenant*> active_;  // tenants with queued work, RR order
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> reader_threads_;
+  std::vector<std::shared_ptr<Connection>> conns_;  ///< live connections only
+  std::unordered_map<Connection*, std::thread> reader_threads_;
+  std::vector<std::thread> finished_readers_;  ///< exited, awaiting join
   bool started_ = false;
   bool stop_requested_ = false;  // admissions closed
   bool drain_ = false;           // scheduler exits once queues empty
@@ -157,9 +168,11 @@ class Server {
 
 /// dbid main body: runs a Server on `options` until SIGTERM/SIGINT or
 /// a client kShutdown frame, then drains. Returns a process exit code.
-/// `ready_fd` (when >= 0) receives one byte once the socket is bound —
-/// the readiness handshake `dbitool serve --fork` and the smoke tests
-/// wait on.
+/// `ready_fd` (when >= 0) receives one status byte once startup
+/// resolves — 0 when the socket is bound (the readiness handshake
+/// `dbitool serve --fork` and the smoke tests wait on), or 1 followed
+/// by the failure reason when startup threw (stderr may be /dev/null
+/// by then, so the pipe is the only channel back to the parent).
 int run_daemon(const ServerOptions& options, int ready_fd = -1);
 
 }  // namespace dbi::serve

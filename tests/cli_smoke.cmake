@@ -334,6 +334,22 @@ endforeach()
 if(EXISTS "${BUSY_SOCK}")
   message(FATAL_ERROR "daemon did not remove its socket after SIGTERM")
 endif()
+# A forked daemon that fails to start must surface the actual reason
+# (here: a bind into a missing directory) — the child's stderr is
+# /dev/null by then, so it travels through the readiness pipe.
+execute_process(
+  COMMAND ${DBITOOL} serve --socket "${WORK_DIR}/no-such-dir/x.sock" --fork
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE forkfail_rc
+  OUTPUT_VARIABLE forkfail_out
+  ERROR_VARIABLE forkfail_err)
+if(forkfail_rc EQUAL 0)
+  message(FATAL_ERROR "serve --fork into a missing directory exited 0")
+endif()
+if(NOT forkfail_err MATCHES "bind")
+  message(FATAL_ERROR
+          "fork startup failure lost its reason:\n${forkfail_err}")
+endif()
 
 # Documented failure modes, each with its own exit code.
 run_dbitool(2)                           # no command: usage

@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <random>
@@ -366,6 +368,131 @@ TEST(Serve, GracefulStopAnswersEveryAdmittedRequest) {
   stopper.join();
   EXPECT_GT(answered, 0);
   EXPECT_FALSE(ts->server.running());
+}
+
+TEST(Serve, OverCapResponseRejectedAtAdmission) {
+  // A want_tx encode whose ack (masks + echoed tx) would exceed the
+  // 64 MiB frame cap must be rejected with a typed kBadFrame at
+  // admission — not worked on and then silently unanswerable.
+  const Geometry g = Geometry::narrow(8, 8);
+  ServerOptions opt;
+  opt.socket_path = unique_socket("overcap");
+  TestServer ts(std::move(opt));
+
+  auto client = ts.client("overcap", g);
+  const auto bpb = static_cast<std::size_t>(g.bytes_per_burst());
+  // ack = 28 + bursts*8 (masks) + bursts*bpb (tx): past the cap while
+  // the request payload itself still fits.
+  constexpr std::uint32_t kBursts = 4'194'303;
+  const std::vector<std::uint8_t> payload(kBursts * bpb, 0xA5);
+  try {
+    (void)client.encode(payload, kBursts, /*want_tx=*/true);
+    FAIL() << "over-cap want_tx response was not rejected";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.status(), StatusCode::kBadFrame);
+  }
+  // The rejection is per-request: the connection stays usable.
+  const auto r = client.encode(std::span(payload).first(8 * bpb), 8);
+  EXPECT_EQ(r.outcome, Client::Outcome::kOk);
+}
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+TEST(Serve, DisconnectedConnectionsAreReaped) {
+  const Geometry g = Geometry::narrow(8, 8);
+  ServerOptions opt;
+  opt.socket_path = unique_socket("reap");
+  TestServer ts(std::move(opt));
+  const std::size_t baseline = open_fd_count();
+
+  // Each round opens a connection (one fd on each side) and drops it;
+  // the server must return to the baseline fd count instead of holding
+  // every disconnected socket until shutdown.
+  const auto payload = random_payload(8 * 8, 9);
+  for (int i = 0; i < 16; ++i) {
+    auto client = ts.client("reap", g);
+    const auto r = client.encode(payload, 8);
+    ASSERT_EQ(r.outcome, Client::Outcome::kOk);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::size_t now = open_fd_count();
+  while (now > baseline && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    now = open_fd_count();
+  }
+  EXPECT_LE(now, baseline);
+}
+
+TEST(Serve, SlowConsumerIsDroppedWithoutStallingNeighbours) {
+  const Geometry g = Geometry::narrow(8, 8);
+  ServerOptions opt;
+  opt.socket_path = unique_socket("slowpeer");
+  opt.send_timeout = std::chrono::milliseconds(200);
+  opt.max_queue_requests = 1024;
+  TestServer ts(std::move(opt));
+  const auto bpb = static_cast<std::size_t>(g.bytes_per_burst());
+
+  // Raw flooding connection: hello, then pipeline want_tx encodes and
+  // never read a response, so the server-side socket buffer fills.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, ts.server.options().socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  HelloRequest h;
+  h.tenant = "slowpeer";
+  h.geometry = g;
+  write_frame(fd, make_frame(FrameType::kHello, 1, h.to_payload()));
+  Frame ack;
+  ASSERT_TRUE(read_frame(fd, ack));
+  ASSERT_EQ(ack.type, FrameType::kHelloAck);
+
+  EncodeRequest req;
+  req.flags = EncodeRequest::kWantTx;
+  req.burst_count = 64;
+  const auto payload = random_payload(64 * bpb, 11);
+  req.payload = payload;
+  const auto reqp = req.to_payload();
+  try {
+    for (int i = 0; i < 512; ++i)
+      write_frame(fd, make_frame(FrameType::kEncode, 100 + i, reqp));
+  } catch (const std::system_error&) {
+    // The server already dropped us mid-flood — that's the fix working.
+  }
+
+  // While the flooder never reads, a neighbour must still get served:
+  // before the send timeout existed, the scheduler blocked forever on
+  // the flooder's full socket and every other tenant starved.
+  auto victim = ts.client("victim", g);
+  const auto vp = random_payload(32 * bpb, 12);
+  const auto r = victim.encode(vp, 32);
+  EXPECT_EQ(r.outcome, Client::Outcome::kOk);
+
+  // The flooder's connection ends in a drop (EOF / reset after the
+  // buffered responses drain), never an open-ended hang.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::vector<std::uint8_t> buf(65536);
+  ssize_t m;
+  do {
+    m = ::recv(fd, buf.data(), buf.size(), 0);
+  } while (m > 0);
+  EXPECT_LE(m, 0);
+  ::close(fd);
 }
 
 // ---------------------------------------------------------------- soak

@@ -1228,17 +1228,33 @@ int cmd_serve(const Args& args) {
     std::_Exit(rc);
   }
   ::close(ready[1]);
-  char byte = 0;
+  // Status byte 0 = socket bound; 1 = startup failed, and the rest of
+  // the pipe (until the child's exit closes it) is the reason — the
+  // child's stderr points at /dev/null by then, so this is the only
+  // way the actual bind error reaches the invoker.
+  char status_byte = 0;
   ssize_t n;
   do {
-    n = ::read(ready[0], &byte, 1);
+    n = ::read(ready[0], &status_byte, 1);
   } while (n < 0 && errno == EINTR);
-  ::close(ready[0]);
-  if (n != 1) {
+  if (n != 1 || status_byte != 0) {
+    std::string reason;
+    if (n == 1) {
+      char buf[512];
+      ssize_t m;
+      while ((m = ::read(ready[0], buf, sizeof(buf))) > 0 ||
+             (m < 0 && errno == EINTR)) {
+        if (m > 0) reason.append(buf, static_cast<std::size_t>(m));
+      }
+    }
+    ::close(ready[0]);
     int status = 0;
     ::waitpid(pid, &status, 0);
-    throw std::runtime_error("serve: daemon failed to start");
+    throw std::runtime_error(
+        reason.empty() ? "serve: daemon failed to start"
+                       : "serve: daemon failed to start: " + reason);
   }
+  ::close(ready[0]);
   if (!pidfile.empty()) {
     std::ofstream os(pidfile);
     if (!os) throw std::runtime_error("cannot write " + pidfile);

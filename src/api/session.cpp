@@ -485,12 +485,22 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
 
   auto encode_all = [&](engine::StreamEncoder& enc) {
     StreamStats totals;
-    std::int64_t first_burst = 0;
+    std::int64_t first_burst = 0;   // sink-facing, continuous over the run
+    std::int64_t stream_burst = 0;  // lane phase within the current stream
     while (const auto c = next_chunk()) {
       if (!c->masks.empty())
         throw std::invalid_argument(
             "Session::run: the source is already encoded (mask-carrying); "
             "run a kDecode session instead of re-encoding it");
+      if (c->first_of_stream && first_burst > 0) {
+        // A new constituent stream (e.g. the next lake member): fresh
+        // all-ones line state and a restarted lane interleave, so the
+        // concatenated run stays bit-exact against per-stream replay.
+        // Totals keep accumulating; the sink's burst axis stays
+        // continuous.
+        enc.reset_states();
+        stream_burst = 0;
+      }
       for (std::int64_t b0 = 0; b0 < c->bursts; b0 += slice_bursts) {
         const std::int64_t n = std::min(slice_bursts, c->bursts - b0);
         const SourceChunk slice{
@@ -499,9 +509,10 @@ StreamStats Session::run_chunks(Source& source, Sink& sink) {
             n,
             {}};
         const auto results = enc.encode_chunk(
-            first_burst, slice.bytes, static_cast<std::size_t>(n), collect);
+            stream_burst, slice.bytes, static_cast<std::size_t>(n), collect);
         deliver(first_burst, slice, results);
         first_burst += n;
+        stream_burst += n;
       }
     }
     totals.bursts = enc.bursts();
@@ -625,19 +636,24 @@ StreamStats Session::run_roundtrip(Source& source, Sink& sink) {
 
   std::vector<std::uint8_t> wire;
   std::vector<std::uint64_t> masks;
-  std::int64_t first_burst = 0;
+  std::int64_t first_burst = 0;   // sink- and verify-facing, continuous
+  std::int64_t stream_burst = 0;  // lane phase within the current stream
   while (const auto c = source.next()) {
     if (c->bursts > 0 && !c->masks.empty())
       throw std::invalid_argument(
           "Session::run: kRoundTrip takes payload sources; verify an "
           "already-encoded trace with verify_encoded_trace / dbitool "
           "verify");
+    if (c->first_of_stream && first_burst > 0) {
+      enc->reset_states();
+      stream_burst = 0;
+    }
     for (std::int64_t b0 = 0; b0 < c->bursts; b0 += slice_bursts) {
       const std::int64_t n = std::min(slice_bursts, c->bursts - b0);
       const auto bytes = c->bytes.subspan(static_cast<std::size_t>(b0) * bb,
                                           static_cast<std::size_t>(n) * bb);
       const auto results = enc->encode_chunk(
-          first_burst, bytes, static_cast<std::size_t>(n), true);
+          stream_burst, bytes, static_cast<std::size_t>(n), true);
       masks.resize(results.size());
       for (std::size_t i = 0; i < results.size(); ++i)
         masks[i] = results[i].invert_mask;
@@ -680,6 +696,7 @@ StreamStats Session::run_roundtrip(Source& source, Sink& sink) {
       if (pass_results) chunk.results = results;
       sink.consume(chunk);
       first_burst += n;
+      stream_burst += n;
     }
   }
 

@@ -82,6 +82,11 @@ void StreamEncoder::reset() {
   }
 }
 
+void StreamEncoder::reset_states() {
+  for (std::size_t u = 0; u < units_.size(); ++u)
+    states_[u] = dbi::BusState::all_ones(unit_config(static_cast<int>(u)));
+}
+
 std::int64_t StreamEncoder::zeros() const {
   std::int64_t total = 0;
   for (const StreamUnit& su : units_) total += su.zeros;

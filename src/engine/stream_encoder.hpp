@@ -79,6 +79,12 @@ class StreamEncoder {
   /// Restores every unit to the all-ones boundary and zeroes the totals.
   void reset();
 
+  /// Restores every unit to the all-ones boundary WITHOUT touching the
+  /// accumulated totals: the member-boundary reset of a concatenated
+  /// stream (each lake member is an independent bus history, but the
+  /// run's 64-bit totals keep accumulating across members).
+  void reset_states();
+
   /// Re-targets the shard pool (results are pool-independent, so this
   /// is safe between chunks; null returns to serial encoding).
   void set_pool(ShardPool* pool) { opt_.pool = pool; }

@@ -1,0 +1,59 @@
+// replay_lake: out-of-core replay of every member of a trace lake,
+// sequentially or sharded whole-files-across-workers, with a
+// deterministic merge.
+//
+// Each member is an independent stream: its session starts from fresh
+// all-ones line state at the member's own geometry, so the per-member
+// StreamStats (and per-burst masks) are bit-exact against replaying
+// that file alone — and the merged totals, accumulated in catalog
+// order regardless of worker completion order, are identical at 1 and
+// N workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "api/session.hpp"
+#include "api/stream_stats.hpp"
+#include "lake/lake.hpp"
+
+namespace dbi::lake {
+
+struct LakeReplayOptions {
+  /// Files-across-workers parallelism: N >= 2 replays members on N
+  /// threads (each member's session forced single-threaded); 0 / 1
+  /// replays sequentially with readahead.
+  int workers = 1;
+  /// Sequential replay: open (and page in) member N+1 on a background
+  /// thread while member N encodes. Ignored with workers >= 2 (the
+  /// worker pool overlaps I/O and encode by itself).
+  bool readahead = true;
+  /// Whole-file CRC pass when opening each member.
+  bool verify_crc = true;
+  /// Non-null: called with every chunk's per-(burst, group) results.
+  /// `first_burst` is member-local. Calls for one member arrive in
+  /// stream order; with workers >= 2 different members' calls
+  /// interleave from worker threads — the callback must synchronise.
+  std::function<void(std::size_t member, std::int64_t first_burst,
+                     std::span<const engine::BurstResult> results)>
+      on_results;
+};
+
+struct LakeReplayResult {
+  dbi::StreamStats totals;  ///< merged in catalog order (deterministic)
+  /// Per replayed member, catalog order.
+  std::vector<dbi::StreamStats> member_stats;
+};
+
+/// Replays every member through `spec` (geometry overridden per member
+/// to the member's own; everything else — scheme/policy, lanes, state
+/// policy, weights, kernel — applies as given). Encoded members throw
+/// LakeError: replay re-encodes payload traces; decode them first.
+/// Errors are reported for the first failing member in catalog order.
+[[nodiscard]] LakeReplayResult replay_lake(
+    const LakeReader& lake, const dbi::SessionSpec& spec,
+    const LakeReplayOptions& options = {});
+
+}  // namespace dbi::lake

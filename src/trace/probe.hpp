@@ -1,0 +1,37 @@
+// probe_trace_file: catalog-grade metadata probe of a binary trace.
+//
+// Reads ONLY the 32-byte header and 64-byte footer of a v2/v3 trace
+// file — two bounded reads, no mmap, no chunk walk, no CRC pass — and
+// validates what it sees with the same strictness TraceReader applies
+// to those regions. This is what the lake catalog builder records for
+// every member (geometry, scheme, burst count, byte extent, stored
+// CRC) and what stale-catalog detection re-reads per file: cheap
+// enough to run on thousands of members, strict enough that a probe
+// that succeeds describes a structurally plausible trace. Full
+// validation of the chunk index and payload CRC stays TraceReader's
+// job (`LakeReader::verify_members`, `dbitool lake verify`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/format.hpp"
+#include "workload/trace.hpp"
+
+namespace dbi::trace {
+
+/// Header + footer metadata of one trace file.
+struct TraceFileProbe {
+  TraceHeader header;
+  workload::TraceStats stats;  ///< footer totals (payload stream)
+  std::uint64_t chunk_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint32_t crc = 0;  ///< stored footer CRC-32 (not re-verified here)
+};
+
+/// Probes `path`. Throws TraceError on I/O failure or any header /
+/// footer violation (bad magic, unsupported version, bad geometry,
+/// negative counts, ...).
+[[nodiscard]] TraceFileProbe probe_trace_file(const std::string& path);
+
+}  // namespace dbi::trace

@@ -351,6 +351,87 @@ if(NOT forkfail_err MATCHES "bind")
           "fork startup failure lost its reason:\n${forkfail_err}")
 endif()
 
+# Trace lake: init / add / ls / verify round trip over mixed
+# geometries (one member a v3 mixed-scheme trace), the campaign sweep
+# with a deterministic consolidated JSON report and per-cell resume,
+# then the documented failure modes — usage errors exit 64, stale or
+# corrupt lakes exit 1.
+run_dbitool(0 lake init lk)
+run_dbitool(0 record --source uniform --bursts 1500 --seed 21 -o lk/n8.dbt)
+run_dbitool(0 record --source uniform --width 32 --bursts 1000
+            --seed 22 -o lk/w32.dbt)
+run_dbitool(0 record --corpus mixed --bursts 1024 --seed 23
+            --select exact:dc,ac -o lk/mix.dbt)
+# add accepts both the path as typed and a name relative to the lake.
+run_dbitool(0 lake add lk n8.dbt lk/w32.dbt mix.dbt)
+run_dbitool(0 lake ls lk)
+run_dbitool(0 lake ls lk --csv)
+run_dbitool(0 lake verify lk)
+run_dbitool(1 lake add lk n8.dbt)        # duplicate member
+run_dbitool(1 lake add lk missing.dbt)   # no such trace
+run_dbitool(64 lake)                     # missing subcommand
+run_dbitool(64 lake frobnicate lk)       # unknown subcommand
+run_dbitool(64 lake ls lk --jsonn x)     # unknown flag, named
+execute_process(
+  COMMAND ${DBITOOL} lake ls lk --json
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE lake_ls_rc
+  OUTPUT_VARIABLE lake_ls_json)
+if(NOT lake_ls_rc EQUAL 0)
+  message(FATAL_ERROR "lake ls --json failed: ${lake_ls_rc}")
+endif()
+foreach(key "\"members\": 3" "\"name\": \"n8.dbt\"" "\"version\": 3"
+        "\"encoded\": true")
+  if(NOT lake_ls_json MATCHES "${key}")
+    message(FATAL_ERROR "lake ls --json lacks ${key}:\n${lake_ls_json}")
+  endif()
+endforeach()
+
+# Campaign sweep: schema probe, the encoded member becomes a
+# deterministic "skipped" cell, and the consolidated report is
+# byte-stable — across two fresh runs and across a --cells resume.
+run_dbitool(0 sweep lk --schemes raw,ac --select exact:dc,ac
+            -o sweep1.json)
+run_dbitool(0 sweep lk --schemes raw,ac --select exact:dc,ac
+            -o sweep2.json --cells sweep_cells)
+run_dbitool(0 sweep lk --schemes raw,ac --select exact:dc,ac
+            -o sweep3.json --cells sweep_cells)
+foreach(other sweep2.json sweep3.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files sweep1.json ${other}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE sweep_cmp)
+  if(NOT sweep_cmp EQUAL 0)
+    message(FATAL_ERROR "lake sweep report is not byte-stable "
+            "(sweep1.json vs ${other})")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/sweep1.json" sweep_json)
+foreach(key "\"schema\":\"dbi-lake-sweep-v1\"" "\"arms\":"
+        "\"select-exact\"" "\"cells\":" "\"skipped\":"
+        "\"transitions_per_burst\":")
+  if(NOT sweep_json MATCHES "${key}")
+    message(FATAL_ERROR "sweep report lacks ${key}:\n${sweep_json}")
+  endif()
+endforeach()
+run_dbitool(64 sweep lk --schemes nope)        # unknown scheme slug
+run_dbitool(64 sweep lk --schemes raw,raw)     # duplicate arm
+run_dbitool(64 sweep lk --steps 5)             # --steps is text-trace only
+run_dbitool(64 sweep trace.txt --schemes raw)  # lake flags on a text trace
+run_dbitool(64 sweep lk --lanse 4)             # unknown flag, named
+
+# Stale member detection: rewriting a member after cataloguing must
+# fail the catalog's stat/CRC cross-check, not replay wrong bytes.
+run_dbitool(0 record --source uniform --bursts 1500 --seed 99 -o lk/n8.dbt)
+run_dbitool(1 lake ls lk)
+run_dbitool(1 lake verify lk)
+run_dbitool(1 sweep lk --schemes raw)
+# A corrupted catalog is a clean, named failure (exit 1, never UB).
+file(WRITE "${WORK_DIR}/lk/catalog.dbil" "garbage, not a catalog")
+run_dbitool(1 lake ls lk)
+run_dbitool(1 lake verify lk)
+run_dbitool(1 sweep lk --schemes raw)
+
 # Documented failure modes, each with its own exit code.
 run_dbitool(2)                           # no command: usage
 run_dbitool(64 frobnicate)               # unknown command: distinct code

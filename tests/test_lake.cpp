@@ -1,0 +1,393 @@
+// Trace lake: catalog round trip and corruption rejection, stale
+// member detection, and the bit-exactness contract of lake replay —
+// merged StreamStats AND per-burst masks must match sequentially
+// replaying each member alone, at 1 and N workers, across geometries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "lake/lake.hpp"
+#include "lake/lake_replay.hpp"
+#include "lake/lake_source.hpp"
+#include "lake/sweep.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+#include "workload/generators.hpp"
+
+namespace dbi::lake {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh, unique lake directory under the system temp dir; removed
+/// on destruction.
+struct TempLake {
+  std::string dir;
+
+  TempLake() {
+    static std::atomic<int> n{0};
+    dir = (fs::temp_directory_path() /
+           ("dbi_lake_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(n++)))
+              .string();
+    fs::create_directories(dir);
+  }
+  ~TempLake() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+};
+
+/// Records a uniform payload trace at `g` into `path` through the same
+/// Session + trace-sink pipeline `dbitool record` uses.
+void record_trace(const std::string& path, const Geometry& g,
+                  std::int64_t bursts, std::uint64_t seed,
+                  std::uint32_t bursts_per_chunk = 64) {
+  trace::TraceWriterOptions wopt;
+  wopt.bursts_per_chunk = bursts_per_chunk;
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (g.is_wide())
+    writer = std::make_unique<trace::TraceWriter>(path, g.wide_bus(), wopt);
+  else
+    writer = std::make_unique<trace::TraceWriter>(path, g.bus(), wopt);
+  const BusConfig gen_cfg =
+      g.is_wide() ? BusConfig{8, g.burst_length()} : g.bus();
+  auto generator = workload::make_uniform_source(gen_cfg, seed);
+  auto source = dbi::make_generator_source(std::move(generator), bursts);
+  SessionSpec spec;
+  spec.policy = SchemePolicy::fixed(Scheme::kRaw);
+  spec.geometry = g;
+  Session session(spec);
+  const auto sink = dbi::make_trace_sink(*writer);
+  (void)session.run(*source, *sink);
+}
+
+/// The three-member fixture most tests use: two x8 members and one
+/// wide x32, catalogued in that order.
+TempLake build_lake() {
+  TempLake lake;
+  record_trace(lake.dir + "/a.dbt", Geometry::narrow(8, 8), 333, 7);
+  record_trace(lake.dir + "/b.dbt", Geometry::narrow(8, 8), 190, 21, 48);
+  record_trace(lake.dir + "/w.dbt", Geometry::wide(32, 8), 257, 5);
+  LakeWriter writer = LakeWriter::create(lake.dir);
+  writer.add("a.dbt");
+  writer.add("b.dbt");
+  writer.add("w.dbt");
+  writer.write();
+  return lake;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(LakeCatalog, RoundTripsEveryMemberField) {
+  const TempLake lake = build_lake();
+  const LakeReader reader = LakeReader::open(lake.dir);
+  ASSERT_EQ(reader.members().size(), 3u);
+  EXPECT_EQ(reader.total_bursts(), 333 + 190 + 257);
+
+  const LakeMember& a = reader.members()[0];
+  EXPECT_EQ(a.name, "a.dbt");
+  EXPECT_EQ(a.geometry(), Geometry::narrow(8, 8));
+  EXPECT_EQ(a.trace_version, 2);
+  EXPECT_FALSE(a.encoded());
+  EXPECT_EQ(a.stats.bursts, 333);
+  EXPECT_EQ(a.first_burst, 0);
+  const LakeMember& b = reader.members()[1];
+  EXPECT_EQ(b.first_burst, 333);
+  const LakeMember& w = reader.members()[2];
+  EXPECT_EQ(w.name, "w.dbt");
+  EXPECT_TRUE(w.wide());
+  EXPECT_EQ(w.geometry(), Geometry::wide(32, 8));
+  EXPECT_EQ(w.first_burst, 333 + 190);
+
+  // Every catalog field must agree with the member file itself: the
+  // deep check re-reads each through the full trace parser.
+  EXPECT_NO_THROW(reader.verify_members());
+
+  // A catalog survives a write -> append -> write cycle untouched.
+  LakeWriter again = LakeWriter::append(lake.dir);
+  again.write();
+  const LakeReader reread = LakeReader::open(lake.dir);
+  ASSERT_EQ(reread.members().size(), 3u);
+  EXPECT_EQ(reread.members()[2].stats.raw_transitions,
+            w.stats.raw_transitions);
+}
+
+TEST(LakeCatalog, RejectsCorruptImages) {
+  const TempLake lake = build_lake();
+  const std::vector<std::uint8_t> image =
+      read_file(lake.dir + "/" + kCatalogName);
+  ASSERT_GE(image.size(), kLakeHeaderBytes + kLakeFooterBytes);
+
+  // Pristine image parses; every single-byte flip is rejected (CRC),
+  // as are truncations at every boundary the parser walks.
+  EXPECT_NO_THROW((void)LakeReader::from_bytes(image));
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{4}, std::size_t{9},
+        image.size() / 2, image.size() - 5}) {
+    std::vector<std::uint8_t> bad = image;
+    bad[at] ^= 0x40;
+    EXPECT_THROW((void)LakeReader::from_bytes(bad), LakeError) << at;
+  }
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, kLakeHeaderBytes,
+        image.size() - 3}) {
+    std::vector<std::uint8_t> bad(image.begin(),
+                                  image.begin() +
+                                      static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)LakeReader::from_bytes(bad), LakeError) << keep;
+  }
+  // Trailing garbage after the end magic is not "extra room", it is
+  // corruption.
+  std::vector<std::uint8_t> padded = image;
+  padded.push_back(0);
+  EXPECT_THROW((void)LakeReader::from_bytes(padded), LakeError);
+}
+
+TEST(LakeCatalog, DetectsStaleMembers) {
+  const TempLake lake = build_lake();
+  // Rewrite member b with different payload (and different CRC): the
+  // catalog's stat + footer-CRC cross-check must fail loudly on open.
+  record_trace(lake.dir + "/b.dbt", Geometry::narrow(8, 8), 190, 99, 48);
+  EXPECT_THROW((void)LakeReader::open(lake.dir), LakeError);
+
+  // Opening with the stale check off still works (the catalog itself
+  // is intact) — but the deep verification names the bad member.
+  LakeOptions opt;
+  opt.check_members = false;
+  const LakeReader reader = LakeReader::open(lake.dir, opt);
+  try {
+    reader.verify_members();
+    FAIL() << "verify_members accepted a rewritten member";
+  } catch (const LakeError& e) {
+    EXPECT_NE(std::string(e.what()).find("b.dbt"), std::string::npos)
+        << e.what();
+  }
+
+  // Truncation is staleness too (the size check catches it before any
+  // byte of the member is trusted).
+  fs::resize_file(lake.dir + "/a.dbt", 40);
+  EXPECT_THROW((void)LakeReader::open(lake.dir), LakeError);
+}
+
+TEST(LakeCatalog, RejectsUnsafeMemberNames) {
+  for (const char* name : {"", "/abs.dbt", "../up.dbt", "a/../b.dbt",
+                           "a//b.dbt", "dir/.", "back\\slash.dbt"}) {
+    EXPECT_THROW((void)validate_member_name(name), LakeError) << name;
+  }
+  EXPECT_NO_THROW((void)validate_member_name("sub/dir/trace.dbt"));
+}
+
+/// Per-member masks collected through a replay callback.
+using MaskMap = std::map<std::size_t, std::vector<std::uint64_t>>;
+
+[[nodiscard]] LakeReplayResult replay_collecting(const LakeReader& lake,
+                                                 const SessionSpec& spec,
+                                                 int workers,
+                                                 MaskMap& masks) {
+  std::mutex mu;
+  LakeReplayOptions opt;
+  opt.workers = workers;
+  opt.on_results = [&](std::size_t member, std::int64_t first_burst,
+                       std::span<const engine::BurstResult> results) {
+    const std::scoped_lock lock(mu);
+    std::vector<std::uint64_t>& out = masks[member];
+    const auto need =
+        static_cast<std::size_t>(first_burst) + results.size();
+    if (out.size() < need) out.resize(need);
+    for (std::size_t i = 0; i < results.size(); ++i)
+      out[static_cast<std::size_t>(first_burst) + i] =
+          results[i].invert_mask;
+  };
+  return replay_lake(lake, spec, opt);
+}
+
+TEST(LakeReplay, ParallelMatchesSequentialMatchesPerFile) {
+  const TempLake lake = build_lake();
+  const LakeReader reader = LakeReader::open(lake.dir);
+
+  for (const Scheme scheme : {Scheme::kAc, Scheme::kOpt}) {
+    SessionSpec spec;
+    spec.policy = SchemePolicy::fixed(scheme);
+    spec.lanes = 2;
+
+    // Reference: each member replayed alone through its own Session.
+    std::vector<StreamStats> ref_stats;
+    MaskMap ref_masks;
+    for (std::size_t k = 0; k < reader.members().size(); ++k) {
+      const auto tr = trace::TraceReader::open(reader.member_path(k));
+      SessionSpec s = spec;
+      s.geometry = reader.members()[k].geometry();
+      Session session(s);
+      const auto source = dbi::make_trace_source(tr);
+      const auto sink = dbi::make_observer_sink(
+          [&ref_masks, k](std::int64_t first,
+                          std::span<const engine::BurstResult> results) {
+            std::vector<std::uint64_t>& out = ref_masks[k];
+            for (std::size_t i = 0; i < results.size(); ++i) {
+              const auto at = static_cast<std::size_t>(first) + i;
+              if (out.size() <= at) out.resize(at + 1);
+              out[at] = results[i].invert_mask;
+            }
+          });
+      ref_stats.push_back(session.run(*source, *sink));
+    }
+
+    for (const int workers : {1, 3}) {
+      MaskMap masks;
+      const LakeReplayResult got =
+          replay_collecting(reader, spec, workers, masks);
+      ASSERT_EQ(got.member_stats.size(), ref_stats.size());
+      StreamStats sum;
+      for (std::size_t k = 0; k < ref_stats.size(); ++k) {
+        sum += ref_stats[k];
+        EXPECT_EQ(got.member_stats[k].bursts, ref_stats[k].bursts)
+            << "member " << k << " workers " << workers;
+        EXPECT_EQ(got.member_stats[k].zeros, ref_stats[k].zeros)
+            << "member " << k << " workers " << workers;
+        EXPECT_EQ(got.member_stats[k].transitions, ref_stats[k].transitions)
+            << "member " << k << " workers " << workers;
+        EXPECT_EQ(masks[k], ref_masks[k])
+            << "member " << k << " workers " << workers;
+      }
+      EXPECT_EQ(got.totals.bursts, sum.bursts);
+      EXPECT_EQ(got.totals.zeros, sum.zeros);
+      EXPECT_EQ(got.totals.transitions, sum.transitions);
+    }
+  }
+}
+
+TEST(LakeReplay, ReadaheadOffIsBitExactToo) {
+  const TempLake lake = build_lake();
+  const LakeReader reader = LakeReader::open(lake.dir);
+  SessionSpec spec;
+  spec.policy = SchemePolicy::fixed(Scheme::kAc);
+
+  LakeReplayOptions with;
+  LakeReplayOptions without;
+  without.readahead = false;
+  const LakeReplayResult a = replay_lake(reader, spec, with);
+  const LakeReplayResult b = replay_lake(reader, spec, without);
+  EXPECT_EQ(a.totals.zeros, b.totals.zeros);
+  EXPECT_EQ(a.totals.transitions, b.totals.transitions);
+  EXPECT_EQ(a.totals.bursts, b.totals.bursts);
+}
+
+TEST(LakeSource, ConcatenatedSessionMatchesSummedPerFileReplay) {
+  const TempLake lake = build_lake();
+  const LakeReader reader = LakeReader::open(lake.dir);
+  const Geometry g = Geometry::narrow(8, 8);
+
+  for (const int lanes : {1, 3}) {
+    SessionSpec spec;
+    spec.policy = SchemePolicy::fixed(Scheme::kOpt);
+    spec.geometry = g;
+    spec.lanes = lanes;
+
+    // Reference: the two x8 members replayed alone, totals summed and
+    // masks concatenated in catalog order.
+    StreamStats ref;
+    std::vector<std::uint64_t> ref_masks;
+    for (std::size_t k = 0; k < reader.members().size(); ++k) {
+      if (reader.members()[k].geometry() != g) continue;
+      const auto tr = trace::TraceReader::open(reader.member_path(k));
+      Session session(spec);
+      const auto source = dbi::make_trace_source(tr);
+      const auto sink = dbi::make_observer_sink(
+          [&ref_masks](std::int64_t, std::span<const engine::BurstResult> r) {
+            for (const engine::BurstResult& b : r)
+              ref_masks.push_back(b.invert_mask);
+          });
+      ref += session.run(*source, *sink);
+    }
+
+    // Lake source: one Session over the concatenated stream. Member
+    // boundaries reset the bus state, so totals AND masks must be
+    // bit-exact against the per-file replays.
+    Session session(spec);
+    const auto source = make_lake_source(reader);
+    std::vector<std::uint64_t> got_masks;
+    std::int64_t expected_next = 0;
+    const auto sink = dbi::make_observer_sink(
+        [&](std::int64_t first, std::span<const engine::BurstResult> r) {
+          EXPECT_EQ(first, expected_next);  // sink-facing bursts continuous
+          expected_next = first + static_cast<std::int64_t>(r.size());
+          for (const engine::BurstResult& b : r)
+            got_masks.push_back(b.invert_mask);
+        });
+    const StreamStats got = session.run(*source, *sink);
+    EXPECT_EQ(got.bursts, ref.bursts) << "lanes " << lanes;
+    EXPECT_EQ(got.zeros, ref.zeros) << "lanes " << lanes;
+    EXPECT_EQ(got.transitions, ref.transitions) << "lanes " << lanes;
+    EXPECT_EQ(got_masks, ref_masks) << "lanes " << lanes;
+  }
+
+  // Readahead off serves the identical stream.
+  SessionSpec spec;
+  spec.policy = SchemePolicy::fixed(Scheme::kAc);
+  spec.geometry = g;
+  LakeSourceOptions no_ra;
+  no_ra.readahead = false;
+  Session s1(spec);
+  Session s2(spec);
+  const auto src1 = make_lake_source(reader);
+  const auto src2 = make_lake_source(reader, no_ra);
+  const StreamStats t1 = s1.run(*src1);
+  const StreamStats t2 = s2.run(*src2);
+  EXPECT_EQ(t1.zeros, t2.zeros);
+  EXPECT_EQ(t1.transitions, t2.transitions);
+
+  // No member at the bound geometry: a named, typed error.
+  Session s3([] {
+    SessionSpec sp;
+    sp.policy = SchemePolicy::fixed(Scheme::kAc);
+    sp.geometry = Geometry::narrow(16, 8);
+    return sp;
+  }());
+  const auto src3 = make_lake_source(reader);
+  EXPECT_THROW((void)s3.run(*src3), std::invalid_argument);
+}
+
+TEST(LakeSweep, DeterministicAndResumable) {
+  const TempLake lake = build_lake();
+  const LakeReader reader = LakeReader::open(lake.dir);
+
+  SweepOptions opt;
+  opt.arms.push_back({"raw", SchemePolicy::fixed(Scheme::kRaw), {}});
+  opt.arms.push_back({"ac", SchemePolicy::fixed(Scheme::kAc), {}});
+  const std::string once = run_sweep(reader, opt);
+  const std::string twice = run_sweep(reader, opt);
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("\"schema\":\"dbi-lake-sweep-v1\""),
+            std::string::npos);
+  EXPECT_NE(once.find("\"arm\":\"ac\",\"member\":\"w.dbt\""),
+            std::string::npos);
+
+  // Per-cell resume: a cells directory populated by the first run
+  // reproduces the identical report on the second.
+  SweepOptions cached = opt;
+  cached.cells_dir = lake.dir + "/cells";
+  EXPECT_EQ(run_sweep(reader, cached), once);
+  EXPECT_EQ(run_sweep(reader, cached), once);
+
+  SweepOptions dup = opt;
+  dup.arms.push_back({"ac", SchemePolicy::fixed(Scheme::kAc), {}});
+  EXPECT_THROW((void)run_sweep(reader, dup), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dbi::lake

@@ -72,6 +72,13 @@ OBS_FLOOR = 0.98
 # 1.0 (0.999 allows float rounding in the report).
 SELECT_PREDICTED_FLOOR = 0.8
 SELECT_EXACT_ENERGY_FLOOR = 0.999
+# Trace-lake replay: streaming every member of a three-file catalog
+# through replay_lake must recover at least 0.9x of the summed
+# per-file replay throughput (the catalog walk, per-member session
+# setup and the deterministic merge may cost at most 10%). The
+# readahead on-vs-off ratio is baseline-gated only — no hard floor,
+# because a warm page cache legitimately flattens it to ~1.0.
+LAKE_REPLAY_FLOOR = 0.9
 # Serving daemon: aggregate served throughput at 8 pipelined tenants
 # must reach 0.7x the single-stream engine pass (protocol, scheduling
 # and per-tenant state may cost at most 30%).
@@ -137,6 +144,12 @@ def extract_metrics(name: str, doc: dict) -> dict[str, float]:
         obs = doc.get("obs")
         if obs:
             metrics["obs_overhead"] = obs["obs_vs_off"]
+        lake = doc.get("lake")
+        if lake:
+            metrics["lake_replay_vs_per_file"] = lake["lake_vs_per_file"]
+            metrics["lake_readahead_on_vs_off"] = (
+                lake["readahead_on_vs_off"]
+            )
     return metrics
 
 
@@ -165,6 +178,8 @@ def floor_for(metric: str) -> float | None:
         return SELECT_EXACT_ENERGY_FLOOR
     if metric == "serve_vs_session/8t":
         return SERVE_FLOOR
+    if metric == "lake_replay_vs_per_file":
+        return LAKE_REPLAY_FLOOR
     return None
 
 
@@ -294,6 +309,32 @@ def main() -> int:
     for bench, metric, base, cur, status in rows:
         print(f"  {metric:<{width}}  baseline {base:7.3f}  "
               f"current {cur:7.3f}  {status}")
+
+    # When running under GitHub Actions, mirror the gate table into the
+    # job summary so a red X explains itself without opening the log.
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        def cell(value: float) -> str:
+            return "–" if value != value else f"{value:.3f}"  # NaN-safe
+
+        with open(summary_path, "a", encoding="utf-8") as f:
+            f.write(f"## Bench regression gate @ `{sha}` "
+                    f"(tolerance {args.tolerance:.0%})\n\n")
+            f.write("| metric | baseline | measured | status |\n")
+            f.write("| --- | ---: | ---: | --- |\n")
+            for _bench, metric, base, cur, status in rows:
+                mark = status if status in ("ok", "new", "skipped-isa") \
+                    else f"**{status}**"
+                f.write(f"| `{metric}` | {cell(base)} | {cell(cur)} "
+                        f"| {mark} |\n")
+            if failures:
+                f.write(f"\n**FAIL** — {len(failures)} metric(s) out of "
+                        f"bounds:\n\n")
+                for failure in failures:
+                    f.write(f"- {failure}\n")
+            else:
+                f.write(f"\n**OK** — {len(rows)} metrics within "
+                        f"tolerance.\n")
 
     if failures:
         print("\nFAIL: bench regression gate", file=sys.stderr)

@@ -15,6 +15,7 @@
 // Every subcommand prints an aligned table (or CSV with --csv) so the
 // tool slots into shell pipelines and plotting scripts.
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -42,6 +43,8 @@
 #include "hw/fault_study.hpp"
 #include "hw/hw_design.hpp"
 #include "hw/synthesis.hpp"
+#include "lake/lake.hpp"
+#include "lake/sweep.hpp"
 #include "netlist/export.hpp"
 #include "obs/json.hpp"
 #include "obs/observer.hpp"
@@ -143,7 +146,9 @@ const std::map<std::string, std::set<std::string>>& allowed_flags() {
                "p-zero", "p-stay"}},
       {"stats", {}},
       {"encode", {"scheme", "alpha"}},
-      {"sweep", {"steps"}},
+      {"sweep", {"steps", "schemes", "select", "cost", "alpha", "lanes",
+                 "workers", "pod", "cload-pf", "gbps", "cells", "output"}},
+      {"lake", {"json"}},
       {"rates", {"pod", "cload-pf", "gbps", "from-gbps", "to-gbps",
                  "step-gbps"}},
       {"synth", {"bytes", "bursts"}},
@@ -523,7 +528,86 @@ int cmd_encode(const Args& args) {
   return 0;
 }
 
+[[nodiscard]] bool is_directory_path(const std::string& path) {
+  struct ::stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// `dbitool sweep LAKE_DIR`: the scenario-matrix campaign — policy
+/// arms (--schemes slugs and/or one --select policy) x every lake
+/// member, streamed out of the lake, one consolidated deterministic
+/// JSON report. Resumable per cell with --cells DIR.
+int cmd_lake_sweep(const Args& args) {
+  if (args.options.count("steps") != 0)
+    throw UsageError("sweep: --steps only applies to a text burst trace");
+  const lake::LakeReader reader = lake::LakeReader::open(args.positional[0]);
+
+  lake::SweepOptions opt;
+  const CostWeights weights =
+      CostWeights::ac_dc_tradeoff(args.get_double("alpha", 0.5));
+  std::set<std::string> labels;
+  std::stringstream list(args.get("schemes", "raw,dc,ac,acdc,opt-fixed,opt"));
+  std::string token;
+  while (std::getline(list, token, ',')) {
+    if (token.empty()) continue;
+    lake::SweepArm arm;
+    arm.label = token;
+    try {
+      arm.policy = SchemePolicy::fixed(parse_scheme(token));
+    } catch (const std::exception& e) {
+      throw UsageError("sweep: --schemes: " + std::string(e.what()));
+    }
+    arm.weights = weights;
+    if (!labels.insert(arm.label).second)
+      throw UsageError("sweep: --schemes lists '" + token + "' twice");
+    opt.arms.push_back(std::move(arm));
+  }
+  if (const std::optional<SchemePolicy> select = parse_select_policy(args)) {
+    const std::string sel = args.get("select", "");
+    lake::SweepArm arm;
+    arm.label = "select-" + sel.substr(0, sel.find(':'));
+    arm.policy = *select;
+    arm.weights = weights;
+    opt.arms.push_back(std::move(arm));
+  }
+  if (opt.arms.empty())
+    throw UsageError("sweep: no arms (--schemes is empty and no --select)");
+  opt.lanes = static_cast<int>(args.get_long("lanes", 1));
+  opt.threads = static_cast<int>(args.get_long("workers", 0));
+  opt.cells_dir = args.get("cells", "");
+  std::optional<power::PodParams> pod;
+  if (args.options.count("pod") != 0 || args.options.count("cload-pf") != 0 ||
+      args.options.count("gbps") != 0) {
+    pod = parse_pod(args);
+    opt.pod = &*pod;
+  }
+
+  const std::string report = lake::run_sweep(reader, opt);
+  const std::string out = args.get("output", "");
+  if (out.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    os << report;
+    std::cerr << "swept " << opt.arms.size() << " arms x "
+              << reader.members().size() << " members ("
+              << reader.total_bursts() << " bursts) to " << out << "\n";
+  }
+  return 0;
+}
+
 int cmd_sweep(const Args& args) {
+  // Sniff the positional: a directory is a trace lake (the campaign
+  // runner), a file the classic alpha sweep over a text burst trace.
+  if (!args.positional.empty() && is_directory_path(args.positional[0]))
+    return cmd_lake_sweep(args);
+  for (const char* f : {"schemes", "select", "cost", "alpha", "lanes",
+                        "workers", "pod", "cload-pf", "gbps", "cells",
+                        "output"})
+    if (args.options.count(f) != 0)
+      throw UsageError(std::string("sweep: --") + f +
+                       " only applies to a lake directory");
   const auto trace = load_trace(args);
   const auto steps = static_cast<int>(args.get_long("steps", 21));
   const auto sweep = sim::alpha_sweep(trace, steps);
@@ -1163,6 +1247,119 @@ int cmd_corpus(const Args& args) {
   return 0;
 }
 
+// --- trace lake -------------------------------------------------------
+
+/// `dbitool lake init|add|ls|verify`: build and inspect a trace lake —
+/// a directory of binary traces plus the validated catalog.dbil that
+/// `dbitool sweep LAKE_DIR` and the lake replay path stream from.
+int cmd_lake(const Args& args) {
+  if (args.positional.empty())
+    throw UsageError(
+        "lake: expected a subcommand "
+        "(init DIR | add DIR FILE... | ls DIR [--json] | verify DIR)");
+  const std::string& sub = args.positional[0];
+
+  if (sub == "init") {
+    if (args.positional.size() != 2)
+      throw UsageError("lake init: expected exactly one DIR");
+    lake::LakeWriter writer = lake::LakeWriter::create(args.positional[1]);
+    writer.write();
+    std::cerr << "initialised empty lake at " << writer.dir() << "\n";
+    return 0;
+  }
+
+  if (sub == "add") {
+    if (args.positional.size() < 3)
+      throw UsageError("lake add: expected DIR FILE...");
+    std::string dir = args.positional[1];
+    while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+    lake::LakeWriter writer = lake::LakeWriter::append(dir);
+    for (std::size_t i = 2; i < args.positional.size(); ++i) {
+      // Accept either the path as typed ("lakedir/t.dbt") or a name
+      // relative to the lake directory ("t.dbt").
+      std::string rel = args.positional[i];
+      if (rel.rfind(dir + "/", 0) == 0) rel = rel.substr(dir.size() + 1);
+      const lake::LakeMember& m = writer.add(rel);
+      std::cerr << "added " << m.name << " (" << m.geometry().to_string()
+                << ", " << m.stats.bursts << " bursts"
+                << (m.encoded() ? ", encoded" : "") << ")\n";
+    }
+    writer.write();
+    std::cerr << "catalog: " << writer.members().size() << " members\n";
+    return 0;
+  }
+
+  if (sub == "ls") {
+    if (args.positional.size() != 2)
+      throw UsageError("lake ls: expected exactly one DIR");
+    const lake::LakeReader reader = lake::LakeReader::open(args.positional[1]);
+    if (args.options.count("json") != 0) {
+      const auto esc = [](std::string_view s) {
+        std::string out;
+        for (const char c : s) {
+          if (c == '"' || c == '\\') out += '\\';
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+          }
+          out += c;
+        }
+        return out;
+      };
+      std::ostringstream os;
+      os << "{\n"
+         << "  \"dir\": \"" << esc(reader.dir()) << "\",\n"
+         << "  \"members\": " << reader.members().size() << ",\n"
+         << "  \"total_bursts\": " << reader.total_bursts() << ",\n"
+         << "  \"total_file_bytes\": " << reader.total_file_bytes() << ",\n"
+         << "  \"entries\": [";
+      for (std::size_t i = 0; i < reader.members().size(); ++i) {
+        const lake::LakeMember& m = reader.members()[i];
+        os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << esc(m.name)
+           << "\", \"geometry\": \"" << esc(m.geometry().to_string())
+           << "\", \"version\": " << static_cast<int>(m.trace_version)
+           << ", \"encoded\": " << (m.encoded() ? "true" : "false")
+           << ", \"bursts\": " << m.stats.bursts
+           << ", \"chunks\": " << m.chunk_count
+           << ", \"file_bytes\": " << m.file_bytes << "}";
+      }
+      os << (reader.members().empty() ? "]\n" : "\n  ]\n") << "}\n";
+      std::cout << os.str();
+      return 0;
+    }
+    sim::Table table({"member", "geometry", "v", "encoded", "bursts",
+                      "chunks", "file_bytes"});
+    for (const lake::LakeMember& m : reader.members())
+      table.add_row({m.name, m.geometry().to_string(),
+                     std::to_string(static_cast<int>(m.trace_version)),
+                     m.encoded() ? (m.mixed() ? "mixed" : "yes") : "no",
+                     std::to_string(m.stats.bursts),
+                     std::to_string(m.chunk_count),
+                     std::to_string(m.file_bytes)});
+    emit(table, args);
+    std::cerr << reader.members().size() << " members, "
+              << reader.total_bursts() << " bursts, "
+              << reader.total_file_bytes() << " bytes\n";
+    return 0;
+  }
+
+  if (sub == "verify") {
+    if (args.positional.size() != 2)
+      throw UsageError("lake verify: expected exactly one DIR");
+    const lake::LakeReader reader = lake::LakeReader::open(args.positional[1]);
+    reader.verify_members();
+    std::cerr << "verified " << reader.members().size() << " members ("
+              << reader.total_bursts() << " bursts): catalog and every "
+              << "member trace check out\n";
+    return 0;
+  }
+
+  throw UsageError("lake: unknown subcommand '" + sub +
+                   "' (init|add|ls|verify)");
+}
+
 // --- serving (dbid daemon + client) ----------------------------------
 
 serve::ServerOptions server_options(const Args& args) {
@@ -1521,6 +1718,14 @@ int usage() {
       "  dbitool encode  TRACE [--scheme raw|dc|ac|acdc|opt|opt-fixed]\n"
       "                  [--alpha 0.5] [--csv]\n"
       "  dbitool sweep   TRACE [--steps 21] [--csv]        (Fig. 3/4)\n"
+      "  dbitool sweep   LAKE_DIR [--schemes raw,ac,...] [--alpha 0.5]\n"
+      "                  [--select exact[:LIST]|predict[:LIST]\n"
+      "                  [--cost MODEL]] [--lanes 1] [--workers N]\n"
+      "                  [--pod pod135 [--cload-pf 3] [--gbps 12]]\n"
+      "                  [--cells DIR] [-o report.json]  (campaign\n"
+      "                  runner: every policy arm x every lake member,\n"
+      "                  streamed out of the lake; deterministic JSON,\n"
+      "                  resumable per cell via --cells)\n"
       "  dbitool rates   TRACE [--pod pod135|pod12|pod15]\n"
       "                  [--cload-pf 3] [--from-gbps 1] [--to-gbps 20]\n"
       "                  [--step-gbps 1] [--csv]           (Fig. 7)\n"
@@ -1577,6 +1782,13 @@ int usage() {
       "  dbitool convert INPUT OUTPUT [--chunk 4096] [--no-compress]\n"
       "                  (text <-> binary, direction by sniffing INPUT;\n"
       "                  wide traces are binary-only)\n"
+      "  dbitool lake    init DIR             (empty catalog.dbil)\n"
+      "  dbitool lake    add DIR FILE...      (validate + index traces;\n"
+      "                  FILE may be DIR/name.dbt or a name inside DIR)\n"
+      "  dbitool lake    ls DIR [--json] [--csv]  (catalog listing)\n"
+      "  dbitool lake    verify DIR  (deep check: every member re-read\n"
+      "                  through the full trace parser, CRC included;\n"
+      "                  exit 1 on a stale or corrupt lake)\n"
       "  dbitool corpus  [--csv]   (list recordable scenarios)\n"
       "  dbitool corpus  --width 32 [--bl 8] [--bursts 4096] [--seed S]\n"
       "                  [--select exact[:LIST]|predict[:LIST]\n"
@@ -1651,6 +1863,7 @@ int main(int argc, char** argv) {
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "convert") return cmd_convert(args);
     if (args.command == "corpus") return cmd_corpus(args);
+    if (args.command == "lake") return cmd_lake(args);
     if (args.command == "decode") return cmd_decode(args);
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "kernels") return cmd_kernels(args);
